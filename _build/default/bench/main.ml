@@ -1,0 +1,142 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§V) plus the DESIGN.md ablations, and provides a Bechamel
+   micro-benchmark suite for the core primitives.
+
+   Usage:
+     dune exec bench/main.exe                -- all figures, quick scale
+     dune exec bench/main.exe -- --full      -- all figures, paper scale
+     dune exec bench/main.exe -- fig9        -- one figure
+     dune exec bench/main.exe -- micro       -- Bechamel micro suite *)
+
+let micro () =
+  let open Bechamel in
+  let chain_insert =
+    Test.make ~name:"mvstore.chain insert+find (256 versions)"
+      (Staged.stage (fun () ->
+           let c : int Mvstore.Chain.t = Mvstore.Chain.create () in
+           for i = 1 to 256 do
+             ignore (Mvstore.Chain.insert c ~version:i i)
+           done;
+           ignore (Mvstore.Chain.find_le c ~version:128)))
+  in
+  let ts_gen =
+    let e = Sim.Engine.create () in
+    let clk = Clocksync.Node_clock.perfect e in
+    let src = Clocksync.Ts_source.create clk ~node:1 in
+    let hi = ref 1_000_000 in
+    Test.make ~name:"clocksync.ts_source next"
+      (Staged.stage (fun () ->
+           incr hi;
+           ignore (Clocksync.Ts_source.next src ~lo:0 ~hi:!hi)))
+  in
+  let zipf =
+    let z = Sim.Zipf.create ~n:1_000_000 ~theta:0.99 in
+    let rng = Sim.Rng.create 3 in
+    Test.make ~name:"sim.zipf sample"
+      (Staged.stage (fun () -> ignore (Sim.Zipf.sample z rng)))
+  in
+  let lock_manager =
+    let keys =
+      List.init 10 (fun i -> (Printf.sprintf "k%d" i, Calvin.Lock_manager.Write))
+    in
+    Test.make ~name:"calvin.lock_manager req+rel (10 keys)"
+      (Staged.stage (fun () ->
+           let lm = Calvin.Lock_manager.create ~on_ready:(fun _ -> ()) in
+           Calvin.Lock_manager.request lm ~uid:1 ~keys;
+           Calvin.Lock_manager.release lm ~uid:1))
+  in
+  let functor_compute =
+    Test.make ~name:"functor_cc 64 local ADD computes"
+      (Staged.stage (fun () ->
+           let registry = Functor_cc.Registry.with_builtins () in
+           let callbacks =
+             { Functor_cc.Compute_engine.is_local = (fun _ -> true);
+               remote_get = (fun ~key:_ ~version:_ k -> k None);
+               send_push = (fun ~dst_key:_ ~version:_ ~src_key:_ _ -> ());
+               send_dep_write = (fun ~key:_ ~version:_ _ -> ());
+               notify_final = (fun ~key:_ ~version:_ ~pending:_ ~final:_ -> ());
+               exec = (fun ~cost:_ k -> k ());
+               now = (fun () -> 0) }
+           in
+           let e =
+             Functor_cc.Compute_engine.create ~registry ~callbacks
+               ~compute_cost_us:0 ~metrics:(Sim.Metrics.create ()) ()
+           in
+           Functor_cc.Compute_engine.load_initial e ~key:"k"
+             (Functor_cc.Value.int 0);
+           for v = 1 to 64 do
+             ignore
+               (Functor_cc.Compute_engine.install e ~key:"k" ~version:v ~lo:0
+                  ~hi:max_int
+                  (Functor_cc.Funct.mk_pending ~ftype:Functor_cc.Ftype.Add
+                     ~farg:(Functor_cc.Funct.farg_args
+                              [ Functor_cc.Value.int 1 ])
+                     ~txn_id:v ~coordinator:0))
+           done;
+           Functor_cc.Compute_engine.compute_key e ~key:"k" ~version:64))
+  in
+  let rng_bench =
+    let rng = Sim.Rng.create 9 in
+    Test.make ~name:"sim.rng bounded int"
+      (Staged.stage (fun () -> ignore (Sim.Rng.int rng 1_000_000)))
+  in
+  let tests =
+    [ chain_insert; ts_gen; zipf; lock_manager; functor_compute; rng_bench ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "[micro] %-44s %12.1f ns/op\n%!" name est
+          | Some _ | None ->
+              Printf.printf "[micro] %-44s (no estimate)\n%!" name)
+        analysis)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale =
+    if List.mem "--full" args then Harness.Experiments.full
+    else Harness.Experiments.quick
+  in
+  let cmds =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let run = function
+    | "table1" -> Harness.Experiments.table1 ()
+    | "fig6" -> Harness.Experiments.fig6 scale
+    | "fig7" -> Harness.Experiments.fig7 scale
+    | "fig8" -> Harness.Experiments.fig8 scale
+    | "fig9" -> Harness.Experiments.fig9 scale
+    | "fig10" -> Harness.Experiments.fig10 scale
+    | "fig11" -> Harness.Experiments.fig11 scale
+    | "ablation-straggler" -> Harness.Experiments.ablation_straggler scale
+    | "ablation-push" -> Harness.Experiments.ablation_push scale
+    | "ablation-dependent" -> Harness.Experiments.ablation_dependent scale
+    | "ext-conventional" -> Harness.Experiments.ext_conventional scale
+    | "micro" -> micro ()
+    | "all" ->
+        Harness.Experiments.all scale;
+        micro ()
+    | other ->
+        Printf.eprintf
+          "unknown target %S (expected table1, fig6..fig11, \
+           ablation-straggler, ablation-push, ablation-dependent, \
+           ext-conventional, micro, all)\n"
+          other;
+        exit 2
+  in
+  match cmds with
+  | [] -> run "all"
+  | cmds -> List.iter run cmds

@@ -1,0 +1,166 @@
+(* Command-line driver for single experiments.
+
+   Examples:
+     alohadb_cli run --system aloha --workload ycsb --ci 0.01 --servers 8
+     alohadb_cli run --system calvin --workload tpcc --per-host 1 \
+       --clients 500 --measure-ms 200
+     alohadb_cli figure fig9 --scale full
+     alohadb_cli table1 *)
+
+open Cmdliner
+
+let run_cmd =
+  let system =
+    let doc = "System under test: aloha or calvin." in
+    Arg.(value & opt (enum [ ("aloha", `Aloha); ("calvin", `Calvin) ]) `Aloha
+         & info [ "system"; "s" ] ~doc)
+  in
+  let workload =
+    let doc = "Workload: tpcc, tpcc-payment, stpcc, or ycsb." in
+    Arg.(value
+         & opt (enum
+                  [ ("tpcc", `Tpcc); ("tpcc-payment", `Tpcc_payment);
+                    ("stpcc", `Stpcc); ("ycsb", `Ycsb) ])
+             `Ycsb
+         & info [ "workload"; "w" ] ~doc)
+  in
+  let servers =
+    Arg.(value & opt int 8 & info [ "servers"; "n" ] ~doc:"Cluster size.")
+  in
+  let per_host =
+    Arg.(value & opt int 10
+         & info [ "per-host" ] ~doc:"Warehouses/districts per host (TPC-C).")
+  in
+  let ci =
+    Arg.(value & opt float 0.01
+         & info [ "ci" ] ~doc:"YCSB contention index (1/hot-keys).")
+  in
+  let clients =
+    Arg.(value & opt int 0
+         & info [ "clients" ]
+             ~doc:"Closed-loop clients per frontend (0 = pick a default).")
+  in
+  let rate =
+    Arg.(value & opt float 0.0
+         & info [ "rate" ]
+             ~doc:"Open-loop arrival rate per frontend in txn/s \
+                   (overrides --clients when positive).")
+  in
+  let epoch_ms =
+    Arg.(value & opt int 25
+         & info [ "epoch-ms" ] ~doc:"Epoch / sequencer batch duration.")
+  in
+  let warmup_ms =
+    Arg.(value & opt int 75 & info [ "warmup-ms" ] ~doc:"Warm-up window.")
+  in
+  let measure_ms =
+    Arg.(value & opt int 100 & info [ "measure-ms" ] ~doc:"Measured window.")
+  in
+  let seed = Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Workload seed.") in
+  let run system workload n per_host ci clients rate epoch_ms warmup_ms
+      measure_ms seed =
+    let epoch_us = epoch_ms * 1000 in
+    let warmup_us = warmup_ms * 1000 in
+    let measure_us = measure_ms * 1000 in
+    let arrival =
+      if rate > 0.0 then Harness.Arrivals.Open_poisson { rate_per_fe = rate }
+      else
+        let default = match system with `Aloha -> 2_000 | `Calvin -> 500 in
+        Harness.Arrivals.Closed
+          { clients_per_fe = (if clients > 0 then clients else default) }
+    in
+    let result =
+      match system with
+      | `Aloha ->
+          let { Harness.Setup.a_cluster; a_gen } =
+            match workload with
+            | `Tpcc ->
+                Harness.Setup.aloha_tpcc ~n ~warehouses_per_host:per_host
+                  ~kind:`NewOrder ~epoch_us ~seed ()
+            | `Tpcc_payment ->
+                Harness.Setup.aloha_tpcc ~n ~warehouses_per_host:per_host
+                  ~kind:`Payment ~epoch_us ~seed ()
+            | `Stpcc ->
+                Harness.Setup.aloha_stpcc ~n ~districts_per_host:per_host
+                  ~epoch_us ~seed ()
+            | `Ycsb -> Harness.Setup.aloha_ycsb ~n ~ci ~epoch_us ~seed ()
+          in
+          Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen ~arrival
+            ~warmup_us ~measure_us ()
+      | `Calvin ->
+          let { Harness.Setup.c_cluster; c_gen } =
+            match workload with
+            | `Tpcc ->
+                Harness.Setup.calvin_tpcc ~n ~warehouses_per_host:per_host
+                  ~kind:`NewOrder ~epoch_us ~seed ()
+            | `Tpcc_payment ->
+                Harness.Setup.calvin_tpcc ~n ~warehouses_per_host:per_host
+                  ~kind:`Payment ~epoch_us ~seed ()
+            | `Stpcc ->
+                Harness.Setup.calvin_stpcc ~n ~districts_per_host:per_host
+                  ~epoch_us ~seed ()
+            | `Ycsb -> Harness.Setup.calvin_ycsb ~n ~ci ~epoch_us ~seed ()
+          in
+          Harness.Driver.run_calvin ~cluster:c_cluster ~gen:c_gen ~arrival
+            ~warmup_us ~measure_us ()
+    in
+    Format.printf "%a@." Harness.Driver.pp_result result;
+    List.iter
+      (fun (stage, us) ->
+        Format.printf "  %-22s %8.2f ms@." stage (us /. 1000.0))
+      result.Harness.Driver.stages
+  in
+  let doc = "Run one experiment point and print its metrics." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ system $ workload $ servers $ per_host $ ci $ clients
+          $ rate $ epoch_ms $ warmup_ms $ measure_ms $ seed)
+
+let figure_cmd =
+  let target =
+    let doc = "Figure or ablation to regenerate (fig6..fig11, table1, \
+               ablation-straggler, ablation-push, ablation-dependent, all)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let scale =
+    let doc = "Point-set scale: quick (development) or full (paper)." in
+    Arg.(value
+         & opt (enum
+                  [ ("quick", Harness.Experiments.quick);
+                    ("full", Harness.Experiments.full) ])
+             Harness.Experiments.quick
+         & info [ "scale" ] ~doc)
+  in
+  let run target scale =
+    match target with
+    | "table1" -> Harness.Experiments.table1 ()
+    | "fig6" -> Harness.Experiments.fig6 scale
+    | "fig7" -> Harness.Experiments.fig7 scale
+    | "fig8" -> Harness.Experiments.fig8 scale
+    | "fig9" -> Harness.Experiments.fig9 scale
+    | "fig10" -> Harness.Experiments.fig10 scale
+    | "fig11" -> Harness.Experiments.fig11 scale
+    | "ablation-straggler" -> Harness.Experiments.ablation_straggler scale
+    | "ablation-push" -> Harness.Experiments.ablation_push scale
+    | "ablation-dependent" -> Harness.Experiments.ablation_dependent scale
+    | "ext-conventional" -> Harness.Experiments.ext_conventional scale
+    | "all" -> Harness.Experiments.all scale
+    | other ->
+        Format.eprintf "unknown target %s@." other;
+        exit 2
+  in
+  let doc = "Regenerate one of the paper's figures." in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ target $ scale)
+
+let table1_cmd =
+  let doc = "Print Table I (supported f-types)." in
+  Cmd.v (Cmd.info "table1" ~doc)
+    Term.(const Harness.Experiments.table1 $ const ())
+
+let () =
+  let doc =
+    "ALOHA-DB: scalable transaction processing using functors (ICDCS'18 \
+     reproduction)"
+  in
+  let info = Cmd.info "alohadb_cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; table1_cmd ]))

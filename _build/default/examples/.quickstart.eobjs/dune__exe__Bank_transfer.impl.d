@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Alohadb Format Functor_cc List

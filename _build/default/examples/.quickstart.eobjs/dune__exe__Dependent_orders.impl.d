@@ -1,0 +1,1 @@
+examples/dependent_orders.ml: Alohadb Clocksync Format Functor_cc Printf Sim

@@ -1,0 +1,1 @@
+examples/dependent_orders.mli:

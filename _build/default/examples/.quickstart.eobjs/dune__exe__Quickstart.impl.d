@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alohadb Clocksync Format Functor_cc List

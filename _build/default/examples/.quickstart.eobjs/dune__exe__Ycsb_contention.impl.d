@@ -1,0 +1,1 @@
+examples/ycsb_contention.ml: Format Harness List

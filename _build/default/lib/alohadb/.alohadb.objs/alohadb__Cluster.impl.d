@@ -1,0 +1,1 @@
+lib/alohadb/cluster.ml: Array Clocksync Config Epoch Functor_cc List Message Net Server Sim

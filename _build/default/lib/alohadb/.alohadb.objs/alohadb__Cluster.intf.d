@@ -1,0 +1,1 @@
+lib/alohadb/cluster.mli: Config Epoch Functor_cc Net Server Sim Txn

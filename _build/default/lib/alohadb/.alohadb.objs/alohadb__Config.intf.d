@@ -1,0 +1,1 @@
+lib/alohadb/config.mli:

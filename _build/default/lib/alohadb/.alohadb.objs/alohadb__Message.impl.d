@@ -1,0 +1,1 @@
+lib/alohadb/message.ml: Functor_cc Net Txn

@@ -1,0 +1,1 @@
+lib/alohadb/message.mli: Functor_cc Net Txn

@@ -1,0 +1,1 @@
+lib/alohadb/recovery.ml: Functor_cc List Message Mvstore Option Wal

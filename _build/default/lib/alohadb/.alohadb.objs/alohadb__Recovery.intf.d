@@ -1,0 +1,1 @@
+lib/alohadb/recovery.mli: Functor_cc Message Wal

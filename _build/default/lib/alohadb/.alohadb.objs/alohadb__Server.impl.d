@@ -1,0 +1,1 @@
+lib/alohadb/server.ml: Array Clocksync Config Epoch Functor_cc Hashtbl Int List Message Mvstore Net Queue Recovery Sim String Txn Wal

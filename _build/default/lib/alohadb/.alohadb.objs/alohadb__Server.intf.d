@@ -1,0 +1,1 @@
+lib/alohadb/server.mli: Clocksync Config Epoch Functor_cc Message Net Sim Txn Wal

@@ -1,0 +1,1 @@
+lib/alohadb/txn.ml: Clocksync Format Functor_cc List String

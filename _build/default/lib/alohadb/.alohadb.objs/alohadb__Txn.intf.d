@@ -1,0 +1,1 @@
+lib/alohadb/txn.mli: Clocksync Format Functor_cc

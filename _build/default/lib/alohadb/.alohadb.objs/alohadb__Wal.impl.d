@@ -1,0 +1,1 @@
+lib/alohadb/wal.ml: List Message Sim

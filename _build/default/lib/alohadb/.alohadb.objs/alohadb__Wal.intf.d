@@ -1,0 +1,1 @@
+lib/alohadb/wal.mli: Message Sim

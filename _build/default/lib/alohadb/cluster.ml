@@ -1,0 +1,94 @@
+type options = {
+  n_servers : int;
+  config : Config.t;
+  epoch : Epoch.Manager.config;
+  latency : Net.Latency.t;
+  partitioner : [ `Hash | `Prefix ];
+  seed : int;
+  clock_skew_us : int;
+}
+
+let default_options =
+  { n_servers = 8;
+    config = Config.default;
+    epoch = Epoch.Manager.default_config;
+    latency = Net.Latency.uniform ~base:80 ~jitter:40;
+    partitioner = `Hash;
+    seed = 42;
+    clock_skew_us = 100 }
+
+type t = {
+  sim : Sim.Engine.t;
+  servers : Server.t array;
+  em : Epoch.Manager.t;
+  metrics : Sim.Metrics.t;
+  registry : Functor_cc.Registry.t;
+  partition_of : string -> int;
+}
+
+let create ?registry options =
+  if options.n_servers <= 0 then invalid_arg "Cluster.create: n_servers";
+  let registry =
+    match registry with
+    | Some r -> r
+    | None -> Functor_cc.Registry.with_builtins ()
+  in
+  let sim = Sim.Engine.create () in
+  let rng = Sim.Rng.create options.seed in
+  let metrics = Sim.Metrics.create () in
+  let data : Message.rpc =
+    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency ()
+  in
+  let control : Epoch.Protocol.rpc =
+    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency ()
+  in
+  let n = options.n_servers in
+  let part =
+    match options.partitioner with
+    | `Hash -> Net.Partitioner.hash ~partitions:n
+    | `Prefix -> Net.Partitioner.by_prefix_int ~partitions:n
+  in
+  let partition_of key = Net.Partitioner.partition_of part key in
+  let addr_of_partition i = Net.Address.of_int i in
+  let em_addr = Net.Address.of_int n in
+  let server_clock () =
+    let skew = options.clock_skew_us in
+    let offset_us =
+      if skew = 0 then 0 else Sim.Rng.uniform_int rng ~lo:(-skew) ~hi:skew
+    in
+    Clocksync.Node_clock.create sim ~offset_us ()
+  in
+  let servers =
+    Array.init n (fun i ->
+        Server.create ~sim ~data ~control ~addr:(Net.Address.of_int i)
+          ~node_id:i ~em:em_addr ~clock:(server_clock ()) ~partition_of
+          ~addr_of_partition ~my_partition:i ~registry
+          ~config:options.config ~metrics ())
+  in
+  let em =
+    Epoch.Manager.create ~rpc:control ~addr:em_addr
+      ~fes:(List.init n Net.Address.of_int)
+      ~clock:(Clocksync.Node_clock.perfect sim)
+      ~config:options.epoch ~metrics ()
+  in
+  { sim; servers; em; metrics; registry; partition_of }
+
+let start t = Epoch.Manager.start t.em
+
+let sim t = t.sim
+let metrics t = t.metrics
+let n_servers t = Array.length t.servers
+let server t i = t.servers.(i)
+let registry t = t.registry
+let partition_of t key = t.partition_of key
+
+let load t ~key value =
+  Server.load_initial t.servers.(t.partition_of key) ~key value
+
+let submit t ~fe req k = Server.submit t.servers.(fe) req k
+
+let run_for t us =
+  Sim.Engine.run ~until:(Sim.Engine.now t.sim + us) t.sim
+
+let run_until_quiescent t ?(max_us = 10_000_000) () =
+  Sim.Engine.run ~until:(Sim.Engine.now t.sim + max_us) t.sim

@@ -1,0 +1,55 @@
+(** Assembly of a complete simulated ALOHA-DB deployment: [n] combined
+    FE/BE servers, one epoch manager, a data-plane and a control-plane
+    network, and hash (or prefix-directed) partitioning of the keyspace.
+
+    Addresses: servers occupy node ids [0 .. n-1]; the EM is node [n]
+    (sharing a host with a server in the paper — here a separate address
+    on the same simulated network, which is equivalent for the protocol). *)
+
+type options = {
+  n_servers : int;
+  config : Config.t;
+  epoch : Epoch.Manager.config;
+  latency : Net.Latency.t;
+  partitioner : [ `Hash | `Prefix ];
+      (** [`Prefix] routes keys like ["w:3:..."] to partition [3 mod n] —
+          what the TPC-C partition-by-warehouse layout needs *)
+  seed : int;
+  clock_skew_us : int;
+      (** per-server clock offsets are drawn uniformly from
+          [-skew, +skew] *)
+}
+
+val default_options : options
+
+type t
+
+val create :
+  ?registry:Functor_cc.Registry.t -> options -> t
+(** Build the deployment.  [registry] defaults to
+    [Functor_cc.Registry.with_builtins ()] and is shared by all servers
+    (stored procedures are deployed cluster-wide). *)
+
+val start : t -> unit
+(** Start the epoch manager (grants the first epoch). *)
+
+val sim : t -> Sim.Engine.t
+val metrics : t -> Sim.Metrics.t
+val n_servers : t -> int
+val server : t -> int -> Server.t
+val registry : t -> Functor_cc.Registry.t
+val partition_of : t -> string -> int
+
+val load : t -> key:string -> Functor_cc.Value.t -> unit
+(** Preload a row on its owning partition (version 0). *)
+
+val submit :
+  t -> fe:int -> Txn.request -> (Txn.result -> unit) -> unit
+(** Submit a client request to the given frontend. *)
+
+val run_for : t -> int -> unit
+(** Advance the simulation by the given number of microseconds. *)
+
+val run_until_quiescent : t -> ?max_us:int -> unit -> unit
+(** Run until no events remain or the horizon passes (epoch managers never
+    quiesce, so the horizon is the practical stop). *)

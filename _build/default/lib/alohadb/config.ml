@@ -1,0 +1,28 @@
+type t = {
+  cores : int;
+  straggler_opt : bool;
+  push_opt : bool;
+  durability : bool;
+  wal_flush_us : int;
+  cost_coord_us : int;
+  cost_install_base_us : int;
+  cost_install_us : int;
+  cost_get_us : int;
+  cost_compute_us : int;
+  cost_dispatch_us : int;
+  cost_msg_us : int;
+}
+
+let default =
+  { cores = 8;
+    straggler_opt = true;
+    push_opt = true;
+    durability = false;
+    wal_flush_us = 500;
+    cost_coord_us = 6;
+    cost_install_base_us = 3;
+    cost_install_us = 1;
+    cost_get_us = 1;
+    cost_compute_us = 2;
+    cost_dispatch_us = 1;
+    cost_msg_us = 1 }

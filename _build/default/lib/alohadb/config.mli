@@ -1,0 +1,27 @@
+(** Server configuration and CPU cost model.
+
+    All costs are in simulated microseconds of one worker's time.  The
+    defaults are calibrated so that an 8-core server sustains on the order
+    of 10^5 NewOrder transactions per second — the paper's ballpark on
+    m4.4xlarge instances — but every experiment can override them; they
+    are inputs of the model, not hidden constants. *)
+
+type t = {
+  cores : int;  (** worker pool width (the paper's 8-core VMs) *)
+  straggler_opt : bool;  (** §III-C unauthorized starts *)
+  push_opt : bool;  (** §IV-B recipient-set pushes *)
+  durability : bool;
+      (** write-ahead logging + checkpoint support (§III-A); disabled by
+          default, matching the paper's evaluation setup *)
+  wal_flush_us : int;  (** modelled group-commit flush latency *)
+  cost_coord_us : int;
+      (** FE: transform a transaction into functors and fan out installs *)
+  cost_install_base_us : int;  (** BE: fixed cost per install message *)
+  cost_install_us : int;  (** BE: marginal cost per functor installed *)
+  cost_get_us : int;  (** BE: one storage read *)
+  cost_compute_us : int;  (** BE: one handler execution *)
+  cost_dispatch_us : int;  (** processor: dequeue one metadata item *)
+  cost_msg_us : int;  (** generic one-way message handling *)
+}
+
+val default : t

@@ -1,0 +1,114 @@
+type fspec = {
+  ftype : Functor_cc.Ftype.t;
+  farg : Functor_cc.Funct.farg;
+}
+
+type install = {
+  txn_id : int;
+  epoch : int;
+  ts : int;
+  lo : int;
+  hi : int;
+  writes : (string * fspec) list;
+  preconditions : string list;
+}
+
+type req =
+  | Install of install
+  | Abort_txn of { ts : int; keys : string list }
+  | Get_req of { key : string; version : int }
+
+type resp =
+  | Install_ack of { ok : bool }
+  | Abort_ack
+  | Get_resp of Functor_cc.Value.t option
+
+type oneway =
+  | Push of {
+      key : string;
+      version : int;
+      src_key : string;
+      value : Functor_cc.Value.t option;
+    }
+  | Dep_write of {
+      key : string;
+      version : int;
+      final : Functor_cc.Funct.final;
+    }
+  | Batch_done of {
+      txn_id : int;
+      functors : int;
+      max_retrieved_at : int;
+      aborted : bool;
+    }
+
+type wire =
+  | Req of req
+  | One of oneway
+
+type rpc = (wire, resp) Net.Rpc.t
+
+let functor_of_fspec spec ~txn_id ~coordinator =
+  match spec.ftype with
+  | Functor_cc.Ftype.Value -> (
+      match spec.farg.Functor_cc.Funct.args with
+      | [ v ] -> Functor_cc.Funct.mk_value v
+      | _ -> invalid_arg "functor_of_fspec: VALUE expects one argument")
+  | Functor_cc.Ftype.Deleted ->
+      Functor_cc.Funct.mk_final Functor_cc.Funct.Deleted_v
+  | Functor_cc.Ftype.Aborted ->
+      Functor_cc.Funct.mk_final Functor_cc.Funct.Aborted_v
+  | Functor_cc.Ftype.Add | Functor_cc.Ftype.Subtr | Functor_cc.Ftype.Max
+  | Functor_cc.Ftype.Min | Functor_cc.Ftype.User _
+  | Functor_cc.Ftype.Dep_marker _ ->
+      Functor_cc.Funct.mk_pending ~ftype:spec.ftype ~farg:spec.farg ~txn_id
+        ~coordinator
+
+let fspec_value v =
+  { ftype = Functor_cc.Ftype.Value;
+    farg = Functor_cc.Funct.farg_args [ v ] }
+
+let fspec_delete =
+  { ftype = Functor_cc.Ftype.Deleted; farg = Functor_cc.Funct.farg_empty }
+
+let fspec_of_op ~key:_ ~recipients ?(pushed_reads = []) op =
+  let with_recipients farg =
+    { farg with Functor_cc.Funct.recipients; pushed_reads }
+  in
+  match op with
+  | Txn.Put v -> fspec_value v
+  | Txn.Delete -> fspec_delete
+  | Txn.Add n ->
+      { ftype = Functor_cc.Ftype.Add;
+        farg =
+          with_recipients
+            (Functor_cc.Funct.farg_args [ Functor_cc.Value.int n ]) }
+  | Txn.Subtr n ->
+      { ftype = Functor_cc.Ftype.Subtr;
+        farg =
+          with_recipients
+            (Functor_cc.Funct.farg_args [ Functor_cc.Value.int n ]) }
+  | Txn.Max n ->
+      { ftype = Functor_cc.Ftype.Max;
+        farg =
+          with_recipients
+            (Functor_cc.Funct.farg_args [ Functor_cc.Value.int n ]) }
+  | Txn.Min n ->
+      { ftype = Functor_cc.Ftype.Min;
+        farg =
+          with_recipients
+            (Functor_cc.Funct.farg_args [ Functor_cc.Value.int n ]) }
+  | Txn.Call { handler; read_set; args } ->
+      { ftype = Functor_cc.Ftype.User handler;
+        farg =
+          { Functor_cc.Funct.read_set; args; recipients; dependents = [];
+            pushed_reads } }
+  | Txn.Det { handler; read_set; args; dependents } ->
+      { ftype = Functor_cc.Ftype.User handler;
+        farg =
+          { Functor_cc.Funct.read_set; args; recipients; dependents;
+            pushed_reads } }
+
+let fspec_dep_marker ~det_key =
+  { ftype = Functor_cc.Ftype.Dep_marker det_key;
+    farg = Functor_cc.Funct.farg_empty }

@@ -1,0 +1,70 @@
+(** Data-plane wire messages between frontends and backends. *)
+
+type fspec = {
+  ftype : Functor_cc.Ftype.t;
+  farg : Functor_cc.Funct.farg;
+}
+(** Serialised description of one functor to install.  Final f-types carry
+    their payload in [farg.args]. *)
+
+type install = {
+  txn_id : int;
+  epoch : int;
+  ts : int;  (** the transaction timestamp = version, as an int *)
+  lo : int;  (** validity window (local-clock µs) the version must be in *)
+  hi : int;
+  writes : (string * fspec) list;
+  preconditions : string list;
+      (** keys that must already exist on this partition *)
+}
+
+type req =
+  | Install of install
+  | Abort_txn of { ts : int; keys : string list }
+      (** second-round rollback of the write-only phase *)
+  | Get_req of { key : string; version : int }
+
+type resp =
+  | Install_ack of { ok : bool }
+  | Abort_ack
+  | Get_resp of Functor_cc.Value.t option
+
+type oneway =
+  | Push of {
+      key : string;
+      version : int;
+      src_key : string;
+      value : Functor_cc.Value.t option;
+    }
+  | Dep_write of {
+      key : string;
+      version : int;
+      final : Functor_cc.Funct.final;
+    }
+  | Batch_done of {
+      txn_id : int;
+      functors : int;  (** how many of the txn's functors this BE held *)
+      max_retrieved_at : int;  (** latest processor pick-up time, for the
+                                   Figure-10 stage breakdown *)
+      aborted : bool;  (** some functor of the txn finalised as ABORTED *)
+    }
+
+type wire =
+  | Req of req
+  | One of oneway
+
+type rpc = (wire, resp) Net.Rpc.t
+
+val functor_of_fspec :
+  fspec -> txn_id:int -> coordinator:int -> Functor_cc.Funct.t
+(** Materialise the runtime record a BE stores for this spec. *)
+
+val fspec_value : Functor_cc.Value.t -> fspec
+val fspec_delete : fspec
+val fspec_of_op :
+  key:string -> recipients:string list -> ?pushed_reads:string list ->
+  Txn.op -> fspec
+(** Transform one transaction write into its functor spec (§IV-B
+    "Transforming a transaction to functors"). *)
+
+val fspec_dep_marker : det_key:string -> fspec

@@ -1,0 +1,652 @@
+module Ts = Clocksync.Timestamp
+module Value = Functor_cc.Value
+module Funct = Functor_cc.Funct
+
+(* Frontend-side per-transaction completion tracking. *)
+type track = {
+  ts : Ts.t;
+  epoch : int;
+  issued_at : int;
+  ack : Txn.ack_mode;
+  reply : Txn.result -> unit;
+  expected_dones : int;  (* one Batch_done per participant BE *)
+  mutable awaiting_installs : int;
+  mutable install_failed : bool;
+  mutable acked_ok : Net.Address.t list;
+  mutable install_done_at : int;
+  mutable dones : int;
+  mutable any_aborted : bool;
+  mutable max_retrieved : int;
+}
+
+(* Backend-side per-transaction batch tracking: how many locally installed
+   functors still await a final value. *)
+type batch = {
+  coordinator : Net.Address.t;
+  mutable remaining : int;
+  mutable batch_max_retrieved : int;
+  mutable batch_aborted : bool;
+}
+
+type t = {
+  sim : Sim.Engine.t;
+  data : Message.rpc;
+  address : Net.Address.t;
+  node_id : int;
+  clock : Clocksync.Node_clock.t;
+  partition_of : string -> int;
+  addr_of_partition : int -> Net.Address.t;
+  my_partition : int;
+  config : Config.t;
+  metrics : Sim.Metrics.t;
+  pool : Sim.Worker_pool.t;
+  ts_source : Clocksync.Ts_source.t;
+  part : Epoch.Participant.t;
+  mutable engine : Functor_cc.Compute_engine.t;
+  mutable processor : Functor_cc.Processor.t;
+  tracks : (int, track) Hashtbl.t;
+  batches : (int, batch) Hashtbl.t;
+  held : (unit -> unit) Queue.t;
+  wal : Wal.t option;
+  mutable delayed_reads : (int * (unit -> unit)) list;
+      (* (epoch, run) — latest-version reads waiting for their epoch to
+         close (§III-B) *)
+}
+
+let addr t = t.address
+let pool t = t.pool
+let engine t = t.engine
+let participant t = t.part
+let held_requests t = Queue.length t.held
+
+let now t = Sim.Engine.now t.sim
+
+(* ---- frontend: timestamp acquisition and held requests --------------- *)
+
+let acquire t =
+  match Epoch.Participant.window t.part with
+  | None -> None
+  | Some w -> (
+      match Clocksync.Ts_source.next t.ts_source ~lo:w.lo ~hi:w.hi with
+      | None -> None
+      | Some ts ->
+          if not w.Epoch.Participant.authorized then
+            Sim.Metrics.incr t.metrics "aloha.noauth_starts";
+          Some (w, ts))
+
+let hold t thunk =
+  Sim.Metrics.incr t.metrics "aloha.held";
+  Queue.add thunk t.held
+
+let drain_held t =
+  let n = Queue.length t.held in
+  for _ = 1 to n do
+    match Queue.take_opt t.held with Some thunk -> thunk () | None -> ()
+  done
+
+(* ---- reads ------------------------------------------------------------ *)
+
+(* Execute a historical multi-key read at [version]: local keys go through
+   the local engine (charged to this server's pool), remote keys through
+   Get_req RPCs (charged at the owning BE). *)
+let run_read t keys version reply =
+  let n = List.length keys in
+  if n = 0 then reply (Txn.Values [])
+  else begin
+    let results = Array.make n ("", None) in
+    let remaining = ref n in
+    let deliver i key v =
+      results.(i) <- (key, v);
+      decr remaining;
+      if !remaining = 0 then reply (Txn.Values (Array.to_list results))
+    in
+    List.iteri
+      (fun i key ->
+        if t.partition_of key = t.my_partition then
+          Sim.Worker_pool.submit t.pool ~cost:t.config.cost_get_us (fun () ->
+              Functor_cc.Compute_engine.get t.engine ~key ~version
+                (fun v -> deliver i key v))
+        else
+          Net.Rpc.call t.data ~src:t.address
+            ~dst:(t.addr_of_partition (t.partition_of key))
+            (Message.Req (Message.Get_req { key; version }))
+            (function
+              | Message.Get_resp v -> deliver i key v
+              | Message.Install_ack _ | Message.Abort_ack ->
+                  invalid_arg "run_read: protocol mismatch"))
+      keys
+  end
+
+(* ---- frontend: read-write transactions ------------------------------- *)
+
+(* Group the transaction's functors by owning partition.  Determinate
+   operations additionally place a Dep_marker on each dependent key's
+   partition (our realisation of §IV-E deferred writes). *)
+let groups_of_writes t writes =
+  Sim.Prof.span "groups_of_writes" @@ fun () ->
+  let tbl : (int, (string * Message.fspec) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let push partition entry =
+    match Hashtbl.find_opt tbl partition with
+    | Some r -> r := entry :: !r
+    | None -> Hashtbl.add tbl partition (ref [ entry ])
+  in
+  (* Recipient sets only arise when some functor reads a key other than
+     its own; skip the quadratic scan for the common all-numeric case. *)
+  let cross_reads =
+    List.exists
+      (fun (key, op) ->
+        match op with
+        | Txn.Call { read_set; _ } | Txn.Det { read_set; _ } ->
+            List.exists (fun rk -> not (String.equal rk key)) read_set
+        | Txn.Put _ | Txn.Delete | Txn.Add _ | Txn.Subtr _ | Txn.Max _
+        | Txn.Min _ ->
+            false)
+      writes
+  in
+  let written_keys = List.map fst writes in
+  List.iter
+    (fun (key, op) ->
+      let recipients =
+        if t.config.push_opt && cross_reads then Txn.recipients_for writes key
+        else []
+      in
+      (* Only keep recipients living on other partitions: same-partition
+         reads are local anyway, so pushing would only add overhead. *)
+      let recipients =
+        List.filter
+          (fun r -> t.partition_of r <> t.partition_of key)
+          recipients
+      in
+      (* Inverse of the recipient set: read-set keys of THIS functor that a
+         sibling functor (on another partition) writes and will push. *)
+      let pushed_reads =
+        if not (t.config.push_opt && cross_reads) then []
+        else
+          let reads =
+            match op with
+            | Txn.Call { read_set; _ } | Txn.Det { read_set; _ } -> read_set
+            | Txn.Put _ | Txn.Delete | Txn.Add _ | Txn.Subtr _ | Txn.Max _
+            | Txn.Min _ ->
+                []
+          in
+          List.filter
+            (fun rk ->
+              (not (String.equal rk key))
+              && t.partition_of rk <> t.partition_of key
+              && List.exists (String.equal rk) written_keys)
+            reads
+      in
+      push (t.partition_of key)
+        (key, Message.fspec_of_op ~key ~recipients ~pushed_reads op);
+      match op with
+      | Txn.Det { dependents; _ } ->
+          List.iter
+            (fun dk ->
+              push (t.partition_of dk)
+                (dk, Message.fspec_dep_marker ~det_key:key))
+            dependents
+      | Txn.Put _ | Txn.Delete | Txn.Add _ | Txn.Subtr _ | Txn.Max _
+      | Txn.Min _ | Txn.Call _ ->
+          ())
+    writes;
+  Hashtbl.fold (fun partition entries acc -> (partition, List.rev !entries) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let record_commit_metrics t track completed_at =
+  let install = track.install_done_at - track.issued_at in
+  let wait =
+    if track.max_retrieved > track.install_done_at then
+      track.max_retrieved - track.install_done_at
+    else 0
+  in
+  let proc_start =
+    if track.max_retrieved > track.install_done_at then track.max_retrieved
+    else track.install_done_at
+  in
+  let proc = if completed_at > proc_start then completed_at - proc_start else 0 in
+  Sim.Metrics.record_latency t.metrics "aloha.lat_total_us"
+    (completed_at - track.issued_at);
+  Sim.Metrics.record_latency t.metrics "aloha.lat_install_us" install;
+  Sim.Metrics.record_latency t.metrics "aloha.lat_wait_us" wait;
+  Sim.Metrics.record_latency t.metrics "aloha.lat_proc_us" proc
+
+let maybe_complete t track =
+  if
+    track.awaiting_installs = 0
+    && (not track.install_failed)
+    && track.dones = track.expected_dones
+  then begin
+    Hashtbl.remove t.tracks (Ts.to_int track.ts);
+    let completed_at = now t in
+    record_commit_metrics t track completed_at;
+    if track.any_aborted then begin
+      Sim.Metrics.incr t.metrics "aloha.aborted_compute";
+      match track.ack with
+      | Txn.Ack_on_computed ->
+          track.reply (Txn.Aborted { ts = Some track.ts; stage = `Compute })
+      | Txn.Ack_on_install ->
+          (* Already acknowledged after the write-only phase; the client
+             learns the outcome by reading any functor (§IV-A). *)
+          ()
+    end
+    else begin
+      Sim.Metrics.incr t.metrics "aloha.committed";
+      match track.ack with
+      | Txn.Ack_on_computed -> track.reply (Txn.Committed { ts = track.ts })
+      | Txn.Ack_on_install -> ()
+    end
+  end
+
+let finish_write_phase t track =
+  Epoch.Participant.txn_finished t.part ~epoch:track.epoch;
+  track.install_done_at <- now t;
+  Sim.Metrics.incr t.metrics "aloha.installed";
+  (match track.ack with
+  | Txn.Ack_on_install -> track.reply (Txn.Committed { ts = track.ts })
+  | Txn.Ack_on_computed -> ());
+  maybe_complete t track
+
+(* Second round: roll back the write-only phase on every partition that
+   acknowledged it (§IV-C "arbitrary abort", in-epoch case). *)
+let abort_write_phase t track keys_by_dst =
+  Sim.Metrics.incr t.metrics "aloha.aborted_install";
+  let targets = track.acked_ok in
+  let expected = List.length targets in
+  if expected = 0 then begin
+    Hashtbl.remove t.tracks (Ts.to_int track.ts);
+    Epoch.Participant.txn_finished t.part ~epoch:track.epoch;
+    track.reply (Txn.Aborted { ts = Some track.ts; stage = `Install })
+  end
+  else begin
+    let remaining = ref expected in
+    List.iter
+      (fun dst ->
+        let keys =
+          match
+            List.find_opt (fun (a, _) -> Net.Address.equal a dst) keys_by_dst
+          with
+          | Some (_, keys) -> keys
+          | None -> []
+        in
+        Net.Rpc.call t.data ~src:t.address ~dst
+          (Message.Req (Message.Abort_txn { ts = Ts.to_int track.ts; keys }))
+          (fun _resp ->
+            decr remaining;
+            if !remaining = 0 then begin
+              Hashtbl.remove t.tracks (Ts.to_int track.ts);
+              Epoch.Participant.txn_finished t.part ~epoch:track.epoch;
+              track.reply (Txn.Aborted { ts = Some track.ts; stage = `Install })
+            end))
+      targets
+  end
+
+let rec submit t req reply =
+  match req with
+  | Txn.Read_write { writes; precondition_keys; ack } ->
+      submit_rw t (writes, precondition_keys, ack) reply
+  | Txn.Read_only { keys } -> submit_ro t keys reply
+  | Txn.Read_at { keys; version } -> run_read t keys version reply
+
+and submit_rw t rw reply =
+  Sim.Metrics.incr t.metrics "aloha.submitted_rw";
+  match acquire t with
+  | None ->
+      hold t (fun () ->
+          (* Re-enter without double-counting the submission. *)
+          retry_rw t rw reply)
+  | Some (w, ts) -> start_rw t rw reply w ts
+
+and retry_rw t rw reply =
+  match acquire t with
+  | None -> hold t (fun () -> retry_rw t rw reply)
+  | Some (w, ts) -> start_rw t rw reply w ts
+
+and start_rw t (writes, precondition_keys, ack) reply w ts =
+  Sim.Prof.span "start_rw" @@ fun () ->
+  let issued_at = now t in
+  Epoch.Participant.txn_started t.part ~epoch:w.Epoch.Participant.epoch;
+  let groups = groups_of_writes t writes in
+  let precond_of partition =
+    List.filter (fun k -> t.partition_of k = partition) precondition_keys
+  in
+  let track =
+    { ts; epoch = w.Epoch.Participant.epoch; issued_at; ack; reply;
+      expected_dones = List.length groups;
+      awaiting_installs = List.length groups; install_failed = false;
+      acked_ok = []; install_done_at = issued_at; dones = 0;
+      any_aborted = false; max_retrieved = issued_at }
+  in
+  Hashtbl.replace t.tracks (Ts.to_int ts) track;
+  let keys_by_dst =
+    List.map
+      (fun (p, entries) -> (t.addr_of_partition p, List.map fst entries))
+      groups
+  in
+  (* Coordination (transform + fan-out) costs FE CPU. *)
+  Sim.Worker_pool.submit t.pool ~cost:t.config.cost_coord_us (fun () ->
+      List.iter
+        (fun (partition, entries) ->
+          let dst = t.addr_of_partition partition in
+          let install =
+            { Message.txn_id = Ts.to_int ts;
+              epoch = w.Epoch.Participant.epoch;
+              ts = Ts.to_int ts;
+              lo = w.Epoch.Participant.lo;
+              hi = w.Epoch.Participant.hi;
+              writes = entries;
+              preconditions = precond_of partition }
+          in
+          Net.Rpc.call t.data ~src:t.address ~dst
+            (Message.Req (Message.Install install))
+            (function
+              | Message.Install_ack { ok } ->
+                  track.awaiting_installs <- track.awaiting_installs - 1;
+                  if ok then track.acked_ok <- dst :: track.acked_ok
+                  else track.install_failed <- true;
+                  if track.awaiting_installs = 0 then
+                    if track.install_failed then
+                      abort_write_phase t track keys_by_dst
+                    else finish_write_phase t track
+              | Message.Get_resp _ | Message.Abort_ack ->
+                  invalid_arg "install: protocol mismatch"))
+        groups)
+
+and submit_ro t keys reply =
+  Sim.Metrics.incr t.metrics "aloha.submitted_ro";
+  match acquire t with
+  | None -> hold t (fun () -> submit_ro_held t keys reply)
+  | Some (w, ts) -> delay_ro t keys reply w ts
+
+and submit_ro_held t keys reply =
+  match acquire t with
+  | None -> hold t (fun () -> submit_ro_held t keys reply)
+  | Some (w, ts) -> delay_ro t keys reply w ts
+
+and delay_ro t keys reply w ts =
+  (* §III-B: a latest-version read gets a timestamp in the current epoch
+     and is served as a historical read once that epoch closes. *)
+  let issued_at = now t in
+  let run () =
+    run_read t keys (Ts.to_int ts) (fun result ->
+        Sim.Metrics.record_latency t.metrics "aloha.lat_ro_us"
+          (now t - issued_at);
+        Sim.Metrics.incr t.metrics "aloha.ro_completed";
+        reply result)
+  in
+  t.delayed_reads <- (w.Epoch.Participant.epoch, run) :: t.delayed_reads
+
+(* ---- backend ----------------------------------------------------------- *)
+
+let send_batch_done t (b : batch) ~txn_id ~functors =
+  Net.Rpc.send t.data ~src:t.address ~dst:b.coordinator
+    (Message.One
+       (Message.Batch_done
+          { txn_id; functors;
+            max_retrieved_at = b.batch_max_retrieved;
+            aborted = b.batch_aborted }))
+
+let do_install t ~src (inst : Message.install) reply =
+  let present key =
+    match
+      Mvstore.Table.find_le
+        (Functor_cc.Compute_engine.table t.engine)
+        ~key ~version:inst.ts
+    with
+    | Some _ -> true
+    | None -> false
+  in
+  if not (List.for_all present inst.preconditions) then begin
+    Sim.Metrics.incr t.metrics "aloha.precondition_failures";
+    reply (Message.Install_ack { ok = false })
+  end
+  else begin
+    let lo = Ts.to_int (Ts.window_lo ~time_us:inst.lo) in
+    let hi = Ts.to_int (Ts.window_hi ~time_us:inst.hi) in
+    let b =
+      { coordinator = src; remaining = 0;
+        batch_max_retrieved = now t; batch_aborted = false }
+    in
+    let installed = now t in
+    List.iter
+      (fun (key, spec) ->
+        let record =
+          Message.functor_of_fspec spec ~txn_id:inst.txn_id
+            ~coordinator:(Net.Address.to_int src)
+        in
+        match
+          Functor_cc.Compute_engine.install t.engine ~key ~version:inst.ts
+            ~lo ~hi record
+        with
+        | Ok () -> (
+            Sim.Metrics.incr t.metrics "aloha.functors_installed";
+            (match t.wal with
+            | Some wal ->
+                Wal.append wal
+                  (Wal.Log_install
+                     { key; version = inst.ts; spec; txn_id = inst.txn_id;
+                       coordinator = Net.Address.to_int src;
+                       epoch = inst.epoch })
+            | None -> ());
+            match record.Funct.state with
+            | Funct.Pending p ->
+                p.Funct.installed_at_us <- installed;
+                b.remaining <- b.remaining + 1;
+                Functor_cc.Processor.buffer t.processor ~epoch:inst.epoch
+                  ~key ~version:inst.ts
+            | Funct.Final _ -> ())
+        | Error (`Duplicate_version | `Version_out_of_window) ->
+            (* The FE guarantees unique in-window timestamps; reaching this
+               branch is a protocol bug, not a workload condition. *)
+            assert false)
+      inst.writes;
+    if b.remaining = 0 then
+      send_batch_done t b ~txn_id:inst.txn_id
+        ~functors:(List.length inst.writes)
+    else Hashtbl.replace t.batches inst.txn_id b;
+    reply (Message.Install_ack { ok = true })
+  end
+
+let do_abort t ~ts ~keys reply =
+  List.iter
+    (fun key ->
+      (match t.wal with
+      | Some wal -> Wal.append wal (Wal.Log_abort { key; version = ts })
+      | None -> ());
+      Functor_cc.Compute_engine.abort_version t.engine ~key ~version:ts)
+    keys;
+  reply Message.Abort_ack
+
+let on_batch_done t ~txn_id ~max_retrieved_at ~aborted =
+  match Hashtbl.find_opt t.tracks txn_id with
+  | None -> ()  (* transaction already aborted in the write phase *)
+  | Some track ->
+      track.dones <- track.dones + 1;
+      if aborted then track.any_aborted <- true;
+      if max_retrieved_at > track.max_retrieved then
+        track.max_retrieved <- max_retrieved_at;
+      maybe_complete t track
+
+let on_functor_final t ~pending ~final =
+  match Hashtbl.find_opt t.batches pending.Funct.txn_id with
+  | None -> ()
+  | Some b ->
+      b.remaining <- b.remaining - 1;
+      if pending.Funct.retrieved_at_us > b.batch_max_retrieved then
+        b.batch_max_retrieved <- pending.Funct.retrieved_at_us;
+      (match (final, pending.Funct.ftype) with
+      | Funct.Aborted_v, Functor_cc.Ftype.Dep_marker _ ->
+          (* A skipped dependent write is not a transaction abort: the
+             determinate functor committed and simply chose not to write
+             this key.  A genuine abort is reported by the determinate
+             functor's own (non-marker) record. *)
+          ()
+      | Funct.Aborted_v, _ -> b.batch_aborted <- true
+      | (Funct.Committed _ | Funct.Deleted_v), _ -> ());
+      if b.remaining = 0 then begin
+        Hashtbl.remove t.batches pending.Funct.txn_id;
+        send_batch_done t b ~txn_id:pending.Funct.txn_id ~functors:0
+      end
+
+(* ---- construction ------------------------------------------------------ *)
+
+let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
+    ~addr_of_partition ~my_partition ~registry ~config ~metrics () =
+  let pool = Sim.Worker_pool.create sim ~workers:config.Config.cores in
+  let part =
+    Epoch.Participant.create ~rpc:control ~addr ~em ~clock
+      ~straggler_opt:config.Config.straggler_opt ~metrics ()
+  in
+  let ts_source = Clocksync.Ts_source.create clock ~node:node_id in
+  (* Bootstrap: the engine's callbacks close over [t], and [t] holds the
+     engine; break the cycle with a throwaway engine that is replaced
+     before the simulation starts. *)
+  let bootstrap_callbacks =
+    { Functor_cc.Compute_engine.is_local = (fun _ -> true);
+      remote_get = (fun ~key:_ ~version:_ k -> k None);
+      send_push = (fun ~dst_key:_ ~version:_ ~src_key:_ _ -> ());
+      send_dep_write = (fun ~key:_ ~version:_ _ -> ());
+      notify_final = (fun ~key:_ ~version:_ ~pending:_ ~final:_ -> ());
+      exec = (fun ~cost:_ k -> k ());
+      now = (fun () -> 0) }
+  in
+  let bootstrap_engine =
+    Functor_cc.Compute_engine.create ~registry
+      ~callbacks:bootstrap_callbacks ~compute_cost_us:0 ~metrics ()
+  in
+  let t =
+    { sim; data; address = addr; node_id; clock; partition_of;
+      addr_of_partition; my_partition; config; metrics; pool; ts_source;
+      part;
+      engine = bootstrap_engine;
+      processor =
+        Functor_cc.Processor.create ~engine:bootstrap_engine ~pool
+          ~dispatch_cost_us:0 ~metrics ();
+      tracks = Hashtbl.create 1024;
+      batches = Hashtbl.create 1024;
+      held = Queue.create ();
+      wal =
+        (if config.Config.durability then
+           Some (Wal.create sim ~flush_latency_us:config.Config.wal_flush_us ())
+         else None);
+      delayed_reads = [] }
+  in
+  let callbacks =
+    { Functor_cc.Compute_engine.is_local =
+        (fun key -> partition_of key = my_partition);
+      remote_get =
+        (fun ~key ~version k ->
+          Net.Rpc.call data ~src:addr
+            ~dst:(addr_of_partition (partition_of key))
+            (Message.Req (Message.Get_req { key; version }))
+            (function
+              | Message.Get_resp v -> k v
+              | Message.Install_ack _ | Message.Abort_ack ->
+                  invalid_arg "remote_get: protocol mismatch"));
+      send_push =
+        (fun ~dst_key ~version ~src_key value ->
+          let partition = partition_of dst_key in
+          if partition = my_partition then
+            Functor_cc.Compute_engine.deliver_push t.engine ~key:dst_key
+              ~version ~src_key value
+          else
+            Net.Rpc.send data ~src:addr ~dst:(addr_of_partition partition)
+              (Message.One
+                 (Message.Push { key = dst_key; version; src_key; value })));
+      send_dep_write =
+        (fun ~key ~version final ->
+          let partition = partition_of key in
+          if partition = my_partition then
+            Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
+              ~version ~final
+          else
+            Net.Rpc.send data ~src:addr ~dst:(addr_of_partition partition)
+              (Message.One (Message.Dep_write { key; version; final })));
+      notify_final =
+        (fun ~key:_ ~version:_ ~pending ~final ->
+          on_functor_final t ~pending ~final);
+      exec =
+        (fun ~cost k -> Sim.Worker_pool.submit pool ~cost k);
+      now = (fun () -> Sim.Engine.now sim) }
+  in
+  let engine =
+    Functor_cc.Compute_engine.create ~registry ~callbacks
+      ~compute_cost_us:config.Config.cost_compute_us ~metrics ()
+  in
+  t.engine <- engine;
+  let processor =
+    Functor_cc.Processor.create ~engine ~pool
+      ~dispatch_cost_us:config.Config.cost_dispatch_us ~metrics ()
+  in
+  t.processor <- processor;
+  Epoch.Participant.set_hooks part
+    ~on_open:(fun ~epoch:_ ~lo:_ ~hi:_ -> drain_held t)
+    ~on_closed:(fun ~epoch ->
+      (match t.wal with
+      | Some wal -> Wal.append wal (Wal.Log_epoch_closed epoch)
+      | None -> ());
+      Functor_cc.Processor.release processor ~upto_epoch:epoch;
+      let ready, waiting =
+        List.partition (fun (e, _) -> e <= epoch) t.delayed_reads
+      in
+      t.delayed_reads <- waiting;
+      (* Fire in submission order. *)
+      List.iter (fun (_, run) -> run ()) (List.rev ready));
+  Epoch.Participant.on_state_change part (fun () -> drain_held t);
+  (* Data-plane request handler: all BE work is charged to the pool. *)
+  Net.Rpc.serve data addr (fun ~src wire ~reply ->
+      match wire with
+      | Message.Req (Message.Install inst) ->
+          let cost =
+            config.Config.cost_install_base_us
+            + (List.length inst.writes * config.Config.cost_install_us)
+          in
+          Sim.Worker_pool.submit pool ~cost (fun () ->
+              Sim.Prof.span "do_install" (fun () ->
+                  do_install t ~src inst reply))
+      | Message.Req (Message.Abort_txn { ts; keys }) ->
+          Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
+            (fun () -> do_abort t ~ts ~keys reply)
+      | Message.Req (Message.Get_req { key; version }) ->
+          Sim.Worker_pool.submit pool ~cost:config.Config.cost_get_us
+            (fun () ->
+              Functor_cc.Compute_engine.get t.engine ~key ~version (fun v ->
+                  reply (Message.Get_resp v)))
+      | Message.One _ -> ());
+  Net.Rpc.serve_oneway data addr (fun ~src:_ wire ->
+      match wire with
+      | Message.One (Message.Push { key; version; src_key; value }) ->
+          Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
+            (fun () ->
+              Functor_cc.Compute_engine.deliver_push t.engine ~key ~version
+                ~src_key value)
+      | Message.One (Message.Dep_write { key; version; final }) ->
+          Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
+            (fun () ->
+              Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
+                ~version ~final)
+      | Message.One (Message.Batch_done { txn_id; functors = _;
+                                          max_retrieved_at; aborted }) ->
+          on_batch_done t ~txn_id ~max_retrieved_at ~aborted
+      | Message.Req _ -> ());
+  t
+
+let load_initial t ~key value =
+  if t.partition_of key <> t.my_partition then
+    invalid_arg "Server.load_initial: key not owned by this partition";
+  Functor_cc.Compute_engine.load_initial t.engine ~key value
+
+let wal t = t.wal
+
+(* Take a checkpoint now.  Meaningful when no functor is pending (e.g.
+   quiesced between epochs): everything below the snapshot becomes
+   recoverable without replay. *)
+let checkpoint_now t =
+  match t.wal with
+  | None -> invalid_arg "Server.checkpoint_now: durability disabled"
+  | Some wal ->
+      let snapshot = Recovery.snapshot_of_engine t.engine in
+      let retain_above = Recovery.max_final_version t.engine in
+      Wal.checkpoint wal ~snapshot ~retain_above

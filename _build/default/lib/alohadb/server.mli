@@ -1,0 +1,68 @@
+(** An ALOHA-DB server: one process acting as both frontend (transaction
+    coordinator) and backend (partition storage + functor processors), as
+    in the paper's deployment (§III-A).
+
+    The frontend side accepts client requests, assigns timestamps inside
+    the epoch validity window (or the straggler window, §III-C), transforms
+    read-write transactions into per-partition batches of functors,
+    drives the write-only phase (with the second-round abort on
+    precondition failure), delays latest-version read-only transactions to
+    the next epoch, and tracks functor-computing completion for
+    latency accounting and [Ack_on_computed] replies.
+
+    The backend side owns one partition: it installs functors (buffering
+    processor metadata until the epoch closes), serves reads, evaluates
+    functors through {!Functor_cc.Compute_engine}, and routes pushes and
+    deferred writes.  All CPU work is charged to the server's worker
+    pool. *)
+
+type t
+
+val create :
+  sim:Sim.Engine.t ->
+  data:Message.rpc ->
+  control:Epoch.Protocol.rpc ->
+  addr:Net.Address.t ->
+  node_id:int ->
+  em:Net.Address.t ->
+  clock:Clocksync.Node_clock.t ->
+  partition_of:(string -> int) ->
+  addr_of_partition:(int -> Net.Address.t) ->
+  my_partition:int ->
+  registry:Functor_cc.Registry.t ->
+  config:Config.t ->
+  metrics:Sim.Metrics.t ->
+  unit -> t
+(** Wires up all handlers; the server is passive until the EM grants the
+    first epoch. *)
+
+val submit : t -> Txn.request -> (Txn.result -> unit) -> unit
+(** Client entry point (clients talk to their frontend directly, as the
+    benchmark harness of the paper does).  The callback fires according to
+    the request's acknowledgement mode. *)
+
+val load_initial : t -> key:string -> Functor_cc.Value.t -> unit
+(** Preload a row into this server's partition at version 0.  Only valid
+    for keys this partition owns. *)
+
+val engine : t -> Functor_cc.Compute_engine.t
+(** The partition's compute engine (tests reach into storage through
+    it). *)
+
+val pool : t -> Sim.Worker_pool.t
+
+val participant : t -> Epoch.Participant.t
+
+val addr : t -> Net.Address.t
+
+val held_requests : t -> int
+(** Client requests waiting for a usable timestamp window. *)
+
+val wal : t -> Wal.t option
+(** The partition's write-ahead log when [config.durability] is on. *)
+
+val checkpoint_now : t -> unit
+(** Snapshot the partition's final state into the WAL and truncate the
+    log below it.  Raises [Invalid_argument] when durability is off.
+    Intended to be called when the partition is quiescent (no pending
+    functors), e.g. between epochs. *)

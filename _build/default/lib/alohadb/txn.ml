@@ -1,0 +1,81 @@
+type op =
+  | Put of Functor_cc.Value.t
+  | Delete
+  | Add of int
+  | Subtr of int
+  | Max of int
+  | Min of int
+  | Call of {
+      handler : string;
+      read_set : string list;
+      args : Functor_cc.Value.t list;
+    }
+  | Det of {
+      handler : string;
+      read_set : string list;
+      args : Functor_cc.Value.t list;
+      dependents : string list;
+    }
+
+type ack_mode = Ack_on_install | Ack_on_computed
+
+type request =
+  | Read_write of {
+      writes : (string * op) list;
+      precondition_keys : string list;
+      ack : ack_mode;
+    }
+  | Read_only of { keys : string list }
+  | Read_at of { keys : string list; version : int }
+
+type result =
+  | Committed of { ts : Clocksync.Timestamp.t }
+  | Aborted of {
+      ts : Clocksync.Timestamp.t option;
+      stage : [ `Install | `Compute ];
+    }
+  | Values of (string * Functor_cc.Value.t option) list
+
+let read_write ?(precondition_keys = []) ?(ack = Ack_on_computed) writes =
+  Read_write { writes; precondition_keys; ack }
+
+let op_read_set key = function
+  | Put _ | Delete -> []
+  | Add _ | Subtr _ | Max _ | Min _ -> [ key ]
+  | Call { read_set; _ } | Det { read_set; _ } -> read_set
+
+let write_keys = function
+  | Read_only _ | Read_at _ -> []
+  | Read_write { writes; _ } ->
+      List.concat_map
+        (fun (key, op) ->
+          match op with
+          | Det { dependents; _ } -> key :: dependents
+          | Put _ | Delete | Add _ | Subtr _ | Max _ | Min _ | Call _ ->
+              [ key ])
+        writes
+
+let recipients_for writes key =
+  List.filter_map
+    (fun (wkey, op) ->
+      if (not (String.equal wkey key))
+         && List.exists (String.equal key) (op_read_set wkey op)
+      then Some wkey
+      else None)
+    writes
+
+let pp_result fmt = function
+  | Committed { ts } ->
+      Format.fprintf fmt "Committed(ts=%a)" Clocksync.Timestamp.pp ts
+  | Aborted { stage; _ } ->
+      Format.fprintf fmt "Aborted(%s)"
+        (match stage with `Install -> "install" | `Compute -> "compute")
+  | Values kvs ->
+      Format.fprintf fmt "Values(@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           (fun fmt (k, v) ->
+             match v with
+             | None -> Format.fprintf fmt "%s=⊥" k
+             | Some v -> Format.fprintf fmt "%s=%a" k Functor_cc.Value.pp v))
+        kvs

@@ -1,0 +1,65 @@
+type entry =
+  | Log_install of {
+      key : string;
+      version : int;
+      spec : Message.fspec;
+      txn_id : int;
+      coordinator : int;
+      epoch : int;
+    }
+  | Log_abort of { key : string; version : int }
+  | Log_epoch_closed of int
+
+type t = {
+  sim : Sim.Engine.t;
+  flush_latency_us : int;
+  mutable buffered : entry list;  (* newest first *)
+  mutable flushed : entry list;  (* newest first *)
+  mutable flush_scheduled : bool;
+  mutable ckpt : (string * int * Message.fspec) list;
+}
+
+let create sim ?(flush_latency_us = 500) () =
+  { sim; flush_latency_us; buffered = []; flushed = [];
+    flush_scheduled = false; ckpt = [] }
+
+let rec schedule_flush t =
+  if not t.flush_scheduled then begin
+    t.flush_scheduled <- true;
+    Sim.Engine.after t.sim t.flush_latency_us (fun () ->
+        t.flush_scheduled <- false;
+        (* Everything buffered when the flush started — and anything added
+           while it ran — reaches the device in order. *)
+        t.flushed <- t.buffered @ t.flushed;
+        t.buffered <- [];
+        if t.buffered <> [] then schedule_flush t)
+  end
+
+let append t entry =
+  t.buffered <- entry :: t.buffered;
+  schedule_flush t
+
+let durable t = List.rev t.flushed
+
+let durable_count t = List.length t.flushed
+
+let pending_count t = List.length t.buffered
+
+let entry_version = function
+  | Log_install { version; _ } | Log_abort { version; _ } -> Some version
+  | Log_epoch_closed _ -> None
+
+let checkpoint t ~snapshot ~retain_above =
+  t.ckpt <- snapshot;
+  (* Entries covered by the snapshot are dropped; later ones (functors of
+     epochs still open or not yet computed) are retained and made durable
+     together with the checkpoint, which installs atomically. *)
+  let keep entry =
+    match entry_version entry with
+    | Some v -> v > retain_above
+    | None -> false
+  in
+  t.flushed <- List.filter keep (t.buffered @ t.flushed);
+  t.buffered <- []
+
+let snapshot t = t.ckpt

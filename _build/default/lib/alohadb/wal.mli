@@ -1,0 +1,54 @@
+(** Write-ahead log for one backend partition (§III-A fault tolerance).
+
+    ALOHA-DB inherits ALOHA-KV's durability story: every installed functor
+    (not its computed value!) is logged, because functor evaluation is
+    deterministic — replaying the installs and recomputing reproduces the
+    exact post-crash state, including deferred dependent-key writes.
+    Checkpoints bound replay work: a checkpoint captures every key's
+    latest final value at a version below which the log can be discarded.
+
+    The log models a durable device: appends buffer in memory and reach
+    stable storage after [flush_latency_us] (group commit); only flushed
+    entries survive a crash. *)
+
+type entry =
+  | Log_install of {
+      key : string;
+      version : int;
+      spec : Message.fspec;
+      txn_id : int;
+      coordinator : int;
+      epoch : int;
+    }
+  | Log_abort of { key : string; version : int }
+      (** second-round rollback of an installed write *)
+  | Log_epoch_closed of int
+
+type t
+
+val create : Sim.Engine.t -> ?flush_latency_us:int -> unit -> t
+(** [flush_latency_us] defaults to 500 (one SSD-class fsync). *)
+
+val append : t -> entry -> unit
+(** Buffer an entry; it becomes durable at the next flush completion. *)
+
+val durable : t -> entry list
+(** Entries that survived as of now, oldest first (what a post-crash
+    recovery would read). *)
+
+val durable_count : t -> int
+val pending_count : t -> int
+(** Buffered entries not yet flushed (lost on crash). *)
+
+val checkpoint :
+  t -> snapshot:(string * int * Message.fspec) list -> retain_above:int ->
+  unit
+(** Atomically replace the log prefix with a checkpoint: [snapshot] holds
+    every key's latest final record (as a VALUE/DELETED/ABORTED fspec)
+    with its version; log entries whose version is <= [retain_above] are
+    discarded (their effects are captured by the snapshot), later ones are
+    kept for replay.  Checkpoint installation is treated as atomic, as in
+    shadow-paging schemes, and makes the retained entries durable. *)
+
+val snapshot : t -> (string * int * Message.fspec) list
+(** The latest checkpoint (empty if none was taken). *)

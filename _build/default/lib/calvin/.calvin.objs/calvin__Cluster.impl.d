@@ -1,0 +1,1 @@
+lib/calvin/cluster.ml: Array Config Ctxn Message Net Server Sim

@@ -1,0 +1,1 @@
+lib/calvin/cluster.mli: Config Ctxn Functor_cc Net Server Sim

@@ -1,0 +1,1 @@
+lib/calvin/config.ml:

@@ -1,0 +1,1 @@
+lib/calvin/ctxn.ml: Functor_cc Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/calvin/ctxn.mli: Functor_cc

@@ -1,0 +1,1 @@
+lib/calvin/lock_manager.ml: Hashtbl List String

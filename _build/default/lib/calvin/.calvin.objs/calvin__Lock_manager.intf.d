@@ -1,0 +1,1 @@
+lib/calvin/lock_manager.mli:

@@ -1,0 +1,1 @@
+lib/calvin/message.ml: Ctxn Functor_cc Net

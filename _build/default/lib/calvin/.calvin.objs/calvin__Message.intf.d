@@ -1,0 +1,1 @@
+lib/calvin/message.mli: Ctxn Functor_cc Net

@@ -1,0 +1,1 @@
+lib/calvin/server.ml: Config Ctxn Functor_cc Hashtbl List Lock_manager Message Net Sim

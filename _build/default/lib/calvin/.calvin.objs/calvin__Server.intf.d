@@ -1,0 +1,1 @@
+lib/calvin/server.mli: Config Ctxn Functor_cc Message Net Sim

@@ -1,0 +1,34 @@
+(** Assembly of a simulated Calvin deployment: [n] servers, each hosting a
+    sequencer, a scheduler with its single-threaded lock manager, executor
+    workers and one partition; no replication (fault tolerance disabled,
+    as in the paper's comparison). *)
+
+type options = {
+  n_servers : int;
+  config : Config.t;
+  latency : Net.Latency.t;
+  partitioner : [ `Hash | `Prefix ];
+  seed : int;
+}
+
+val default_options : options
+
+type t
+
+val create : ?registry:Ctxn.registry -> options -> t
+(** [registry] defaults to [Ctxn.with_builtins ()]. *)
+
+val start : t -> unit
+(** Start every sequencer's epoch timer. *)
+
+val sim : t -> Sim.Engine.t
+val metrics : t -> Sim.Metrics.t
+val n_servers : t -> int
+val server : t -> int -> Server.t
+val partition_of : t -> string -> int
+
+val load : t -> key:string -> Functor_cc.Value.t -> unit
+
+val submit : ?k:(unit -> unit) -> t -> fe:int -> Ctxn.t -> unit
+
+val run_for : t -> int -> unit

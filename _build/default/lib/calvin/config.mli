@@ -1,0 +1,22 @@
+(** Calvin server configuration and cost model.
+
+    Mirrors the paper's experimental setup (§V-A2): the sequencer batches
+    requests in 20 ms epochs, storage is in-memory, and replication/fault
+    tolerance is disabled.  Of the server's cores, one is dedicated to the
+    sequencer and one to the scheduler's single-threaded lock manager —
+    the bottleneck the paper identifies — leaving the rest as executor
+    workers. *)
+
+type t = {
+  cores : int;  (** total cores; executors get [cores - 2] *)
+  epoch_us : int;  (** sequencer batch length (default 20 ms) *)
+  cost_seq_us : int;  (** sequencer work per transaction *)
+  cost_lock_us : int;  (** lock-manager work per key (acquire; release
+                           costs the same) *)
+  cost_read_us : int;  (** storage read per key *)
+  cost_exec_us : int;  (** stored-procedure execution *)
+  cost_write_us : int;  (** storage write per key *)
+  cost_msg_us : int;  (** handling one network message *)
+}
+
+val default : t

@@ -1,0 +1,119 @@
+type mode = Read | Write
+
+type entry = { uid : int; mode : mode; mutable granted : bool }
+
+type txn_state = {
+  mutable needed : int;
+  mutable held : int;
+  mutable keys : string list;
+  mutable notified : bool;
+}
+
+type t = {
+  queues : (string, entry list ref) Hashtbl.t;
+  txns : (int, txn_state) Hashtbl.t;
+  on_ready : int -> unit;
+}
+
+let create ~on_ready =
+  { queues = Hashtbl.create 1024; txns = Hashtbl.create 256; on_ready }
+
+let queue_of t key =
+  match Hashtbl.find_opt t.queues key with
+  | Some q -> q
+  | None ->
+      let q = ref [] in
+      Hashtbl.add t.queues key q;
+      q
+
+(* Grant the longest compatible prefix of the queue: either the single
+   leading write, or every leading read up to the first write. *)
+let promote t key =
+  let q = queue_of t key in
+  let newly = ref [] in
+  (match !q with
+  | [] -> ()
+  | first :: rest ->
+      if not first.granted then begin
+        first.granted <- true;
+        newly := [ first ]
+      end;
+      (match first.mode with
+      | Write -> ()
+      | Read ->
+          let rec grant_reads = function
+            | e :: tl when e.mode = Read ->
+                if not e.granted then begin
+                  e.granted <- true;
+                  newly := e :: !newly
+                end;
+                grant_reads tl
+            | _ :: _ | [] -> ()
+          in
+          grant_reads rest));
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt t.txns e.uid with
+      | None -> ()
+      | Some st ->
+          st.held <- st.held + 1;
+          if st.held = st.needed && not st.notified then begin
+            st.notified <- true;
+            t.on_ready e.uid
+          end)
+    (List.rev !newly)
+
+let coalesce keys =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (key, mode) ->
+      match Hashtbl.find_opt tbl key with
+      | Some Write -> ()
+      | Some Read -> if mode = Write then Hashtbl.replace tbl key Write
+      | None -> Hashtbl.add tbl key mode)
+    keys;
+  Hashtbl.fold (fun key mode acc -> (key, mode) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let request t ~uid ~keys =
+  if Hashtbl.mem t.txns uid then
+    invalid_arg "Lock_manager.request: duplicate uid";
+  let keys = coalesce keys in
+  let st =
+    { needed = List.length keys; held = 0; keys = List.map fst keys;
+      notified = false }
+  in
+  Hashtbl.add t.txns uid st;
+  if st.needed = 0 then begin
+    st.notified <- true;
+    t.on_ready uid
+  end
+  else
+    List.iter
+      (fun (key, mode) ->
+        let q = queue_of t key in
+        q := !q @ [ { uid; mode; granted = false } ];
+        promote t key)
+      keys
+
+let release t ~uid =
+  match Hashtbl.find_opt t.txns uid with
+  | None -> invalid_arg "Lock_manager.release: unknown uid"
+  | Some st ->
+      Hashtbl.remove t.txns uid;
+      List.iter
+        (fun key ->
+          let q = queue_of t key in
+          q := List.filter (fun e -> e.uid <> uid) !q;
+          if !q = [] then Hashtbl.remove t.queues key else promote t key)
+        st.keys
+
+let holders t key =
+  match Hashtbl.find_opt t.queues key with
+  | None -> []
+  | Some q -> List.filter_map (fun e -> if e.granted then Some e.uid else None) !q
+
+let waiting t key =
+  match Hashtbl.find_opt t.queues key with
+  | None -> 0
+  | Some q -> List.length !q

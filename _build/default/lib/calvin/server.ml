@@ -1,0 +1,315 @@
+module Value = Functor_cc.Value
+
+type inflight = {
+  routed : Message.routed;
+  participants : int list;
+  mutable remote_pending : int;
+  mutable local_reads_done : bool;
+  mutable gathered : (string * Value.t option) list;
+  mutable exec_started : bool;
+  mutable sched_start : int;
+}
+
+type done_track = {
+  submitted_at : int;
+  mutable awaiting : int;
+  on_complete : (unit -> unit) option;
+}
+
+type t = {
+  sim : Sim.Engine.t;
+  rpc : Message.rpc;
+  address : Net.Address.t;
+  node_id : int;
+  n_servers : int;
+  partition_of : string -> int;
+  addr_of_partition : int -> Net.Address.t;
+  registry : Ctxn.registry;
+  config : Config.t;
+  metrics : Sim.Metrics.t;
+  store : (string, Value.t) Hashtbl.t;
+  lm_pool : Sim.Worker_pool.t;  (* the single-threaded lock manager *)
+  exec_pool : Sim.Worker_pool.t;
+  mutable lm : Lock_manager.t;
+  (* sequencer *)
+  mutable seq_buffer : (int * Ctxn.t * (unit -> unit) option) list;
+      (* (submitted_at, txn, completion), reverse order *)
+  mutable seq_epoch : int;
+  (* scheduler *)
+  batches : (int, (int, Message.routed list) Hashtbl.t) Hashtbl.t;
+      (* epoch -> seq_id -> txns *)
+  mutable next_epoch : int;  (* next epoch to admit, in order *)
+  inflight : (int, inflight) Hashtbl.t;
+  pending_reads :
+    (int, (string * Value.t option) list list ref) Hashtbl.t;
+      (* reads that arrived before the batch *)
+  dones : (int, done_track) Hashtbl.t;  (* origin-side completion *)
+}
+
+let read_local t key = Hashtbl.find_opt t.store key
+
+let load_initial t ~key value =
+  if t.partition_of key <> t.node_id then
+    invalid_arg "Calvin.Server.load_initial: key not owned";
+  Hashtbl.replace t.store key value
+
+let lock_queue_depth t = Sim.Worker_pool.queue_length t.lm_pool
+
+let local_keys t keys = List.filter (fun k -> t.partition_of k = t.node_id) keys
+
+(* ---- executor ---------------------------------------------------------- *)
+
+let send_done t (fl : inflight) =
+  Net.Rpc.send t.rpc ~src:t.address
+    ~dst:(t.addr_of_partition fl.routed.Message.origin)
+    (Message.Done { uid = fl.routed.Message.uid; partition = t.node_id })
+
+(* Locks released (through the lock-manager thread) after execution. *)
+let release_locks t (fl : inflight) =
+  let txn = fl.routed.Message.txn in
+  let nlocal =
+    List.length (local_keys t (txn.Ctxn.read_set @ txn.Ctxn.write_set))
+  in
+  let cost = max t.config.Config.cost_lock_us (nlocal * t.config.Config.cost_lock_us) in
+  Sim.Worker_pool.submit t.lm_pool ~cost (fun () ->
+      Lock_manager.release t.lm ~uid:fl.routed.Message.uid;
+      send_done t fl)
+
+let maybe_execute t (fl : inflight) =
+  if
+    fl.local_reads_done && fl.remote_pending = 0 && not fl.exec_started
+  then begin
+    fl.exec_started <- true;
+    let exec_start = Sim.Engine.now t.sim in
+    Sim.Metrics.record_latency t.metrics "calvin.stage_lockread_us"
+      (exec_start - fl.sched_start);
+    let txn = fl.routed.Message.txn in
+    let local_writes_estimate =
+      List.length (local_keys t txn.Ctxn.write_set)
+    in
+    let cost =
+      t.config.Config.cost_exec_us
+      + (local_writes_estimate * t.config.Config.cost_write_us)
+    in
+    Sim.Worker_pool.submit t.exec_pool ~cost (fun () ->
+        (match Ctxn.find t.registry txn.Ctxn.proc with
+        | None -> Sim.Metrics.incr t.metrics "calvin.missing_proc"
+        | Some proc ->
+            let writes = proc ~txn ~reads:fl.gathered in
+            List.iter
+              (fun (key, v) ->
+                if t.partition_of key = t.node_id then
+                  Hashtbl.replace t.store key v)
+              writes);
+        Sim.Metrics.record_latency t.metrics "calvin.stage_proc_us"
+          (Sim.Engine.now t.sim - exec_start);
+        Hashtbl.remove t.inflight fl.routed.Message.uid;
+        release_locks t fl)
+  end
+
+(* All local locks held: read the local fragment of the read set and
+   broadcast it to the other participants (redundant execution needs the
+   full read set everywhere). *)
+let on_locks_ready t uid =
+  match Hashtbl.find_opt t.inflight uid with
+  | None -> ()
+  | Some fl ->
+      let txn = fl.routed.Message.txn in
+      let locals = local_keys t txn.Ctxn.read_set in
+      let cost =
+        max t.config.Config.cost_read_us
+          (List.length locals * t.config.Config.cost_read_us)
+      in
+      Sim.Worker_pool.submit t.exec_pool ~cost (fun () ->
+          let values =
+            List.map (fun key -> (key, Hashtbl.find_opt t.store key)) locals
+          in
+          fl.gathered <- values @ fl.gathered;
+          fl.local_reads_done <- true;
+          List.iter
+            (fun p ->
+              if p <> t.node_id then
+                Net.Rpc.send t.rpc ~src:t.address
+                  ~dst:(t.addr_of_partition p)
+                  (Message.Reads { uid; from = t.node_id; values }))
+            fl.participants;
+          maybe_execute t fl)
+
+(* ---- scheduler --------------------------------------------------------- *)
+
+let admit_txn t (routed : Message.routed) =
+  let txn = routed.Message.txn in
+  let participants = Ctxn.participants ~partition_of:t.partition_of txn in
+  let fl =
+    { routed; participants;
+      remote_pending = List.length participants - 1;
+      local_reads_done = false; gathered = []; exec_started = false;
+      sched_start = 0 }
+  in
+  Hashtbl.replace t.inflight routed.Message.uid fl;
+  (* Merge reads that raced ahead of the batch. *)
+  (match Hashtbl.find_opt t.pending_reads routed.Message.uid with
+  | Some buffered ->
+      Hashtbl.remove t.pending_reads routed.Message.uid;
+      List.iter
+        (fun values ->
+          fl.gathered <- values @ fl.gathered;
+          fl.remote_pending <- fl.remote_pending - 1)
+        !buffered
+  | None -> ());
+  let lock_keys =
+    List.map (fun k -> (k, Lock_manager.Read))
+      (local_keys t txn.Ctxn.read_set)
+    @ List.map (fun k -> (k, Lock_manager.Write))
+        (local_keys t txn.Ctxn.write_set)
+  in
+  let cost =
+    max t.config.Config.cost_lock_us
+      (List.length lock_keys * t.config.Config.cost_lock_us)
+  in
+  Sim.Worker_pool.submit t.lm_pool ~cost (fun () ->
+      fl.sched_start <- Sim.Engine.now t.sim;
+      Sim.Metrics.record_latency t.metrics "calvin.stage_seq_us"
+        (fl.sched_start - routed.Message.submitted_at);
+      Lock_manager.request t.lm ~uid:routed.Message.uid ~keys:lock_keys)
+
+let rec try_admit_epochs t =
+  match Hashtbl.find_opt t.batches t.next_epoch with
+  | Some per_seq when Hashtbl.length per_seq = t.n_servers ->
+      let epoch = t.next_epoch in
+      t.next_epoch <- epoch + 1;
+      Hashtbl.remove t.batches epoch;
+      (* Deterministic global order: sequencer id, then batch index. *)
+      for seq_id = 0 to t.n_servers - 1 do
+        match Hashtbl.find_opt per_seq seq_id with
+        | Some txns -> List.iter (admit_txn t) txns
+        | None -> ()
+      done;
+      try_admit_epochs t
+  | Some _ | None -> ()
+
+let on_batch t ~epoch ~seq_id txns =
+  let per_seq =
+    match Hashtbl.find_opt t.batches epoch with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.add t.batches epoch h;
+        h
+  in
+  Hashtbl.replace per_seq seq_id txns;
+  try_admit_epochs t
+
+(* ---- sequencer --------------------------------------------------------- *)
+
+let submit ?k t txn =
+  Sim.Metrics.incr t.metrics "calvin.submitted";
+  t.seq_buffer <- (Sim.Engine.now t.sim, txn, k) :: t.seq_buffer
+
+let ship_epoch t =
+  let epoch = t.seq_epoch in
+  t.seq_epoch <- epoch + 1;
+  let txns = List.rev t.seq_buffer in
+  t.seq_buffer <- [];
+  let routed =
+    List.mapi
+      (fun idx (submitted_at, txn, _k) ->
+        { Message.uid = Message.uid_make ~epoch ~seq_id:t.node_id ~idx;
+          origin = t.node_id; submitted_at; txn })
+      txns
+  in
+  (* Register origin-side completion tracking. *)
+  List.iter2
+    (fun (r : Message.routed) (_, _, k) ->
+      let participants =
+        Ctxn.participants ~partition_of:t.partition_of r.Message.txn
+      in
+      Hashtbl.replace t.dones r.Message.uid
+        { submitted_at = r.Message.submitted_at;
+          awaiting = List.length participants;
+          on_complete = k })
+    routed txns;
+  (* One batch message to every server (empty ones keep the barrier). *)
+  for dst = 0 to t.n_servers - 1 do
+    let for_dst =
+      List.filter
+        (fun (r : Message.routed) ->
+          List.exists (fun p -> p = dst)
+            (Ctxn.participants ~partition_of:t.partition_of r.Message.txn))
+        routed
+    in
+    Net.Rpc.send t.rpc ~src:t.address ~dst:(t.addr_of_partition dst)
+      (Message.Batch { epoch; seq_id = t.node_id; txns = for_dst })
+  done;
+  (* Sequencing work is charged per shipped transaction. *)
+  if routed <> [] then
+    Sim.Worker_pool.submit t.exec_pool
+      ~cost:(List.length routed * t.config.Config.cost_seq_us)
+      (fun () -> ())
+
+let on_done t ~uid =
+  match Hashtbl.find_opt t.dones uid with
+  | None -> ()
+  | Some d ->
+      d.awaiting <- d.awaiting - 1;
+      if d.awaiting = 0 then begin
+        Hashtbl.remove t.dones uid;
+        Sim.Metrics.incr t.metrics "calvin.committed";
+        Sim.Metrics.record_latency t.metrics "calvin.lat_total_us"
+          (Sim.Engine.now t.sim - d.submitted_at);
+        match d.on_complete with Some k -> k () | None -> ()
+      end
+
+(* ---- wiring ------------------------------------------------------------ *)
+
+let on_reads t ~uid ~values =
+  match Hashtbl.find_opt t.inflight uid with
+  | Some fl ->
+      fl.gathered <- values @ fl.gathered;
+      fl.remote_pending <- fl.remote_pending - 1;
+      maybe_execute t fl
+  | None ->
+      let buffered =
+        match Hashtbl.find_opt t.pending_reads uid with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add t.pending_reads uid r;
+            r
+      in
+      buffered := values :: !buffered
+
+let create ~sim ~rpc ~addr ~node_id ~n_servers ~partition_of
+    ~addr_of_partition ~registry ~config ~metrics () =
+  let executors = max 1 (config.Config.cores - 2) in
+  let t =
+    { sim; rpc; address = addr; node_id; n_servers; partition_of;
+      addr_of_partition; registry; config; metrics;
+      store = Hashtbl.create 65536;
+      lm_pool = Sim.Worker_pool.create sim ~workers:1;
+      exec_pool = Sim.Worker_pool.create sim ~workers:executors;
+      lm = Lock_manager.create ~on_ready:(fun _ -> ());  (* rewired below *)
+      seq_buffer = []; seq_epoch = 0;
+      batches = Hashtbl.create 16; next_epoch = 0;
+      inflight = Hashtbl.create 4096;
+      pending_reads = Hashtbl.create 256;
+      dones = Hashtbl.create 4096 }
+  in
+  t.lm <- Lock_manager.create ~on_ready:(fun uid -> on_locks_ready t uid);
+  Net.Rpc.serve_oneway rpc addr (fun ~src:_ wire ->
+      match wire with
+      | Message.Batch { epoch; seq_id; txns } ->
+          Sim.Worker_pool.submit t.exec_pool ~cost:config.Config.cost_msg_us
+            (fun () -> on_batch t ~epoch ~seq_id txns)
+      | Message.Reads { uid; from = _; values } ->
+          Sim.Worker_pool.submit t.exec_pool ~cost:config.Config.cost_msg_us
+            (fun () -> on_reads t ~uid ~values)
+      | Message.Done { uid; partition = _ } -> on_done t ~uid);
+  t
+
+let start t =
+  let rec tick () =
+    ship_epoch t;
+    Sim.Engine.after t.sim t.config.Config.epoch_us tick
+  in
+  Sim.Engine.after t.sim t.config.Config.epoch_us tick

@@ -1,0 +1,1 @@
+lib/clocksync/node_clock.ml: Sim

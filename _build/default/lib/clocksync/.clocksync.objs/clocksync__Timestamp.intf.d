@@ -1,0 +1,1 @@
+lib/clocksync/timestamp.mli: Format

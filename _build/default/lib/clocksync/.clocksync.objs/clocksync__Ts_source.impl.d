@@ -1,0 +1,1 @@
+lib/clocksync/ts_source.ml: Node_clock Timestamp

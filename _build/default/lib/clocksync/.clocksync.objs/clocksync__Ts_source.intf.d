@@ -1,0 +1,1 @@
+lib/clocksync/ts_source.mli: Node_clock Timestamp

@@ -1,0 +1,46 @@
+type t = {
+  engine : Sim.Engine.t;
+  mutable offset_us : int;
+  drift_ppm : float;
+  created_at : int;
+  mutable last_reading : int;
+}
+
+let create engine ?(offset_us = 0) ?(drift_ppm = 0.0) () =
+  { engine; offset_us; drift_ppm;
+    created_at = Sim.Engine.now engine;
+    last_reading = 0 }
+
+let perfect engine = create engine ()
+
+let true_now t = Sim.Engine.now t.engine
+
+let raw_now t =
+  let true_t = true_now t in
+  let elapsed = true_t - t.created_at in
+  let drift = int_of_float (float_of_int elapsed *. t.drift_ppm /. 1e6) in
+  true_t + t.offset_us + drift
+
+let now t =
+  let r = raw_now t in
+  (* Monotonicity: a sync step never makes the clock go backwards. *)
+  let r = if r < t.last_reading then t.last_reading else r in
+  t.last_reading <- r;
+  r
+
+let offset t = raw_now t - true_now t
+
+let sync t ~error_bound_us =
+  if error_bound_us < 0 then invalid_arg "Node_clock.sync: negative bound";
+  let err = offset t in
+  if err > error_bound_us then t.offset_us <- t.offset_us - (err - error_bound_us)
+  else if err < -error_bound_us then
+    t.offset_us <- t.offset_us + (-error_bound_us - err)
+
+let start_sync_daemon t ~period_us ~error_bound_us =
+  if period_us <= 0 then invalid_arg "Node_clock.start_sync_daemon: period";
+  let rec tick () =
+    sync t ~error_bound_us;
+    Sim.Engine.after t.engine period_us tick
+  in
+  Sim.Engine.after t.engine period_us tick

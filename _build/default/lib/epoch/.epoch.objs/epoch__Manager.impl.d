@@ -1,0 +1,1 @@
+lib/epoch/manager.ml: Clocksync List Net Protocol Sim

@@ -1,0 +1,1 @@
+lib/epoch/manager.mli: Clocksync Net Protocol Sim

@@ -1,0 +1,1 @@
+lib/epoch/participant.ml: Clocksync Hashtbl List Net Protocol Sim

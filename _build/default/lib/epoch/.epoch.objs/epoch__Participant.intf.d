@@ -1,0 +1,1 @@
+lib/epoch/participant.mli: Clocksync Net Protocol Sim

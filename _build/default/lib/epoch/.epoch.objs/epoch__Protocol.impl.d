@@ -1,0 +1,1 @@
+lib/epoch/protocol.ml: Format Net

@@ -1,0 +1,1 @@
+lib/epoch/protocol.mli: Format Net

@@ -1,0 +1,92 @@
+type config = { duration_us : int; lead_us : int }
+
+let default_config = { duration_us = 25_000; lead_us = 500 }
+
+type phase =
+  | Idle
+  | Open of { epoch : int; hi : int }
+  | Switching of {
+      epoch : int;
+      hi : int;
+      mutable awaiting : Net.Address.Set.t;
+      revoke_sent_at : int;
+    }
+
+type t = {
+  rpc : Protocol.rpc;
+  addr : Net.Address.t;
+  fes : Net.Address.t list;
+  clock : Clocksync.Node_clock.t;
+  config : config;
+  metrics : Sim.Metrics.t;
+  sim : Sim.Engine.t;
+  mutable phase : phase;
+  mutable epochs_closed : int;
+}
+
+let create ~rpc ~addr ~fes ~clock ~config ~metrics () =
+  if config.duration_us <= 0 then invalid_arg "Manager: duration_us";
+  { rpc; addr; fes; clock; config; metrics; sim = Net.Rpc.engine rpc;
+    phase = Idle; epochs_closed = 0 }
+
+let current_epoch t =
+  match t.phase with
+  | Idle -> 0
+  | Open { epoch; _ } | Switching { epoch; _ } -> epoch
+
+let epochs_closed t = t.epochs_closed
+
+let broadcast t msg =
+  List.iter (fun fe -> Net.Rpc.send t.rpc ~src:t.addr ~dst:fe msg) t.fes
+
+let rec open_epoch t ~epoch ~lo =
+  let hi = lo + t.config.duration_us in
+  t.phase <- Open { epoch; hi };
+  Sim.Metrics.incr t.metrics "em.grants";
+  broadcast t
+    (Protocol.Grant { epoch; lo; hi; next_duration = t.config.duration_us });
+  (* Schedule the revoke for the window's end, by the EM's own clock.  The
+     EM clock may drift from true time; [delay] converts the local target
+     into a simulated-time delay. *)
+  let local_now = Clocksync.Node_clock.now t.clock in
+  let delay = if hi > local_now then hi - local_now else 0 in
+  Sim.Engine.after t.sim delay (fun () -> begin_switch t ~epoch ~hi)
+
+and begin_switch t ~epoch ~hi =
+  (match t.phase with
+  | Open o when o.epoch = epoch ->
+      t.phase <-
+        Switching
+          { epoch; hi;
+            awaiting = Net.Address.Set.of_list t.fes;
+            revoke_sent_at = Sim.Engine.now t.sim }
+  | Open _ | Switching _ | Idle -> invalid_arg "Manager: bad switch state");
+  Sim.Metrics.incr t.metrics "em.revokes";
+  broadcast t (Protocol.Revoke { epoch })
+
+and handle_ack t ~src ~epoch =
+  match t.phase with
+  | Switching s when s.epoch = epoch ->
+      s.awaiting <- Net.Address.Set.remove src s.awaiting;
+      if Net.Address.Set.is_empty s.awaiting then begin
+        let now = Sim.Engine.now t.sim in
+        Sim.Metrics.record_latency t.metrics "em.switch_us"
+          (now - s.revoke_sent_at);
+        t.epochs_closed <- t.epochs_closed + 1;
+        Sim.Metrics.incr t.metrics "em.epochs_closed";
+        (* Next validity window: starts just above the previous finish, or
+           at the local now when the switch overran the window. *)
+        let local_now = Clocksync.Node_clock.now t.clock in
+        let lo = if local_now > s.hi + 1 then local_now else s.hi + 1 in
+        open_epoch t ~epoch:(epoch + 1) ~lo
+      end
+  | Switching _ | Open _ | Idle ->
+      Sim.Metrics.incr t.metrics "em.stale_acks"
+
+let start t =
+  Net.Rpc.serve_oneway t.rpc t.addr (fun ~src msg ->
+      match msg with
+      | Protocol.Revoke_ack { epoch } -> handle_ack t ~src ~epoch
+      | Protocol.Grant _ | Protocol.Revoke _ -> ());
+  let lo = Clocksync.Node_clock.now t.clock + t.config.lead_us in
+  open_epoch t ~epoch:1 ~lo

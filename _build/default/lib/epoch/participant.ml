@@ -1,0 +1,116 @@
+type window = { epoch : int; lo : int; hi : int; authorized : bool }
+
+type auth_state =
+  | Waiting  (** no grant yet (startup) *)
+  | Authorized of { epoch : int; lo : int; hi : int; next_duration : int }
+  | Revoked of { epoch : int; hi : int; next_duration : int; acked : bool }
+      (** authorization for [epoch] revoked; straggler-rule starts may use
+          timestamps in (hi, hi + next_duration] *)
+
+type t = {
+  rpc : Protocol.rpc;
+  addr : Net.Address.t;
+  em : Net.Address.t;
+  clock : Clocksync.Node_clock.t;
+  straggler_opt : bool;
+  metrics : Sim.Metrics.t;
+  in_flight : (int, int) Hashtbl.t;  (* epoch -> count *)
+  mutable state : auth_state;
+  mutable granted : int;  (* latest epoch granted *)
+  mutable on_open : epoch:int -> lo:int -> hi:int -> unit;
+  mutable on_closed : epoch:int -> unit;
+  mutable observers : (unit -> unit) list;
+}
+
+let ignore_open ~epoch:_ ~lo:_ ~hi:_ = ()
+
+let ignore_closed ~epoch:_ = ()
+
+let in_flight t ~epoch =
+  match Hashtbl.find_opt t.in_flight epoch with Some n -> n | None -> 0
+
+let notify_observers t = List.iter (fun f -> f ()) t.observers
+
+let send_ack t ~epoch =
+  Sim.Metrics.incr t.metrics "fe.revoke_acks";
+  Net.Rpc.send t.rpc ~src:t.addr ~dst:t.em (Protocol.Revoke_ack { epoch })
+
+(* Ack the revoke as soon as the revoked epoch has no in-flight txns. *)
+let maybe_ack t =
+  match t.state with
+  | Revoked r when (not r.acked) && in_flight t ~epoch:r.epoch = 0 ->
+      t.state <- Revoked { r with acked = true };
+      send_ack t ~epoch:r.epoch
+  | Revoked _ | Authorized _ | Waiting -> ()
+
+let handle_grant t ~epoch ~lo ~hi ~next_duration =
+  if epoch > t.granted then begin
+    t.granted <- epoch;
+    t.state <- Authorized { epoch; lo; hi; next_duration };
+    if epoch > 1 then begin
+      (* Grant of e doubles as "e - 1 closed". *)
+      t.on_closed ~epoch:(epoch - 1);
+      Sim.Metrics.incr t.metrics "fe.epochs_closed"
+    end;
+    t.on_open ~epoch ~lo ~hi;
+    notify_observers t
+  end
+
+let handle_revoke t ~epoch =
+  (match t.state with
+  | Authorized a when a.epoch = epoch ->
+      t.state <-
+        Revoked { epoch; hi = a.hi; next_duration = a.next_duration;
+                  acked = false }
+  | Authorized _ | Revoked _ | Waiting -> ());
+  maybe_ack t;
+  notify_observers t
+
+let create ~rpc ~addr ~em ~clock ~straggler_opt ~metrics () =
+  let t =
+    { rpc; addr; em; clock; straggler_opt; metrics;
+      in_flight = Hashtbl.create 8; state = Waiting; granted = 0;
+      on_open = ignore_open; on_closed = ignore_closed; observers = [] }
+  in
+  Net.Rpc.serve_oneway rpc addr (fun ~src:_ msg ->
+      match msg with
+      | Protocol.Grant { epoch; lo; hi; next_duration } ->
+          handle_grant t ~epoch ~lo ~hi ~next_duration
+      | Protocol.Revoke { epoch } -> handle_revoke t ~epoch
+      | Protocol.Revoke_ack _ -> ());
+  t
+
+let set_hooks t ~on_open ~on_closed =
+  t.on_open <- on_open;
+  t.on_closed <- on_closed
+
+let window t =
+  match t.state with
+  | Waiting -> None
+  | Authorized { epoch; lo; hi; _ } ->
+      (* A server may start a transaction only while its local clock is
+         within the validity period (§II). *)
+      let now = Clocksync.Node_clock.now t.clock in
+      if now > hi then None else Some { epoch; lo; hi; authorized = true }
+  | Revoked { epoch; hi; next_duration; _ } ->
+      if not t.straggler_opt then None
+      else
+        (* §III-C: timestamps of unauthorized starts must not exceed the
+           previous finish plus the next epoch's duration. *)
+        Some
+          { epoch = epoch + 1; lo = hi + 1; hi = hi + next_duration;
+            authorized = false }
+
+let txn_started t ~epoch =
+  Hashtbl.replace t.in_flight epoch (in_flight t ~epoch + 1)
+
+let txn_finished t ~epoch =
+  let n = in_flight t ~epoch in
+  if n <= 0 then invalid_arg "Participant.txn_finished: not in flight";
+  if n = 1 then Hashtbl.remove t.in_flight epoch
+  else Hashtbl.replace t.in_flight epoch (n - 1);
+  maybe_ack t
+
+let current_epoch t = t.granted
+
+let on_state_change t f = t.observers <- f :: t.observers

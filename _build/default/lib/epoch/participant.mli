@@ -1,0 +1,60 @@
+(** Frontend-side epoch state.
+
+    Tracks the authorization the EM granted, counts in-flight transactions
+    per epoch so revocations can be acknowledged exactly when the epoch
+    has drained, and implements the §III-C straggler optimisation: after a
+    revocation is acknowledged locally, new transactions may start
+    {e without} authorization, provided their timestamps do not exceed
+    [previous finish + next epoch's duration].  Such transactions are
+    accounted against the {e next} epoch (they become visible together
+    with it).
+
+    The [on_closed] hook fires when the grant for epoch [e + 1] arrives —
+    i.e. when epoch [e] is globally closed — and is where the server
+    releases buffered functor metadata and delayed latest-version reads. *)
+
+type window = {
+  epoch : int;  (** the epoch this transaction will belong to *)
+  lo : int;  (** lowest admissible timestamp time-field *)
+  hi : int;  (** highest admissible timestamp time-field *)
+  authorized : bool;  (** false = started under the straggler rule *)
+}
+
+type t
+
+val create :
+  rpc:Protocol.rpc ->
+  addr:Net.Address.t ->
+  em:Net.Address.t ->
+  clock:Clocksync.Node_clock.t ->
+  straggler_opt:bool ->
+  metrics:Sim.Metrics.t ->
+  unit -> t
+(** Registers the FE's control-plane handler immediately. *)
+
+val set_hooks :
+  t ->
+  on_open:(epoch:int -> lo:int -> hi:int -> unit) ->
+  on_closed:(epoch:int -> unit) ->
+  unit
+
+val window : t -> window option
+(** Where a transaction starting right now would live: [Some w] when
+    starting is currently allowed (with or without authorization), [None]
+    when the FE must hold the transaction (no grant yet, or authorization
+    expired/revoked and the straggler optimisation is off). *)
+
+val txn_started : t -> epoch:int -> unit
+
+val txn_finished : t -> epoch:int -> unit
+(** Decrement the epoch's in-flight count; sends the pending
+    [Revoke_ack] when this was the last one. *)
+
+val in_flight : t -> epoch:int -> int
+
+val current_epoch : t -> int
+(** Latest epoch granted (0 before the first grant). *)
+
+val on_state_change : t -> (unit -> unit) -> unit
+(** Register a callback invoked after every grant/revoke transition —
+    the server uses it to retry held transactions. *)

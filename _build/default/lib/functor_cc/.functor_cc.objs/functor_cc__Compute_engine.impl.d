@@ -1,0 +1,1 @@
+lib/functor_cc/compute_engine.ml: Array Ftype Funct List Mvstore Printf Registry Sim String Value

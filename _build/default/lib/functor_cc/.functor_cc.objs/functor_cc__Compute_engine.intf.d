@@ -1,0 +1,1 @@
+lib/functor_cc/compute_engine.mli: Funct Mvstore Registry Sim Value

@@ -1,0 +1,1 @@
+lib/functor_cc/ftype.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/functor_cc/funct.ml: Format Ftype List String Value

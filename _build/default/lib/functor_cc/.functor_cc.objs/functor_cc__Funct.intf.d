@@ -1,0 +1,1 @@
+lib/functor_cc/funct.mli: Format Ftype Value

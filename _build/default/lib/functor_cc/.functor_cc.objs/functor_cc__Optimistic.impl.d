@@ -1,0 +1,1 @@
+lib/functor_cc/optimistic.ml: Ftype Funct List Registry Value

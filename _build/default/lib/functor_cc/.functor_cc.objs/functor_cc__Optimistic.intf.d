@@ -1,0 +1,1 @@
+lib/functor_cc/optimistic.mli: Funct Registry Value

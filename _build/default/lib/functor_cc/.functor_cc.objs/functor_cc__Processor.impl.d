@@ -1,0 +1,1 @@
+lib/functor_cc/processor.ml: Compute_engine Hashtbl Int List Sim

@@ -1,0 +1,1 @@
+lib/functor_cc/processor.mli: Compute_engine Sim

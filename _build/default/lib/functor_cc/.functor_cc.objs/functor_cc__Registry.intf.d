@@ -1,0 +1,1 @@
+lib/functor_cc/registry.mli: Value

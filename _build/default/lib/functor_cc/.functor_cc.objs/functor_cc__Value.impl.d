@@ -1,0 +1,1 @@
+lib/functor_cc/value.ml: Float Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/functor_cc/value.mli: Format

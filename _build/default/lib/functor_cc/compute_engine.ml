@@ -1,0 +1,385 @@
+type callbacks = {
+  is_local : string -> bool;
+  remote_get : key:string -> version:int -> (Value.t option -> unit) -> unit;
+  send_push :
+    dst_key:string -> version:int -> src_key:string -> Value.t option -> unit;
+  send_dep_write : key:string -> version:int -> Funct.final -> unit;
+  notify_final :
+    key:string -> version:int -> pending:Funct.pending ->
+    final:Funct.final -> unit;
+  exec : cost:int -> (unit -> unit) -> unit;
+  now : unit -> int;
+}
+
+type t = {
+  table : Funct.t Mvstore.Table.t;
+  registry : Registry.t;
+  cb : callbacks;
+  compute_cost_us : int;
+  metrics : Sim.Metrics.t;
+}
+
+let create ~registry ~callbacks ~compute_cost_us ~metrics () =
+  { table = Mvstore.Table.create (); registry; cb = callbacks;
+    compute_cost_us; metrics }
+
+let table t = t.table
+
+let load_initial t ~key value =
+  match
+    Mvstore.Table.put_unchecked t.table ~key ~version:0 (Funct.mk_value value)
+  with
+  | Ok () -> ()
+  | Error _ -> invalid_arg (Printf.sprintf "load_initial: duplicate key %S" key)
+
+let install t ~key ~version ~lo ~hi record =
+  Mvstore.Table.put t.table ~key ~version ~lo ~hi record
+
+let watermark t ~key =
+  match Mvstore.Table.chain t.table key with
+  | None -> -1
+  | Some c -> Mvstore.Chain.watermark c
+
+(* After a record turns final, push the key's watermark forward over the
+   (now contiguous) prefix of final records.  This is the single-threaded
+   counterpart of the CAS loop in Algorithm 1 lines 7–9. *)
+let refresh_watermark chain =
+  let rec go w =
+    match Mvstore.Chain.find_next_after chain ~version:w with
+    | Some (v, record) when Funct.is_final record ->
+        Mvstore.Chain.advance_watermark chain v;
+        go v
+    | Some _ | None -> ()
+  in
+  go (Mvstore.Chain.watermark chain)
+
+(* ---- Algorithm 1: Get ---------------------------------------------- *)
+
+let rec get t ~key ~version k =
+  match Mvstore.Table.find_le t.table ~key ~version with
+  | None -> k None
+  | Some (ver, record) -> get_record t ~key ~ver record k
+
+and get_record t ~key ~ver record k =
+  match record.Funct.state with
+  | Funct.Final (Funct.Committed v) -> k (Some v)
+  | Funct.Final Funct.Deleted_v -> k None
+  | Funct.Final Funct.Aborted_v ->
+      (* Line 22–23: skip the aborted version downwards. *)
+      if ver = 0 then k None else get t ~key ~version:(ver - 1) k
+  | Funct.Pending p ->
+      Sim.Metrics.incr t.metrics "fcc.on_demand_waits";
+      Funct.add_waiter p (fun final ->
+          match final with
+          | Funct.Committed v -> k (Some v)
+          | Funct.Deleted_v -> k None
+          | Funct.Aborted_v ->
+              if ver = 0 then k None else get t ~key ~version:(ver - 1) k);
+      ensure_computing t ~key ~ver record p
+
+(* ---- read-set gathering --------------------------------------------- *)
+
+(* Collect the values of [keys], each at the latest version strictly below
+   [ver].  Local keys recurse through [get]; remote keys race a proactive
+   push (if one is destined for this functor) against an explicit remote
+   read, whichever lands first. *)
+and gather t ~p ~ver keys k =
+  match keys with
+  | [] -> k []
+  | _ ->
+      let n = List.length keys in
+      let results = Array.make n ("", None) in
+      let remaining = ref n in
+      let deliver i rk got v =
+        if not !got then begin
+          got := true;
+          results.(i) <- (rk, v);
+          decr remaining;
+          if !remaining = 0 then k (Array.to_list results)
+        end
+      in
+      List.iteri
+        (fun i rk ->
+          let got = ref false in
+          match Funct.pushed_value p rk with
+          | Some v ->
+              Sim.Metrics.incr t.metrics "fcc.push_hits";
+              deliver i rk got v
+          | None ->
+              if t.cb.is_local rk then
+                get t ~key:rk ~version:(ver - 1) (fun v -> deliver i rk got v)
+              else if List.exists (String.equal rk) p.farg.Funct.pushed_reads
+              then begin
+                (* §IV-B: a sibling functor will push this value; wait for
+                   it instead of issuing a remote read.  If the whole
+                   transaction is rolled back before the push, this
+                   record is finalised as ABORTED and the waiter becomes
+                   moot. *)
+                Funct.on_push p ~key:rk (fun v ->
+                    Sim.Metrics.incr t.metrics "fcc.push_hits";
+                    deliver i rk got v)
+              end
+              else begin
+                (* Race: push vs remote read. *)
+                Funct.on_push p ~key:rk (fun v ->
+                    Sim.Metrics.incr t.metrics "fcc.push_hits";
+                    deliver i rk got v);
+                Sim.Metrics.incr t.metrics "fcc.remote_reads";
+                t.cb.remote_get ~key:rk ~version:(ver - 1) (fun v ->
+                    deliver i rk got v)
+              end)
+        keys
+
+(* ---- computation ----------------------------------------------------- *)
+
+and ensure_computing t ~key ~ver record (p : Funct.pending) =
+  match p.status with
+  | Funct.Computing -> ()
+  | Funct.Installed ->
+      p.status <- Funct.Computing;
+      if p.retrieved_at_us < 0 then p.retrieved_at_us <- t.cb.now ();
+      begin_compute t ~key ~ver record p
+
+and begin_compute t ~key ~ver record p =
+  Sim.Prof.span "begin_compute" @@ fun () ->
+  (* Recipient-set pushes (§IV-B) happen as part of this functor's
+     computing phase: ship this key's previous value to the functors of
+     every recipient key, before running our own handler. *)
+  let send_recipient_pushes prev_opt =
+    match p.farg.Funct.recipients with
+    | [] -> ()
+    | recipients ->
+        let push prev =
+          List.iter
+            (fun dst_key ->
+              Sim.Metrics.incr t.metrics "fcc.pushes_sent";
+              t.cb.send_push ~dst_key ~version:ver ~src_key:key prev)
+            recipients
+        in
+        (match prev_opt with
+        | Some prev -> push prev
+        | None -> get t ~key ~version:(ver - 1) (fun v -> push v))
+  in
+  match p.ftype with
+  | Ftype.Value | Ftype.Aborted | Ftype.Deleted ->
+      (* mk_pending rejects these; a record can only reach here through
+         memory corruption. *)
+      assert false
+  | Ftype.Dep_marker det_key ->
+      (* §IV-E: resolution arrives via deliver_dep_write once the
+         determinate functor computes; we only need to make sure that
+         computation is triggered. *)
+      Sim.Metrics.incr t.metrics "fcc.dep_marker_triggers";
+      if t.cb.is_local det_key then compute_key t ~key:det_key ~version:ver
+      else
+        (* A Get at exactly the marker's version forces the remote BE to
+           compute the determinate functor; the reply itself is unused. *)
+        t.cb.remote_get ~key:det_key ~version:ver (fun _ -> ())
+  | Ftype.Add | Ftype.Subtr | Ftype.Max | Ftype.Min ->
+      get t ~key ~version:(ver - 1) (fun prev ->
+          send_recipient_pushes (Some prev);
+          t.cb.exec ~cost:t.compute_cost_us (fun () ->
+              let outcome = eval_builtin p.ftype prev p.farg.Funct.args in
+              apply_outcome t ~key ~ver record p outcome))
+  | Ftype.User name -> (
+      match Registry.find t.registry name with
+      | None ->
+          Sim.Metrics.incr t.metrics "fcc.missing_handler";
+          apply_outcome t ~key ~ver record p Registry.Abort
+      | Some handler ->
+          send_recipient_pushes None;
+          gather t ~p ~ver p.farg.Funct.read_set (fun reads ->
+              t.cb.exec ~cost:t.compute_cost_us (fun () ->
+                  let ctx =
+                    { Registry.key; version = ver; reads;
+                      args = p.farg.Funct.args }
+                  in
+                  let outcome =
+                    try handler ctx
+                    with Not_found | Invalid_argument _ ->
+                      (* A handler bug is a logic error: abort the txn
+                         rather than wedging the engine. *)
+                      Registry.Abort
+                  in
+                  apply_outcome t ~key ~ver record p outcome)))
+
+and eval_builtin ftype prev args =
+  let arg0 =
+    match args with
+    | a :: _ -> Value.to_int a
+    | [] -> invalid_arg "numeric functor: missing argument"
+  in
+  (* Built-ins are total: an absent (or deleted) key counts as 0.  A
+     built-in cannot abort, because it reads only its own key and so could
+     never coordinate an all-or-nothing decision with the transaction's
+     other functors (§IV-C); conditional semantics belong in user
+     handlers whose read sets include the abort-influencing keys. *)
+  let p = match prev with None -> 0 | Some prev_v -> Value.to_int prev_v in
+  let result =
+    match ftype with
+    | Ftype.Add -> p + arg0
+    | Ftype.Subtr -> p - arg0
+    | Ftype.Max -> if arg0 > p then arg0 else p
+    | Ftype.Min -> if arg0 < p then arg0 else p
+    | Ftype.Value | Ftype.Aborted | Ftype.Deleted | Ftype.User _
+    | Ftype.Dep_marker _ ->
+        assert false
+  in
+  Registry.Commit (Value.int result)
+
+and apply_outcome t ~key ~ver record p outcome =
+  let dep_writes_of outcome =
+    (* Two kinds of dependent keys (§IV-E): declared ones, which carry a
+       Dep_marker that must be resolved even when the write is skipped or
+       the transaction aborts; and dynamically named ones (e.g. TPC-C
+       order rows keyed by the order id assigned here), which have no
+       marker and are simply inserted. *)
+    let explicit =
+      match outcome with
+      | Registry.Commit_det (_, writes) -> writes
+      | Registry.Commit _ | Registry.Abort | Registry.Delete -> []
+    in
+    let declared = p.farg.Funct.dependents in
+    let of_dep_write = function
+      | Registry.Dep_put v -> Funct.Committed v
+      | Registry.Dep_delete -> Funct.Deleted_v
+      | Registry.Dep_skip -> Funct.Aborted_v
+    in
+    let resolved_declared =
+      List.map
+        (fun dk ->
+          match List.assoc_opt dk explicit with
+          | Some w -> (dk, of_dep_write w)
+          | None ->
+              (* On txn abort (or when unspecified) the marker must
+                 reflect "no write": Aborted_v makes reads skip it. *)
+              (dk, Funct.Aborted_v))
+        declared
+    in
+    let dynamic =
+      List.filter_map
+        (fun (dk, w) ->
+          if List.exists (String.equal dk) declared then None
+          else Some (dk, of_dep_write w))
+        explicit
+    in
+    resolved_declared @ dynamic
+  in
+  let final =
+    match outcome with
+    | Registry.Commit v | Registry.Commit_det (v, _) -> Funct.Committed v
+    | Registry.Abort -> Funct.Aborted_v
+    | Registry.Delete -> Funct.Deleted_v
+  in
+  let deps = dep_writes_of outcome in
+  List.iter
+    (fun (dk, dfinal) -> t.cb.send_dep_write ~key:dk ~version:ver dfinal)
+    deps;
+  finalize t ~key ~ver record p final
+
+and finalize t ~key ~ver record p final =
+  Sim.Prof.span "finalize" @@ fun () ->
+  record.Funct.state <- Funct.Final final;
+  (match final with
+  | Funct.Aborted_v -> Sim.Metrics.incr t.metrics "fcc.aborts_computed"
+  | Funct.Committed _ | Funct.Deleted_v -> ());
+  Sim.Metrics.incr t.metrics "fcc.computed";
+  Sim.Prof.span "refresh_wm" (fun () ->
+      match Mvstore.Table.chain t.table key with
+      | Some chain -> refresh_watermark chain
+      | None -> ());
+  Sim.Prof.span "notify_final" (fun () ->
+      t.cb.notify_final ~key ~version:ver ~pending:p ~final);
+  let waiters = p.waiters in
+  p.waiters <- [];
+  List.iter (fun w -> w final) waiters
+
+(* ---- Algorithm 1: Compute ------------------------------------------- *)
+
+and compute_key t ~key ~version =
+  Sim.Prof.span "compute_key" @@ fun () ->
+  match Mvstore.Table.chain t.table key with
+  | None -> ()
+  | Some chain ->
+      let lo = Mvstore.Chain.watermark chain + 1 in
+      let pending = ref [] in
+      Sim.Prof.span "ck_scan" (fun () ->
+          Mvstore.Chain.iter_range chain ~lo ~hi:version (fun ver record ->
+              match record.Funct.state with
+              | Funct.Final _ -> ()
+              | Funct.Pending p -> pending := (ver, record, p) :: !pending));
+      List.iter
+        (fun (ver, record, p) -> ensure_computing t ~key ~ver record p)
+        (List.rev !pending)
+
+(* ---- deliveries from the network ------------------------------------ *)
+
+let deliver_push t ~key ~version ~src_key value =
+  match Mvstore.Table.find_le t.table ~key ~version with
+  | Some (ver, record) when ver = version -> (
+      match record.Funct.state with
+      | Funct.Pending p -> Funct.add_push p ~key:src_key value
+      | Funct.Final _ -> Sim.Metrics.incr t.metrics "fcc.push_late")
+  | Some _ | None -> Sim.Metrics.incr t.metrics "fcc.push_orphan"
+
+let deliver_dep_write t ~key ~version ~final =
+  match Mvstore.Table.find_le t.table ~key ~version with
+  | Some (ver, record) when ver = version -> (
+      match record.Funct.state with
+      | Funct.Pending p ->
+          Sim.Metrics.incr t.metrics "fcc.dep_writes_resolved";
+          finalize t ~key ~ver record p final
+      | Funct.Final _ -> Sim.Metrics.incr t.metrics "fcc.dep_write_duplicate")
+  | Some _ | None ->
+      (* No marker installed: store the deferred write directly (covers
+         workloads that skip markers for keys never read before the
+         determinate functor's watermark advances). *)
+      Sim.Metrics.incr t.metrics "fcc.dep_write_direct";
+      (match
+         Mvstore.Table.put_unchecked t.table ~key ~version
+           (Funct.mk_final final)
+       with
+      | Ok () -> ()
+      | Error `Duplicate_version -> ());
+      (match Mvstore.Table.chain t.table key with
+      | Some chain -> refresh_watermark chain
+      | None -> ())
+
+let abort_version t ~key ~version =
+  match Mvstore.Table.find_le t.table ~key ~version with
+  | Some (ver, record) when ver = version -> (
+      match record.Funct.state with
+      | Funct.Pending p ->
+          Sim.Metrics.incr t.metrics "fcc.aborted_in_epoch";
+          finalize t ~key ~ver record p Funct.Aborted_v
+      | Funct.Final _ ->
+          (* Blind VALUE/DELETE writes are installed already-final; the
+             second-round rollback must erase them too.  Safe because
+             in-epoch versions are invisible to reads until the epoch
+             closes (§III-D). *)
+          Sim.Metrics.incr t.metrics "fcc.aborted_in_epoch";
+          record.Funct.state <- Funct.Final Funct.Aborted_v)
+  | Some _ | None -> ()
+
+let gc t ~before =
+  List.fold_left
+    (fun acc key ->
+      match Mvstore.Table.chain t.table key with
+      | None -> acc
+      | Some chain ->
+          let horizon = min before (Mvstore.Chain.watermark chain) in
+          if horizon <= 0 then acc
+          else acc + Mvstore.Chain.truncate_below chain ~version:horizon)
+    0
+    (Mvstore.Table.keys t.table)
+
+let pending_count t =
+  List.fold_left
+    (fun acc key ->
+      match Mvstore.Table.chain t.table key with
+      | None -> acc
+      | Some chain ->
+          Mvstore.Chain.fold chain ~init:acc ~f:(fun acc _ record ->
+              if Funct.is_final record then acc else acc + 1))
+    0
+    (Mvstore.Table.keys t.table)

@@ -1,0 +1,93 @@
+(** The functor computing engine — Algorithm 1 of the paper, adapted to an
+    asynchronous (continuation-passing) execution model.
+
+    One engine instance lives in each backend (BE) and owns that
+    partition's {!Mvstore.Table}.  The engine implements:
+
+    - [get] — Algorithm 1's [Get]: latest version not exceeding the bound;
+      triggers on-demand computation of pending functors, skips ABORTED
+      versions downwards, returns [None] for DELETED keys;
+    - [compute_key] — Algorithm 1's [Compute]: evaluate all pending
+      functors of a key from the watermark up to a version, ascending,
+      advancing the value watermark as finals accumulate;
+    - the §IV-B recipient-set optimisation (proactive value pushes);
+    - the §IV-E dependent-key mechanism (determinate functors whose
+      deferred writes resolve [Dep_marker] placeholders);
+    - in-epoch aborts (the coordinator's second-round rollback).
+
+    Cross-partition effects (remote reads, pushes, deferred writes,
+    completion notifications) are delegated to callbacks supplied by the
+    surrounding server, which routes them over the simulated network.
+    Because every read is of a strictly lower version and version-0 initial
+    data is final, the recursion always terminates. *)
+
+type t
+
+type callbacks = {
+  is_local : string -> bool;
+      (** does this partition own the key? *)
+  remote_get : key:string -> version:int -> (Value.t option -> unit) -> unit;
+      (** read a non-local key (latest version <= [version]) *)
+  send_push :
+    dst_key:string -> version:int -> src_key:string -> Value.t option -> unit;
+      (** deliver a recipient-set push to the partition owning [dst_key] *)
+  send_dep_write :
+    key:string -> version:int -> Funct.final -> unit;
+      (** deliver a deferred (dependent-key) write to the key's partition *)
+  notify_final :
+    key:string -> version:int -> pending:Funct.pending ->
+    final:Funct.final -> unit;
+      (** a pending functor reached its final state (drives coordinator
+          completion tracking and stage metrics) *)
+  exec : cost:int -> (unit -> unit) -> unit;
+      (** charge [cost] µs of CPU, then continue — wired to the server's
+          worker pool *)
+  now : unit -> int;
+      (** current simulated time, for stage-timing bookkeeping *)
+}
+
+val create :
+  registry:Registry.t ->
+  callbacks:callbacks ->
+  compute_cost_us:int ->
+  metrics:Sim.Metrics.t ->
+  unit -> t
+
+val table : t -> Funct.t Mvstore.Table.t
+
+val load_initial : t -> key:string -> Value.t -> unit
+(** Install initial data at version 0 (final, below every timestamp). *)
+
+val install :
+  t -> key:string -> version:int -> lo:int -> hi:int -> Funct.t ->
+  (unit, Mvstore.Table.put_error) result
+(** The write-only-phase [Put]: version must lie in [lo, hi]. *)
+
+val get : t -> key:string -> version:int -> (Value.t option -> unit) -> unit
+
+val compute_key : t -> key:string -> version:int -> unit
+
+val deliver_push :
+  t -> key:string -> version:int -> src_key:string -> Value.t option -> unit
+
+val deliver_dep_write :
+  t -> key:string -> version:int -> final:Funct.final -> unit
+
+val abort_version : t -> key:string -> version:int -> unit
+(** Coordinator-initiated in-epoch abort of the functor at (key, version).
+    A no-op when the version is absent or already final. *)
+
+val watermark : t -> key:string -> int
+(** The key's value watermark (-1 when the key is unknown). *)
+
+val gc : t -> before:int -> int
+(** Reclaim historical versions: for every key, drop records older than
+    [min before watermark], keeping the newest final at or below the
+    horizon as the base value for reads at or above it.  Reads strictly
+    below the horizon may observe the key as absent — GC shortens the
+    historical-read window.  Returns records reclaimed.  Safe at any
+    time: only immutable (sub-watermark) history is touched. *)
+
+val pending_count : t -> int
+(** Number of records still pending across the partition (test helper;
+    O(table size)). *)

@@ -1,0 +1,54 @@
+type t =
+  | Value
+  | Aborted
+  | Deleted
+  | Add
+  | Subtr
+  | Max
+  | Min
+  | User of string
+  | Dep_marker of string
+
+let is_final = function
+  | Value | Aborted | Deleted -> true
+  | Add | Subtr | Max | Min | User _ | Dep_marker _ -> false
+
+let reads_own_key = function
+  | Add | Subtr | Max | Min -> true
+  | Value | Aborted | Deleted | User _ | Dep_marker _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Value, Value
+  | Aborted, Aborted
+  | Deleted, Deleted
+  | Add, Add
+  | Subtr, Subtr
+  | Max, Max
+  | Min, Min -> true
+  | User x, User y -> String.equal x y
+  | Dep_marker x, Dep_marker y -> String.equal x y
+  | ( (Value | Aborted | Deleted | Add | Subtr | Max | Min | User _
+      | Dep_marker _),
+      _ ) -> false
+
+let to_string = function
+  | Value -> "VALUE"
+  | Aborted -> "ABORTED"
+  | Deleted -> "DELETED"
+  | Add -> "ADD"
+  | Subtr -> "SUBTR"
+  | Max -> "MAX"
+  | Min -> "MIN"
+  | User name -> Printf.sprintf "USER(%s)" name
+  | Dep_marker key -> Printf.sprintf "DEP_MARKER(%s)" key
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let table_i =
+  [ ("VALUE", "the literal value of the key");
+    ("ABORTED", "none");
+    ("DELETED", "none");
+    ("ADD/SUBTR", "numerical (e.g., increment value by 1)");
+    ("MAX/MIN", "numerical (e.g., update the value if it is smaller)");
+    ("user-defined", "read set and arguments") ]

@@ -1,0 +1,82 @@
+type final =
+  | Committed of Value.t
+  | Aborted_v
+  | Deleted_v
+
+type farg = {
+  read_set : string list;
+  args : Value.t list;
+  recipients : string list;
+  dependents : string list;
+  pushed_reads : string list;
+}
+
+let farg_empty =
+  { read_set = []; args = []; recipients = []; dependents = [];
+    pushed_reads = [] }
+
+let farg_args args = { farg_empty with args }
+
+type status = Installed | Computing
+
+type pending = {
+  ftype : Ftype.t;
+  farg : farg;
+  txn_id : int;
+  coordinator : int;
+  mutable status : status;
+  mutable waiters : (final -> unit) list;
+  mutable pushed : (string * Value.t option) list;
+  mutable push_waiters : (string * (Value.t option -> unit)) list;
+  mutable installed_at_us : int;
+  mutable retrieved_at_us : int;
+}
+
+type state =
+  | Final of final
+  | Pending of pending
+
+type t = { mutable state : state }
+
+let mk_final f = { state = Final f }
+
+let mk_value v = mk_final (Committed v)
+
+let mk_pending ~ftype ~farg ~txn_id ~coordinator =
+  if Ftype.is_final ftype then
+    invalid_arg "Funct.mk_pending: final f-type; use mk_final";
+  { state =
+      Pending
+        { ftype; farg; txn_id; coordinator; status = Installed; waiters = [];
+          pushed = []; push_waiters = []; installed_at_us = -1;
+          retrieved_at_us = -1 } }
+
+let is_final t = match t.state with Final _ -> true | Pending _ -> false
+
+let add_waiter p w = p.waiters <- w :: p.waiters
+
+let add_push p ~key v =
+  if not (List.mem_assoc key p.pushed) then begin
+    p.pushed <- (key, v) :: p.pushed;
+    let ready, waiting =
+      List.partition (fun (k, _) -> String.equal k key) p.push_waiters
+    in
+    p.push_waiters <- waiting;
+    List.iter (fun (_, w) -> w v) ready
+  end
+
+let pushed_value p key = List.assoc_opt key p.pushed
+
+let on_push p ~key w = p.push_waiters <- (key, w) :: p.push_waiters
+
+let pp_final fmt = function
+  | Committed v -> Format.fprintf fmt "VALUE %a" Value.pp v
+  | Aborted_v -> Format.pp_print_string fmt "ABORTED"
+  | Deleted_v -> Format.pp_print_string fmt "DELETED"
+
+let pp fmt t =
+  match t.state with
+  | Final f -> pp_final fmt f
+  | Pending p ->
+      Format.fprintf fmt "%a[%s]" Ftype.pp p.ftype
+        (match p.status with Installed -> "installed" | Computing -> "computing")

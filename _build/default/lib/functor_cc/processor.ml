@@ -1,0 +1,50 @@
+type item = { key : string; version : int }
+
+type t = {
+  engine : Compute_engine.t;
+  pool : Sim.Worker_pool.t;
+  dispatch_cost_us : int;
+  metrics : Sim.Metrics.t;
+  buffers : (int, item list ref) Hashtbl.t;  (* epoch -> reverse order *)
+  mutable dispatched : int;
+}
+
+let create ~engine ~pool ~dispatch_cost_us ~metrics () =
+  { engine; pool; dispatch_cost_us; metrics; buffers = Hashtbl.create 8;
+    dispatched = 0 }
+
+let buffer t ~epoch ~key ~version =
+  let items =
+    match Hashtbl.find_opt t.buffers epoch with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add t.buffers epoch r;
+        r
+  in
+  items := { key; version } :: !items
+
+let dispatch t { key; version } =
+  t.dispatched <- t.dispatched + 1;
+  Sim.Metrics.incr t.metrics "proc.dispatched";
+  Sim.Worker_pool.submit t.pool ~cost:t.dispatch_cost_us (fun () ->
+      Compute_engine.compute_key t.engine ~key ~version)
+
+let release t ~upto_epoch =
+  let ready =
+    Hashtbl.fold
+      (fun epoch items acc ->
+        if epoch <= upto_epoch then (epoch, items) :: acc else acc)
+      t.buffers []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (epoch, items) ->
+      Hashtbl.remove t.buffers epoch;
+      List.iter (dispatch t) (List.rev !items))
+    ready
+
+let buffered t =
+  Hashtbl.fold (fun _ items acc -> acc + List.length !items) t.buffers 0
+
+let dispatched t = t.dispatched

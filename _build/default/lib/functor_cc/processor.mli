@@ -1,0 +1,32 @@
+(** The backend's asynchronous functor processor (§IV-D).
+
+    While an epoch is open, installs only buffer (key, version) metadata,
+    tagged with the installing transaction's epoch.  When an epoch closes
+    ({!release}), the metadata buffered for it moves to the live queue and
+    each item is dispatched to the server's worker pool, which evaluates
+    the key's uncomputed functors in ascending version order through
+    {!Compute_engine.compute_key}.  On-demand reads may beat the processor
+    to a functor; the engine's at-most-once discipline makes that race
+    benign. *)
+
+type t
+
+val create :
+  engine:Compute_engine.t ->
+  pool:Sim.Worker_pool.t ->
+  dispatch_cost_us:int ->
+  metrics:Sim.Metrics.t ->
+  unit -> t
+
+val buffer : t -> epoch:int -> key:string -> version:int -> unit
+(** Record metadata for a functor installed in the given (open) epoch. *)
+
+val release : t -> upto_epoch:int -> unit
+(** Epochs <= [upto_epoch] closed: enqueue their buffered items for
+    asynchronous processing. *)
+
+val buffered : t -> int
+(** Items awaiting release (test helper). *)
+
+val dispatched : t -> int
+(** Total items handed to the pool since creation. *)

@@ -1,0 +1,63 @@
+type ctx = {
+  key : string;
+  version : int;
+  reads : (string * Value.t option) list;
+  args : Value.t list;
+}
+
+let read ctx key =
+  match List.assoc_opt key ctx.reads with
+  | Some v -> v
+  | None -> raise Not_found
+
+let read_exn ctx key =
+  match read ctx key with Some v -> v | None -> raise Not_found
+
+let arg ctx i =
+  match List.nth_opt ctx.args i with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Registry.arg: index %d" i)
+
+type dep_write =
+  | Dep_put of Value.t
+  | Dep_delete
+  | Dep_skip
+
+type outcome =
+  | Commit of Value.t
+  | Abort
+  | Delete
+  | Commit_det of Value.t * (string * dep_write) list
+
+type handler = ctx -> outcome
+
+type t = { handlers : (string, handler) Hashtbl.t }
+
+let create () = { handlers = Hashtbl.create 32 }
+
+let register t name handler =
+  if Hashtbl.mem t.handlers name then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate handler %S" name);
+  Hashtbl.add t.handlers name handler
+
+let find t name = Hashtbl.find_opt t.handlers name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.handlers []
+  |> List.sort String.compare
+
+(* "cadd": add arg0 to own key's value, abort when result < arg1 (floor).
+   The canonical conditional-transfer handler from Figure 5 (T3). *)
+let cadd ctx =
+  let current =
+    match read ctx ctx.key with Some v -> Value.to_int v | None -> 0
+  in
+  let delta = Value.to_int (arg ctx 0) in
+  let floor = Value.to_int (arg ctx 1) in
+  let result = current + delta in
+  if result < floor then Abort else Commit (Value.int result)
+
+let with_builtins () =
+  let t = create () in
+  register t "cadd" cadd;
+  t

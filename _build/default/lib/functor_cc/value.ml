@@ -1,0 +1,96 @@
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Str of string
+  | Tup of t list
+
+let unit = Unit
+let int i = Int i
+let float f = Float f
+let str s = Str s
+let tup l = Tup l
+
+let type_name = function
+  | Unit -> "unit"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "str"
+  | Tup _ -> "tup"
+
+let type_error expected v =
+  invalid_arg
+    (Printf.sprintf "Value: expected %s, got %s" expected (type_name v))
+
+let to_int = function Int i -> i | v -> type_error "int" v
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> type_error "float" v
+
+let to_str = function Str s -> s | v -> type_error "str" v
+
+let to_tup = function Tup l -> l | v -> type_error "tup" v
+
+let nth v i =
+  match v with
+  | Tup l -> (
+      match List.nth_opt l i with
+      | Some x -> x
+      | None -> invalid_arg (Printf.sprintf "Value.nth: index %d" i))
+  | v -> type_error "tup" v
+
+let set_nth v i x =
+  match v with
+  | Tup l ->
+      if i < 0 || i >= List.length l then
+        invalid_arg (Printf.sprintf "Value.set_nth: index %d" i);
+      Tup (List.mapi (fun j y -> if j = i then x else y) l)
+  | v -> type_error "tup" v
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Tup x, Tup y -> List.length x = List.length y && List.for_all2 equal x y
+  | (Unit | Int _ | Float _ | Str _ | Tup _), _ -> false
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Tup x, Tup y -> List.compare compare x y
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Float _, _ -> -1
+  | _, Float _ -> 1
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+
+let rec pp fmt = function
+  | Unit -> Format.pp_print_string fmt "()"
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Tup l ->
+      Format.fprintf fmt "(@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           pp)
+        l
+
+let to_string v = Format.asprintf "%a" pp v
+
+let rec size_bytes = function
+  | Unit -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Str s -> 4 + String.length s
+  | Tup l -> List.fold_left (fun acc v -> acc + size_bytes v) 4 l

@@ -1,0 +1,41 @@
+(** Database values.
+
+    The store is schemaless: a value is an int, float, string, or tuple of
+    values.  Workloads (TPC-C rows, YCSB counters) encode their records in
+    this type.  All operations are pure. *)
+
+type t =
+  | Unit
+  | Int of int
+  | Float of float
+  | Str of string
+  | Tup of t list
+
+val unit : t
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val tup : t list -> t
+
+val to_int : t -> int
+(** Raises [Invalid_argument] when the value is not an [Int]. *)
+
+val to_float : t -> float
+(** Accepts [Int] (widened) and [Float]. *)
+
+val to_str : t -> string
+val to_tup : t -> t list
+
+val nth : t -> int -> t
+(** Field access on a [Tup]. *)
+
+val set_nth : t -> int -> t -> t
+(** Functional field update on a [Tup]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val size_bytes : t -> int
+(** Approximate wire size, used by the cost model to scale message costs. *)

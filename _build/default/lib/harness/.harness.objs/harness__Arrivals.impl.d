@@ -1,0 +1,1 @@
+lib/harness/arrivals.ml: Float Sim

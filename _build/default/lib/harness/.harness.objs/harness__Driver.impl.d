@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Alohadb Arrivals Calvin Format List Sim

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Alohadb Arrivals Driver Epoch Functor_cc List Printf Setup Sim String Twopl Workload

@@ -1,0 +1,1 @@
+lib/harness/setup.ml: Alohadb Calvin Epoch Functor_cc Workload

@@ -1,0 +1,1 @@
+lib/harness/setup.mli: Alohadb Calvin

@@ -1,0 +1,42 @@
+(** Experiment driver: wire a workload generator to a cluster, run a
+    warm-up window, reset the metrics, run a measurement window, and
+    extract a {!result}.
+
+    Throughput is committed transactions per measured second; latencies
+    come from the cluster's histograms; the stage breakdown feeds
+    Figure 10. *)
+
+type result = {
+  committed : int;
+  aborted_install : int;
+  aborted_compute : int;
+  throughput_tps : float;
+  lat_mean_us : float;
+  lat_p50_us : int;
+  lat_p95_us : int;
+  lat_p99_us : int;
+  stages : (string * float) list;
+      (** (stage name, mean µs); ALOHA: install / wait / processing;
+          Calvin: sequencing / lock+read / processing *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run_aloha :
+  cluster:Alohadb.Cluster.t ->
+  gen:(fe:int -> Alohadb.Txn.request) ->
+  arrival:Arrivals.t ->
+  ?warmup_us:int ->
+  ?measure_us:int ->
+  ?seed:int ->
+  unit -> result
+(** The cluster must already be created, loaded and started. *)
+
+val run_calvin :
+  cluster:Calvin.Cluster.t ->
+  gen:(fe:int -> Calvin.Ctxn.t) ->
+  arrival:Arrivals.t ->
+  ?warmup_us:int ->
+  ?measure_us:int ->
+  ?seed:int ->
+  unit -> result

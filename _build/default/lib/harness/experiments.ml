@@ -1,0 +1,636 @@
+module Value = Functor_cc.Value
+
+type scale = {
+  label : string;
+  warmup_us : int;
+  measure_us : int;
+  aloha_clients : int;
+  calvin_clients : int;
+  fig6_fractions : float list;
+  fig7_xs : int list;
+  fig8_servers : int list;
+  fig9_cis : float list;
+  fig11_epochs_ms : int list;
+}
+
+let quick =
+  { label = "quick";
+    warmup_us = 60_000;
+    measure_us = 60_000;
+    aloha_clients = 1_500;
+    calvin_clients = 300;
+    fig6_fractions = [ 0.25; 0.75 ];
+    fig7_xs = [ 1; 10 ];
+    fig8_servers = [ 2; 8 ];
+    fig9_cis = [ 1e-4; 0.01; 0.1 ];
+    fig11_epochs_ms = [ 20; 100; 200 ] }
+
+let full =
+  { label = "full";
+    warmup_us = 75_000;
+    measure_us = 100_000;
+    aloha_clients = 4_000;
+    calvin_clients = 600;
+    fig6_fractions = [ 0.25; 0.5; 0.75; 0.9 ];
+    fig7_xs = [ 1; 2; 3; 5; 7; 10 ];
+    fig8_servers = [ 1; 2; 5; 10; 15; 20 ];
+    fig9_cis = [ 1e-4; 3e-4; 1e-3; 1.7e-3; 3e-3; 0.01; 0.03; 0.1 ];
+    fig11_epochs_ms = [ 20; 50; 100; 150; 200 ] }
+
+let row fig cols =
+  Printf.printf "[%s] %s\n%!" fig (String.concat "  " cols)
+
+let fmt_tps tps = Printf.sprintf "tps=%-9.0f" tps
+
+let fmt_lat r =
+  Printf.sprintf "lat_ms=%-7.2f p99_ms=%-7.2f"
+    (r.Driver.lat_mean_us /. 1000.0)
+    (float_of_int r.Driver.lat_p99_us /. 1000.0)
+
+(* ---- Table I ----------------------------------------------------------- *)
+
+let table1 () =
+  row "table1" [ "f-type"; "|"; "f-argument" ];
+  List.iter
+    (fun (ftype, farg) -> row "table1" [ Printf.sprintf "%-14s" ftype; "|"; farg ])
+    Functor_cc.Ftype.table_i;
+  row "table1"
+    [ "registered user handlers in the bundled workloads:";
+      "cadd, occ_validate, tpcc_neworder, tpcc_stock, tpcc_payment_cust,";
+      "stpcc_neworder, stpcc_stock" ]
+
+(* ---- workload points ---------------------------------------------------- *)
+
+type workload =
+  | TPCC of { per_host : int; kind : [ `NewOrder | `Payment ] }
+  | STPCC of { per_host : int }
+  | YCSB of { ci : float }
+
+let run_aloha_point ?epoch_us ?config ~n ~workload ~arrival scale =
+  let { Setup.a_cluster; a_gen } =
+    match workload with
+    | TPCC { per_host; kind } ->
+        Setup.aloha_tpcc ~n ~warehouses_per_host:per_host ~kind ?epoch_us
+          ?config ()
+    | STPCC { per_host } ->
+        Setup.aloha_stpcc ~n ~districts_per_host:per_host ?epoch_us ?config ()
+    | YCSB { ci } -> Setup.aloha_ycsb ~n ~ci ?epoch_us ?config ()
+  in
+  Driver.run_aloha ~cluster:a_cluster ~gen:a_gen ~arrival
+    ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
+
+let run_calvin_point ?epoch_us ~n ~workload ~arrival scale =
+  let { Setup.c_cluster; c_gen } =
+    match workload with
+    | TPCC { per_host; kind } ->
+        Setup.calvin_tpcc ~n ~warehouses_per_host:per_host ~kind ?epoch_us ()
+    | STPCC { per_host } ->
+        Setup.calvin_stpcc ~n ~districts_per_host:per_host ?epoch_us ()
+    | YCSB { ci } -> Setup.calvin_ycsb ~n ~ci ?epoch_us ()
+  in
+  Driver.run_calvin ~cluster:c_cluster ~gen:c_gen ~arrival
+    ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
+
+let aloha_peak ?config ~n ~workload scale =
+  run_aloha_point ?config ~n ~workload
+    ~arrival:(Arrivals.Closed { clients_per_fe = scale.aloha_clients })
+    scale
+
+let calvin_peak ~n ~workload scale =
+  run_calvin_point ~n ~workload
+    ~arrival:(Arrivals.Closed { clients_per_fe = scale.calvin_clients })
+    scale
+
+(* ---- Figure 6: throughput vs latency ------------------------------------ *)
+
+let fig6 scale =
+  let n = 8 in
+  let configs =
+    [ ("Aloha-1W", `A, TPCC { per_host = 1; kind = `NewOrder });
+      ("Aloha-10W", `A, TPCC { per_host = 10; kind = `NewOrder });
+      ("Aloha-1D", `A, STPCC { per_host = 1 });
+      ("Aloha-10D", `A, STPCC { per_host = 10 });
+      ("Calvin-1W", `C, TPCC { per_host = 1; kind = `NewOrder });
+      ("Calvin-10W", `C, TPCC { per_host = 10; kind = `NewOrder });
+      ("Calvin-1D", `C, STPCC { per_host = 1 });
+      ("Calvin-10D", `C, STPCC { per_host = 10 }) ]
+  in
+  row "fig6" [ "series"; "point"; "throughput"; "latency" ];
+  List.iter
+    (fun (name, sys, workload) ->
+      let peak =
+        match sys with
+        | `A -> aloha_peak ~n ~workload scale
+        | `C -> calvin_peak ~n ~workload scale
+      in
+      row "fig6" [ name; "peak(closed)"; fmt_tps peak.Driver.throughput_tps;
+                   fmt_lat peak ];
+      List.iter
+        (fun f ->
+          let rate = peak.Driver.throughput_tps *. f /. float_of_int n in
+          if rate >= 1.0 then begin
+            let arrival = Arrivals.Open_poisson { rate_per_fe = rate } in
+            let r =
+              match sys with
+              | `A -> run_aloha_point ~n ~workload ~arrival scale
+              | `C -> run_calvin_point ~n ~workload ~arrival scale
+            in
+            row "fig6"
+              [ name; Printf.sprintf "open(%.2fx)" f;
+                fmt_tps r.Driver.throughput_tps; fmt_lat r ]
+          end)
+        scale.fig6_fractions)
+    configs
+
+(* ---- Figure 7: throughput vs warehouses/districts per host ------------- *)
+
+let fig7 scale =
+  let n = 8 in
+  row "fig7" [ "series"; "per-host"; "throughput" ];
+  let series =
+    [ ("Aloha-STPCC-NewOrder", `A, fun x -> STPCC { per_host = x });
+      ("Aloha-TPCC-NewOrder", `A,
+       fun x -> TPCC { per_host = x; kind = `NewOrder });
+      ("Aloha-TPCC-Payment", `A,
+       fun x -> TPCC { per_host = x; kind = `Payment });
+      ("Calvin-STPCC-NewOrder", `C, fun x -> STPCC { per_host = x });
+      ("Calvin-TPCC-NewOrder", `C,
+       fun x -> TPCC { per_host = x; kind = `NewOrder });
+      ("Calvin-TPCC-Payment", `C,
+       fun x -> TPCC { per_host = x; kind = `Payment }) ]
+  in
+  List.iter
+    (fun (name, sys, mk) ->
+      List.iter
+        (fun x ->
+          let workload = mk x in
+          let r =
+            match sys with
+            | `A -> aloha_peak ~n ~workload scale
+            | `C -> calvin_peak ~n ~workload scale
+          in
+          row "fig7"
+            [ name; Printf.sprintf "x=%-2d" x;
+              fmt_tps r.Driver.throughput_tps ])
+        scale.fig7_xs)
+    series
+
+(* ---- Figure 8: scale-out ------------------------------------------------- *)
+
+let fig8 scale =
+  row "fig8" [ "series"; "servers"; "throughput" ];
+  let configs =
+    [ ("Aloha-1D", `A, STPCC { per_host = 1 });
+      ("Aloha-10D", `A, STPCC { per_host = 10 });
+      ("Aloha-1W", `A, TPCC { per_host = 1; kind = `NewOrder });
+      ("Aloha-10W", `A, TPCC { per_host = 10; kind = `NewOrder });
+      ("Calvin-1D", `C, STPCC { per_host = 1 });
+      ("Calvin-10D", `C, STPCC { per_host = 10 });
+      ("Calvin-1W", `C, TPCC { per_host = 1; kind = `NewOrder });
+      ("Calvin-10W", `C, TPCC { per_host = 10; kind = `NewOrder }) ]
+  in
+  List.iter
+    (fun (name, sys, workload) ->
+      List.iter
+        (fun n ->
+          (* TPC-C distributed transactions need a second server. *)
+          let r =
+            match sys with
+            | `A -> aloha_peak ~n ~workload scale
+            | `C -> calvin_peak ~n ~workload scale
+          in
+          row "fig8"
+            [ name; Printf.sprintf "n=%-2d" n;
+              fmt_tps r.Driver.throughput_tps ])
+        scale.fig8_servers)
+    configs
+
+(* ---- Figure 9: contention ----------------------------------------------- *)
+
+let fig9 scale =
+  let n = 8 in
+  row "fig9" [ "system"; "ci"; "throughput" ];
+  List.iter
+    (fun ci ->
+      let r = aloha_peak ~n ~workload:(YCSB { ci }) scale in
+      row "fig9" [ "ALOHA"; Printf.sprintf "ci=%-7g" ci;
+                   fmt_tps r.Driver.throughput_tps ])
+    scale.fig9_cis;
+  List.iter
+    (fun ci ->
+      let r = calvin_peak ~n ~workload:(YCSB { ci }) scale in
+      row "fig9" [ "Calvin"; Printf.sprintf "ci=%-7g" ci;
+                   fmt_tps r.Driver.throughput_tps ])
+    scale.fig9_cis
+
+(* ---- Figure 10: latency breakdown --------------------------------------- *)
+
+let print_stages fig name r =
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Driver.stages in
+  let total = if total <= 0.0 then 1.0 else total in
+  List.iter
+    (fun (stage, v) ->
+      row fig
+        [ name; Printf.sprintf "%-20s" stage;
+          Printf.sprintf "%5.1f%%" (100.0 *. v /. total);
+          Printf.sprintf "(%.2f ms)" (v /. 1000.0) ])
+    r.Driver.stages
+
+let fig10 scale =
+  let n = 8 in
+  row "fig10" [ "system/ci"; "stage"; "share"; "mean" ];
+  List.iter
+    (fun ci ->
+      (* Light load: ~5 % of a saturated server. *)
+      let r =
+        run_aloha_point ~n ~workload:(YCSB { ci })
+          ~arrival:(Arrivals.Open_poisson { rate_per_fe = 5_000.0 })
+          scale
+      in
+      print_stages "fig10" (Printf.sprintf "ALOHA ci=%g" ci) r)
+    [ 1e-4; 0.1 ];
+  List.iter
+    (fun ci ->
+      let rate = if ci >= 0.1 then 150.0 else 500.0 in
+      let r =
+        run_calvin_point ~n ~workload:(YCSB { ci })
+          ~arrival:(Arrivals.Open_poisson { rate_per_fe = rate })
+          scale
+      in
+      print_stages "fig10" (Printf.sprintf "Calvin ci=%g" ci) r)
+    [ 1e-4; 0.1 ]
+
+(* ---- Figure 11: latency vs epoch duration -------------------------------- *)
+
+let fig11 scale =
+  let n = 8 in
+  row "fig11" [ "system"; "epoch_ms"; "latency" ];
+  List.iter
+    (fun ms ->
+      let epoch_us = ms * 1000 in
+      let scale' =
+        (* Windows must span several epochs even for 200 ms epochs. *)
+        { scale with
+          warmup_us = max scale.warmup_us (3 * epoch_us);
+          measure_us = max scale.measure_us (4 * epoch_us) }
+      in
+      let r =
+        run_aloha_point ~n ~epoch_us ~workload:(YCSB { ci = 1e-3 })
+          ~arrival:(Arrivals.Open_poisson { rate_per_fe = 2_000.0 })
+          scale'
+      in
+      row "fig11" [ "ALOHA"; Printf.sprintf "%-3d" ms; fmt_lat r ])
+    scale.fig11_epochs_ms;
+  List.iter
+    (fun ms ->
+      let epoch_us = ms * 1000 in
+      let scale' =
+        { scale with
+          warmup_us = max scale.warmup_us (3 * epoch_us);
+          measure_us = max scale.measure_us (4 * epoch_us) }
+      in
+      (* The open-source Calvin generates most transactions at the start
+         of each epoch (§V-C2), reproduced by burst arrivals. *)
+      let r =
+        run_calvin_point ~n ~epoch_us ~workload:(YCSB { ci = 1e-3 })
+          ~arrival:
+            (Arrivals.Open_burst { rate_per_fe = 500.0; period_us = epoch_us })
+          scale'
+      in
+      row "fig11" [ "Calvin"; Printf.sprintf "%-3d" ms; fmt_lat r ])
+    scale.fig11_epochs_ms
+
+(* ---- Ablation: straggler optimisation (§III-C) --------------------------- *)
+
+let ablation_straggler scale =
+  row "ablation-straggler"
+    [ "straggler_opt"; "throughput"; "latency"; "noauth_starts" ];
+  List.iter
+    (fun opt ->
+      let config = { Alohadb.Config.default with straggler_opt = opt } in
+      let options =
+        { Alohadb.Cluster.default_options with n_servers = 8;
+          partitioner = `Prefix; config }
+      in
+      let c = Alohadb.Cluster.create options in
+      let cfg =
+        Workload.Ycsb.cfg_of_contention_index ~keys_per_partition:50_000 1e-3
+      in
+      Workload.Ycsb.load_aloha cfg c;
+      Alohadb.Cluster.start c;
+      (* Straggler injection (§III-C Figure 3): server 0 holds one
+         in-flight transaction 12 ms past each authorization's end, so
+         every epoch switch stalls.  With the optimisation the other FEs
+         keep starting transactions without authorization; without it the
+         whole cluster idles through the stall. *)
+      let sim = Alohadb.Cluster.sim c in
+      let straggler = Alohadb.Server.participant (Alohadb.Cluster.server c 0) in
+      let last_held = ref 0 in
+      Epoch.Participant.on_state_change straggler (fun () ->
+          match Epoch.Participant.window straggler with
+          | Some w
+            when w.Epoch.Participant.authorized
+                 && w.Epoch.Participant.epoch > !last_held ->
+              let epoch = w.Epoch.Participant.epoch in
+              last_held := epoch;
+              Epoch.Participant.txn_started straggler ~epoch;
+              let hold =
+                (w.Epoch.Participant.hi - w.Epoch.Participant.lo) + 12_000
+              in
+              Sim.Engine.after sim hold (fun () ->
+                  Epoch.Participant.txn_finished straggler ~epoch)
+          | Some _ | None -> ());
+      let gen = Workload.Ycsb.generator cfg ~n_partitions:8 ~seed:17 in
+      (* Open-loop load at ~80 % of capacity.  Without the optimisation,
+         every arrival during a stall is held and must be absorbed inside
+         the authorized window — an effective overload that builds an
+         unbounded backlog; with unauthorized starts the load spreads over
+         the whole cycle and the system keeps up.  Windows span ~10 switch
+         cycles so the close-burst quantisation averages out. *)
+      let r =
+        Driver.run_aloha ~cluster:c
+          ~gen:(fun ~fe -> Workload.Ycsb.gen_aloha gen ~fe)
+          ~arrival:(Arrivals.Open_poisson { rate_per_fe = 110_000.0 })
+          ~warmup_us:150_000 ~measure_us:370_000 ()
+      in
+      ignore scale;
+      let m = Alohadb.Cluster.metrics c in
+      row "ablation-straggler"
+        [ (if opt then "on " else "off"); fmt_tps r.Driver.throughput_tps;
+          fmt_lat r;
+          Printf.sprintf "noauth_starts=%d"
+            (Sim.Metrics.get m "aloha.noauth_starts") ])
+    [ true; false ]
+
+(* ---- Ablation: recipient-set pushes (§IV-B) ------------------------------ *)
+
+(* Cross-partition transfer: the destination account's functor reads the
+   source account, so computing the source functor can proactively push
+   its value to the destination's partition. *)
+let transfer_handler (ctx : Functor_cc.Registry.ctx) =
+  let delta = Value.to_int (Functor_cc.Registry.arg ctx 0) in
+  let own =
+    match Functor_cc.Registry.read ctx ctx.Functor_cc.Registry.key with
+    | Some v -> Value.to_int v
+    | None -> 0
+  in
+  Functor_cc.Registry.Commit (Value.int (own + delta))
+
+let ablation_push scale =
+  row "ablation-push" [ "push_opt"; "throughput"; "latency"; "remote_reads"; "push_hits" ];
+  List.iter
+    (fun opt ->
+      let config = { Alohadb.Config.default with push_opt = opt } in
+      let registry = Functor_cc.Registry.with_builtins () in
+      Functor_cc.Registry.register registry "xfer" transfer_handler;
+      let options =
+        { Alohadb.Cluster.default_options with n_servers = 8;
+          partitioner = `Prefix; config }
+      in
+      let c = Alohadb.Cluster.create ~registry options in
+      let accounts_per_part = 2_000 in
+      let key p i = Printf.sprintf "a:%d:%d" p i in
+      for p = 0 to 7 do
+        for i = 0 to accounts_per_part - 1 do
+          Alohadb.Cluster.load c ~key:(key p i) (Value.int 1_000)
+        done
+      done;
+      Alohadb.Cluster.start c;
+      let rng = Sim.Rng.create 23 in
+      let gen ~fe =
+        let p2 =
+          let p = Sim.Rng.int rng 7 in
+          if p >= fe then p + 1 else p
+        in
+        let src = key fe (Sim.Rng.int rng accounts_per_part) in
+        let dst = key p2 (Sim.Rng.int rng accounts_per_part) in
+        Alohadb.Txn.read_write
+          [ (src,
+             Alohadb.Txn.Call
+               { handler = "xfer"; read_set = [ src ];
+                 args = [ Value.int (-10) ] });
+            (dst,
+             Alohadb.Txn.Call
+               { handler = "xfer"; read_set = [ src; dst ];
+                 args = [ Value.int 10 ] }) ]
+      in
+      let r =
+        Driver.run_aloha ~cluster:c ~gen
+          ~arrival:(Arrivals.Closed { clients_per_fe = scale.aloha_clients })
+          ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
+      in
+      let m = Alohadb.Cluster.metrics c in
+      row "ablation-push"
+        [ (if opt then "on " else "off"); fmt_tps r.Driver.throughput_tps;
+          fmt_lat r;
+          Printf.sprintf "remote_reads=%d" (Sim.Metrics.get m "fcc.remote_reads");
+          Printf.sprintf "push_hits=%d" (Sim.Metrics.get m "fcc.push_hits") ])
+    [ true; false ]
+
+(* ---- Ablation: determinate vs optimistic dependent txns (§IV-E) ---------- *)
+
+let withdraw_handler (ctx : Functor_cc.Registry.ctx) =
+  let amount = Value.to_int (Functor_cc.Registry.arg ctx 0) in
+  let receipt = Value.to_str (Functor_cc.Registry.arg ctx 1) in
+  match Functor_cc.Registry.read ctx ctx.Functor_cc.Registry.key with
+  | None -> Functor_cc.Registry.Abort
+  | Some v ->
+      let balance = Value.to_int v in
+      if balance >= amount then
+        Functor_cc.Registry.Commit_det
+          ( Value.int (balance - amount),
+            [ (receipt, Functor_cc.Registry.Dep_put (Value.int amount)) ] )
+      else
+        Functor_cc.Registry.Commit_det
+          (Value.int balance, [ (receipt, Functor_cc.Registry.Dep_skip) ])
+
+let ablation_dependent scale =
+  row "ablation-dependent" [ "method"; "throughput"; "aborted"; "latency" ];
+  let hot_accounts = 16 in
+  let n = 8 in
+  let akey i = Printf.sprintf "b:%d:acct" i in
+  let mk_cluster () =
+    let registry = Functor_cc.Registry.with_builtins () in
+    Functor_cc.Registry.register registry "withdraw" withdraw_handler;
+    Functor_cc.Optimistic.register registry;
+    let options =
+      { Alohadb.Cluster.default_options with n_servers = n;
+        partitioner = `Prefix }
+    in
+    let c = Alohadb.Cluster.create ~registry options in
+    for i = 0 to hot_accounts - 1 do
+      Alohadb.Cluster.load c ~key:(akey i) (Value.int 1_000_000_000)
+    done;
+    Alohadb.Cluster.start c;
+    c
+  in
+  (* Determinate method: a Det functor on the account names the receipt
+     key as a declared dependent. *)
+  let det () =
+    let c = mk_cluster () in
+    let rng = Sim.Rng.create 29 in
+    let uid = ref 0 in
+    let gen ~fe:_ =
+      incr uid;
+      let acct = akey (Sim.Rng.int rng hot_accounts) in
+      let receipt = Printf.sprintf "r:%d:%d" (Sim.Rng.int rng n) !uid in
+      Alohadb.Txn.read_write
+        [ (acct,
+           Alohadb.Txn.Det
+             { handler = "withdraw"; read_set = [ acct ];
+               args = [ Value.int 1; Value.str receipt ];
+               dependents = [ receipt ] }) ]
+    in
+    let r =
+      Driver.run_aloha ~cluster:c ~gen
+        ~arrival:(Arrivals.Closed { clients_per_fe = scale.aloha_clients / 2 })
+        ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
+    in
+    row "ablation-dependent"
+      [ "determinate"; fmt_tps r.Driver.throughput_tps;
+        Printf.sprintf "aborted=%d" r.Driver.aborted_compute; fmt_lat r ]
+  in
+  (* Optimistic method: read the balance from a snapshot, then install a
+     validating functor that aborts if the balance changed (Hyder-style
+     backward validation). *)
+  let opt () =
+    let c = mk_cluster () in
+    let rng = Sim.Rng.create 29 in
+    let uid = ref 0 in
+    let gen ~fe:_ =
+      incr uid;
+      let acct = akey (Sim.Rng.int rng hot_accounts) in
+      let receipt = Printf.sprintf "r:%d:%d" (Sim.Rng.int rng n) !uid in
+      (* The snapshot the client read: balance observed as "very large";
+         under contention the account moves between snapshot and
+         validation, so validation aborts.  We model the snapshot read as
+         instantaneous with the observed value taken just before
+         submission through a historical read of version infinity less
+         one epoch; for the harness it suffices that validation compares
+         against a stale value with high probability under contention. *)
+      ignore acct;
+      ignore receipt;
+      Alohadb.Txn.read_write []
+    in
+    ignore gen;
+    (* The optimistic variant needs a two-step client (read then write);
+       drive it manually below instead of through the closed-loop
+       generator. *)
+    let sim = Alohadb.Cluster.sim c in
+    let committed = ref 0 and aborted = ref 0 in
+    let outstanding = ref 0 in
+    let rng2 = Sim.Rng.create 31 in
+    let rec client fe =
+      incr outstanding;
+      let acct = akey (Sim.Rng.int rng2 hot_accounts) in
+      (* Step 1: snapshot read. *)
+      Alohadb.Cluster.submit c ~fe (Alohadb.Txn.Read_only { keys = [ acct ] })
+        (function
+          | Alohadb.Txn.Values [ (_, Some v) ] ->
+              let balance = Value.to_int v in
+              if balance < 1 then decr outstanding
+              else begin
+                (* Step 2: validating write of the decremented balance. *)
+                let snapshot = [ (acct, Some (Value.int balance)) ] in
+                incr uid;
+                Alohadb.Cluster.submit c ~fe
+                  (Alohadb.Txn.read_write
+                     [ (acct,
+                        Alohadb.Txn.Call
+                          { handler = Functor_cc.Optimistic.handler_name;
+                            read_set = [ acct ];
+                            args =
+                              [ Functor_cc.Optimistic.encode_snapshot snapshot;
+                                Value.int (balance - 1) ] }) ])
+                  (fun result ->
+                    (match result with
+                    | Alohadb.Txn.Committed _ -> incr committed
+                    | Alohadb.Txn.Aborted _ -> incr aborted
+                    | Alohadb.Txn.Values _ -> ());
+                    decr outstanding;
+                    client fe)
+              end
+          | _ -> decr outstanding)
+    in
+    for fe = 0 to n - 1 do
+      for _ = 1 to 64 do
+        client fe
+      done
+    done;
+    Sim.Engine.run ~until:(Sim.Engine.now sim + scale.warmup_us) sim;
+    committed := 0;
+    aborted := 0;
+    Sim.Engine.run ~until:(Sim.Engine.now sim + scale.measure_us) sim;
+    let tps =
+      float_of_int !committed *. 1e6 /. float_of_int scale.measure_us
+    in
+    row "ablation-dependent"
+      [ "optimistic "; fmt_tps tps;
+        Printf.sprintf "aborted=%d (%.0f%%)" !aborted
+          (100.0 *. float_of_int !aborted
+           /. float_of_int (max 1 (!aborted + !committed)));
+        "lat_ms=n/a" ]
+  in
+  det ();
+  opt ()
+
+(* ---- Extension: conventional 2PL/2PC on the Fig. 9 sweep ---------------- *)
+
+let ext_conventional scale =
+  let n = 8 in
+  row "ext-conventional" [ "system"; "ci"; "throughput"; "diagnostics" ];
+  List.iter
+    (fun ci ->
+      let a = aloha_peak ~n ~workload:(YCSB { ci }) scale in
+      row "ext-conventional"
+        [ "ALOHA "; Printf.sprintf "ci=%-7g" ci;
+          fmt_tps a.Driver.throughput_tps; "" ];
+      let c = calvin_peak ~n ~workload:(YCSB { ci }) scale in
+      row "ext-conventional"
+        [ "Calvin"; Printf.sprintf "ci=%-7g" ci;
+          fmt_tps c.Driver.throughput_tps; "" ];
+      (* 2PL/2PC: same workload through Calvin's txn model. *)
+      let cfg =
+        Workload.Ycsb.cfg_of_contention_index ~keys_per_partition:50_000 ci
+      in
+      let cluster =
+        Twopl.Cluster.create
+          { Twopl.Cluster.default_options with n_servers = n }
+      in
+      Workload.Ycsb.load_calvin' cfg cluster;
+      let gen = Workload.Ycsb.generator cfg ~n_partitions:n ~seed:17 in
+      let sim = Twopl.Cluster.sim cluster in
+      let rng = Sim.Rng.create 7 in
+      Arrivals.install ~sim ~rng ~n_fes:n
+        ~arrival:(Arrivals.Closed { clients_per_fe = scale.calvin_clients })
+        ~submit:(fun ~fe ~done_k ->
+          Twopl.Cluster.submit cluster ~fe
+            (Workload.Ycsb.gen_calvin gen ~fe)
+            ~k:done_k);
+      let metrics = Twopl.Cluster.metrics cluster in
+      Sim.Engine.run ~until:(Sim.Engine.now sim + scale.warmup_us) sim;
+      Sim.Metrics.reset metrics;
+      Sim.Engine.run ~until:(Sim.Engine.now sim + scale.measure_us) sim;
+      let committed = Sim.Metrics.get metrics "twopl.committed" in
+      row "ext-conventional"
+        [ "2PL   "; Printf.sprintf "ci=%-7g" ci;
+          fmt_tps
+            (float_of_int committed *. 1e6 /. float_of_int scale.measure_us);
+          Printf.sprintf "timeouts=%d restarts=%d"
+            (Sim.Metrics.get metrics "twopl.lock_timeouts")
+            (Sim.Metrics.get metrics "twopl.restarts") ])
+    scale.fig9_cis
+
+let all scale =
+  Printf.printf "== scale profile: %s ==\n%!" scale.label;
+  table1 ();
+  fig6 scale;
+  fig7 scale;
+  fig8 scale;
+  fig9 scale;
+  fig10 scale;
+  fig11 scale;
+  ablation_straggler scale;
+  ablation_push scale;
+  ablation_dependent scale;
+  ext_conventional scale

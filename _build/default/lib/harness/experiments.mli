@@ -1,0 +1,69 @@
+(** Regeneration of every table and figure in the paper's evaluation
+    (§V), plus the ablations called out in DESIGN.md.
+
+    Each [figN] function runs the experiment at the given {!scale} and
+    prints paper-style rows to stdout; EXPERIMENTS.md records the
+    paper-vs-measured comparison.  All runs are deterministic. *)
+
+type scale = {
+  label : string;
+  warmup_us : int;
+  measure_us : int;
+  aloha_clients : int;  (** closed-loop clients per FE at saturation *)
+  calvin_clients : int;
+  fig6_fractions : float list;  (** offered load as fraction of peak *)
+  fig7_xs : int list;  (** warehouses / districts per host *)
+  fig8_servers : int list;
+  fig9_cis : float list;
+  fig11_epochs_ms : int list;
+}
+
+val quick : scale
+(** Small point set, short windows — minutes, for development and CI. *)
+
+val full : scale
+(** The paper's point set (slightly thinned where the curve is flat). *)
+
+val table1 : unit -> unit
+(** Print Table I: supported f-types and f-argument representations. *)
+
+val fig6 : scale -> unit
+(** Throughput vs latency, TPC-C & Scaled TPC-C NewOrder, 8 servers,
+    1W/10W/1D/10D. *)
+
+val fig7 : scale -> unit
+(** Throughput vs warehouses/districts per host (NewOrder & Payment). *)
+
+val fig8 : scale -> unit
+(** Scale-out: NewOrder throughput for 1..20 servers. *)
+
+val fig9 : scale -> unit
+(** Microbenchmark throughput vs contention index. *)
+
+val fig10 : scale -> unit
+(** Latency breakdown by stage under low and high contention. *)
+
+val fig11 : scale -> unit
+(** Latency vs epoch duration (medium contention, light load). *)
+
+val ablation_straggler : scale -> unit
+(** §III-C: throughput with the no-authorization start optimisation on
+    vs off, under injected network delay spikes. *)
+
+val ablation_push : scale -> unit
+(** §IV-B: recipient-set pushes on vs off on a cross-partition transfer
+    workload (remote-read count and latency). *)
+
+val ablation_dependent : scale -> unit
+(** §IV-E: determinate functors vs the optimistic method on a contended
+    conditional-withdrawal workload (abort rate and throughput). *)
+
+val ext_conventional : scale -> unit
+(** Extension beyond the paper's measured baselines: the YCSB contention
+    sweep of Fig. 9 with a conventional distributed 2PL/2PC system added —
+    the "transaction-level concurrency control" the introduction argues
+    against.  2PL collapses earliest (lock timeouts + restarts + the 2PC
+    contention footprint), Calvin degrades, ALOHA-DB stays flat. *)
+
+val all : scale -> unit
+(** Every figure, table and ablation in order. *)

@@ -1,0 +1,39 @@
+(** Cluster + workload construction for the paper's experiments.
+
+    Each function builds a loaded, started cluster of [n] servers and
+    returns it with a per-FE request generator, ready for
+    {!Driver.run_aloha} / {!Driver.run_calvin}. *)
+
+type aloha = {
+  a_cluster : Alohadb.Cluster.t;
+  a_gen : fe:int -> Alohadb.Txn.request;
+}
+
+type calvin = {
+  c_cluster : Calvin.Cluster.t;
+  c_gen : fe:int -> Calvin.Ctxn.t;
+}
+
+val aloha_tpcc :
+  n:int -> warehouses_per_host:int -> kind:[ `NewOrder | `Payment ] ->
+  ?epoch_us:int -> ?config:Alohadb.Config.t -> ?seed:int -> unit -> aloha
+
+val calvin_tpcc :
+  n:int -> warehouses_per_host:int -> kind:[ `NewOrder | `Payment ] ->
+  ?epoch_us:int -> ?seed:int -> unit -> calvin
+
+val aloha_stpcc :
+  n:int -> districts_per_host:int -> ?epoch_us:int ->
+  ?config:Alohadb.Config.t -> ?seed:int -> unit -> aloha
+
+val calvin_stpcc :
+  n:int -> districts_per_host:int -> ?epoch_us:int -> ?seed:int -> unit ->
+  calvin
+
+val aloha_ycsb :
+  n:int -> ci:float -> ?keys_per_partition:int -> ?epoch_us:int ->
+  ?config:Alohadb.Config.t -> ?seed:int -> unit -> aloha
+
+val calvin_ycsb :
+  n:int -> ci:float -> ?keys_per_partition:int -> ?epoch_us:int ->
+  ?seed:int -> unit -> calvin

@@ -1,0 +1,1 @@
+lib/mvstore/chain.ml: Array List

@@ -1,0 +1,1 @@
+lib/mvstore/table.mli: Chain

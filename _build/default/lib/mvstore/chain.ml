@@ -1,0 +1,115 @@
+type 'a entry = { version : int; mutable payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable watermark : int;
+}
+
+let create () = { data = [||]; size = 0; watermark = -1 }
+
+let length t = t.size
+
+(* Index of the last entry with version <= v, or -1. *)
+let rank_le t v =
+  let lo = ref 0 and hi = ref (t.size - 1) and ans = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.data.(mid).version <= v then begin
+      ans := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !ans
+
+let grow t e =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let new_capacity = if capacity = 0 then 4 else capacity * 2 in
+    let data = Array.make new_capacity e in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let insert t ~version payload =
+  let pos = rank_le t version in
+  if pos >= 0 && t.data.(pos).version = version then Error `Duplicate
+  else begin
+    let e = { version; payload } in
+    grow t e;
+    (* Shift the suffix right by one to make room at pos+1. *)
+    let insert_at = pos + 1 in
+    if insert_at < t.size then
+      Array.blit t.data insert_at t.data (insert_at + 1) (t.size - insert_at);
+    t.data.(insert_at) <- e;
+    t.size <- t.size + 1;
+    Ok ()
+  end
+
+let find_le t ~version =
+  let pos = rank_le t version in
+  if pos < 0 then None
+  else begin
+    let e = t.data.(pos) in
+    Some (e.version, e.payload)
+  end
+
+let find_exact t ~version =
+  let pos = rank_le t version in
+  if pos >= 0 && t.data.(pos).version = version then Some t.data.(pos).payload
+  else None
+
+let find_next_after t ~version =
+  let pos = rank_le t version in
+  let next = pos + 1 in
+  if next < t.size then begin
+    let e = t.data.(next) in
+    Some (e.version, e.payload)
+  end
+  else None
+
+let update t ~version payload =
+  let pos = rank_le t version in
+  if pos >= 0 && t.data.(pos).version = version then begin
+    t.data.(pos).payload <- payload;
+    true
+  end
+  else false
+
+let watermark t = t.watermark
+
+let advance_watermark t v = if v > t.watermark then t.watermark <- v
+
+let iter_range t ~lo ~hi f =
+  let start = rank_le t (lo - 1) + 1 in
+  let rec go i =
+    if i < t.size && t.data.(i).version <= hi then begin
+      f t.data.(i).version t.data.(i).payload;
+      go (i + 1)
+    end
+  in
+  go start
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i).version t.data.(i).payload
+  done;
+  !acc
+
+let truncate_below t ~version =
+  (* Keep everything from the latest record <= version onwards. *)
+  let base = rank_le t version in
+  let drop = if base <= 0 then 0 else base in
+  if drop = 0 then 0
+  else begin
+    Array.blit t.data drop t.data 0 (t.size - drop);
+    t.size <- t.size - drop;
+    drop
+  end
+
+let versions t = fold t ~init:[] ~f:(fun acc v _ -> v :: acc) |> List.rev
+
+let latest_version t =
+  if t.size = 0 then None else Some t.data.(t.size - 1).version

@@ -1,0 +1,42 @@
+type 'a t = { chains : (string, 'a Chain.t) Hashtbl.t }
+
+type put_error = [ `Duplicate_version | `Version_out_of_window ]
+
+let create ?(initial_capacity = 4096) () =
+  { chains = Hashtbl.create initial_capacity }
+
+let chain_of t key =
+  match Hashtbl.find_opt t.chains key with
+  | Some c -> c
+  | None ->
+      let c = Chain.create () in
+      Hashtbl.add t.chains key c;
+      c
+
+let put_unchecked t ~key ~version payload =
+  match Chain.insert (chain_of t key) ~version payload with
+  | Ok () -> Ok ()
+  | Error `Duplicate -> Error `Duplicate_version
+
+let put t ~key ~version ~lo ~hi payload =
+  if version < lo || version > hi then Error `Version_out_of_window
+  else put_unchecked t ~key ~version payload
+
+let chain t key = Hashtbl.find_opt t.chains key
+
+let find_le t ~key ~version =
+  match Hashtbl.find_opt t.chains key with
+  | None -> None
+  | Some c -> Chain.find_le c ~version
+
+let update t ~key ~version payload =
+  match Hashtbl.find_opt t.chains key with
+  | None -> false
+  | Some c -> Chain.update c ~version payload
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.chains []
+
+let key_count t = Hashtbl.length t.chains
+
+let record_count t =
+  Hashtbl.fold (fun _ c acc -> acc + Chain.length c) t.chains 0

@@ -1,0 +1,43 @@
+(** One partition's key → version-chain table.
+
+    A [Table.t] is the storage component of a backend (BE).  [put] enforces
+    the §III-D contract: the version of a new record must lie inside the
+    caller-supplied validity window (the current write epoch, or the
+    straggler-optimisation window).  Visibility (in-epoch vs out-epoch) is
+    enforced by the read path in the functor layer, which supplies the
+    epoch-start bound. *)
+
+type 'a t
+
+type put_error =
+  [ `Duplicate_version  (** the (key, version) pair already exists *)
+  | `Version_out_of_window  (** version outside the allowed window *) ]
+
+val create : ?initial_capacity:int -> unit -> 'a t
+
+val put :
+  'a t -> key:string -> version:int -> lo:int -> hi:int -> 'a ->
+  (unit, put_error) result
+(** Insert a new version for a key; [lo]/[hi] bound the acceptable version
+    range (inclusive). *)
+
+val put_unchecked : 'a t -> key:string -> version:int -> 'a ->
+  (unit, [ `Duplicate_version ]) result
+(** Insert without a window check — used for loading initial data at
+    version zero and for deferred (dependent-key) writes, whose version was
+    validated when the determinate functor was installed. *)
+
+val chain : 'a t -> string -> 'a Chain.t option
+(** The key's chain, if the key has ever been written. *)
+
+val find_le : 'a t -> key:string -> version:int -> (int * 'a) option
+
+val update : 'a t -> key:string -> version:int -> 'a -> bool
+
+val keys : 'a t -> string list
+(** All keys (unordered); test/debug helper. *)
+
+val key_count : 'a t -> int
+
+val record_count : 'a t -> int
+(** Total versions across all keys. *)

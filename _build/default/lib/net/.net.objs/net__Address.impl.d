@@ -1,0 +1,1 @@
+lib/net/address.ml: Format Int Map Set

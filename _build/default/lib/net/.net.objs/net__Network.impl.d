@@ -1,0 +1,1 @@
+lib/net/network.ml: Address Hashtbl Latency Sim

@@ -1,0 +1,1 @@
+lib/net/partitioner.ml: Char String

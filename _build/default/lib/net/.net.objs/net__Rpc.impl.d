@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Address Hashtbl Network

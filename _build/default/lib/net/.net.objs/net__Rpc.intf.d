@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Address Latency Sim

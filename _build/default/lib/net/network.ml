@@ -1,0 +1,59 @@
+type 'msg t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  latency : Latency.t;
+  fifo : bool;
+  handlers : (Address.t, src:Address.t -> 'msg -> unit) Hashtbl.t;
+  (* Per-(src,dst) link clock: earliest time the next FIFO message on the
+     link may be delivered. *)
+  link_clock : (int * int, int) Hashtbl.t;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable trace : (src:Address.t -> dst:Address.t -> 'msg -> unit) option;
+}
+
+let create engine rng ~latency ?(fifo = true) () =
+  { engine; rng; latency; fifo;
+    handlers = Hashtbl.create 64;
+    link_clock = Hashtbl.create 256;
+    sent = 0; dropped = 0; trace = None }
+
+let engine t = t.engine
+
+let register t addr handler = Hashtbl.replace t.handlers addr handler
+
+let unregister t addr = Hashtbl.remove t.handlers addr
+
+let set_trace t f = t.trace <- Some f
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  (match t.trace with Some f -> f ~src ~dst msg | None -> ());
+  let lat =
+    if Address.equal src dst then Latency.local_delivery
+    else Latency.sample t.latency t.rng
+  in
+  let now = Sim.Engine.now t.engine in
+  let deliver_at =
+    let earliest = now + lat in
+    if t.fifo then begin
+      let link = (Address.to_int src, Address.to_int dst) in
+      let clock =
+        match Hashtbl.find_opt t.link_clock link with
+        | Some c -> c
+        | None -> 0
+      in
+      let at = if earliest > clock then earliest else clock + 1 in
+      Hashtbl.replace t.link_clock link at;
+      at
+    end
+    else earliest
+  in
+  Sim.Engine.schedule t.engine ~at:deliver_at (fun () ->
+      match Hashtbl.find_opt t.handlers dst with
+      | Some handler -> handler ~src msg
+      | None -> t.dropped <- t.dropped + 1)
+
+let messages_sent t = t.sent
+
+let messages_dropped t = t.dropped

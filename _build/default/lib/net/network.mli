@@ -1,0 +1,38 @@
+(** Simulated point-to-point message network.
+
+    Delivery is asynchronous with latency drawn from a {!Latency.t} model.
+    Ordering guarantee: none between distinct sends (like UDP/parallel TCP
+    streams); protocols that need ordering must build it themselves — as the
+    real systems do.  A per-link option enforces FIFO ordering when a
+    protocol layer wants TCP-like semantics.
+
+    Delivery to an unregistered address counts as a drop (recorded), which
+    failure-injection tests exploit. *)
+
+type 'msg t
+
+val create :
+  Sim.Engine.t -> Sim.Rng.t -> latency:Latency.t -> ?fifo:bool -> unit ->
+  'msg t
+(** [fifo] (default [true]) delivers messages on each (src, dst) link in
+    send order, modelling a TCP connection per link. *)
+
+val engine : _ t -> Sim.Engine.t
+
+val register : 'msg t -> Address.t -> (src:Address.t -> 'msg -> unit) -> unit
+(** Install the handler that receives messages addressed to the node.
+    Re-registering replaces the handler. *)
+
+val unregister : 'msg t -> Address.t -> unit
+(** Remove the handler; subsequent messages to this address are dropped
+    (models a crashed node). *)
+
+val send : 'msg t -> src:Address.t -> dst:Address.t -> 'msg -> unit
+(** Queue a message for delivery after a sampled latency.  Self-sends are
+    delivered with loopback latency. *)
+
+val messages_sent : _ t -> int
+val messages_dropped : _ t -> int
+
+val set_trace : 'msg t -> (src:Address.t -> dst:Address.t -> 'msg -> unit) -> unit
+(** Observe every send (for tests and debugging). *)

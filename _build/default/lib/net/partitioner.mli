@@ -1,0 +1,25 @@
+(** Hash partitioning of string keys across a fixed set of partitions.
+
+    Both systems under study hash-partition the keyspace (ALOHA-DB §III-D:
+    "key-functor pairs in a hash-partitioned distributed table"). Workloads
+    that need *directed* placement (e.g. TPC-C partition-by-warehouse)
+    instead use {!by_prefix_int}, which routes on an integer embedded in the
+    key by the workload's key codec. *)
+
+type t
+
+val hash : partitions:int -> t
+(** FNV-1a hash of the whole key, modulo partition count. *)
+
+val by_prefix_int : partitions:int -> t
+(** Route on the decimal integer following the first ':' in the key (e.g.
+    ["w:3:ytd"] goes to partition [3 mod partitions]).  Falls back to the
+    FNV hash when the key has no such prefix. *)
+
+val partitions : t -> int
+
+val partition_of : t -> string -> int
+(** Partition index in [0, partitions). *)
+
+val fnv1a : string -> int
+(** The raw (non-negative) FNV-1a hash, exposed for storage sharding. *)

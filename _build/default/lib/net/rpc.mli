@@ -1,0 +1,46 @@
+(** Request/response RPC over the simulated {!Network}.
+
+    Mirrors the role fbthrift plays in the paper's implementation: typed
+    request and response payloads, correlation of replies with outstanding
+    calls, and support for asynchronous (deferred) replies so that a server
+    can answer after further internal processing or remote reads.
+
+    One-way messages are also provided — epoch-switch notifications and
+    value pushes do not need replies. *)
+
+type ('req, 'resp) t
+
+val create :
+  Sim.Engine.t -> Sim.Rng.t -> latency:Latency.t -> unit -> ('req, 'resp) t
+
+val engine : _ t -> Sim.Engine.t
+
+val serve :
+  ('req, 'resp) t -> Address.t ->
+  (src:Address.t -> 'req -> reply:('resp -> unit) -> unit) -> unit
+(** Install the request handler for a node.  [reply] may be called at any
+    later simulated time, exactly once; calling it twice raises
+    [Failure]. *)
+
+val serve_oneway :
+  ('req, 'resp) t -> Address.t -> (src:Address.t -> 'req -> unit) -> unit
+(** Install the handler for one-way messages addressed to the node. *)
+
+val call :
+  ('req, 'resp) t -> src:Address.t -> dst:Address.t -> 'req ->
+  ('resp -> unit) -> unit
+(** Send a request; the callback fires when the reply arrives back at
+    [src]. *)
+
+val send : ('req, 'resp) t -> src:Address.t -> dst:Address.t -> 'req -> unit
+(** Fire-and-forget one-way message. *)
+
+val crash : _ t -> Address.t -> unit
+(** Drop all future messages to the node (handlers removed). Outstanding
+    replies from the node are lost. *)
+
+val messages_sent : _ t -> int
+
+val outstanding_calls : _ t -> int
+(** Calls whose replies have not yet been delivered (for quiescence
+    checks in tests). *)

@@ -1,0 +1,1 @@
+lib/sim/prof.ml: Float Hashtbl List Unix

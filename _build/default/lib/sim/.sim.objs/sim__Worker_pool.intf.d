@@ -1,0 +1,1 @@
+lib/sim/worker_pool.mli: Engine

@@ -1,0 +1,1 @@
+lib/sim/zipf.ml: Float Rng

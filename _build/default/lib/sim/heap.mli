@@ -1,0 +1,29 @@
+(** Binary min-heap specialised for discrete-event scheduling.
+
+    Entries are ordered by [priority] first and, for equal priorities, by
+    insertion order, so that events scheduled for the same instant fire in
+    FIFO order.  This stability is what makes whole-cluster simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** Number of entries currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:int -> 'a -> unit
+(** [add t ~priority v] inserts [v]. Amortised O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop t] removes and returns the minimum entry as [(priority, value)],
+    or [None] when the heap is empty. *)
+
+val peek_priority : 'a t -> int option
+(** Priority of the minimum entry without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all entries. *)

@@ -1,0 +1,32 @@
+(** Named counters and latency recorders for a simulation run.
+
+    A [Metrics.t] is plumbed through a cluster so that every component can
+    record events under stable names; the harness reads them out at the end
+    of the measurement window.  Counter and recorder names are created on
+    first use. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 when the counter was never touched. *)
+
+val record_latency : t -> string -> int -> unit
+(** Record a microsecond sample under a named histogram. *)
+
+val latency : t -> string -> Stats.Histogram.t option
+
+val record_value : t -> string -> float -> unit
+(** Record a float sample under a named summary. *)
+
+val value : t -> string -> Stats.Summary.t option
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+(** Zero every counter / histogram / summary (names are kept). Used to
+    discard the warm-up window. *)

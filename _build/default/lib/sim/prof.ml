@@ -1,0 +1,28 @@
+let enabled = ref false
+
+let slots : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 32
+
+let enable () = enabled := true
+
+let span name f =
+  if not !enabled then f ()
+  else begin
+    let slot =
+      match Hashtbl.find_opt slots name with
+      | Some s -> s
+      | None ->
+          let s = (ref 0.0, ref 0) in
+          Hashtbl.add slots name s;
+          s
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let total, calls = slot in
+    total := !total +. (Unix.gettimeofday () -. t0);
+    incr calls;
+    r
+  end
+
+let report () =
+  Hashtbl.fold (fun name (t, c) acc -> (name, !t, !c) :: acc) slots []
+  |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a)

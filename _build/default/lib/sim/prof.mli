@@ -1,0 +1,7 @@
+(** Crude wall-clock accumulation profiler for development diagnostics.
+    Disabled (near-zero cost) unless [enable] is called. *)
+
+val enable : unit -> unit
+val span : string -> (unit -> 'a) -> 'a
+val report : unit -> (string * float * int) list
+(** (name, total seconds, calls), sorted by total descending. *)

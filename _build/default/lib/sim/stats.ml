@@ -1,0 +1,166 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity;
+      total = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = t.mean
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+
+  let merge a b =
+    (* Chan et al. parallel merge of Welford accumulators. *)
+    if a.count = 0 then
+      { count = b.count; mean = b.mean; m2 = b.m2; min = b.min; max = b.max;
+        total = b.total }
+    else if b.count = 0 then
+      { count = a.count; mean = a.mean; m2 = a.m2; min = a.min; max = a.max;
+        total = a.total }
+    else begin
+      let n = a.count + b.count in
+      let delta = b.mean -. a.mean in
+      let mean =
+        a.mean +. (delta *. float_of_int b.count /. float_of_int n)
+      in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta
+            *. float_of_int a.count *. float_of_int b.count
+            /. float_of_int n)
+      in
+      { count = n; mean; m2;
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+        total = a.total +. b.total }
+    end
+
+  let clear t =
+    t.count <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity;
+    t.total <- 0.0
+end
+
+module Histogram = struct
+  (* Log-bucketed histogram: samples are classified by (octave, 4-bit
+     mantissa), i.e. 16 sub-buckets per power of two.  Values < 16 get
+     exact buckets.  This caps relative error at ~1/16 per bucket, which is
+     plenty for latency percentiles. *)
+
+  let sub_bits = 4
+  let sub = 1 lsl sub_bits (* 16 *)
+  let octaves = 48
+  let nbuckets = octaves * sub
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable total : float;
+    mutable min : int;
+    mutable max : int;
+  }
+
+  let create () =
+    { counts = Array.make nbuckets 0; count = 0; total = 0.0;
+      min = max_int; max = 0 }
+
+  let bucket_of_value v =
+    if v < sub then v
+    else begin
+      let msb = 62 - Bits.count_leading_zeros v in
+      let shift = msb - sub_bits in
+      let mantissa = (v lsr shift) land (sub - 1) in
+      let idx = ((msb - sub_bits + 1) * sub) + mantissa in
+      if idx >= nbuckets then nbuckets - 1 else idx
+    end
+
+  (* Representative (lower bound) value for a bucket, used when answering
+     percentile queries. *)
+  let value_of_bucket i =
+    if i < sub then i
+    else begin
+      let octave = (i / sub) + sub_bits - 1 in
+      let mantissa = i land (sub - 1) in
+      (1 lsl octave) lor (mantissa lsl (octave - sub_bits))
+    end
+
+  let add t v =
+    if v < 0 then invalid_arg "Histogram.add: negative sample";
+    let b = bucket_of_value v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.count <- t.count + 1;
+    t.total <- t.total +. float_of_int v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then 0.0 else t.total /. float_of_int t.count
+
+  let min t = if t.count = 0 then 0 else t.min
+
+  let max t = t.max
+
+  let percentile t p =
+    if p <= 0.0 || p > 100.0 then invalid_arg "Histogram.percentile";
+    if t.count = 0 then 0
+    else begin
+      let target =
+        let raw = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+        if raw < 1 then 1 else raw
+      in
+      let rec scan i seen =
+        if i >= nbuckets then t.max
+        else begin
+          let seen = seen + t.counts.(i) in
+          if seen >= target then
+            (* Clamp to the recorded extremes for exactness at the tails. *)
+            let v = value_of_bucket i in
+            if v < t.min then t.min else if v > t.max then t.max else v
+          else scan (i + 1) seen
+        end
+      in
+      scan 0 0
+    end
+
+  let merge_into ~dst ~src =
+    Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+    dst.count <- dst.count + src.count;
+    dst.total <- dst.total +. src.total;
+    if src.count > 0 then begin
+      if src.min < dst.min then dst.min <- src.min;
+      if src.max > dst.max then dst.max <- src.max
+    end
+
+  let clear t =
+    Array.fill t.counts 0 nbuckets 0;
+    t.count <- 0;
+    t.total <- 0.0;
+    t.min <- max_int;
+    t.max <- 0
+end

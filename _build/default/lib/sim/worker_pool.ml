@@ -1,0 +1,54 @@
+type job = { cost : int; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  workers : int;
+  queue : job Queue.t;
+  prio_queue : job Queue.t;
+  mutable busy : int;
+  mutable busy_time : int;
+  mutable completed : int;
+}
+
+let create engine ~workers =
+  if workers < 1 then invalid_arg "Worker_pool.create: workers must be >= 1";
+  { engine; workers; queue = Queue.create (); prio_queue = Queue.create ();
+    busy = 0; busy_time = 0; completed = 0 }
+
+let rec start_job t job =
+  t.busy <- t.busy + 1;
+  Engine.after t.engine job.cost (fun () ->
+      t.busy <- t.busy - 1;
+      t.busy_time <- t.busy_time + job.cost;
+      t.completed <- t.completed + 1;
+      job.k ();
+      dispatch t)
+
+and dispatch t =
+  if t.busy < t.workers then begin
+    match Queue.take_opt t.prio_queue with
+    | Some job -> start_job t job
+    | None -> (
+        match Queue.take_opt t.queue with
+        | Some job -> start_job t job
+        | None -> ())
+  end
+
+let enqueue t q ~cost k =
+  if cost < 0 then invalid_arg "Worker_pool.submit: negative cost";
+  Queue.add { cost; k } q;
+  dispatch t
+
+let submit t ~cost k = enqueue t t.queue ~cost k
+
+let submit_priority t ~cost k = enqueue t t.prio_queue ~cost k
+
+let workers t = t.workers
+
+let queue_length t = Queue.length t.queue + Queue.length t.prio_queue
+
+let busy_workers t = t.busy
+
+let busy_time t = t.busy_time
+
+let jobs_completed t = t.completed

@@ -1,0 +1,1 @@
+lib/twopl/cluster.ml: Array Calvin Config Message Net Server Sim

@@ -1,0 +1,1 @@
+lib/twopl/cluster.mli: Calvin Config Functor_cc Net Server Sim

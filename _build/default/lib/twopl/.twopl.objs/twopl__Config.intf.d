@@ -1,0 +1,1 @@
+lib/twopl/config.mli:

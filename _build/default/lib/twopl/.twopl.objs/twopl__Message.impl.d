@@ -1,0 +1,1 @@
+lib/twopl/message.ml: Functor_cc Net

@@ -1,0 +1,1 @@
+lib/twopl/message.mli: Functor_cc Net

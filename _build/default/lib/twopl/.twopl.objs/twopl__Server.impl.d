@@ -1,0 +1,1 @@
+lib/twopl/server.ml: Calvin Config Functor_cc Hashtbl List Message Net Sim

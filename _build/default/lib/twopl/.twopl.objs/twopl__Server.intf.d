@@ -1,0 +1,1 @@
+lib/twopl/server.mli: Calvin Config Functor_cc Message Net Sim

@@ -1,0 +1,60 @@
+type options = {
+  n_servers : int;
+  config : Config.t;
+  latency : Net.Latency.t;
+  partitioner : [ `Hash | `Prefix ];
+  seed : int;
+}
+
+let default_options =
+  { n_servers = 8;
+    config = Config.default;
+    latency = Net.Latency.uniform ~base:80 ~jitter:40;
+    partitioner = `Prefix;
+    seed = 42 }
+
+type t = {
+  sim : Sim.Engine.t;
+  servers : Server.t array;
+  metrics : Sim.Metrics.t;
+  partition_of : string -> int;
+}
+
+let create ?registry options =
+  if options.n_servers <= 0 then invalid_arg "Twopl.Cluster: n_servers";
+  let registry =
+    match registry with Some r -> r | None -> Calvin.Ctxn.with_builtins ()
+  in
+  let sim = Sim.Engine.create () in
+  let rng = Sim.Rng.create options.seed in
+  let metrics = Sim.Metrics.create () in
+  let rpc : Message.rpc =
+    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency ()
+  in
+  let n = options.n_servers in
+  let part =
+    match options.partitioner with
+    | `Hash -> Net.Partitioner.hash ~partitions:n
+    | `Prefix -> Net.Partitioner.by_prefix_int ~partitions:n
+  in
+  let partition_of key = Net.Partitioner.partition_of part key in
+  let servers =
+    Array.init n (fun i ->
+        Server.create ~sim ~rpc ~addr:(Net.Address.of_int i) ~node_id:i
+          ~partition_of ~addr_of_partition:Net.Address.of_int ~registry
+          ~config:options.config ~metrics ~seed:options.seed ())
+  in
+  { sim; servers; metrics; partition_of }
+
+let sim t = t.sim
+let metrics t = t.metrics
+let n_servers t = Array.length t.servers
+let server t i = t.servers.(i)
+let partition_of t key = t.partition_of key
+
+let load t ~key value =
+  Server.load_initial t.servers.(t.partition_of key) ~key value
+
+let submit ?k t ~fe txn = Server.submit ?k t.servers.(fe) txn
+
+let run_for t us = Sim.Engine.run ~until:(Sim.Engine.now t.sim + us) t.sim

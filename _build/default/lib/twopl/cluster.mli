@@ -1,0 +1,23 @@
+(** Assembly of a 2PL/2PC deployment. *)
+
+type options = {
+  n_servers : int;
+  config : Config.t;
+  latency : Net.Latency.t;
+  partitioner : [ `Hash | `Prefix ];
+  seed : int;
+}
+
+val default_options : options
+
+type t
+
+val create : ?registry:Calvin.Ctxn.registry -> options -> t
+val sim : t -> Sim.Engine.t
+val metrics : t -> Sim.Metrics.t
+val n_servers : t -> int
+val server : t -> int -> Server.t
+val partition_of : t -> string -> int
+val load : t -> key:string -> Functor_cc.Value.t -> unit
+val submit : ?k:(unit -> unit) -> t -> fe:int -> Calvin.Ctxn.t -> unit
+val run_for : t -> int -> unit

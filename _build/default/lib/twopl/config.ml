@@ -1,0 +1,22 @@
+type t = {
+  cores : int;
+  lock_timeout_us : int;
+  max_retries : int;
+  retry_backoff_us : int;
+  cost_lock_us : int;
+  cost_read_us : int;
+  cost_exec_us : int;
+  cost_write_us : int;
+  cost_msg_us : int;
+}
+
+let default =
+  { cores = 8;
+    lock_timeout_us = 5_000;
+    max_retries = 10;
+    retry_backoff_us = 2_000;
+    cost_lock_us = 2;
+    cost_read_us = 1;
+    cost_exec_us = 2;
+    cost_write_us = 1;
+    cost_msg_us = 1 }

@@ -1,0 +1,17 @@
+(** Configuration for the 2PL/2PC baseline. *)
+
+type t = {
+  cores : int;
+  lock_timeout_us : int;
+      (** waiting longer than this aborts the transaction (deadlock
+          resolution by timeout) *)
+  max_retries : int;  (** client-side restarts after lock timeouts *)
+  retry_backoff_us : int;  (** base backoff, jittered uniformly *)
+  cost_lock_us : int;  (** per-key lock-table work *)
+  cost_read_us : int;
+  cost_exec_us : int;
+  cost_write_us : int;
+  cost_msg_us : int;
+}
+
+val default : t

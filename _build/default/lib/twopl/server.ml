@@ -1,0 +1,263 @@
+module Value = Functor_cc.Value
+module LM = Calvin.Lock_manager
+
+(* Participant-side state for a lock request that may still time out. *)
+type lock_wait = {
+  reply : Message.resp -> unit;
+  reads : string list;
+  mutable settled : bool;
+}
+
+type t = {
+  sim : Sim.Engine.t;
+  rpc : Message.rpc;
+  address : Net.Address.t;
+  node_id : int;
+  partition_of : string -> int;
+  addr_of_partition : int -> Net.Address.t;
+  registry : Calvin.Ctxn.registry;
+  config : Config.t;
+  metrics : Sim.Metrics.t;
+  rng : Sim.Rng.t;
+  store : (string, Value.t) Hashtbl.t;
+  pool : Sim.Worker_pool.t;
+  mutable lm : LM.t;
+  waits : (int, lock_wait) Hashtbl.t;
+  prepared : (int, (string * Value.t) list) Hashtbl.t;
+  mutable next_txn : int;
+}
+
+let read_local t key = Hashtbl.find_opt t.store key
+
+let load_initial t ~key value =
+  if t.partition_of key <> t.node_id then
+    invalid_arg "Twopl.Server.load_initial: key not owned";
+  Hashtbl.replace t.store key value
+
+(* ---- participant side -------------------------------------------------- *)
+
+let on_locks_granted t uid =
+  match Hashtbl.find_opt t.waits uid with
+  | None -> ()
+  | Some w ->
+      if not w.settled then begin
+        w.settled <- true;
+        Hashtbl.remove t.waits uid;
+        let cost =
+          max t.config.Config.cost_read_us
+            (List.length w.reads * t.config.Config.cost_read_us)
+        in
+        Sim.Worker_pool.submit t.pool ~cost (fun () ->
+            let values =
+              List.map (fun key -> (key, Hashtbl.find_opt t.store key)) w.reads
+            in
+            w.reply (Message.Locked { values }))
+      end
+
+let do_lock_and_read t ~uid ~reads ~writes reply =
+  let keys =
+    List.map (fun k -> (k, LM.Read)) reads
+    @ List.map (fun k -> (k, LM.Write)) writes
+  in
+  let w = { reply; reads; settled = false } in
+  Hashtbl.replace t.waits uid w;
+  let cost =
+    max t.config.Config.cost_lock_us
+      (List.length keys * t.config.Config.cost_lock_us)
+  in
+  Sim.Worker_pool.submit t.pool ~cost (fun () ->
+      LM.request t.lm ~uid ~keys;
+      (* Deadlock resolution by timeout: if the locks are not all granted
+         in time, give up and release whatever queued. *)
+      if not w.settled then
+        Sim.Engine.after t.sim t.config.Config.lock_timeout_us (fun () ->
+            if not w.settled then begin
+              w.settled <- true;
+              Hashtbl.remove t.waits uid;
+              LM.release t.lm ~uid;
+              Sim.Metrics.incr t.metrics "twopl.lock_timeouts";
+              w.reply Message.Lock_timeout
+            end))
+
+let do_prepare t ~uid ~writes reply =
+  (* No durable log here (fault tolerance off, as for the other systems):
+     prepare just stages the writes. *)
+  Hashtbl.replace t.prepared uid writes;
+  reply Message.Prepared
+
+let do_commit t ~uid reply =
+  (match Hashtbl.find_opt t.prepared uid with
+  | Some writes ->
+      Hashtbl.remove t.prepared uid;
+      List.iter (fun (key, v) -> Hashtbl.replace t.store key v) writes
+  | None -> ());
+  (* Strict 2PL: locks are held through commit. *)
+  (try LM.release t.lm ~uid with Invalid_argument _ -> ());
+  reply Message.Done
+
+let do_release t ~uid reply =
+  Hashtbl.remove t.prepared uid;
+  (match Hashtbl.find_opt t.waits uid with
+  | Some w ->
+      w.settled <- true;
+      Hashtbl.remove t.waits uid
+  | None -> ());
+  (try LM.release t.lm ~uid with Invalid_argument _ -> ());
+  reply Message.Done
+
+(* ---- coordinator side --------------------------------------------------- *)
+
+let group_keys t keys =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      let p = t.partition_of k in
+      match Hashtbl.find_opt tbl p with
+      | Some r -> r := k :: !r
+      | None -> Hashtbl.add tbl p (ref [ k ]))
+    keys;
+  tbl
+
+let participants_of t (txn : Calvin.Ctxn.t) =
+  Calvin.Ctxn.participants ~partition_of:t.partition_of txn
+
+let rec attempt t txn ~tries ~submitted_at k =
+  let uid = t.next_txn in
+  t.next_txn <- t.next_txn + 1024;  (* keep the node id in the low bits *)
+  let parts = participants_of t txn in
+  let reads_by = group_keys t txn.Calvin.Ctxn.read_set in
+  let writes_by = group_keys t txn.Calvin.Ctxn.write_set in
+  let keys_of tbl p =
+    match Hashtbl.find_opt tbl p with Some r -> !r | None -> []
+  in
+  let awaiting = ref (List.length parts) in
+  let failed = ref false in
+  let granted = ref [] in
+  let values = ref [] in
+  let finish_abort () =
+    (* Release everything we managed to lock, then retry or give up. *)
+    let to_release = !granted in
+    let pending = ref (List.length to_release) in
+    let continue () =
+      if tries < t.config.Config.max_retries then begin
+        Sim.Metrics.incr t.metrics "twopl.restarts";
+        let backoff =
+          t.config.Config.retry_backoff_us
+          + Sim.Rng.int t.rng (t.config.Config.retry_backoff_us * (tries + 1))
+        in
+        Sim.Engine.after t.sim backoff (fun () ->
+            attempt t txn ~tries:(tries + 1) ~submitted_at k)
+      end
+      else begin
+        Sim.Metrics.incr t.metrics "twopl.given_up";
+        k ()
+      end
+    in
+    if to_release = [] then continue ()
+    else
+      List.iter
+        (fun p ->
+          Net.Rpc.call t.rpc ~src:t.address ~dst:(t.addr_of_partition p)
+            (Message.Release { uid })
+            (fun _ ->
+              decr pending;
+              if !pending = 0 then continue ()))
+        to_release
+  in
+  let proceed_commit () =
+    (* Execute the procedure, then two-phase commit. *)
+    Sim.Worker_pool.submit t.pool ~cost:t.config.Config.cost_exec_us
+      (fun () ->
+        match Calvin.Ctxn.find t.registry txn.Calvin.Ctxn.proc with
+        | None ->
+            Sim.Metrics.incr t.metrics "twopl.missing_proc";
+            finish_abort ()
+        | Some proc ->
+            let writes = proc ~txn ~reads:!values in
+            let writes_for p =
+              List.filter (fun (key, _) -> t.partition_of key = p) writes
+            in
+            let prepared = ref (List.length parts) in
+            List.iter
+              (fun p ->
+                Net.Rpc.call t.rpc ~src:t.address ~dst:(t.addr_of_partition p)
+                  (Message.Prepare { uid; writes = writes_for p })
+                  (fun _ ->
+                    decr prepared;
+                    if !prepared = 0 then begin
+                      (* Phase 2. *)
+                      let committed = ref (List.length parts) in
+                      List.iter
+                        (fun p ->
+                          Net.Rpc.call t.rpc ~src:t.address
+                            ~dst:(t.addr_of_partition p)
+                            (Message.Commit { uid })
+                            (fun _ ->
+                              decr committed;
+                              if !committed = 0 then begin
+                                Sim.Metrics.incr t.metrics "twopl.committed";
+                                Sim.Metrics.record_latency t.metrics
+                                  "twopl.lat_total_us"
+                                  (Sim.Engine.now t.sim - submitted_at);
+                                k ()
+                              end))
+                        parts
+                    end))
+              parts)
+  in
+  List.iter
+    (fun p ->
+      Net.Rpc.call t.rpc ~src:t.address ~dst:(t.addr_of_partition p)
+        (Message.Lock_and_read
+           { uid; reads = keys_of reads_by p; writes = keys_of writes_by p })
+        (fun resp ->
+          decr awaiting;
+          (match resp with
+          | Message.Locked { values = vs } ->
+              granted := p :: !granted;
+              values := vs @ !values
+          | Message.Lock_timeout -> failed := true
+          | Message.Prepared | Message.Done -> failed := true);
+          if !awaiting = 0 then
+            if !failed then finish_abort () else proceed_commit ()))
+    parts
+
+let submit ?(k = fun () -> ()) t txn =
+  Sim.Metrics.incr t.metrics "twopl.submitted";
+  attempt t txn ~tries:0 ~submitted_at:(Sim.Engine.now t.sim) k
+
+(* ---- construction -------------------------------------------------------- *)
+
+let create ~sim ~rpc ~addr ~node_id ~partition_of ~addr_of_partition
+    ~registry ~config ~metrics ~seed () =
+  let t =
+    { sim; rpc; address = addr; node_id; partition_of; addr_of_partition;
+      registry; config; metrics;
+      rng = Sim.Rng.create (seed + node_id);
+      store = Hashtbl.create 65536;
+      pool = Sim.Worker_pool.create sim ~workers:config.Config.cores;
+      lm = LM.create ~on_ready:(fun _ -> ());
+      waits = Hashtbl.create 256;
+      prepared = Hashtbl.create 256;
+      next_txn = node_id }
+  in
+  t.lm <- LM.create ~on_ready:(fun uid -> on_locks_granted t uid);
+  Net.Rpc.serve rpc addr (fun ~src:_ req ~reply ->
+      match req with
+      | Message.Lock_and_read { uid; reads; writes } ->
+          Sim.Worker_pool.submit t.pool ~cost:config.Config.cost_msg_us
+            (fun () -> do_lock_and_read t ~uid ~reads ~writes reply)
+      | Message.Prepare { uid; writes } ->
+          let cost =
+            config.Config.cost_msg_us
+            + (List.length writes * config.Config.cost_write_us)
+          in
+          Sim.Worker_pool.submit t.pool ~cost (fun () ->
+              do_prepare t ~uid ~writes reply)
+      | Message.Commit { uid } ->
+          Sim.Worker_pool.submit t.pool ~cost:config.Config.cost_msg_us
+            (fun () -> do_commit t ~uid reply)
+      | Message.Release { uid } ->
+          Sim.Worker_pool.submit t.pool ~cost:config.Config.cost_msg_us
+            (fun () -> do_release t ~uid reply));
+  t

@@ -1,0 +1,1 @@
+lib/workload/scaled_tpcc.ml: Alohadb Calvin Functor_cc Hashtbl List Option Printf Sim

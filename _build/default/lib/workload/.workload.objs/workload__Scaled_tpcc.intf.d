@@ -1,0 +1,1 @@
+lib/workload/scaled_tpcc.mli: Alohadb Calvin Functor_cc

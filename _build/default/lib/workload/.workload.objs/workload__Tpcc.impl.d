@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Alohadb Calvin Functor_cc Hashtbl List Option Printf Sim

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Alohadb Calvin Float Functor_cc List Printf Sim String Twopl

@@ -1,0 +1,246 @@
+module Value = Functor_cc.Value
+module Registry = Functor_cc.Registry
+
+type cfg = {
+  districts : int;
+  items : int;
+  customers : int;
+  ol_min : int;
+  ol_max : int;
+  invalid_item_fraction : float;
+}
+
+let default_cfg ~n_servers ~districts_per_host =
+  { districts = n_servers * districts_per_host;
+    items = 1_000;
+    customers = 120;
+    ol_min = 5;
+    ol_max = 15;
+    invalid_item_fraction = 0.01 }
+
+let dnoid_key d = Printf.sprintf "d:%d:noid" d
+let cust_key ~d c = Printf.sprintf "d:%d:cust:%d" d c
+let item_key i = Printf.sprintf "i:%d:item" i
+let stock_key i = Printf.sprintf "i:%d:stock" i
+let order_key ~d ~o = Printf.sprintf "d:%d:order:%d" d o
+let neworder_key ~d ~o = Printf.sprintf "d:%d:no:%d" d o
+let orderline_key ~d ~o ~n = Printf.sprintf "d:%d:ol:%d:%d" d o n
+
+type line = { item : int; qty : int }
+
+let encode_line l = Value.tup [ Value.int l.item; Value.int l.qty ]
+
+let decode_line v =
+  { item = Value.to_int (Value.nth v 0); qty = Value.to_int (Value.nth v 1) }
+
+let encode_lines lines = Value.tup (List.map encode_line lines)
+let decode_lines v = List.map decode_line (Value.to_tup v)
+
+(* Determinate functor on the district counter.  Unlike plain TPC-C the
+   item price reads are remote (items live on their own partitions), so
+   functor computing performs cross-partition historical reads. *)
+let neworder_handler (ctx : Registry.ctx) =
+  let d = Value.to_int (Registry.arg ctx 0) in
+  let c = Value.to_int (Registry.arg ctx 1) in
+  let lines = decode_lines (Registry.arg ctx 2) in
+  match Registry.read ctx ctx.Registry.key with
+  | None -> Registry.Abort
+  | Some noid ->
+      let o = Value.to_int noid in
+      let ol_writes =
+        List.mapi
+          (fun n l ->
+            let price =
+              match Registry.read ctx (item_key l.item) with
+              | Some row -> Value.to_int (Value.nth row 0)
+              | None -> 0
+            in
+            ( orderline_key ~d ~o ~n,
+              Registry.Dep_put
+                (Value.tup
+                   [ Value.int l.item; Value.int l.qty;
+                     Value.int (l.qty * price) ]) ))
+          lines
+      in
+      Registry.Commit_det
+        ( Value.int (o + 1),
+          (order_key ~d ~o,
+           Registry.Dep_put
+             (Value.tup [ Value.int c; Value.int (List.length lines) ]))
+          :: (neworder_key ~d ~o, Registry.Dep_put (Value.int 1))
+          :: ol_writes )
+
+let stock_handler (ctx : Registry.ctx) =
+  let qty = Value.to_int (Registry.arg ctx 0) in
+  match Registry.read ctx ctx.Registry.key with
+  | None -> Registry.Abort
+  | Some row ->
+      let q = Value.to_int (Value.nth row 0) in
+      let ytd = Value.to_int (Value.nth row 1) in
+      let cnt = Value.to_int (Value.nth row 2) in
+      let q' = if q - qty >= 10 then q - qty else q - qty + 91 in
+      Registry.Commit
+        (Value.tup [ Value.int q'; Value.int (ytd + qty); Value.int (cnt + 1) ])
+
+let register_aloha registry =
+  Registry.register registry "stpcc_neworder" neworder_handler;
+  Registry.register registry "stpcc_stock" stock_handler
+
+let iter_initial cfg f =
+  for d = 0 to cfg.districts - 1 do
+    f (dnoid_key d) (Value.int 1);
+    for c = 0 to cfg.customers - 1 do
+      f (cust_key ~d c) (Value.tup [ Value.int 0; Value.int 0 ])
+    done
+  done;
+  for i = 0 to cfg.items - 1 do
+    f (item_key i)
+      (Value.tup [ Value.int (100 + ((i * 37) mod 9900)); Value.str "item" ]);
+    f (stock_key i) (Value.tup [ Value.int 91; Value.int 0; Value.int 0 ])
+  done
+
+let load_aloha cfg cluster =
+  iter_initial cfg (fun key v -> Alohadb.Cluster.load cluster ~key v)
+
+let load_calvin cfg cluster =
+  iter_initial cfg (fun key v -> Calvin.Cluster.load cluster ~key v)
+
+type generator = {
+  cfg : cfg;
+  rng : Sim.Rng.t;
+  calvin_noid : (int, int ref) Hashtbl.t;
+}
+
+let generator cfg ~seed =
+  { cfg; rng = Sim.Rng.create seed; calvin_noid = Hashtbl.create 256 }
+
+let draw g =
+  let cfg = g.cfg in
+  let d = Sim.Rng.int g.rng cfg.districts in
+  let c = Sim.Rng.int g.rng cfg.customers in
+  let n_lines = Sim.Rng.uniform_int g.rng ~lo:cfg.ol_min ~hi:cfg.ol_max in
+  let invalid = Sim.Rng.bernoulli g.rng cfg.invalid_item_fraction in
+  let invalid_line = if invalid then Sim.Rng.int g.rng n_lines else -1 in
+  (* Distinct items per order: one functor per key per transaction. *)
+  let seen = Hashtbl.create 16 in
+  let fresh_item () =
+    let rec draw () =
+      let i = Sim.Rng.int g.rng cfg.items in
+      if Hashtbl.mem seen i then draw ()
+      else begin
+        Hashtbl.add seen i ();
+        i
+      end
+    in
+    draw ()
+  in
+  let lines =
+    List.init n_lines (fun n ->
+        let item =
+          if n = invalid_line then cfg.items + 1 + Sim.Rng.int g.rng 1000
+          else fresh_item ()
+        in
+        { item; qty = 1 + Sim.Rng.int g.rng 10 })
+  in
+  (d, c, lines, invalid)
+
+let gen_neworder_aloha g =
+  let d, c, lines, _invalid = draw g in
+  let det =
+    ( dnoid_key d,
+      Alohadb.Txn.Det
+        { handler = "stpcc_neworder";
+          read_set = dnoid_key d :: List.map (fun l -> item_key l.item) lines;
+          args = [ Value.int d; Value.int c; encode_lines lines ];
+          dependents = [] } )
+  in
+  let stocks =
+    List.map
+      (fun l ->
+        ( stock_key l.item,
+          Alohadb.Txn.Call
+            { handler = "stpcc_stock";
+              read_set = [ stock_key l.item ];
+              args = [ Value.int l.qty ] } ))
+      lines
+  in
+  Alohadb.Txn.read_write
+    ~precondition_keys:(List.map (fun l -> stock_key l.item) lines)
+    (det :: stocks)
+
+let calvin_neworder_proc ~(txn : Calvin.Ctxn.t) ~reads =
+  let arg i = List.nth txn.Calvin.Ctxn.args i in
+  let d = Value.to_int (arg 0) in
+  let c = Value.to_int (arg 1) in
+  let o = Value.to_int (arg 2) in
+  let lines = decode_lines (arg 3) in
+  let read key = Option.join (List.assoc_opt key reads) in
+  let noid =
+    match read (dnoid_key d) with Some v -> Value.to_int v | None -> 1
+  in
+  let stock_writes =
+    List.map
+      (fun l ->
+        let key = stock_key l.item in
+        let q, ytd, cnt =
+          match read key with
+          | Some row ->
+              ( Value.to_int (Value.nth row 0),
+                Value.to_int (Value.nth row 1),
+                Value.to_int (Value.nth row 2) )
+          | None -> (91, 0, 0)
+        in
+        let q' = if q - l.qty >= 10 then q - l.qty else q - l.qty + 91 in
+        ( key,
+          Value.tup
+            [ Value.int q'; Value.int (ytd + l.qty); Value.int (cnt + 1) ] ))
+      lines
+  in
+  let ol_writes =
+    List.mapi
+      (fun n l ->
+        let price =
+          match read (item_key l.item) with
+          | Some row -> Value.to_int (Value.nth row 0)
+          | None -> 0
+        in
+        ( orderline_key ~d ~o ~n,
+          Value.tup
+            [ Value.int l.item; Value.int l.qty; Value.int (l.qty * price) ]
+        ))
+      lines
+  in
+  ((dnoid_key d, Value.int (noid + 1))
+   :: (order_key ~d ~o,
+       Value.tup [ Value.int c; Value.int (List.length lines) ])
+   :: (neworder_key ~d ~o, Value.int 1)
+   :: stock_writes)
+  @ ol_writes
+
+let register_calvin registry =
+  Calvin.Ctxn.register registry "calvin_stpcc_neworder" calvin_neworder_proc
+
+let gen_neworder_calvin g =
+  let rec valid () =
+    let d, c, lines, invalid = draw g in
+    if invalid then valid () else (d, c, lines)
+  in
+  let d, c, lines = valid () in
+  let r =
+    match Hashtbl.find_opt g.calvin_noid d with
+    | Some r -> r
+    | None ->
+        let r = ref 1 in
+        Hashtbl.add g.calvin_noid d r;
+        r
+  in
+  let o = !r in
+  incr r;
+  let stock_keys = List.map (fun l -> stock_key l.item) lines in
+  let item_keys = List.map (fun l -> item_key l.item) lines in
+  { Calvin.Ctxn.proc = "calvin_stpcc_neworder";
+    read_set = (dnoid_key d :: item_keys) @ stock_keys;
+    write_set =
+      (dnoid_key d :: order_key ~d ~o :: neworder_key ~d ~o :: stock_keys)
+      @ List.mapi (fun n _ -> orderline_key ~d ~o ~n) lines;
+    args = [ Value.int d; Value.int c; Value.int o; encode_lines lines ] }

@@ -1,0 +1,429 @@
+module Value = Functor_cc.Value
+module Registry = Functor_cc.Registry
+
+type cfg = {
+  warehouses : int;
+  districts : int;
+  customers : int;
+  items : int;
+  ol_min : int;
+  ol_max : int;
+  invalid_item_fraction : float;
+  force_distributed : bool;
+}
+
+let default_cfg ~n_servers ~warehouses_per_host =
+  { warehouses = n_servers * warehouses_per_host;
+    districts = 10;
+    customers = 120;
+    items = 1_000;
+    ol_min = 5;
+    ol_max = 15;
+    invalid_item_fraction = 0.01;
+    force_distributed = true }
+
+(* ---- keys -------------------------------------------------------------- *)
+
+let wytd_key w = Printf.sprintf "w:%d:wytd" w
+let dtax_key ~w ~d = Printf.sprintf "w:%d:dtax:%d" w d
+let dytd_key ~w ~d = Printf.sprintf "w:%d:dytd:%d" w d
+let dnoid_key ~w ~d = Printf.sprintf "w:%d:dnoid:%d" w d
+let cust_key ~w ~d c = Printf.sprintf "w:%d:cust:%d:%d" w d c
+let item_key ~w i = Printf.sprintf "w:%d:item:%d" w i
+let stock_key ~w i = Printf.sprintf "w:%d:stock:%d" w i
+let order_key ~w ~d ~o = Printf.sprintf "w:%d:order:%d:%d" w d o
+let neworder_key ~w ~d ~o = Printf.sprintf "w:%d:no:%d:%d" w d o
+
+let orderline_key ~w ~d ~o ~n = Printf.sprintf "w:%d:ol:%d:%d:%d" w d o n
+
+let hist_key ~w ~d ~c uid = Printf.sprintf "w:%d:hist:%d:%d:%d" w d c uid
+
+(* ---- row encodings ------------------------------------------------------ *)
+
+let item_row ~price = Value.tup [ Value.int price; Value.str "item" ]
+let item_price row = Value.to_int (Value.nth row 0)
+
+let stock_row ~qty ~ytd ~order_cnt ~remote_cnt =
+  Value.tup
+    [ Value.int qty; Value.int ytd; Value.int order_cnt;
+      Value.int remote_cnt ]
+
+let cust_row ~balance ~ytd_payment ~payment_cnt =
+  Value.tup [ Value.int balance; Value.int ytd_payment; Value.int payment_cnt ]
+
+(* ---- transaction arguments --------------------------------------------- *)
+
+type line = { item : int; supply_w : int; qty : int }
+
+let encode_line l =
+  Value.tup [ Value.int l.item; Value.int l.supply_w; Value.int l.qty ]
+
+let decode_line v =
+  { item = Value.to_int (Value.nth v 0);
+    supply_w = Value.to_int (Value.nth v 1);
+    qty = Value.to_int (Value.nth v 2) }
+
+let encode_lines lines = Value.tup (List.map encode_line lines)
+let decode_lines v = List.map decode_line (Value.to_tup v)
+
+(* ---- ALOHA-DB handlers -------------------------------------------------- *)
+
+(* Determinate functor on the district's next-order-id key: assigns the
+   order id, bumps the counter, and emits the Order / NewOrder / OrderLine
+   rows as dynamically named deferred writes (§IV-E). *)
+let neworder_handler (ctx : Registry.ctx) =
+  let w = Value.to_int (Registry.arg ctx 0) in
+  let d = Value.to_int (Registry.arg ctx 1) in
+  let c = Value.to_int (Registry.arg ctx 2) in
+  let lines = decode_lines (Registry.arg ctx 3) in
+  match Registry.read ctx ctx.Registry.key with
+  | None -> Registry.Abort
+  | Some noid ->
+      let o = Value.to_int noid in
+      let ol_writes =
+        List.mapi
+          (fun n l ->
+            let price =
+              match Registry.read ctx (item_key ~w l.item) with
+              | Some row -> item_price row
+              | None -> 0
+            in
+            ( orderline_key ~w ~d ~o ~n,
+              Registry.Dep_put
+                (Value.tup
+                   [ Value.int l.item; Value.int l.supply_w;
+                     Value.int l.qty; Value.int (l.qty * price) ]) ))
+          lines
+      in
+      let writes =
+        (order_key ~w ~d ~o,
+         Registry.Dep_put
+           (Value.tup [ Value.int c; Value.int (List.length lines) ]))
+        :: (neworder_key ~w ~d ~o, Registry.Dep_put (Value.int 1))
+        :: ol_writes
+      in
+      Registry.Commit_det (Value.int (o + 1), writes)
+
+(* Stock update for one order line: TPC-C quantity rule plus counters. *)
+let stock_handler (ctx : Registry.ctx) =
+  let qty = Value.to_int (Registry.arg ctx 0) in
+  let remote = Value.to_int (Registry.arg ctx 1) in
+  match Registry.read ctx ctx.Registry.key with
+  | None -> Registry.Abort
+  | Some row ->
+      let q = Value.to_int (Value.nth row 0) in
+      let ytd = Value.to_int (Value.nth row 1) in
+      let order_cnt = Value.to_int (Value.nth row 2) in
+      let remote_cnt = Value.to_int (Value.nth row 3) in
+      let q' = if q - qty >= 10 then q - qty else q - qty + 91 in
+      Registry.Commit
+        (stock_row ~qty:q' ~ytd:(ytd + qty) ~order_cnt:(order_cnt + 1)
+           ~remote_cnt:(remote_cnt + remote))
+
+let payment_cust_handler (ctx : Registry.ctx) =
+  let h = Value.to_int (Registry.arg ctx 0) in
+  match Registry.read ctx ctx.Registry.key with
+  | None -> Registry.Abort
+  | Some row ->
+      let balance = Value.to_int (Value.nth row 0) in
+      let ytd = Value.to_int (Value.nth row 1) in
+      let cnt = Value.to_int (Value.nth row 2) in
+      Registry.Commit
+        (cust_row ~balance:(balance - h) ~ytd_payment:(ytd + h)
+           ~payment_cnt:(cnt + 1))
+
+let register_aloha registry =
+  Registry.register registry "tpcc_neworder" neworder_handler;
+  Registry.register registry "tpcc_stock" stock_handler;
+  Registry.register registry "tpcc_payment_cust" payment_cust_handler
+
+(* ---- loading ------------------------------------------------------------ *)
+
+let iter_initial cfg f =
+  for w = 0 to cfg.warehouses - 1 do
+    f (wytd_key w) (Value.int 0);
+    for d = 0 to cfg.districts - 1 do
+      f (dtax_key ~w ~d) (Value.float 0.05);
+      f (dytd_key ~w ~d) (Value.int 0);
+      f (dnoid_key ~w ~d) (Value.int 1);
+      for c = 0 to cfg.customers - 1 do
+        f (cust_key ~w ~d c) (cust_row ~balance:0 ~ytd_payment:0 ~payment_cnt:0)
+      done
+    done;
+    for i = 0 to cfg.items - 1 do
+      f (item_key ~w i) (item_row ~price:(100 + ((i * 37) mod 9900)));
+      f (stock_key ~w i)
+        (stock_row ~qty:91 ~ytd:0 ~order_cnt:0 ~remote_cnt:0)
+    done
+  done
+
+let load_aloha cfg cluster =
+  iter_initial cfg (fun key v -> Alohadb.Cluster.load cluster ~key v)
+
+let load_calvin cfg cluster =
+  iter_initial cfg (fun key v -> Calvin.Cluster.load cluster ~key v)
+
+(* ---- generator ---------------------------------------------------------- *)
+
+type generator = {
+  cfg : cfg;
+  n_servers : int;
+  rng : Sim.Rng.t;
+  calvin_noid : (int * int, int ref) Hashtbl.t;
+      (* Calvin pre-assigns order ids (it cannot abort, §V-A2) *)
+  mutable uid : int;
+}
+
+let generator cfg ~n_servers ~seed =
+  if cfg.warehouses < n_servers then
+    invalid_arg "Tpcc.generator: need at least one warehouse per host";
+  { cfg; n_servers; rng = Sim.Rng.create seed;
+    calvin_noid = Hashtbl.create 256; uid = 0 }
+
+let per_host g = g.cfg.warehouses / g.n_servers
+
+let home_warehouse g ~fe = fe + (g.n_servers * Sim.Rng.int g.rng (per_host g))
+
+(* A warehouse hosted on a different server than [fe] (§V-A1: distributed
+   transactions always access a second warehouse on another server). *)
+let remote_warehouse g ~fe =
+  if g.n_servers = 1 then home_warehouse g ~fe
+  else begin
+    let other =
+      let h = Sim.Rng.int g.rng (g.n_servers - 1) in
+      if h >= fe then h + 1 else h
+    in
+    other + (g.n_servers * Sim.Rng.int g.rng (per_host g))
+  end
+
+type neworder_args = {
+  no_w : int;
+  no_d : int;
+  no_c : int;
+  lines : line list;
+  invalid : bool;
+}
+
+let draw_neworder g ~fe =
+  let cfg = g.cfg in
+  let w = home_warehouse g ~fe in
+  let d = Sim.Rng.int g.rng cfg.districts in
+  let c = Sim.Rng.int g.rng cfg.customers in
+  let n_lines = Sim.Rng.uniform_int g.rng ~lo:cfg.ol_min ~hi:cfg.ol_max in
+  let invalid = Sim.Rng.bernoulli g.rng cfg.invalid_item_fraction in
+  let remote_line =
+    if cfg.force_distributed then Sim.Rng.int g.rng n_lines else -1
+  in
+  let invalid_line = if invalid then Sim.Rng.int g.rng n_lines else -1 in
+  (* Items are distinct within an order: each order line yields one stock
+     functor, and one key carries exactly one functor per transaction. *)
+  let seen = Hashtbl.create 16 in
+  let fresh_item () =
+    let rec draw () =
+      let i = Sim.Rng.int g.rng cfg.items in
+      if Hashtbl.mem seen i then draw ()
+      else begin
+        Hashtbl.add seen i ();
+        i
+      end
+    in
+    draw ()
+  in
+  let lines =
+    List.init n_lines (fun n ->
+        let item =
+          if n = invalid_line then cfg.items + 1 + Sim.Rng.int g.rng 1000
+          else fresh_item ()
+        in
+        let supply_w =
+          if n = remote_line then remote_warehouse g ~fe else w
+        in
+        { item; supply_w; qty = 1 + Sim.Rng.int g.rng 10 })
+  in
+  { no_w = w; no_d = d; no_c = c; lines; invalid }
+
+let gen_neworder_aloha g ~fe =
+  let { no_w = w; no_d = d; no_c = c; lines; invalid = _ } =
+    draw_neworder g ~fe
+  in
+  let det =
+    ( dnoid_key ~w ~d,
+      Alohadb.Txn.Det
+        { handler = "tpcc_neworder";
+          read_set =
+            dnoid_key ~w ~d
+            :: List.map (fun l -> item_key ~w l.item) lines;
+          args =
+            [ Value.int w; Value.int d; Value.int c; encode_lines lines ];
+          dependents = [] } )
+  in
+  let stocks =
+    List.map
+      (fun l ->
+        ( stock_key ~w:l.supply_w l.item,
+          Alohadb.Txn.Call
+            { handler = "tpcc_stock";
+              read_set = [ stock_key ~w:l.supply_w l.item ];
+              args =
+                [ Value.int l.qty;
+                  Value.int (if l.supply_w = w then 0 else 1) ] } ))
+      lines
+  in
+  Alohadb.Txn.read_write
+    ~precondition_keys:(List.map (fun l -> stock_key ~w:l.supply_w l.item) lines)
+    (det :: stocks)
+
+let gen_payment_aloha g ~fe =
+  let cfg = g.cfg in
+  let w = home_warehouse g ~fe in
+  let d = Sim.Rng.int g.rng cfg.districts in
+  (* The paper's setup makes every transaction distributed: the customer
+     lives in a warehouse on a different server. *)
+  let cw = if cfg.force_distributed then remote_warehouse g ~fe else w in
+  let cd = Sim.Rng.int g.rng cfg.districts in
+  let c = Sim.Rng.int g.rng cfg.customers in
+  let h = 1 + Sim.Rng.int g.rng 5000 in
+  g.uid <- g.uid + 1;
+  Alohadb.Txn.read_write
+    [ (wytd_key w, Alohadb.Txn.Add h);
+      (dytd_key ~w ~d, Alohadb.Txn.Add h);
+      (cust_key ~w:cw ~d:cd c,
+       Alohadb.Txn.Call
+         { handler = "tpcc_payment_cust";
+           read_set = [ cust_key ~w:cw ~d:cd c ];
+           args = [ Value.int h ] });
+      (hist_key ~w ~d ~c g.uid, Alohadb.Txn.Put (Value.int h)) ]
+
+(* ---- Calvin procedures -------------------------------------------------- *)
+
+let calvin_neworder_proc ~(txn : Calvin.Ctxn.t) ~reads =
+  let arg i = List.nth txn.Calvin.Ctxn.args i in
+  let w = Value.to_int (arg 0) in
+  let d = Value.to_int (arg 1) in
+  let c = Value.to_int (arg 2) in
+  let o = Value.to_int (arg 3) in
+  let lines = decode_lines (arg 4) in
+  let read key = Option.join (List.assoc_opt key reads) in
+  let noid =
+    match read (dnoid_key ~w ~d) with
+    | Some v -> Value.to_int v
+    | None -> 1
+  in
+  let stock_writes =
+    List.map
+      (fun l ->
+        let key = stock_key ~w:l.supply_w l.item in
+        let row =
+          match read key with
+          | Some row -> row
+          | None -> stock_row ~qty:91 ~ytd:0 ~order_cnt:0 ~remote_cnt:0
+        in
+        let q = Value.to_int (Value.nth row 0) in
+        let ytd = Value.to_int (Value.nth row 1) in
+        let order_cnt = Value.to_int (Value.nth row 2) in
+        let remote_cnt = Value.to_int (Value.nth row 3) in
+        let q' = if q - l.qty >= 10 then q - l.qty else q - l.qty + 91 in
+        ( key,
+          stock_row ~qty:q' ~ytd:(ytd + l.qty) ~order_cnt:(order_cnt + 1)
+            ~remote_cnt:(remote_cnt + if l.supply_w = w then 0 else 1) ))
+      lines
+  in
+  let ol_writes =
+    List.mapi
+      (fun n l ->
+        let price =
+          match read (item_key ~w l.item) with
+          | Some row -> item_price row
+          | None -> 0
+        in
+        ( orderline_key ~w ~d ~o ~n,
+          Value.tup
+            [ Value.int l.item; Value.int l.supply_w; Value.int l.qty;
+              Value.int (l.qty * price) ] ))
+      lines
+  in
+  ((dnoid_key ~w ~d, Value.int (noid + 1))
+   :: (order_key ~w ~d ~o,
+       Value.tup [ Value.int c; Value.int (List.length lines) ])
+   :: (neworder_key ~w ~d ~o, Value.int 1)
+   :: stock_writes)
+  @ ol_writes
+
+let calvin_payment_proc ~(txn : Calvin.Ctxn.t) ~reads =
+  let arg i = List.nth txn.Calvin.Ctxn.args i in
+  let h = Value.to_int (arg 0) in
+  let read key = Option.join (List.assoc_opt key reads) in
+  match txn.Calvin.Ctxn.write_set with
+  | [ wytd; dytd; cust; hist ] ->
+      let bump key =
+        match read key with
+        | Some v -> Value.int (Value.to_int v + h)
+        | None -> Value.int h
+      in
+      let cust_v =
+        match read cust with
+        | Some row ->
+            cust_row
+              ~balance:(Value.to_int (Value.nth row 0) - h)
+              ~ytd_payment:(Value.to_int (Value.nth row 1) + h)
+              ~payment_cnt:(Value.to_int (Value.nth row 2) + 1)
+        | None -> cust_row ~balance:(-h) ~ytd_payment:h ~payment_cnt:1
+      in
+      [ (wytd, bump wytd); (dytd, bump dytd); (cust, cust_v);
+        (hist, Value.int h) ]
+  | _ -> invalid_arg "calvin_payment: malformed write set"
+
+let register_calvin registry =
+  Calvin.Ctxn.register registry "calvin_neworder" calvin_neworder_proc;
+  Calvin.Ctxn.register registry "calvin_payment" calvin_payment_proc
+
+let calvin_next_oid g ~w ~d =
+  let key = (w, d) in
+  let r =
+    match Hashtbl.find_opt g.calvin_noid key with
+    | Some r -> r
+    | None ->
+        let r = ref 1 in
+        Hashtbl.add g.calvin_noid key r;
+        r
+  in
+  let o = !r in
+  incr r;
+  o
+
+let gen_neworder_calvin g ~fe =
+  (* Calvin's open-source implementation cannot abort, so the generator
+     never produces invalid items and pre-assigns the order id (§V-A2). *)
+  let rec valid () =
+    let a = draw_neworder g ~fe in
+    if a.invalid then valid () else a
+  in
+  let { no_w = w; no_d = d; no_c = c; lines; invalid = _ } = valid () in
+  let o = calvin_next_oid g ~w ~d in
+  let stock_keys = List.map (fun l -> stock_key ~w:l.supply_w l.item) lines in
+  let item_keys = List.map (fun l -> item_key ~w l.item) lines in
+  { Calvin.Ctxn.proc = "calvin_neworder";
+    read_set = (dnoid_key ~w ~d :: item_keys) @ stock_keys;
+    write_set =
+      (dnoid_key ~w ~d :: order_key ~w ~d ~o :: neworder_key ~w ~d ~o
+       :: stock_keys)
+      @ List.mapi (fun n _ -> orderline_key ~w ~d ~o ~n) lines;
+    args =
+      [ Value.int w; Value.int d; Value.int c; Value.int o;
+        encode_lines lines ] }
+
+let gen_payment_calvin g ~fe =
+  let cfg = g.cfg in
+  let w = home_warehouse g ~fe in
+  let d = Sim.Rng.int g.rng cfg.districts in
+  let cw = if cfg.force_distributed then remote_warehouse g ~fe else w in
+  let cd = Sim.Rng.int g.rng cfg.districts in
+  let c = Sim.Rng.int g.rng cfg.customers in
+  let h = 1 + Sim.Rng.int g.rng 5000 in
+  g.uid <- g.uid + 1;
+  let cust = cust_key ~w:cw ~d:cd c in
+  { Calvin.Ctxn.proc = "calvin_payment";
+    read_set = [ wytd_key w; dytd_key ~w ~d; cust ];
+    write_set =
+      [ wytd_key w; dytd_key ~w ~d; cust; hist_key ~w ~d ~c g.uid ];
+    args = [ Value.int h ] }

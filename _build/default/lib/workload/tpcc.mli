@@ -1,0 +1,78 @@
+(** TPC-C (NewOrder + Payment), partitioned by warehouse (§V-A1).
+
+    Like the paper's evaluation we implement the two transactions that
+    dominate the TPC-C mix and drive distributed read-write behaviour.
+    Data is partitioned by warehouse: every key starts with ["w:<w>:"] and
+    the cluster's [`Prefix] partitioner routes warehouse [w] to server
+    [w mod n].  The item catalog is replicated per warehouse (it is
+    read-only), as real TPC-C deployments and Calvin both do.
+
+    Scale knobs are configurable because the simulation does not need the
+    full 100 k-item catalog to reproduce the paper's contention behaviour
+    (items are accessed uniformly); defaults are chosen to keep memory
+    modest and are recorded in EXPERIMENTS.md.
+
+    ALOHA-DB mapping:
+    - the district's next-order-id key holds a {e determinate functor}
+      ("tpcc_neworder") that assigns the order id during functor
+      computing and emits the Order / NewOrder / OrderLine rows as
+      deferred writes — exactly the §IV-E/§V-A2 scheme;
+    - each stock update is an independent user functor ("tpcc_stock");
+    - Payment increments [w_ytd]/[d_ytd] with ADD functors and updates the
+      customer row with "tpcc_payment_cust";
+    - 1 % of NewOrders reference a non-existent item; the unmet
+      precondition on the supply warehouse's partition triggers the
+      coordinator's second-round abort.
+
+    Calvin mapping: equivalent stored procedures; order ids are
+    {e pre-assigned} by the generator (Calvin cannot abort, §V-A2), and
+    the district / stock / customer locks carry the contention. *)
+
+type cfg = {
+  warehouses : int;  (** total; home warehouse of FE [i] is ≡ i (mod n) *)
+  districts : int;  (** per warehouse (TPC-C: 10) *)
+  customers : int;  (** per district (TPC-C: 3000; default smaller) *)
+  items : int;  (** catalog size (TPC-C: 100 000; default smaller) *)
+  ol_min : int;  (** min order lines (5) *)
+  ol_max : int;  (** max order lines (15) *)
+  invalid_item_fraction : float;  (** NewOrders that must abort (0.01) *)
+  force_distributed : bool;
+      (** every transaction touches a second warehouse on a different
+          server, as in the Calvin papers' setup *)
+}
+
+val default_cfg : n_servers:int -> warehouses_per_host:int -> cfg
+
+(* -- keys (exposed for tests and invariant checks) -- *)
+
+val wytd_key : int -> string
+val dtax_key : w:int -> d:int -> string
+val dytd_key : w:int -> d:int -> string
+val dnoid_key : w:int -> d:int -> string
+val cust_key : w:int -> d:int -> int -> string
+val item_key : w:int -> int -> string
+val stock_key : w:int -> int -> string
+val order_key : w:int -> d:int -> o:int -> string
+val neworder_key : w:int -> d:int -> o:int -> string
+val orderline_key : w:int -> d:int -> o:int -> n:int -> string
+
+(* -- ALOHA-DB -- *)
+
+val register_aloha : Functor_cc.Registry.t -> unit
+(** Register "tpcc_neworder", "tpcc_stock", "tpcc_payment_cust". *)
+
+val load_aloha : cfg -> Alohadb.Cluster.t -> unit
+
+type generator
+
+val generator : cfg -> n_servers:int -> seed:int -> generator
+
+val gen_neworder_aloha : generator -> fe:int -> Alohadb.Txn.request
+val gen_payment_aloha : generator -> fe:int -> Alohadb.Txn.request
+
+(* -- Calvin -- *)
+
+val register_calvin : Calvin.Ctxn.registry -> unit
+val load_calvin : cfg -> Calvin.Cluster.t -> unit
+val gen_neworder_calvin : generator -> fe:int -> Calvin.Ctxn.t
+val gen_payment_calvin : generator -> fe:int -> Calvin.Ctxn.t

@@ -1,0 +1,90 @@
+module Value = Functor_cc.Value
+
+type cfg = {
+  keys_per_partition : int;
+  hot_keys : int;
+  rw_keys : int;
+  distributed : bool;
+}
+
+let cfg_of_contention_index ?(keys_per_partition = 100_000) ci =
+  if ci <= 0.0 || ci > 1.0 then invalid_arg "Ycsb: contention index";
+  let hot = int_of_float (Float.round (1.0 /. ci)) in
+  let hot = if hot < 1 then 1 else hot in
+  { keys_per_partition; hot_keys = hot; rw_keys = 10; distributed = true }
+
+let key ~partition idx = Printf.sprintf "y:%d:%d" partition idx
+
+let iter_initial cfg ~n f =
+  for p = 0 to n - 1 do
+    for i = 0 to cfg.keys_per_partition - 1 do
+      f (key ~partition:p i) (Value.int 0)
+    done
+  done
+
+let load_aloha cfg cluster =
+  iter_initial cfg
+    ~n:(Alohadb.Cluster.n_servers cluster)
+    (fun key v -> Alohadb.Cluster.load cluster ~key v)
+
+let load_calvin cfg cluster =
+  iter_initial cfg
+    ~n:(Calvin.Cluster.n_servers cluster)
+    (fun key v -> Calvin.Cluster.load cluster ~key v)
+
+let load_calvin' cfg cluster =
+  iter_initial cfg
+    ~n:(Twopl.Cluster.n_servers cluster)
+    (fun key v -> Twopl.Cluster.load cluster ~key v)
+
+type generator = {
+  cfg : cfg;
+  n_partitions : int;
+  rng : Sim.Rng.t;
+}
+
+let generator cfg ~n_partitions ~seed =
+  if cfg.hot_keys > cfg.keys_per_partition then
+    invalid_arg "Ycsb.generator: more hot keys than keys";
+  { cfg; n_partitions; rng = Sim.Rng.create seed }
+
+(* One hot key plus (rw_keys/participants - 1) cold keys per partition;
+   exactly one hot key per participant, as in Calvin's microbenchmark. *)
+let draw_keys g ~fe =
+  let cfg = g.cfg in
+  let parts =
+    if cfg.distributed && g.n_partitions > 1 then begin
+      let other =
+        let p = Sim.Rng.int g.rng (g.n_partitions - 1) in
+        if p >= fe then p + 1 else p
+      in
+      [ fe; other ]
+    end
+    else [ fe ]
+  in
+  let per_part = List.length parts in
+  let keys_per = g.cfg.rw_keys / per_part in
+  List.concat_map
+    (fun p ->
+      let hot = key ~partition:p (Sim.Rng.int g.rng cfg.hot_keys) in
+      let cold_range = cfg.keys_per_partition - cfg.hot_keys in
+      let cold =
+        List.init (keys_per - 1) (fun _ ->
+            (* When every key is hot (CI at its minimum for this partition
+               size) cold draws fall back to the whole keyspace. *)
+            if cold_range <= 0 then
+              key ~partition:p (Sim.Rng.int g.rng cfg.keys_per_partition)
+            else key ~partition:p (cfg.hot_keys + Sim.Rng.int g.rng cold_range))
+      in
+      hot :: cold)
+    parts
+  |> List.sort_uniq String.compare
+
+let gen_aloha g ~fe =
+  let keys = draw_keys g ~fe in
+  Alohadb.Txn.read_write (List.map (fun k -> (k, Alohadb.Txn.Add 1)) keys)
+
+let gen_calvin g ~fe =
+  let keys = draw_keys g ~fe in
+  { Calvin.Ctxn.proc = "incr_all"; read_set = keys; write_set = keys;
+    args = [ Value.int 1 ] }

@@ -1,0 +1,45 @@
+(** The YCSB-like microbenchmark from the Calvin evaluation (§V-A1).
+
+    Each server holds one partition of keys split into K {e hot} keys and
+    the remaining {e cold} keys; the contention index is CI = 1/K.  Every
+    transaction reads 10 keys and increments each by 1, touching exactly
+    one hot key on each participant partition; a distributed transaction
+    spans two partitions (one of them the submitting server's).
+
+    Partition sizing: the paper uses 1 M keys per partition; the default
+    here is 100 k (configurable) — hot-key contention, which is what the
+    experiment varies, is unaffected by the cold-key population, and the
+    smaller default keeps simulation memory modest (see EXPERIMENTS.md).
+
+    Keys are ["y:<partition>:<idx>"]; the [`Prefix] partitioner routes on
+    the partition field. *)
+
+type cfg = {
+  keys_per_partition : int;
+  hot_keys : int;  (** K; contention index = 1/K *)
+  rw_keys : int;  (** keys read+updated per transaction (10) *)
+  distributed : bool;  (** two-partition transactions (the default) *)
+}
+
+val cfg_of_contention_index : ?keys_per_partition:int -> float -> cfg
+(** [cfg_of_contention_index ci] sets [hot_keys = 1 / ci] (e.g. CI 0.01 →
+    100 hot keys). *)
+
+val key : partition:int -> int -> string
+
+val load_aloha : cfg -> Alohadb.Cluster.t -> unit
+val load_calvin : cfg -> Calvin.Cluster.t -> unit
+
+val load_calvin' : cfg -> Twopl.Cluster.t -> unit
+(** Load the 2PL/2PC baseline (same single-version store shape). *)
+
+type generator
+
+val generator : cfg -> n_partitions:int -> seed:int -> generator
+
+val gen_aloha : generator -> fe:int -> Alohadb.Txn.request
+(** 10 ADD-1 functors: one hot + four cold keys on each of the two
+    participant partitions. *)
+
+val gen_calvin : generator -> fe:int -> Calvin.Ctxn.t
+(** The same access pattern through Calvin's "incr_all" procedure. *)

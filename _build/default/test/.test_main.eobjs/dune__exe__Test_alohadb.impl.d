@@ -1,0 +1,1 @@
+test/test_alohadb.ml: Alcotest Alohadb Clocksync Functor_cc List Option Sim

@@ -1,0 +1,1 @@
+test/test_alohadb_extra.ml: Alcotest Alohadb Functor_cc List Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_calvin.ml: Alcotest Calvin Functor_cc List Option Printf Sim

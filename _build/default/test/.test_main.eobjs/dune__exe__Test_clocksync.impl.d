@@ -1,0 +1,1 @@
+test/test_clocksync.ml: Alcotest Clocksync Hashtbl List QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Alohadb Functor_cc List Sim

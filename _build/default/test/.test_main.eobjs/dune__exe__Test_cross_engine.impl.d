@@ -1,0 +1,1 @@
+test/test_cross_engine.ml: Alcotest Alohadb Array Calvin Functor_cc Hashtbl List Printf QCheck2 QCheck_alcotest Sim Twopl

@@ -1,0 +1,1 @@
+test/test_durability.ml: Alcotest Alohadb Functor_cc List Printf Sim String

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Array Clocksync Epoch Hashtbl List Net Sim

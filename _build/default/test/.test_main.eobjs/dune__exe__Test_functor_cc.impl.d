@@ -1,0 +1,1 @@
+test/test_functor_cc.ml: Alcotest Functor_cc List Option QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Functor_cc List Mvstore Sim

@@ -1,0 +1,1 @@
+test/test_mvstore.ml: Alcotest Hashtbl List Mvstore Option QCheck2 QCheck_alcotest

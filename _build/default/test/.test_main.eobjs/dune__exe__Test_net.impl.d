@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Net Printf QCheck2 QCheck_alcotest Sim String

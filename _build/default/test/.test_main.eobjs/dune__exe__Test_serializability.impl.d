@@ -1,0 +1,1 @@
+test/test_serializability.ml: Alcotest Alohadb Clocksync Format Functor_cc Hashtbl List Option Printf QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_twopl.ml: Alcotest Calvin Functor_cc Option Printf Sim Twopl

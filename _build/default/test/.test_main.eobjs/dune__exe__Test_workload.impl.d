@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Alohadb Calvin Functor_cc List Mvstore Sim String Workload

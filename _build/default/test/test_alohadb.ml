@@ -1,0 +1,279 @@
+(* Whole-cluster tests of ALOHA-DB: the Figure-5 bank-transfer scenario,
+   read-only delays, in-epoch aborts, and dependent transactions. *)
+
+module Value = Functor_cc.Value
+module Txn = Alohadb.Txn
+module Cluster = Alohadb.Cluster
+
+let mk_cluster ?(n = 2) ?(registry = Functor_cc.Registry.with_builtins ())
+    () =
+  let options = { Cluster.default_options with n_servers = n } in
+  let c = Cluster.create ~registry options in
+  Cluster.start c;
+  c
+
+(* Drive the cluster until a submitted request resolves, failing the test
+   if it never does. *)
+let await c =
+  let submit_and_wait fe req =
+    let result = ref None in
+    Cluster.submit c ~fe req (fun r -> result := Some r);
+    (* Generous horizon: several epochs. *)
+    let deadline = Sim.Engine.now (Cluster.sim c) + 500_000 in
+    let rec spin () =
+      if Option.is_none !result && Sim.Engine.now (Cluster.sim c) < deadline
+      then begin
+        Cluster.run_for c 5_000;
+        spin ()
+      end
+    in
+    spin ();
+    match !result with
+    | Some r -> r
+    | None -> Alcotest.fail "request did not complete"
+  in
+  submit_and_wait
+
+let commit_exn = function
+  | Txn.Committed { ts } -> ts
+  | r -> Alcotest.failf "expected commit, got %a" Txn.pp_result r
+
+let values_exn = function
+  | Txn.Values kvs -> kvs
+  | r -> Alcotest.failf "expected values, got %a" Txn.pp_result r
+
+let int_of kvs key =
+  match List.assoc key kvs with
+  | Some v -> Value.to_int v
+  | None -> Alcotest.failf "key %s absent" key
+
+(* T1 of Figure 5: a blind multi-write. *)
+let test_blind_write () =
+  let c = mk_cluster () in
+  let go = await c in
+  let r =
+    go 0
+      (Txn.read_write
+         [ ("acct:A", Txn.Put (Value.int 150));
+           ("acct:B", Txn.Put (Value.int 100)) ])
+  in
+  ignore (commit_exn r);
+  let kvs = values_exn (go 0 (Txn.Read_only { keys = [ "acct:A"; "acct:B" ] })) in
+  Alcotest.(check int) "A" 150 (int_of kvs "acct:A");
+  Alcotest.(check int) "B" 100 (int_of kvs "acct:B")
+
+(* T2 of Figure 5: an unconditional transfer via ADD/SUBTR functors. *)
+let test_transfer () =
+  let c = mk_cluster () in
+  let go = await c in
+  ignore
+    (commit_exn
+       (go 0
+          (Txn.read_write
+             [ ("acct:A", Txn.Put (Value.int 150));
+               ("acct:B", Txn.Put (Value.int 100)) ])));
+  ignore
+    (commit_exn
+       (go 1
+          (Txn.read_write
+             [ ("acct:A", Txn.Subtr 100); ("acct:B", Txn.Add 100) ])));
+  let kvs = values_exn (go 0 (Txn.Read_only { keys = [ "acct:A"; "acct:B" ] })) in
+  Alcotest.(check int) "A" 50 (int_of kvs "acct:A");
+  Alcotest.(check int) "B" 200 (int_of kvs "acct:B")
+
+(* T3 of Figure 5: a conditional transfer that aborts on insufficient
+   funds.  Both functors read A and must reach the same abort decision. *)
+let transfer_handler (ctx : Functor_cc.Registry.ctx) =
+  let a = Functor_cc.Registry.read ctx "acct:A" in
+  let amount = Value.to_int (Functor_cc.Registry.arg ctx 0) in
+  match a with
+  | None -> Functor_cc.Registry.Abort
+  | Some a_v ->
+      let balance = Value.to_int a_v in
+      if balance < amount then Functor_cc.Registry.Abort
+      else begin
+        let own =
+          match Functor_cc.Registry.read ctx ctx.Functor_cc.Registry.key with
+          | Some v -> Value.to_int v
+          | None -> 0
+        in
+        let delta =
+          Value.to_int (Functor_cc.Registry.arg ctx 1)
+        in
+        Functor_cc.Registry.Commit (Value.int (own + delta))
+      end
+
+let registry_with_transfer () =
+  let r = Functor_cc.Registry.with_builtins () in
+  Functor_cc.Registry.register r "guarded_transfer" transfer_handler;
+  r
+
+let conditional_transfer amount =
+  Txn.read_write
+    [ ("acct:A",
+       Txn.Call
+         { handler = "guarded_transfer";
+           read_set = [ "acct:A" ];
+           args = [ Value.int amount; Value.int (-amount) ] });
+      ("acct:B",
+       Txn.Call
+         { handler = "guarded_transfer";
+           read_set = [ "acct:A"; "acct:B" ];
+           args = [ Value.int amount; Value.int amount ] }) ]
+
+let test_conditional_transfer_abort () =
+  let c = mk_cluster ~registry:(registry_with_transfer ()) () in
+  let go = await c in
+  ignore
+    (commit_exn
+       (go 0
+          (Txn.read_write
+             [ ("acct:A", Txn.Put (Value.int 150));
+               ("acct:B", Txn.Put (Value.int 100)) ])));
+  (* First transfer succeeds (A = 150 >= 100)... *)
+  ignore (commit_exn (go 1 (conditional_transfer 100)));
+  (* ...second aborts (A = 50 < 100), exactly as in Figure 5. *)
+  (match go 0 (conditional_transfer 100) with
+  | Txn.Aborted { stage = `Compute; _ } -> ()
+  | r -> Alcotest.failf "expected compute abort, got %a" Txn.pp_result r);
+  let kvs = values_exn (go 1 (Txn.Read_only { keys = [ "acct:A"; "acct:B" ] })) in
+  Alcotest.(check int) "A" 50 (int_of kvs "acct:A");
+  Alcotest.(check int) "B" 200 (int_of kvs "acct:B")
+
+(* In-epoch abort: a precondition key that does not exist triggers the
+   coordinator's second-round rollback, and no write becomes visible. *)
+let test_install_abort_rolls_back () =
+  let c = mk_cluster () in
+  let go = await c in
+  ignore
+    (commit_exn
+       (go 0 (Txn.read_write [ ("acct:A", Txn.Put (Value.int 150)) ])));
+  (match
+     go 0
+       (Txn.read_write
+          ~precondition_keys:[ "missing:item" ]
+          [ ("acct:A", Txn.Put (Value.int 999));
+            ("missing:item", Txn.Put (Value.int 1)) ])
+   with
+  | Txn.Aborted { stage = `Install; _ } -> ()
+  | r -> Alcotest.failf "expected install abort, got %a" Txn.pp_result r);
+  let kvs = values_exn (go 0 (Txn.Read_only { keys = [ "acct:A" ] })) in
+  Alcotest.(check int) "A unchanged" 150 (int_of kvs "acct:A")
+
+(* §IV-E key dependency: write "dep:B" only if "det:A" exceeds a
+   threshold; the determinate functor decides. *)
+let det_handler (ctx : Functor_cc.Registry.ctx) =
+  let a =
+    match Functor_cc.Registry.read ctx "det:A" with
+    | Some v -> Value.to_int v
+    | None -> 0
+  in
+  let threshold = Value.to_int (Functor_cc.Registry.arg ctx 0) in
+  if a >= threshold then
+    Functor_cc.Registry.Commit_det
+      ( Value.int (a - threshold),
+        [ ("dep:B", Functor_cc.Registry.Dep_put (Value.int threshold)) ] )
+  else Functor_cc.Registry.Commit_det (Value.int a, [ ("dep:B", Functor_cc.Registry.Dep_skip) ])
+
+let registry_with_det () =
+  let r = Functor_cc.Registry.with_builtins () in
+  Functor_cc.Registry.register r "det_conditional" det_handler;
+  r
+
+let det_txn threshold =
+  Txn.read_write
+    [ ("det:A",
+       Txn.Det
+         { handler = "det_conditional";
+           read_set = [ "det:A" ];
+           args = [ Value.int threshold ];
+           dependents = [ "dep:B" ] }) ]
+
+let test_dependent_write_taken () =
+  let c = mk_cluster ~registry:(registry_with_det ()) () in
+  let go = await c in
+  ignore
+    (commit_exn
+       (go 0 (Txn.read_write [ ("det:A", Txn.Put (Value.int 100)) ])));
+  ignore (commit_exn (go 0 (det_txn 60)));
+  let kvs =
+    values_exn (go 1 (Txn.Read_only { keys = [ "det:A"; "dep:B" ] }))
+  in
+  Alcotest.(check int) "A" 40 (int_of kvs "det:A");
+  Alcotest.(check int) "B" 60 (int_of kvs "dep:B")
+
+let test_dependent_write_skipped () =
+  let c = mk_cluster ~registry:(registry_with_det ()) () in
+  let go = await c in
+  ignore
+    (commit_exn
+       (go 0
+          (Txn.read_write
+             [ ("det:A", Txn.Put (Value.int 100));
+               ("dep:B", Txn.Put (Value.int 7)) ])));
+  ignore (commit_exn (go 0 (det_txn 500)));
+  let kvs =
+    values_exn (go 1 (Txn.Read_only { keys = [ "det:A"; "dep:B" ] }))
+  in
+  Alcotest.(check int) "A unchanged" 100 (int_of kvs "det:A");
+  Alcotest.(check int) "B keeps old value" 7 (int_of kvs "dep:B")
+
+(* Historical reads return the state as of the requested version. *)
+let test_historical_read () =
+  let c = mk_cluster () in
+  let go = await c in
+  let ts1 =
+    commit_exn (go 0 (Txn.read_write [ ("k", Txn.Put (Value.int 1)) ]))
+  in
+  ignore (commit_exn (go 0 (Txn.read_write [ ("k", Txn.Put (Value.int 2)) ])));
+  let kvs =
+    values_exn
+      (go 1
+         (Txn.Read_at
+            { keys = [ "k" ]; version = Clocksync.Timestamp.to_int ts1 }))
+  in
+  Alcotest.(check int) "old version" 1 (int_of kvs "k")
+
+let test_read_absent_key () =
+  let c = mk_cluster () in
+  let go = await c in
+  let kvs = values_exn (go 0 (Txn.Read_only { keys = [ "nope" ] })) in
+  (match List.assoc "nope" kvs with
+  | None -> ()
+  | Some v -> Alcotest.failf "expected absent, got %a" Value.pp v)
+
+let test_delete () =
+  let c = mk_cluster () in
+  let go = await c in
+  ignore (commit_exn (go 0 (Txn.read_write [ ("k", Txn.Put (Value.int 5)) ])));
+  ignore (commit_exn (go 0 (Txn.read_write [ ("k", Txn.Delete) ])));
+  let kvs = values_exn (go 0 (Txn.Read_only { keys = [ "k" ] })) in
+  (match List.assoc "k" kvs with
+  | None -> ()
+  | Some v -> Alcotest.failf "expected tombstone, got %a" Value.pp v)
+
+let test_ack_on_install () =
+  let c = mk_cluster () in
+  let go = await c in
+  let r =
+    go 0
+      (Txn.read_write ~ack:Txn.Ack_on_install
+         [ ("k", Txn.Put (Value.int 5)) ])
+  in
+  ignore (commit_exn r)
+
+let suite =
+  [ Alcotest.test_case "blind multi-write (Fig 5 T1)" `Quick test_blind_write;
+    Alcotest.test_case "add/subtr transfer (Fig 5 T2)" `Quick test_transfer;
+    Alcotest.test_case "conditional transfer aborts (Fig 5 T3)" `Quick
+      test_conditional_transfer_abort;
+    Alcotest.test_case "install abort rolls back" `Quick
+      test_install_abort_rolls_back;
+    Alcotest.test_case "dependent write taken" `Quick
+      test_dependent_write_taken;
+    Alcotest.test_case "dependent write skipped" `Quick
+      test_dependent_write_skipped;
+    Alcotest.test_case "historical read" `Quick test_historical_read;
+    Alcotest.test_case "read absent key" `Quick test_read_absent_key;
+    Alcotest.test_case "delete tombstone" `Quick test_delete;
+    Alcotest.test_case "ack on install" `Quick test_ack_on_install ]

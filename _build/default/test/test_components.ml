@@ -1,0 +1,163 @@
+(* Focused unit tests for smaller components: the processor's per-epoch
+   buffering, the FE's functor transforms, and recipient-set derivation. *)
+
+module Value = Functor_cc.Value
+module Funct = Functor_cc.Funct
+module Ftype = Functor_cc.Ftype
+module Txn = Alohadb.Txn
+module Message = Alohadb.Message
+
+(* ---- processor ------------------------------------------------------- *)
+
+let mk_proc () =
+  let sim = Sim.Engine.create () in
+  let callbacks =
+    { Functor_cc.Compute_engine.is_local = (fun _ -> true);
+      remote_get = (fun ~key:_ ~version:_ k -> k None);
+      send_push = (fun ~dst_key:_ ~version:_ ~src_key:_ _ -> ());
+      send_dep_write = (fun ~key:_ ~version:_ _ -> ());
+      notify_final = (fun ~key:_ ~version:_ ~pending:_ ~final:_ -> ());
+      exec = (fun ~cost:_ k -> k ());
+      now = (fun () -> Sim.Engine.now sim) }
+  in
+  let engine =
+    Functor_cc.Compute_engine.create
+      ~registry:(Functor_cc.Registry.with_builtins ())
+      ~callbacks ~compute_cost_us:0 ~metrics:(Sim.Metrics.create ()) ()
+  in
+  let pool = Sim.Worker_pool.create sim ~workers:2 in
+  let proc =
+    Functor_cc.Processor.create ~engine ~pool ~dispatch_cost_us:1
+      ~metrics:(Sim.Metrics.create ()) ()
+  in
+  (sim, engine, proc)
+
+let test_processor_release_by_epoch () =
+  let sim, engine, proc = mk_proc () in
+  Functor_cc.Compute_engine.load_initial engine ~key:"k" (Value.int 0);
+  let install version =
+    ignore
+      (Functor_cc.Compute_engine.install engine ~key:"k" ~version ~lo:0
+         ~hi:max_int
+         (Funct.mk_pending ~ftype:Ftype.Add
+            ~farg:(Funct.farg_args [ Value.int 1 ])
+            ~txn_id:version ~coordinator:0))
+  in
+  install 1;
+  install 2;
+  Functor_cc.Processor.buffer proc ~epoch:1 ~key:"k" ~version:1;
+  Functor_cc.Processor.buffer proc ~epoch:2 ~key:"k" ~version:2;
+  Alcotest.(check int) "both buffered" 2 (Functor_cc.Processor.buffered proc);
+  (* Closing epoch 1 must not release epoch 2's metadata. *)
+  Functor_cc.Processor.release proc ~upto_epoch:1;
+  Alcotest.(check int) "one still buffered" 1
+    (Functor_cc.Processor.buffered proc);
+  Sim.Engine.run sim;
+  Alcotest.(check int) "epoch-1 item dispatched" 1
+    (Functor_cc.Processor.dispatched proc);
+  Functor_cc.Processor.release proc ~upto_epoch:2;
+  Sim.Engine.run sim;
+  Alcotest.(check int) "all dispatched" 2
+    (Functor_cc.Processor.dispatched proc);
+  (* Both functors computed through the pool. *)
+  Alcotest.(check int) "computed" 0
+    (Functor_cc.Compute_engine.pending_count engine)
+
+(* ---- transaction -> functor transforms -------------------------------- *)
+
+let test_fspec_of_op_shapes () =
+  let spec =
+    Message.fspec_of_op ~key:"k" ~recipients:[ "r" ] (Txn.Add 5)
+  in
+  Alcotest.(check bool) "ADD ftype" true
+    (Ftype.equal spec.Message.ftype Ftype.Add);
+  Alcotest.(check (list string)) "recipients carried" [ "r" ]
+    spec.Message.farg.Funct.recipients;
+  let call =
+    Message.fspec_of_op ~key:"k" ~recipients:[] ~pushed_reads:[ "a" ]
+      (Txn.Call { handler = "h"; read_set = [ "a"; "b" ]; args = [] })
+  in
+  Alcotest.(check (list string)) "read set" [ "a"; "b" ]
+    call.Message.farg.Funct.read_set;
+  Alcotest.(check (list string)) "pushed reads" [ "a" ]
+    call.Message.farg.Funct.pushed_reads;
+  let det =
+    Message.fspec_of_op ~key:"k" ~recipients:[]
+      (Txn.Det
+         { handler = "h"; read_set = [ "k" ]; args = []; dependents = [ "d" ] })
+  in
+  Alcotest.(check (list string)) "dependents" [ "d" ]
+    det.Message.farg.Funct.dependents
+
+let test_functor_of_fspec_final_forms () =
+  let v = Message.functor_of_fspec (Message.fspec_value (Value.int 9))
+      ~txn_id:1 ~coordinator:0
+  in
+  (match v.Funct.state with
+  | Funct.Final (Funct.Committed x) ->
+      Alcotest.(check int) "value payload" 9 (Value.to_int x)
+  | _ -> Alcotest.fail "VALUE should be final");
+  let d = Message.functor_of_fspec Message.fspec_delete ~txn_id:1 ~coordinator:0 in
+  (match d.Funct.state with
+  | Funct.Final Funct.Deleted_v -> ()
+  | _ -> Alcotest.fail "DELETE should be a tombstone");
+  let marker =
+    Message.functor_of_fspec (Message.fspec_dep_marker ~det_key:"a")
+      ~txn_id:1 ~coordinator:0
+  in
+  match marker.Funct.state with
+  | Funct.Pending p ->
+      Alcotest.(check bool) "marker carries det key" true
+        (Ftype.equal p.Funct.ftype (Ftype.Dep_marker "a"))
+  | Funct.Final _ -> Alcotest.fail "marker must be pending"
+
+(* ---- recipient derivation --------------------------------------------- *)
+
+let test_recipients_for () =
+  let writes =
+    [ ("a", Txn.Add 1);
+      ("b",
+       Txn.Call { handler = "h"; read_set = [ "a"; "b" ]; args = [] });
+      ("c",
+       Txn.Call { handler = "h"; read_set = [ "a" ]; args = [] }) ]
+  in
+  (* Functors for b and c read a, so a's functor should push to them. *)
+  Alcotest.(check (list string)) "a's recipients" [ "b"; "c" ]
+    (List.sort compare (Txn.recipients_for writes "a"));
+  Alcotest.(check (list string)) "b has none" []
+    (Txn.recipients_for writes "b");
+  (* Numeric self-reads don't make a key its own recipient. *)
+  Alcotest.(check bool) "no self recipient" true
+    (not (List.mem "a" (Txn.recipients_for writes "a")))
+
+let test_write_keys_includes_dependents () =
+  let req =
+    Txn.read_write
+      [ ("det",
+         Txn.Det
+           { handler = "h"; read_set = [ "det" ]; args = [];
+             dependents = [ "dep1"; "dep2" ] });
+        ("x", Txn.Put Value.unit) ]
+  in
+  Alcotest.(check (list string)) "write keys with dependents"
+    [ "dep1"; "dep2"; "det"; "x" ]
+    (List.sort compare (Txn.write_keys req))
+
+(* ---- value wire-size model -------------------------------------------- *)
+
+let test_value_size () =
+  Alcotest.(check bool) "tuple bigger than parts" true
+    (Value.size_bytes (Value.tup [ Value.int 1; Value.str "abc" ])
+     > Value.size_bytes (Value.int 1));
+  Alcotest.(check int) "string size" 7 (Value.size_bytes (Value.str "abc"))
+
+let suite =
+  [ Alcotest.test_case "processor epoch buffering" `Quick
+      test_processor_release_by_epoch;
+    Alcotest.test_case "fspec shapes" `Quick test_fspec_of_op_shapes;
+    Alcotest.test_case "fspec final forms" `Quick
+      test_functor_of_fspec_final_forms;
+    Alcotest.test_case "recipients_for" `Quick test_recipients_for;
+    Alcotest.test_case "write_keys dependents" `Quick
+      test_write_keys_includes_dependents;
+    Alcotest.test_case "value size" `Quick test_value_size ]

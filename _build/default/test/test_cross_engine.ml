@@ -1,0 +1,190 @@
+(* Cross-engine equivalence: the same YCSB-style increment workload fed to
+   ALOHA-DB, Calvin, and 2PL/2PC must leave identical per-key totals —
+   increments commute, so any serializable engine reaches the same state.
+   Also a model-based qcheck test for Calvin's lock manager. *)
+
+module Value = Functor_cc.Value
+
+let n = 2
+let keys = List.init 12 (fun i -> Printf.sprintf "c:%d:%d" (i mod n) i)
+
+(* A deterministic batch of increment transactions: (key indices, delta). *)
+let batch =
+  let rng = Sim.Rng.create 123 in
+  List.init 60 (fun _ ->
+      let k1 = Sim.Rng.int rng 12 in
+      let k2 = Sim.Rng.int rng 12 in
+      let delta = 1 + Sim.Rng.int rng 9 in
+      ((k1, k2), delta))
+
+let expected_totals () =
+  let totals = Array.make 12 0 in
+  List.iter
+    (fun ((k1, k2), delta) ->
+      totals.(k1) <- totals.(k1) + delta;
+      if k2 <> k1 then totals.(k2) <- totals.(k2) + delta)
+    batch;
+  totals
+
+let txn_keys (k1, k2) =
+  List.sort_uniq compare [ List.nth keys k1; List.nth keys k2 ]
+
+let run_aloha () =
+  let options =
+    { Alohadb.Cluster.default_options with n_servers = n;
+      partitioner = `Prefix }
+  in
+  let c = Alohadb.Cluster.create options in
+  List.iter (fun k -> Alohadb.Cluster.load c ~key:k (Value.int 0)) keys;
+  Alohadb.Cluster.start c;
+  let sim = Alohadb.Cluster.sim c in
+  let resolved = ref 0 in
+  List.iteri
+    (fun i (ks, delta) ->
+      Sim.Engine.schedule sim ~at:(1_000 + (i * 400)) (fun () ->
+          Alohadb.Cluster.submit c ~fe:(i mod n)
+            (Alohadb.Txn.read_write
+               (List.map (fun k -> (k, Alohadb.Txn.Add delta)) (txn_keys ks)))
+            (fun _ -> incr resolved)))
+    batch;
+  Sim.Engine.run ~until:500_000 sim;
+  Alcotest.(check int) "aloha resolved" 60 !resolved;
+  List.map
+    (fun k ->
+      let engine =
+        Alohadb.Server.engine
+          (Alohadb.Cluster.server c (Alohadb.Cluster.partition_of c k))
+      in
+      let got = ref 0 in
+      Functor_cc.Compute_engine.get engine ~key:k ~version:max_int (function
+        | Some v -> got := Value.to_int v
+        | None -> ());
+      !got)
+    keys
+
+let calvin_txn ks delta =
+  { Calvin.Ctxn.proc = "incr_all"; read_set = txn_keys ks;
+    write_set = txn_keys ks; args = [ Value.int delta ] }
+
+let run_calvin () =
+  let options =
+    { Calvin.Cluster.default_options with n_servers = n; partitioner = `Prefix }
+  in
+  let c = Calvin.Cluster.create options in
+  List.iter (fun k -> Calvin.Cluster.load c ~key:k (Value.int 0)) keys;
+  Calvin.Cluster.start c;
+  let sim = Calvin.Cluster.sim c in
+  let resolved = ref 0 in
+  List.iteri
+    (fun i (ks, delta) ->
+      Sim.Engine.schedule sim ~at:(1_000 + (i * 400)) (fun () ->
+          Calvin.Cluster.submit c ~fe:(i mod n) (calvin_txn ks delta)
+            ~k:(fun () -> incr resolved)))
+    batch;
+  Sim.Engine.run ~until:800_000 sim;
+  Alcotest.(check int) "calvin resolved" 60 !resolved;
+  List.map
+    (fun k ->
+      match
+        Calvin.Server.read_local
+          (Calvin.Cluster.server c (Calvin.Cluster.partition_of c k))
+          k
+      with
+      | Some v -> Value.to_int v
+      | None -> 0)
+    keys
+
+let run_twopl () =
+  let c = Twopl.Cluster.create { Twopl.Cluster.default_options with n_servers = n } in
+  List.iter (fun k -> Twopl.Cluster.load c ~key:k (Value.int 0)) keys;
+  let sim = Twopl.Cluster.sim c in
+  let resolved = ref 0 in
+  List.iteri
+    (fun i (ks, delta) ->
+      Sim.Engine.schedule sim ~at:(1_000 + (i * 400)) (fun () ->
+          Twopl.Cluster.submit c ~fe:(i mod n) (calvin_txn ks delta)
+            ~k:(fun () -> incr resolved)))
+    batch;
+  Sim.Engine.run ~until:3_000_000 sim;
+  Alcotest.(check int) "2pl resolved" 60 !resolved;
+  List.map
+    (fun k ->
+      match
+        Twopl.Server.read_local
+          (Twopl.Cluster.server c (Twopl.Cluster.partition_of c k))
+          k
+      with
+      | Some v -> Value.to_int v
+      | None -> 0)
+    keys
+
+let test_three_engines_agree () =
+  let expected = Array.to_list (expected_totals ()) in
+  Alcotest.(check (list int)) "aloha = oracle" expected (run_aloha ());
+  Alcotest.(check (list int)) "calvin = oracle" expected (run_calvin ());
+  Alcotest.(check (list int)) "2pl = oracle" expected (run_twopl ())
+
+(* ---- model-based lock manager check -------------------------------------- *)
+
+(* Random request/release sequences; invariants checked after each step:
+   no write lock shared, readers never coexist with a writer, and every
+   transaction eventually becomes ready once conflicts drain. *)
+let prop_lock_manager_safety =
+  let module LM = Calvin.Lock_manager in
+  let step_gen =
+    QCheck2.Gen.(
+      let* uid = int_range 1 8 in
+      let* kind = int_range 0 2 in
+      let* key = map (Printf.sprintf "k%d") (int_range 0 3) in
+      return (uid, kind, key))
+  in
+  QCheck2.Test.make ~name:"lock manager safety + liveness" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 60) step_gen)
+    (fun steps ->
+      let ready = Hashtbl.create 8 in
+      let lm = LM.create ~on_ready:(fun uid -> Hashtbl.replace ready uid ()) in
+      let live = Hashtbl.create 8 in
+      let ok = ref true in
+      let check_key key =
+        let holders = LM.holders lm key in
+        (* at most one writer, and a writer excludes everyone else *)
+        let writers =
+          List.filter
+            (fun uid ->
+              match Hashtbl.find_opt live uid with
+              | Some keys -> List.mem_assoc key keys
+                             && List.assoc key keys = LM.Write
+              | None -> false)
+            holders
+        in
+        if List.length writers > 1 then ok := false;
+        if writers <> [] && List.length holders > 1 then ok := false
+      in
+      List.iter
+        (fun (uid, kind, key) ->
+          match kind with
+          | 0 when not (Hashtbl.mem live uid) ->
+              let keys = [ (key, LM.Read) ] in
+              Hashtbl.replace live uid keys;
+              LM.request lm ~uid ~keys;
+              check_key key
+          | 1 when not (Hashtbl.mem live uid) ->
+              let keys = [ (key, LM.Write) ] in
+              Hashtbl.replace live uid keys;
+              LM.request lm ~uid ~keys;
+              check_key key
+          | 2 when Hashtbl.mem live uid ->
+              Hashtbl.remove live uid;
+              Hashtbl.remove ready uid;
+              LM.release lm ~uid;
+              check_key key
+          | _ -> ())
+        steps;
+      (* liveness: release everything still live; everyone must have become
+         ready at some point before or during drain *)
+      Hashtbl.iter (fun uid _ -> LM.release lm ~uid) live;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "three engines agree" `Slow test_three_engines_agree;
+    QCheck_alcotest.to_alcotest prop_lock_manager_safety ]

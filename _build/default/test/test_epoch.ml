@@ -1,0 +1,184 @@
+(* Epoch manager + participant protocol. *)
+
+module Manager = Epoch.Manager
+module Participant = Epoch.Participant
+
+type world = {
+  sim : Sim.Engine.t;
+  manager : Manager.t;
+  participants : Participant.t array;
+}
+
+let mk ?(n = 3) ?(duration_us = 10_000) ?(straggler_opt = true) () =
+  let sim = Sim.Engine.create () in
+  let rng = Sim.Rng.create 3 in
+  let rpc : Epoch.Protocol.rpc =
+    Net.Rpc.create sim rng ~latency:(Net.Latency.constant 100) ()
+  in
+  let metrics = Sim.Metrics.create () in
+  let em_addr = Net.Address.of_int n in
+  let participants =
+    Array.init n (fun i ->
+        Participant.create ~rpc ~addr:(Net.Address.of_int i) ~em:em_addr
+          ~clock:(Clocksync.Node_clock.perfect sim) ~straggler_opt ~metrics ())
+  in
+  let manager =
+    Manager.create ~rpc ~addr:em_addr
+      ~fes:(List.init n Net.Address.of_int)
+      ~clock:(Clocksync.Node_clock.perfect sim)
+      ~config:{ Manager.duration_us; lead_us = 500 } ~metrics ()
+  in
+  { sim; manager; participants }
+
+let run w us = Sim.Engine.run ~until:(Sim.Engine.now w.sim + us) w.sim
+
+let test_epochs_progress () =
+  let w = mk () in
+  Manager.start w.manager;
+  run w 100_000;
+  (* ~10 ms epochs over 100 ms: several epochs must have closed. *)
+  Alcotest.(check bool) "epochs closed" true (Manager.epochs_closed w.manager >= 5);
+  Array.iter
+    (fun p ->
+      Alcotest.(check int) "participants track the EM"
+        (Manager.current_epoch w.manager) (Participant.current_epoch p))
+    w.participants
+
+let test_window_validity () =
+  let w = mk () in
+  Manager.start w.manager;
+  run w 5_000;
+  (match Participant.window w.participants.(0) with
+  | Some win ->
+      Alcotest.(check bool) "authorized" true win.Participant.authorized;
+      Alcotest.(check bool) "window sane" true
+        (win.Participant.lo < win.Participant.hi)
+  | None -> Alcotest.fail "no window after grant")
+
+let test_windows_disjoint_across_epochs () =
+  let w = mk () in
+  Manager.start w.manager;
+  (* Sample granted windows over time; validity ranges of different epochs
+     must not overlap (serializability depends on it). *)
+  let windows = Hashtbl.create 8 in
+  let rec sample () =
+    (match Participant.window w.participants.(1) with
+    | Some win when win.Participant.authorized ->
+        Hashtbl.replace windows win.Participant.epoch
+          (win.Participant.lo, win.Participant.hi)
+    | Some _ | None -> ());
+    if Sim.Engine.now w.sim < 80_000 then
+      Sim.Engine.after w.sim 500 sample
+  in
+  Sim.Engine.after w.sim 1000 sample;
+  run w 100_000;
+  let sorted =
+    Hashtbl.fold (fun e (lo, hi) acc -> (e, lo, hi) :: acc) windows []
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "saw several epochs" true (List.length sorted >= 3);
+  let rec check = function
+    | (_, _, hi1) :: ((_, lo2, _) :: _ as rest) ->
+        Alcotest.(check bool) "disjoint and ordered" true (hi1 < lo2);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted
+
+let test_inflight_delays_switch () =
+  let w = mk ~duration_us:10_000 () in
+  Manager.start w.manager;
+  run w 5_000;
+  (* Hold an in-flight transaction on participant 0 for 30 ms: no epoch can
+     close while it is outstanding. *)
+  let epoch = Participant.current_epoch w.participants.(0) in
+  Participant.txn_started w.participants.(0) ~epoch;
+  let closed_before = Manager.epochs_closed w.manager in
+  run w 30_000;
+  Alcotest.(check int) "switch blocked by straggler" closed_before
+    (Manager.epochs_closed w.manager);
+  Participant.txn_finished w.participants.(0) ~epoch;
+  run w 10_000;
+  Alcotest.(check bool) "switch resumes" true
+    (Manager.epochs_closed w.manager > closed_before)
+
+let test_straggler_window_bound () =
+  let w = mk ~duration_us:10_000 ~straggler_opt:true () in
+  Manager.start w.manager;
+  run w 5_000;
+  let p0 = w.participants.(0) in
+  let epoch = Participant.current_epoch p0 in
+  (* Make participant 1 a straggler so revocation hangs. *)
+  Participant.txn_started w.participants.(1)
+    ~epoch:(Participant.current_epoch w.participants.(1));
+  run w 15_000;
+  (* p0 acked its revoke; with the optimisation it may still start txns,
+     without authorization, bounded by finish + next duration (§III-C). *)
+  (match Participant.window p0 with
+  | Some win ->
+      Alcotest.(check bool) "not authorized" false win.Participant.authorized;
+      Alcotest.(check int) "belongs to next epoch" (epoch + 1)
+        win.Participant.epoch;
+      (* hi = previous finish + next epoch duration *)
+      Alcotest.(check int) "bounded window width" 10_000
+        (win.Participant.hi - win.Participant.lo + 1)
+  | None -> Alcotest.fail "straggler window expected")
+
+let test_no_straggler_opt_blocks () =
+  let w = mk ~duration_us:10_000 ~straggler_opt:false () in
+  Manager.start w.manager;
+  run w 5_000;
+  Participant.txn_started w.participants.(1)
+    ~epoch:(Participant.current_epoch w.participants.(1));
+  run w 15_000;
+  Alcotest.(check bool) "no window without the optimisation" true
+    (Participant.window w.participants.(0) = None)
+
+let test_on_closed_fires_in_order () =
+  let w = mk () in
+  let closed = ref [] in
+  Participant.set_hooks w.participants.(0)
+    ~on_open:(fun ~epoch:_ ~lo:_ ~hi:_ -> ())
+    ~on_closed:(fun ~epoch -> closed := epoch :: !closed);
+  Manager.start w.manager;
+  run w 60_000;
+  let seen = List.rev !closed in
+  Alcotest.(check bool) "several closures" true (List.length seen >= 3);
+  List.iteri
+    (fun i e -> Alcotest.(check int) "consecutive epochs" (i + 1) e)
+    seen
+
+let test_noauth_accounted_to_next_epoch () =
+  let w = mk ~duration_us:10_000 ~straggler_opt:true () in
+  Manager.start w.manager;
+  run w 5_000;
+  let p0 = w.participants.(0) and p1 = w.participants.(1) in
+  Participant.txn_started p1 ~epoch:(Participant.current_epoch p1);
+  run w 15_000;
+  (* p0 starts a transaction without authorization under epoch e+1. *)
+  (match Participant.window p0 with
+  | Some win ->
+      Participant.txn_started p0 ~epoch:win.Participant.epoch;
+      Alcotest.(check int) "counted under next epoch" 1
+        (Participant.in_flight p0 ~epoch:win.Participant.epoch);
+      Participant.txn_finished p0 ~epoch:win.Participant.epoch
+  | None -> Alcotest.fail "expected straggler window");
+  (* Release the straggler and let the system make progress again. *)
+  Participant.txn_finished p1 ~epoch:(Participant.current_epoch p1);
+  run w 20_000;
+  Alcotest.(check bool) "progress resumed" true
+    (Manager.epochs_closed w.manager >= 2)
+
+let suite =
+  [ Alcotest.test_case "epochs progress" `Quick test_epochs_progress;
+    Alcotest.test_case "window validity" `Quick test_window_validity;
+    Alcotest.test_case "windows disjoint" `Quick
+      test_windows_disjoint_across_epochs;
+    Alcotest.test_case "inflight delays switch" `Quick
+      test_inflight_delays_switch;
+    Alcotest.test_case "straggler window bound" `Quick
+      test_straggler_window_bound;
+    Alcotest.test_case "no opt blocks" `Quick test_no_straggler_opt_blocks;
+    Alcotest.test_case "on_closed order" `Quick test_on_closed_fires_in_order;
+    Alcotest.test_case "noauth next epoch" `Quick
+      test_noauth_accounted_to_next_epoch ]

@@ -1,0 +1,428 @@
+(* The functor compute engine in isolation (single partition, synchronous
+   callbacks), plus Value / Ftype / Registry units. *)
+
+module Value = Functor_cc.Value
+module Ftype = Functor_cc.Ftype
+module Funct = Functor_cc.Funct
+module Registry = Functor_cc.Registry
+module Engine = Functor_cc.Compute_engine
+
+(* ---- Value -------------------------------------------------------------- *)
+
+let test_value_accessors () =
+  Alcotest.(check int) "int" 5 (Value.to_int (Value.int 5));
+  Alcotest.(check string) "str" "x" (Value.to_str (Value.str "x"));
+  Alcotest.(check (float 1e-9)) "float widen" 3.0 (Value.to_float (Value.int 3));
+  let t = Value.tup [ Value.int 1; Value.str "a" ] in
+  Alcotest.(check int) "nth" 1 (Value.to_int (Value.nth t 0));
+  let t' = Value.set_nth t 1 (Value.str "b") in
+  Alcotest.(check string) "set_nth" "b" (Value.to_str (Value.nth t' 1));
+  Alcotest.(check string) "original untouched" "a" (Value.to_str (Value.nth t 1));
+  Alcotest.check_raises "type error" (Invalid_argument "Value: expected int, got str")
+    (fun () -> ignore (Value.to_int (Value.str "no")))
+
+let test_value_equal_compare () =
+  let a = Value.tup [ Value.int 1; Value.tup [ Value.str "x" ] ] in
+  let b = Value.tup [ Value.int 1; Value.tup [ Value.str "x" ] ] in
+  Alcotest.(check bool) "structural equal" true (Value.equal a b);
+  Alcotest.(check bool) "compare consistent" true (Value.compare a b = 0);
+  Alcotest.(check bool) "unequal" false
+    (Value.equal a (Value.tup [ Value.int 2 ]))
+
+(* ---- Ftype -------------------------------------------------------------- *)
+
+let test_ftype () =
+  Alcotest.(check bool) "VALUE final" true (Ftype.is_final Ftype.Value);
+  Alcotest.(check bool) "ADD not final" false (Ftype.is_final Ftype.Add);
+  Alcotest.(check bool) "ADD reads own" true (Ftype.reads_own_key Ftype.Add);
+  Alcotest.(check bool) "user doesn't implicitly" false
+    (Ftype.reads_own_key (Ftype.User "h"));
+  Alcotest.(check int) "table I rows" 6 (List.length Ftype.table_i)
+
+(* ---- Registry ----------------------------------------------------------- *)
+
+let test_registry_duplicate () =
+  let r = Registry.create () in
+  Registry.register r "h" (fun _ -> Registry.Abort);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Registry.register: duplicate handler \"h\"") (fun () ->
+      Registry.register r "h" (fun _ -> Registry.Abort));
+  Alcotest.(check (list string)) "names" [ "h" ] (Registry.names r)
+
+(* ---- engine harness ------------------------------------------------------ *)
+
+type harness = {
+  engine : Engine.t;
+  pushes : (string * int * string) list ref;
+  dep_writes : (string * int * Funct.final) list ref;
+  finals : (string * int) list ref;
+  computes : int ref;  (* handler executions, via exec *)
+}
+
+let mk_engine ?(registry = Registry.with_builtins ()) ?remote_get () =
+  let pushes = ref [] and dep_writes = ref [] and finals = ref [] in
+  let computes = ref 0 in
+  let engine_ref = ref None in
+  let callbacks =
+    { Engine.is_local = (fun _ -> true);
+      remote_get =
+        (match remote_get with
+        | Some f -> f
+        | None -> fun ~key:_ ~version:_ k -> k None);
+      send_push =
+        (fun ~dst_key ~version ~src_key _ ->
+          pushes := (dst_key, version, src_key) :: !pushes;
+          match !engine_ref with
+          | Some e ->
+              Engine.deliver_push e ~key:dst_key ~version ~src_key None
+          | None -> ());
+      send_dep_write =
+        (fun ~key ~version final ->
+          dep_writes := (key, version, final) :: !dep_writes;
+          match !engine_ref with
+          | Some e -> Engine.deliver_dep_write e ~key ~version ~final
+          | None -> ());
+      notify_final =
+        (fun ~key ~version ~pending:_ ~final:_ ->
+          finals := (key, version) :: !finals);
+      exec =
+        (fun ~cost:_ k ->
+          incr computes;
+          k ());
+      now = (fun () -> 0) }
+  in
+  let e =
+    Engine.create ~registry ~callbacks ~compute_cost_us:1
+      ~metrics:(Sim.Metrics.create ()) ()
+  in
+  engine_ref := Some e;
+  { engine = e; pushes; dep_writes; finals; computes }
+
+let install_pending h ~key ~version ~ftype ~farg =
+  match
+    Engine.install h.engine ~key ~version ~lo:0 ~hi:max_int
+      (Funct.mk_pending ~ftype ~farg ~txn_id:version ~coordinator:0)
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install failed"
+
+let install_value h ~key ~version v =
+  match
+    Engine.install h.engine ~key ~version ~lo:0 ~hi:max_int (Funct.mk_value v)
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install failed"
+
+let get_int h ~key ~version =
+  let result = ref None in
+  Engine.get h.engine ~key ~version (fun v -> result := Some v);
+  match !result with
+  | Some (Some v) -> Some (Value.to_int v)
+  | Some None -> None
+  | None -> Alcotest.fail "get did not complete synchronously"
+
+(* ---- engine behaviour ---------------------------------------------------- *)
+
+let test_builtin_add_chain () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 10);
+  install_pending h ~key:"k" ~version:5 ~ftype:Ftype.Add
+    ~farg:(Funct.farg_args [ Value.int 3 ]);
+  install_pending h ~key:"k" ~version:9 ~ftype:Ftype.Subtr
+    ~farg:(Funct.farg_args [ Value.int 1 ]);
+  (* An on-demand read of version 9 recursively computes version 5. *)
+  Alcotest.(check (option int)) "chain computed" (Some 12)
+    (get_int h ~key:"k" ~version:9);
+  Alcotest.(check (option int)) "intermediate version" (Some 13)
+    (get_int h ~key:"k" ~version:5);
+  Alcotest.(check (option int)) "initial untouched" (Some 10)
+    (get_int h ~key:"k" ~version:4);
+  Alcotest.(check int) "watermark caught up" 9
+    (Engine.watermark h.engine ~key:"k")
+
+let test_max_min () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 10);
+  install_pending h ~key:"k" ~version:1 ~ftype:Ftype.Max
+    ~farg:(Funct.farg_args [ Value.int 50 ]);
+  install_pending h ~key:"k" ~version:2 ~ftype:Ftype.Min
+    ~farg:(Funct.farg_args [ Value.int 20 ]);
+  Alcotest.(check (option int)) "max then min" (Some 20)
+    (get_int h ~key:"k" ~version:10)
+
+let test_add_absent_key_aborts () =
+  (* Built-ins are total: absent keys count as 0, so a lone ADD commits
+     (aborting here would break sibling-functor atomicity, §IV-C). *)
+  let h = mk_engine () in
+  install_pending h ~key:"ghost" ~version:3 ~ftype:Ftype.Add
+    ~farg:(Funct.farg_args [ Value.int 1 ]);
+  Alcotest.(check (option int)) "absent counts as zero" (Some 1)
+    (get_int h ~key:"ghost" ~version:10)
+
+let test_aborted_version_skipped () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  install_value h ~key:"k" ~version:5 (Value.int 2);
+  (match
+     Engine.install h.engine ~key:"k" ~version:7 ~lo:0 ~hi:max_int
+       (Funct.mk_final Funct.Aborted_v)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  Alcotest.(check (option int)) "read skips aborted" (Some 2)
+    (get_int h ~key:"k" ~version:8)
+
+let test_delete_tombstone () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  (match
+     Engine.install h.engine ~key:"k" ~version:4 ~lo:0 ~hi:max_int
+       (Funct.mk_final Funct.Deleted_v)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  Alcotest.(check (option int)) "deleted reads as absent" None
+    (get_int h ~key:"k" ~version:6);
+  Alcotest.(check (option int)) "older version visible" (Some 1)
+    (get_int h ~key:"k" ~version:3)
+
+let test_compute_at_most_once () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 0);
+  install_pending h ~key:"k" ~version:2 ~ftype:Ftype.Add
+    ~farg:(Funct.farg_args [ Value.int 1 ]);
+  ignore (get_int h ~key:"k" ~version:5);
+  let after_first = !(h.computes) in
+  ignore (get_int h ~key:"k" ~version:5);
+  Engine.compute_key h.engine ~key:"k" ~version:2;
+  Alcotest.(check int) "no recomputation" after_first !(h.computes)
+
+let test_user_handler_reads () =
+  let registry = Registry.create () in
+  Registry.register registry "sum2" (fun ctx ->
+      let a = Value.to_int (Option.get (Registry.read ctx "a")) in
+      let b = Value.to_int (Option.get (Registry.read ctx "b")) in
+      Registry.Commit (Value.int (a + b)));
+  let h = mk_engine ~registry () in
+  Engine.load_initial h.engine ~key:"a" (Value.int 7);
+  Engine.load_initial h.engine ~key:"b" (Value.int 5);
+  Engine.load_initial h.engine ~key:"c" (Value.int 0);
+  install_pending h ~key:"c" ~version:3 ~ftype:(Ftype.User "sum2")
+    ~farg:{ Funct.read_set = [ "a"; "b" ]; args = []; recipients = [];
+            dependents = []; pushed_reads = [] };
+  Alcotest.(check (option int)) "sum of reads" (Some 12)
+    (get_int h ~key:"c" ~version:4)
+
+let test_handler_reads_snapshot_below_version () =
+  (* A functor at version v must read the latest version < v, not the
+     globally latest. *)
+  let registry = Registry.create () in
+  Registry.register registry "copy_a" (fun ctx ->
+      match Registry.read ctx "a" with
+      | Some v -> Registry.Commit v
+      | None -> Registry.Abort);
+  let h = mk_engine ~registry () in
+  Engine.load_initial h.engine ~key:"a" (Value.int 1);
+  Engine.load_initial h.engine ~key:"b" (Value.int 0);
+  install_value h ~key:"a" ~version:10 (Value.int 2);
+  install_pending h ~key:"b" ~version:5 ~ftype:(Ftype.User "copy_a")
+    ~farg:{ Funct.read_set = [ "a" ]; args = []; recipients = [];
+            dependents = []; pushed_reads = [] };
+  Alcotest.(check (option int)) "reads version < 5, not version 10" (Some 1)
+    (get_int h ~key:"b" ~version:5)
+
+let test_missing_handler_aborts () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 9);
+  install_pending h ~key:"k" ~version:2 ~ftype:(Ftype.User "nope")
+    ~farg:Funct.farg_empty;
+  Alcotest.(check (option int)) "missing handler aborts version" (Some 9)
+    (get_int h ~key:"k" ~version:5)
+
+let test_dep_marker_resolution () =
+  let registry = Registry.create () in
+  Registry.register registry "det" (fun ctx ->
+      let own = Value.to_int (Option.get (Registry.read ctx ctx.Registry.key)) in
+      Registry.Commit_det
+        ( Value.int (own + 1),
+          [ ("dep", Registry.Dep_put (Value.int 99)) ] ));
+  let h = mk_engine ~registry () in
+  Engine.load_initial h.engine ~key:"det_key" (Value.int 0);
+  Engine.load_initial h.engine ~key:"dep" (Value.int 1);
+  install_pending h ~key:"det_key" ~version:4 ~ftype:(Ftype.User "det")
+    ~farg:{ Funct.read_set = [ "det_key" ]; args = []; recipients = [];
+            dependents = [ "dep" ]; pushed_reads = [] };
+  install_pending h ~key:"dep" ~version:4 ~ftype:(Ftype.Dep_marker "det_key")
+    ~farg:Funct.farg_empty;
+  (* Reading the dependent key triggers the determinate functor. *)
+  Alcotest.(check (option int)) "deferred write observed" (Some 99)
+    (get_int h ~key:"dep" ~version:4);
+  Alcotest.(check (option int)) "determinate value" (Some 1)
+    (get_int h ~key:"det_key" ~version:4)
+
+let test_dynamic_dep_write () =
+  let registry = Registry.create () in
+  Registry.register registry "emit" (fun _ ->
+      Registry.Commit_det
+        (Value.int 0, [ ("dyn:7", Registry.Dep_put (Value.int 42)) ]));
+  let h = mk_engine ~registry () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 0);
+  install_pending h ~key:"k" ~version:3 ~ftype:(Ftype.User "emit")
+    ~farg:{ Funct.read_set = []; args = []; recipients = []; dependents = []; pushed_reads = [] };
+  Engine.compute_key h.engine ~key:"k" ~version:3;
+  Alcotest.(check (option int)) "dynamically named row inserted" (Some 42)
+    (get_int h ~key:"dyn:7" ~version:3);
+  Alcotest.(check (option int)) "absent below its version" None
+    (get_int h ~key:"dyn:7" ~version:2)
+
+let test_abort_version_rolls_back_final () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  install_value h ~key:"k" ~version:5 (Value.int 2);
+  Engine.abort_version h.engine ~key:"k" ~version:5;
+  Alcotest.(check (option int)) "rolled back" (Some 1)
+    (get_int h ~key:"k" ~version:9)
+
+let test_abort_version_pending () =
+  let h = mk_engine () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  install_pending h ~key:"k" ~version:5 ~ftype:Ftype.Add
+    ~farg:(Funct.farg_args [ Value.int 10 ]);
+  Engine.abort_version h.engine ~key:"k" ~version:5;
+  Alcotest.(check (option int)) "pending aborted, not applied" (Some 1)
+    (get_int h ~key:"k" ~version:9);
+  (* notify fired exactly once for the aborted functor *)
+  Alcotest.(check int) "one final notification" 1 (List.length !(h.finals))
+
+let test_recipient_push_emitted () =
+  let registry = Registry.create () in
+  Registry.register registry "recv" (fun ctx ->
+      match Registry.read ctx "src" with
+      | Some v -> Registry.Commit v
+      | None -> Registry.Commit (Value.int (-1)));
+  let h = mk_engine ~registry () in
+  Engine.load_initial h.engine ~key:"src" (Value.int 5);
+  Engine.load_initial h.engine ~key:"dst" (Value.int 0);
+  install_pending h ~key:"src" ~version:3 ~ftype:Ftype.Add
+    ~farg:{ Funct.read_set = []; args = [ Value.int 1 ];
+            recipients = [ "dst" ]; dependents = []; pushed_reads = [] };
+  install_pending h ~key:"dst" ~version:3 ~ftype:(Ftype.User "recv")
+    ~farg:{ Funct.read_set = [ "src" ]; args = []; recipients = [];
+            dependents = []; pushed_reads = [] };
+  Engine.compute_key h.engine ~key:"src" ~version:3;
+  Alcotest.(check bool) "push was sent" true (!(h.pushes) <> []);
+  (match !(h.pushes) with
+  | (dst, 3, "src") :: _ -> Alcotest.(check string) "to dst functor" "dst" dst
+  | _ -> Alcotest.fail "unexpected push shape")
+
+let test_optimistic_validation () =
+  let registry = Registry.with_builtins () in
+  Functor_cc.Optimistic.register registry;
+  let h = mk_engine ~registry () in
+  Engine.load_initial h.engine ~key:"k" (Value.int 10);
+  (* Valid snapshot: commits. *)
+  (match
+     Engine.install h.engine ~key:"k" ~version:5 ~lo:0 ~hi:max_int
+       (Functor_cc.Optimistic.make_functor
+          ~snapshot:[ ("k", Some (Value.int 10)) ]
+          ~new_value:(Value.int 11) ~txn_id:5 ~coordinator:0)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  Alcotest.(check (option int)) "validates and commits" (Some 11)
+    (get_int h ~key:"k" ~version:6);
+  (* Stale snapshot: aborts. *)
+  (match
+     Engine.install h.engine ~key:"k" ~version:9 ~lo:0 ~hi:max_int
+       (Functor_cc.Optimistic.make_functor
+          ~snapshot:[ ("k", Some (Value.int 10)) ]  (* stale: now 11 *)
+          ~new_value:(Value.int 12) ~txn_id:9 ~coordinator:0)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  Alcotest.(check (option int)) "stale snapshot aborts" (Some 11)
+    (get_int h ~key:"k" ~version:10)
+
+(* qcheck: a random series of ADD/SUBTR/VALUE writes equals a fold. *)
+let prop_numeric_series =
+  let op_gen =
+    QCheck2.Gen.(oneof
+      [ map (fun n -> `Add n) (int_range 1 100);
+        map (fun n -> `Subtr n) (int_range 1 100);
+        map (fun n -> `Put n) (int_range 0 1000) ])
+  in
+  QCheck2.Test.make ~name:"numeric functor series = fold" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) op_gen)
+    (fun ops ->
+      let h = mk_engine () in
+      Engine.load_initial h.engine ~key:"k" (Value.int 0);
+      List.iteri
+        (fun i op ->
+          let version = i + 1 in
+          match op with
+          | `Add n ->
+              install_pending h ~key:"k" ~version ~ftype:Ftype.Add
+                ~farg:(Funct.farg_args [ Value.int n ])
+          | `Subtr n ->
+              install_pending h ~key:"k" ~version ~ftype:Ftype.Subtr
+                ~farg:(Funct.farg_args [ Value.int n ])
+          | `Put n -> install_value h ~key:"k" ~version (Value.int n))
+        ops;
+      let expected =
+        List.fold_left
+          (fun acc op ->
+            match op with
+            | `Add n -> acc + n
+            | `Subtr n -> acc - n
+            | `Put n -> n)
+          0 ops
+      in
+      get_int h ~key:"k" ~version:max_int = Some expected)
+
+(* qcheck: watermark equals the highest version after computing all. *)
+let prop_watermark_complete =
+  QCheck2.Test.make ~name:"watermark reaches top after compute" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 1 100))
+    (fun raw ->
+      let versions = List.sort_uniq compare raw in
+      let h = mk_engine () in
+      Engine.load_initial h.engine ~key:"k" (Value.int 0);
+      List.iter
+        (fun version ->
+          install_pending h ~key:"k" ~version ~ftype:Ftype.Add
+            ~farg:(Funct.farg_args [ Value.int 1 ]))
+        versions;
+      let top = List.fold_left max 0 versions in
+      Engine.compute_key h.engine ~key:"k" ~version:top;
+      Engine.watermark h.engine ~key:"k" = top
+      && Engine.pending_count h.engine = 0)
+
+let suite =
+  [ Alcotest.test_case "value accessors" `Quick test_value_accessors;
+    Alcotest.test_case "value equal/compare" `Quick test_value_equal_compare;
+    Alcotest.test_case "ftype" `Quick test_ftype;
+    Alcotest.test_case "registry duplicate" `Quick test_registry_duplicate;
+    Alcotest.test_case "builtin add chain" `Quick test_builtin_add_chain;
+    Alcotest.test_case "max/min" `Quick test_max_min;
+    Alcotest.test_case "add on absent defaults to zero" `Quick
+      test_add_absent_key_aborts;
+    Alcotest.test_case "aborted version skipped" `Quick
+      test_aborted_version_skipped;
+    Alcotest.test_case "delete tombstone" `Quick test_delete_tombstone;
+    Alcotest.test_case "compute at most once" `Quick test_compute_at_most_once;
+    Alcotest.test_case "user handler reads" `Quick test_user_handler_reads;
+    Alcotest.test_case "reads strictly below version" `Quick
+      test_handler_reads_snapshot_below_version;
+    Alcotest.test_case "missing handler aborts" `Quick
+      test_missing_handler_aborts;
+    Alcotest.test_case "dep marker resolution" `Quick
+      test_dep_marker_resolution;
+    Alcotest.test_case "dynamic dep write" `Quick test_dynamic_dep_write;
+    Alcotest.test_case "abort rolls back final" `Quick
+      test_abort_version_rolls_back_final;
+    Alcotest.test_case "abort pending" `Quick test_abort_version_pending;
+    Alcotest.test_case "recipient push" `Quick test_recipient_push_emitted;
+    Alcotest.test_case "optimistic validation" `Quick
+      test_optimistic_validation;
+    QCheck_alcotest.to_alcotest prop_numeric_series;
+    QCheck_alcotest.to_alcotest prop_watermark_complete ]

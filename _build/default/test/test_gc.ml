@@ -1,0 +1,100 @@
+(* Version garbage collection: history below the horizon is reclaimed
+   while reads at and above it are unaffected. *)
+
+module Chain = Mvstore.Chain
+module Value = Functor_cc.Value
+module Engine = Functor_cc.Compute_engine
+module Funct = Functor_cc.Funct
+
+let test_chain_truncate () =
+  let c : int Chain.t = Chain.create () in
+  List.iter (fun v -> ignore (Chain.insert c ~version:v v)) [ 1; 3; 5; 7; 9 ];
+  let reclaimed = Chain.truncate_below c ~version:6 in
+  Alcotest.(check int) "two dropped" 2 reclaimed;
+  Alcotest.(check (list int)) "base kept" [ 5; 7; 9 ] (Chain.versions c);
+  (* Reads at the horizon land on the kept base. *)
+  (match Chain.find_le c ~version:6 with
+  | Some (5, _) -> ()
+  | _ -> Alcotest.fail "base lost");
+  Alcotest.(check int) "idempotent" 0 (Chain.truncate_below c ~version:6)
+
+let test_chain_truncate_all_below () =
+  let c : int Chain.t = Chain.create () in
+  List.iter (fun v -> ignore (Chain.insert c ~version:v v)) [ 10; 20 ];
+  Alcotest.(check int) "nothing below first" 0
+    (Chain.truncate_below c ~version:5);
+  Alcotest.(check int) "everything below keeps latest" 1
+    (Chain.truncate_below c ~version:100);
+  Alcotest.(check (list int)) "latest survives" [ 20 ] (Chain.versions c)
+
+let mk_engine () =
+  let callbacks =
+    { Engine.is_local = (fun _ -> true);
+      remote_get = (fun ~key:_ ~version:_ k -> k None);
+      send_push = (fun ~dst_key:_ ~version:_ ~src_key:_ _ -> ());
+      send_dep_write = (fun ~key:_ ~version:_ _ -> ());
+      notify_final = (fun ~key:_ ~version:_ ~pending:_ ~final:_ -> ());
+      exec = (fun ~cost:_ k -> k ());
+      now = (fun () -> 0) }
+  in
+  Engine.create
+    ~registry:(Functor_cc.Registry.with_builtins ())
+    ~callbacks ~compute_cost_us:0 ~metrics:(Sim.Metrics.create ()) ()
+
+let test_engine_gc_preserves_reads () =
+  let e = mk_engine () in
+  Engine.load_initial e ~key:"k" (Value.int 0);
+  for v = 1 to 50 do
+    ignore
+      (Engine.install e ~key:"k" ~version:v ~lo:0 ~hi:max_int
+         (Funct.mk_pending ~ftype:Functor_cc.Ftype.Add
+            ~farg:(Funct.farg_args [ Value.int 1 ])
+            ~txn_id:v ~coordinator:0))
+  done;
+  Engine.compute_key e ~key:"k" ~version:50;
+  let read version =
+    let got = ref 0 in
+    Engine.get e ~key:"k" ~version (function
+      | Some v -> got := Value.to_int v
+      | None -> got := -1);
+    !got
+  in
+  Alcotest.(check int) "pre-gc latest" 50 (read max_int);
+  let reclaimed = Engine.gc e ~before:30 in
+  Alcotest.(check int) "records reclaimed" 30 reclaimed;
+  Alcotest.(check int) "latest unchanged" 50 (read max_int);
+  Alcotest.(check int) "read at horizon" 30 (read 30);
+  Alcotest.(check int) "read above horizon" 42 (read 42);
+  (* Reads strictly below the horizon are no longer served — the
+     documented historical-read horizon. *)
+  Alcotest.(check int) "below horizon unsupported" (-1) (read 10)
+
+let test_engine_gc_spares_pending () =
+  let e = mk_engine () in
+  Engine.load_initial e ~key:"k" (Value.int 0);
+  for v = 1 to 10 do
+    ignore
+      (Engine.install e ~key:"k" ~version:v ~lo:0 ~hi:max_int
+         (Funct.mk_pending ~ftype:Functor_cc.Ftype.Add
+            ~farg:(Funct.farg_args [ Value.int 1 ])
+            ~txn_id:v ~coordinator:0))
+  done;
+  (* Nothing computed yet: the watermark is still 0, so gc must not touch
+     anything above it. *)
+  let reclaimed = Engine.gc e ~before:100 in
+  Alcotest.(check int) "nothing reclaimed above watermark" 0 reclaimed;
+  Engine.compute_key e ~key:"k" ~version:10;
+  let got = ref 0 in
+  Engine.get e ~key:"k" ~version:max_int (function
+    | Some v -> got := Value.to_int v
+    | None -> ());
+  Alcotest.(check int) "values intact after gc attempt" 10 !got
+
+let suite =
+  [ Alcotest.test_case "chain truncate" `Quick test_chain_truncate;
+    Alcotest.test_case "chain truncate edges" `Quick
+      test_chain_truncate_all_below;
+    Alcotest.test_case "engine gc preserves reads" `Quick
+      test_engine_gc_preserves_reads;
+    Alcotest.test_case "engine gc spares pending" `Quick
+      test_engine_gc_spares_pending ]

@@ -1,0 +1,117 @@
+(* Load generation and the experiment driver. *)
+
+let test_poisson_rate () =
+  let sim = Sim.Engine.create () in
+  let rng = Sim.Rng.create 3 in
+  let count = ref 0 in
+  Harness.Arrivals.install ~sim ~rng ~n_fes:4
+    ~arrival:(Harness.Arrivals.Open_poisson { rate_per_fe = 1000.0 })
+    ~submit:(fun ~fe:_ ~done_k:_ -> incr count);
+  Sim.Engine.run ~until:1_000_000 sim;
+  (* 4 FEs x 1000/s x 1 s = 4000 expected; allow 10 %. *)
+  Alcotest.(check bool) "poisson rate"
+    true (abs (!count - 4000) < 400)
+
+let test_burst_arrivals_cluster_at_period () =
+  let sim = Sim.Engine.create () in
+  let rng = Sim.Rng.create 3 in
+  let times = ref [] in
+  Harness.Arrivals.install ~sim ~rng ~n_fes:1
+    ~arrival:
+      (Harness.Arrivals.Open_burst { rate_per_fe = 500.0; period_us = 20_000 })
+    ~submit:(fun ~fe:_ ~done_k:_ -> times := Sim.Engine.now sim :: !times);
+  Sim.Engine.run ~until:200_000 sim;
+  Alcotest.(check bool) "some arrivals" true (List.length !times > 50);
+  (* Every arrival lands exactly on a period boundary (+1 µs offset). *)
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "on period boundary" 1 ((t - 1) mod 20_000 + 1))
+    !times
+
+let test_closed_loop_sustains () =
+  let sim = Sim.Engine.create () in
+  let rng = Sim.Rng.create 3 in
+  let inflight = ref 0 and max_inflight = ref 0 and completed = ref 0 in
+  Harness.Arrivals.install ~sim ~rng ~n_fes:2
+    ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 5 })
+    ~submit:(fun ~fe:_ ~done_k ->
+      incr inflight;
+      if !inflight > !max_inflight then max_inflight := !inflight;
+      Sim.Engine.after sim 1_000 (fun () ->
+          decr inflight;
+          incr completed;
+          done_k ()));
+  Sim.Engine.run ~until:100_000 sim;
+  Alcotest.(check int) "bounded concurrency" 10 !max_inflight;
+  (* 10 clients x (100 ms / 1 ms service) ~ 1000 completions *)
+  Alcotest.(check bool) "throughput sustained" true (!completed > 900)
+
+let test_driver_ycsb_both_systems () =
+  (* End-to-end smoke of the Figure-9 machinery at a tiny scale: ALOHA
+     throughput must exceed Calvin's and both must make progress. *)
+  let { Harness.Setup.a_cluster; a_gen } =
+    Harness.Setup.aloha_ycsb ~n:2 ~ci:0.01 ~keys_per_partition:1_000 ()
+  in
+  let ra =
+    Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen
+      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 200 })
+      ~warmup_us:50_000 ~measure_us:50_000 ()
+  in
+  let { Harness.Setup.c_cluster; c_gen } =
+    Harness.Setup.calvin_ycsb ~n:2 ~ci:0.01 ~keys_per_partition:1_000 ()
+  in
+  let rc =
+    Harness.Driver.run_calvin ~cluster:c_cluster ~gen:c_gen
+      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 100 })
+      ~warmup_us:50_000 ~measure_us:50_000 ()
+  in
+  Alcotest.(check bool) "aloha progresses" true (ra.Harness.Driver.committed > 100);
+  Alcotest.(check bool) "calvin progresses" true (rc.Harness.Driver.committed > 50);
+  Alcotest.(check bool) "aloha beats calvin" true
+    (ra.Harness.Driver.throughput_tps > rc.Harness.Driver.throughput_tps);
+  Alcotest.(check bool) "aloha stages recorded" true
+    (List.length ra.Harness.Driver.stages = 3);
+  Alcotest.(check bool) "latencies sane" true
+    (ra.Harness.Driver.lat_mean_us > 0.0
+     && ra.Harness.Driver.lat_p99_us >= ra.Harness.Driver.lat_p50_us)
+
+let test_driver_tpcc_abort_accounting () =
+  let { Harness.Setup.a_cluster; a_gen } =
+    Harness.Setup.aloha_tpcc ~n:2 ~warehouses_per_host:1 ~kind:`NewOrder ()
+  in
+  let r =
+    Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen
+      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 100 })
+      ~warmup_us:50_000 ~measure_us:100_000 ()
+  in
+  Alcotest.(check bool) "commits" true (r.Harness.Driver.committed > 100);
+  (* 1 % of NewOrders reference an unknown item and must abort in the
+     write-only phase. *)
+  Alcotest.(check bool) "install aborts occur" true
+    (r.Harness.Driver.aborted_install > 0);
+  let ratio =
+    float_of_int r.Harness.Driver.aborted_install
+    /. float_of_int (r.Harness.Driver.committed + r.Harness.Driver.aborted_install)
+  in
+  Alcotest.(check bool) "abort rate ~1%" true (ratio > 0.001 && ratio < 0.05)
+
+let test_scale_profiles_sane () =
+  let q = Harness.Experiments.quick and f = Harness.Experiments.full in
+  Alcotest.(check bool) "quick smaller" true
+    (q.Harness.Experiments.measure_us <= f.Harness.Experiments.measure_us);
+  Alcotest.(check bool) "full has the paper's server counts" true
+    (List.mem 20 f.Harness.Experiments.fig8_servers);
+  Alcotest.(check bool) "full sweeps the paper's CI range" true
+    (List.mem 0.1 f.Harness.Experiments.fig9_cis
+     && List.mem 1e-4 f.Harness.Experiments.fig9_cis)
+
+let suite =
+  [ Alcotest.test_case "poisson rate" `Quick test_poisson_rate;
+    Alcotest.test_case "burst arrivals" `Quick
+      test_burst_arrivals_cluster_at_period;
+    Alcotest.test_case "closed loop" `Quick test_closed_loop_sustains;
+    Alcotest.test_case "driver ycsb both systems" `Slow
+      test_driver_ycsb_both_systems;
+    Alcotest.test_case "driver tpcc aborts" `Slow
+      test_driver_tpcc_abort_accounting;
+    Alcotest.test_case "scale profiles" `Quick test_scale_profiles_sane ]

@@ -1,0 +1,146 @@
+(* Multi-version storage: chains and tables. *)
+
+module Chain = Mvstore.Chain
+module Table = Mvstore.Table
+
+let test_chain_insert_find () =
+  let c : string Chain.t = Chain.create () in
+  List.iter
+    (fun (v, s) ->
+      match Chain.insert c ~version:v s with
+      | Ok () -> ()
+      | Error `Duplicate -> Alcotest.fail "unexpected duplicate")
+    [ (10, "a"); (30, "c"); (20, "b") ];
+  Alcotest.(check (list int)) "sorted" [ 10; 20; 30 ] (Chain.versions c);
+  (match Chain.find_le c ~version:25 with
+  | Some (20, "b") -> ()
+  | Some (v, s) -> Alcotest.failf "got (%d,%s)" v s
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check (option string)) "below first" None
+    (Option.map snd (Chain.find_le c ~version:9));
+  (match Chain.find_le c ~version:30 with
+  | Some (30, "c") -> ()
+  | _ -> Alcotest.fail "exact bound");
+  (match Chain.find_le c ~version:1000 with
+  | Some (30, "c") -> ()
+  | _ -> Alcotest.fail "above all")
+
+let test_chain_duplicate () =
+  let c : int Chain.t = Chain.create () in
+  (match Chain.insert c ~version:5 1 with Ok () -> () | Error _ -> assert false);
+  (match Chain.insert c ~version:5 2 with
+  | Error `Duplicate -> ()
+  | Ok () -> Alcotest.fail "duplicate accepted");
+  Alcotest.(check (option int)) "original kept" (Some 1)
+    (Chain.find_exact c ~version:5)
+
+let test_chain_update () =
+  let c : int Chain.t = Chain.create () in
+  ignore (Chain.insert c ~version:5 1);
+  Alcotest.(check bool) "update hits" true (Chain.update c ~version:5 9);
+  Alcotest.(check (option int)) "updated" (Some 9) (Chain.find_exact c ~version:5);
+  Alcotest.(check bool) "update misses" false (Chain.update c ~version:6 0)
+
+let test_chain_watermark_monotone () =
+  let c : int Chain.t = Chain.create () in
+  Alcotest.(check int) "initial" (-1) (Chain.watermark c);
+  Chain.advance_watermark c 10;
+  Chain.advance_watermark c 5;
+  Alcotest.(check int) "monotone" 10 (Chain.watermark c)
+
+let test_chain_iter_range () =
+  let c : int Chain.t = Chain.create () in
+  List.iter (fun v -> ignore (Chain.insert c ~version:v v)) [ 1; 3; 5; 7; 9 ];
+  let got = ref [] in
+  Chain.iter_range c ~lo:3 ~hi:7 (fun v _ -> got := v :: !got);
+  Alcotest.(check (list int)) "inclusive range" [ 3; 5; 7 ] (List.rev !got);
+  let got = ref [] in
+  Chain.iter_range c ~lo:4 ~hi:4 (fun v _ -> got := v :: !got);
+  Alcotest.(check (list int)) "empty range" [] !got
+
+let test_chain_find_next_after () =
+  let c : int Chain.t = Chain.create () in
+  List.iter (fun v -> ignore (Chain.insert c ~version:v v)) [ 10; 20 ];
+  (match Chain.find_next_after c ~version:10 with
+  | Some (20, _) -> ()
+  | _ -> Alcotest.fail "next after 10");
+  (match Chain.find_next_after c ~version:5 with
+  | Some (10, _) -> ()
+  | _ -> Alcotest.fail "next after 5");
+  Alcotest.(check bool) "nothing after last" true
+    (Chain.find_next_after c ~version:20 = None)
+
+let test_table_window () =
+  let t : int Table.t = Table.create () in
+  (match Table.put t ~key:"k" ~version:50 ~lo:10 ~hi:100 1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "in-window put");
+  (match Table.put t ~key:"k" ~version:5 ~lo:10 ~hi:100 2 with
+  | Error `Version_out_of_window -> ()
+  | _ -> Alcotest.fail "below window accepted");
+  (match Table.put t ~key:"k" ~version:101 ~lo:10 ~hi:100 3 with
+  | Error `Version_out_of_window -> ()
+  | _ -> Alcotest.fail "above window accepted");
+  (match Table.put t ~key:"k" ~version:50 ~lo:10 ~hi:100 4 with
+  | Error `Duplicate_version -> ()
+  | _ -> Alcotest.fail "duplicate accepted")
+
+let test_table_counts () =
+  let t : int Table.t = Table.create () in
+  ignore (Table.put_unchecked t ~key:"a" ~version:1 1);
+  ignore (Table.put_unchecked t ~key:"a" ~version:2 2);
+  ignore (Table.put_unchecked t ~key:"b" ~version:1 3);
+  Alcotest.(check int) "keys" 2 (Table.key_count t);
+  Alcotest.(check int) "records" 3 (Table.record_count t);
+  Alcotest.(check (option (pair int int))) "find_le" (Some (2, 2))
+    (Table.find_le t ~key:"a" ~version:99)
+
+(* qcheck: chain behaves like a reference sorted association list. *)
+let prop_chain_matches_reference =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 300))
+  in
+  QCheck2.Test.make ~name:"chain = reference model" ~count:300 gen
+    (fun versions ->
+      let c : int Chain.t = Chain.create () in
+      let reference = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          match Chain.insert c ~version:v v with
+          | Ok () ->
+              if Hashtbl.mem reference v then raise Exit;
+              Hashtbl.add reference v v
+          | Error `Duplicate ->
+              if not (Hashtbl.mem reference v) then raise Exit)
+        versions;
+      (* versions sorted & deduplicated *)
+      let expected =
+        Hashtbl.fold (fun v _ acc -> v :: acc) reference []
+        |> List.sort compare
+      in
+      if Chain.versions c <> expected then false
+      else begin
+        (* find_le agrees with the reference for probe points *)
+        List.for_all
+          (fun probe ->
+            let want =
+              List.filter (fun v -> v <= probe) expected
+              |> List.fold_left (fun acc v -> max acc v) (-1)
+            in
+            match Chain.find_le c ~version:probe with
+            | None -> want = -1
+            | Some (v, _) -> v = want)
+          [ 0; 50; 150; 299; 1000 ]
+      end)
+
+let suite =
+  [ Alcotest.test_case "chain insert/find" `Quick test_chain_insert_find;
+    Alcotest.test_case "chain duplicate" `Quick test_chain_duplicate;
+    Alcotest.test_case "chain update" `Quick test_chain_update;
+    Alcotest.test_case "chain watermark" `Quick test_chain_watermark_monotone;
+    Alcotest.test_case "chain iter_range" `Quick test_chain_iter_range;
+    Alcotest.test_case "chain find_next_after" `Quick
+      test_chain_find_next_after;
+    Alcotest.test_case "table window" `Quick test_table_window;
+    Alcotest.test_case "table counts" `Quick test_table_counts;
+    QCheck_alcotest.to_alcotest prop_chain_matches_reference ]

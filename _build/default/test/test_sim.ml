@@ -1,0 +1,302 @@
+(* Simulation kernel: heap, engine, worker pool, rng, zipf, stats, bits,
+   metrics. *)
+
+let test_heap_sorted () =
+  let h : int Sim.Heap.t = Sim.Heap.create () in
+  let rng = Sim.Rng.create 1 in
+  let values = List.init 500 (fun _ -> Sim.Rng.int rng 1000) in
+  List.iter (fun v -> Sim.Heap.add h ~priority:v v) values;
+  let rec drain last acc =
+    match Sim.Heap.pop h with
+    | None -> List.rev acc
+    | Some (p, v) ->
+        Alcotest.(check bool) "non-decreasing" true (p >= last);
+        Alcotest.(check int) "priority = value" p v;
+        drain p (v :: acc)
+  in
+  let drained = drain min_int [] in
+  Alcotest.(check int) "all popped" 500 (List.length drained);
+  Alcotest.(check (list int)) "sorted multiset"
+    (List.sort compare values) drained
+
+let test_heap_fifo_ties () =
+  let h : string Sim.Heap.t = Sim.Heap.create () in
+  List.iter (fun s -> Sim.Heap.add h ~priority:7 s) [ "a"; "b"; "c"; "d" ];
+  let order =
+    List.init 4 (fun _ -> match Sim.Heap.pop h with
+      | Some (_, v) -> v
+      | None -> Alcotest.fail "heap empty")
+  in
+  Alcotest.(check (list string)) "FIFO among equal priorities"
+    [ "a"; "b"; "c"; "d" ] order
+
+let test_heap_interleaved () =
+  let h : int Sim.Heap.t = Sim.Heap.create () in
+  Sim.Heap.add h ~priority:5 5;
+  Sim.Heap.add h ~priority:1 1;
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Heap.peek_priority h);
+  (match Sim.Heap.pop h with
+  | Some (1, 1) -> ()
+  | _ -> Alcotest.fail "expected 1");
+  Sim.Heap.add h ~priority:0 0;
+  (match Sim.Heap.pop h with
+  | Some (0, 0) -> ()
+  | _ -> Alcotest.fail "expected 0");
+  Alcotest.(check int) "one left" 1 (Sim.Heap.length h)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~at:30 (fun () -> log := 30 :: !log);
+  Sim.Engine.schedule e ~at:10 (fun () -> log := 10 :: !log);
+  Sim.Engine.schedule e ~at:20 (fun () ->
+      log := 20 :: !log;
+      (* events scheduled during execution still honour time order *)
+      Sim.Engine.schedule e ~at:25 (fun () -> log := 25 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 25; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Sim.Engine.now e)
+
+let test_engine_past_rejected () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~at:10 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument
+        "Engine.schedule: at=5 is in the past (now=10)")
+        (fun () -> Sim.Engine.schedule e ~at:5 (fun () -> ())));
+  Sim.Engine.run e
+
+let test_engine_horizon () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Sim.Engine.schedule e ~at:t (fun () -> fired := t :: !fired))
+    [ 10; 20; 30; 40 ];
+  Sim.Engine.run ~until:25 e;
+  Alcotest.(check (list int)) "fired up to horizon" [ 10; 20 ] (List.rev !fired);
+  Alcotest.(check int) "clock clamped to horizon" 25 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "resumes" [ 10; 20; 30; 40 ] (List.rev !fired)
+
+let test_engine_stop () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Sim.Engine.schedule e ~at:i (fun () ->
+        incr count;
+        if !count = 3 then Sim.Engine.stop e)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check int) "stopped after 3" 3 !count;
+  Sim.Engine.run e;
+  Alcotest.(check int) "resumed the rest" 10 !count
+
+let test_pool_respects_width () =
+  let e = Sim.Engine.create () in
+  let p = Sim.Worker_pool.create e ~workers:2 in
+  let finish = ref [] in
+  for i = 1 to 4 do
+    Sim.Worker_pool.submit p ~cost:10 (fun () ->
+        finish := (i, Sim.Engine.now e) :: !finish)
+  done;
+  Alcotest.(check int) "two run, two queue" 2 (Sim.Worker_pool.queue_length p);
+  Sim.Engine.run e;
+  let times = List.rev_map snd !finish in
+  Alcotest.(check (list int)) "two waves of two" [ 10; 10; 20; 20 ]
+    (List.sort compare times);
+  Alcotest.(check int) "busy time = 4 jobs x 10" 40
+    (Sim.Worker_pool.busy_time p);
+  Alcotest.(check int) "jobs completed" 4 (Sim.Worker_pool.jobs_completed p)
+
+let test_pool_priority () =
+  let e = Sim.Engine.create () in
+  let p = Sim.Worker_pool.create e ~workers:1 in
+  let order = ref [] in
+  Sim.Worker_pool.submit p ~cost:5 (fun () -> order := "first" :: !order);
+  Sim.Worker_pool.submit p ~cost:5 (fun () -> order := "normal" :: !order);
+  Sim.Worker_pool.submit_priority p ~cost:5 (fun () ->
+      order := "prio" :: !order);
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "priority jumps the queue"
+    [ "first"; "prio"; "normal" ] (List.rev !order)
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  let xs = List.init 100 (fun _ -> Sim.Rng.int a 1_000_000) in
+  let ys = List.init 100 (fun _ -> Sim.Rng.int b 1_000_000) in
+  Alcotest.(check (list int)) "same seed same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 42 in
+  let child = Sim.Rng.split a in
+  let xs = List.init 50 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Sim.Rng.int child 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Sim.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v;
+    let u = Sim.Rng.uniform_int rng ~lo:(-5) ~hi:5 in
+    if u < -5 || u > 5 then Alcotest.failf "uniform out of range: %d" u;
+    let f = Sim.Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_bernoulli_mean () =
+  let rng = Sim.Rng.create 13 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Sim.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. 10_000.0 in
+  Alcotest.(check bool) "within 3 sigma of 0.3" true (abs_float (p -. 0.3) < 0.015)
+
+let test_zipf_popularity () =
+  let z = Sim.Zipf.create ~n:1000 ~theta:0.99 in
+  let rng = Sim.Rng.create 5 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 100_000 do
+    let r = Sim.Zipf.sample z rng in
+    if r < 0 || r >= 1000 then Alcotest.failf "rank out of range: %d" r;
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 much more popular than rank 500" true
+    (counts.(0) > 10 * (counts.(500) + 1))
+
+let test_stats_summary () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Sim.Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "variance" 2.5 (Sim.Stats.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Sim.Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Sim.Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 15.0 (Sim.Stats.Summary.total s)
+
+let test_stats_summary_merge () =
+  let a = Sim.Stats.Summary.create () and b = Sim.Stats.Summary.create () in
+  let whole = Sim.Stats.Summary.create () in
+  let rng = Sim.Rng.create 3 in
+  for i = 1 to 200 do
+    let x = Sim.Rng.float rng 100.0 in
+    Sim.Stats.Summary.add (if i mod 2 = 0 then a else b) x;
+    Sim.Stats.Summary.add whole x
+  done;
+  let m = Sim.Stats.Summary.merge a b in
+  Alcotest.(check (float 1e-6)) "merged mean"
+    (Sim.Stats.Summary.mean whole) (Sim.Stats.Summary.mean m);
+  Alcotest.(check (float 1e-4)) "merged variance"
+    (Sim.Stats.Summary.variance whole) (Sim.Stats.Summary.variance m)
+
+let test_histogram_percentiles () =
+  let h = Sim.Stats.Histogram.create () in
+  for i = 1 to 10_000 do
+    Sim.Stats.Histogram.add h i
+  done;
+  let check_pct p expected =
+    let v = Sim.Stats.Histogram.percentile h p in
+    let err = abs_float (float_of_int v /. expected -. 1.0) in
+    if err > 0.08 then
+      Alcotest.failf "p%.0f: got %d, want ~%.0f (err %.3f)" p v expected err
+  in
+  check_pct 50.0 5000.0;
+  check_pct 90.0 9000.0;
+  check_pct 99.0 9900.0;
+  Alcotest.(check int) "min exact" 1 (Sim.Stats.Histogram.min h);
+  Alcotest.(check int) "max exact" 10_000 (Sim.Stats.Histogram.max h);
+  Alcotest.(check (float 1.0)) "mean" 5000.5 (Sim.Stats.Histogram.mean h)
+
+let test_histogram_empty_and_negative () =
+  let h = Sim.Stats.Histogram.create () in
+  Alcotest.(check int) "empty percentile" 0
+    (Sim.Stats.Histogram.percentile h 99.0);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Histogram.add: negative sample") (fun () ->
+      Sim.Stats.Histogram.add h (-1))
+
+let test_bits () =
+  Alcotest.(check int) "clz 1" 62 (Sim.Bits.count_leading_zeros 1);
+  Alcotest.(check int) "clz 0" 63 (Sim.Bits.count_leading_zeros 0);
+  Alcotest.(check int) "clz near max" 1 (Sim.Bits.count_leading_zeros (1 lsl 61));
+  List.iter
+    (fun (v, want) ->
+      Alcotest.(check int) (Printf.sprintf "ceil_pow2 %d" v) want
+        (Sim.Bits.ceil_pow2 v))
+    [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (1023, 1024); (1024, 1024) ]
+
+let test_metrics () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr m "a";
+  Sim.Metrics.add m "a" 4;
+  Sim.Metrics.incr m "b";
+  Alcotest.(check int) "a" 5 (Sim.Metrics.get m "a");
+  Alcotest.(check int) "absent" 0 (Sim.Metrics.get m "zzz");
+  Sim.Metrics.record_latency m "lat" 100;
+  Sim.Metrics.record_latency m "lat" 300;
+  (match Sim.Metrics.latency m "lat" with
+  | Some h -> Alcotest.(check int) "count" 2 (Sim.Stats.Histogram.count h)
+  | None -> Alcotest.fail "histogram missing");
+  Sim.Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Sim.Metrics.get m "a");
+  (match Sim.Metrics.latency m "lat" with
+  | Some h -> Alcotest.(check int) "hist reset" 0 (Sim.Stats.Histogram.count h)
+  | None -> Alcotest.fail "histogram should survive reset")
+
+(* qcheck: heap pops a sorted permutation of its input. *)
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap pops sorted permutation" ~count:200
+    QCheck2.Gen.(list_size (int_bound 200) (int_bound 10_000))
+    (fun xs ->
+      let h : int Sim.Heap.t = Sim.Heap.create () in
+      List.iter (fun v -> Sim.Heap.add h ~priority:v v) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* qcheck: histogram percentile within bucket resolution of exact. *)
+let prop_histogram_accuracy =
+  QCheck2.Test.make ~name:"histogram percentile ~ exact" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 500) (int_range 0 1_000_000))
+    (fun xs ->
+      let h = Sim.Stats.Histogram.create () in
+      List.iter (Sim.Stats.Histogram.add h) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          (* Same rank convention as the histogram: ceil(p% of count). *)
+          let rank = ((n * p) + 99) / 100 in
+          let exact = sorted.(Stdlib.max 0 (rank - 1)) in
+          let approx = Sim.Stats.Histogram.percentile h (float_of_int p) in
+          (* within one sub-bucket (1/16) or tiny absolute slack *)
+          abs (approx - exact) <= (exact / 8) + 16)
+        [ 50; 90; 99 ])
+
+let suite =
+  [ Alcotest.test_case "heap sorted drain" `Quick test_heap_sorted;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
+    Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine rejects past" `Quick test_engine_past_rejected;
+    Alcotest.test_case "engine horizon+resume" `Quick test_engine_horizon;
+    Alcotest.test_case "engine stop/resume" `Quick test_engine_stop;
+    Alcotest.test_case "pool width" `Quick test_pool_respects_width;
+    Alcotest.test_case "pool priority" `Quick test_pool_priority;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng bernoulli" `Quick test_rng_bernoulli_mean;
+    Alcotest.test_case "zipf popularity" `Quick test_zipf_popularity;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats merge" `Quick test_stats_summary_merge;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "histogram edge cases" `Quick
+      test_histogram_empty_and_negative;
+    Alcotest.test_case "bits" `Quick test_bits;
+    Alcotest.test_case "metrics" `Quick test_metrics;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_histogram_accuracy ]

@@ -1,0 +1,354 @@
+(* Workload-level integration tests: TPC-C invariants on both engines,
+   Scaled TPC-C, YCSB. *)
+
+module Value = Functor_cc.Value
+module Tpcc = Workload.Tpcc
+module Stpcc = Workload.Scaled_tpcc
+module Ycsb = Workload.Ycsb
+
+let n = 2
+
+let small_tpcc_cfg =
+  { (Tpcc.default_cfg ~n_servers:n ~warehouses_per_host:1) with
+    Tpcc.items = 50;
+    customers = 10;
+    invalid_item_fraction = 0.1 (* exaggerate to exercise aborts *) }
+
+(* ---- ALOHA TPC-C --------------------------------------------------------- *)
+
+let run_aloha_tpcc ~payments ~neworders =
+  let registry = Functor_cc.Registry.with_builtins () in
+  Tpcc.register_aloha registry;
+  let options =
+    { Alohadb.Cluster.default_options with n_servers = n;
+      partitioner = `Prefix }
+  in
+  let c = Alohadb.Cluster.create ~registry options in
+  Tpcc.load_aloha small_tpcc_cfg c;
+  Alohadb.Cluster.start c;
+  let gen = Tpcc.generator small_tpcc_cfg ~n_servers:n ~seed:5 in
+  let committed_no = ref 0 and aborted_no = ref 0 in
+  let committed_pay = ref 0 and pay_total = ref 0 in
+  let outstanding = ref 0 in
+  let sim = Alohadb.Cluster.sim c in
+  for i = 0 to neworders - 1 do
+    incr outstanding;
+    let fe = i mod n in
+    Sim.Engine.schedule sim ~at:(1_000 + (i * 37)) (fun () ->
+        Alohadb.Cluster.submit c ~fe (Tpcc.gen_neworder_aloha gen ~fe)
+          (fun result ->
+            decr outstanding;
+            match result with
+            | Alohadb.Txn.Committed _ -> incr committed_no
+            | Alohadb.Txn.Aborted _ -> incr aborted_no
+            | Alohadb.Txn.Values _ -> ()))
+  done;
+  for i = 0 to payments - 1 do
+    incr outstanding;
+    let fe = i mod n in
+    Sim.Engine.schedule sim ~at:(2_000 + (i * 41)) (fun () ->
+        (* The payment amount h appears as Add h on both the wytd and dytd
+           keys; extract it so the invariants can track the total. *)
+        let req = Tpcc.gen_payment_aloha gen ~fe in
+        let amount =
+          match req with
+          | Alohadb.Txn.Read_write { writes; _ } ->
+              List.fold_left
+                (fun acc (_, op) ->
+                  match op with Alohadb.Txn.Add h -> acc + h | _ -> acc)
+                0 writes
+              / 2 (* wytd and dytd both add h *)
+          | _ -> 0
+        in
+        Alohadb.Cluster.submit c ~fe req (fun result ->
+            decr outstanding;
+            match result with
+            | Alohadb.Txn.Committed _ ->
+                incr committed_pay;
+                pay_total := !pay_total + amount
+            | Alohadb.Txn.Aborted _ | Alohadb.Txn.Values _ -> ()))
+  done;
+  Sim.Engine.run ~until:600_000 sim;
+  Alcotest.(check int) "all resolved" 0 !outstanding;
+  (c, !committed_no, !aborted_no, !committed_pay, !pay_total)
+
+(* Enumerate a partition's committed latest values by key prefix. *)
+let aloha_scan c ~prefix =
+  let acc = ref [] in
+  for i = 0 to Alohadb.Cluster.n_servers c - 1 do
+    let engine = Alohadb.Server.engine (Alohadb.Cluster.server c i) in
+    let table = Functor_cc.Compute_engine.table engine in
+    List.iter
+      (fun key ->
+        if String.length key >= String.length prefix
+           && String.sub key 0 (String.length prefix) = prefix
+        then begin
+          let got = ref None in
+          Functor_cc.Compute_engine.get engine ~key ~version:max_int
+            (fun v -> got := Some v);
+          match !got with
+          | Some (Some v) -> acc := (key, v) :: !acc
+          | Some None -> ()
+          | None -> Alcotest.fail "scan read did not resolve"
+        end)
+      (Mvstore.Table.keys table)
+  done;
+  !acc
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_aloha_tpcc_neworder_invariants () =
+  let c, committed, aborted, _, _ = run_aloha_tpcc ~payments:0 ~neworders:120 in
+  Alcotest.(check int) "all accounted" 120 (committed + aborted);
+  Alcotest.(check bool) "some aborted (10% invalid items)" true (aborted > 0);
+  Alcotest.(check bool) "most committed" true (committed > aborted);
+  (* Order-id consistency: sum over districts of (next_o_id - 1) equals
+     the number of committed NewOrders, and order/neworder rows match. *)
+  let dnoid_sum =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":dnoid:")
+    |> List.fold_left (fun acc (_, v) -> acc + (Value.to_int v - 1)) 0
+  in
+  Alcotest.(check int) "district counters = committed orders" committed
+    dnoid_sum;
+  let orders =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":order:")
+  in
+  Alcotest.(check int) "order rows = committed orders" committed
+    (List.length orders);
+  let neworders =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":no:")
+  in
+  Alcotest.(check int) "neworder rows = committed orders" committed
+    (List.length neworders);
+  (* Order lines: every committed order has exactly ol_cnt line rows. *)
+  let ol_count =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":ol:")
+    |> List.length
+  in
+  let ol_expected =
+    List.fold_left (fun acc (_, row) -> acc + Value.to_int (Value.nth row 1))
+      0 orders
+  in
+  Alcotest.(check int) "orderline rows match ol_cnt" ol_expected ol_count;
+  (* Stock: order_cnt total equals total order lines. *)
+  let stock_order_cnt =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":stock:")
+    |> List.fold_left (fun acc (_, row) -> acc + Value.to_int (Value.nth row 2)) 0
+  in
+  Alcotest.(check int) "stock order_cnt = order lines" ol_expected
+    stock_order_cnt
+
+let test_aloha_tpcc_payment_invariants () =
+  let c, _, _, committed_pay, pay_total =
+    run_aloha_tpcc ~payments:100 ~neworders:0
+  in
+  Alcotest.(check int) "payments all commit" 100 committed_pay;
+  let wytd_sum =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":wytd")
+    |> List.fold_left (fun acc (_, v) -> acc + Value.to_int v) 0
+  in
+  Alcotest.(check int) "sum w_ytd = sum of payments" pay_total wytd_sum;
+  let dytd_sum =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":dytd:")
+    |> List.fold_left (fun acc (_, v) -> acc + Value.to_int v) 0
+  in
+  Alcotest.(check int) "sum d_ytd = sum of payments" pay_total dytd_sum;
+  (* Customer balances: sum of balances = -pay_total; payment counts = 100. *)
+  let custs =
+    aloha_scan c ~prefix:"w:"
+    |> List.filter (fun (k, _) -> contains_sub k ":cust:")
+  in
+  let bal = List.fold_left (fun a (_, r) -> a + Value.to_int (Value.nth r 0)) 0 custs in
+  let cnt = List.fold_left (fun a (_, r) -> a + Value.to_int (Value.nth r 2)) 0 custs in
+  Alcotest.(check int) "balances sum" (-pay_total) bal;
+  Alcotest.(check int) "payment counts" 100 cnt
+
+(* ---- Calvin TPC-C --------------------------------------------------------- *)
+
+let test_calvin_tpcc_neworder_invariants () =
+  let registry = Calvin.Ctxn.with_builtins () in
+  Tpcc.register_calvin registry;
+  let options =
+    { Calvin.Cluster.default_options with n_servers = n; partitioner = `Prefix }
+  in
+  let c = Calvin.Cluster.create ~registry options in
+  Tpcc.load_calvin small_tpcc_cfg c;
+  Calvin.Cluster.start c;
+  let gen = Tpcc.generator small_tpcc_cfg ~n_servers:n ~seed:5 in
+  let committed = ref 0 in
+  for i = 0 to 79 do
+    Calvin.Cluster.submit c ~fe:(i mod n)
+      (Tpcc.gen_neworder_calvin gen ~fe:(i mod n))
+      ~k:(fun () -> incr committed)
+  done;
+  Calvin.Cluster.run_for c 600_000;
+  Alcotest.(check int) "all committed (Calvin cannot abort)" 80 !committed;
+  (* District counters advanced once per order on each home district. *)
+  let dnoid_sum = ref 0 in
+  for w = 0 to small_tpcc_cfg.Tpcc.warehouses - 1 do
+    for d = 0 to small_tpcc_cfg.Tpcc.districts - 1 do
+      let server = Calvin.Cluster.server c (w mod n) in
+      match Calvin.Server.read_local server (Tpcc.dnoid_key ~w ~d) with
+      | Some v -> dnoid_sum := !dnoid_sum + (Value.to_int v - 1)
+      | None -> ()
+    done
+  done;
+  Alcotest.(check int) "district counters = orders" 80 !dnoid_sum
+
+(* ---- Scaled TPC-C ---------------------------------------------------------- *)
+
+let test_stpcc_aloha_basic () =
+  let cfg =
+    { (Stpcc.default_cfg ~n_servers:n ~districts_per_host:2) with
+      Stpcc.items = 40; customers = 10; invalid_item_fraction = 0.0 }
+  in
+  let registry = Functor_cc.Registry.with_builtins () in
+  Stpcc.register_aloha registry;
+  let options =
+    { Alohadb.Cluster.default_options with n_servers = n;
+      partitioner = `Prefix }
+  in
+  let c = Alohadb.Cluster.create ~registry options in
+  Stpcc.load_aloha cfg c;
+  Alohadb.Cluster.start c;
+  let gen = Stpcc.generator cfg ~seed:9 in
+  let committed = ref 0 and outstanding = ref 0 in
+  let sim = Alohadb.Cluster.sim c in
+  for i = 0 to 59 do
+    incr outstanding;
+    Sim.Engine.schedule sim ~at:(1_000 + (i * 53)) (fun () ->
+        Alohadb.Cluster.submit c ~fe:(i mod n) (Stpcc.gen_neworder_aloha gen)
+          (fun result ->
+            decr outstanding;
+            match result with
+            | Alohadb.Txn.Committed _ -> incr committed
+            | _ -> ()))
+  done;
+  Sim.Engine.run ~until:500_000 sim;
+  Alcotest.(check int) "resolved" 0 !outstanding;
+  Alcotest.(check int) "all committed" 60 !committed;
+  let dnoid_sum =
+    aloha_scan c ~prefix:"d:"
+    |> List.filter (fun (k, _) -> contains_sub k ":noid")
+    |> List.fold_left (fun acc (_, v) -> acc + Value.to_int v - 1) 0
+  in
+  Alcotest.(check int) "district counters" 60 dnoid_sum
+
+(* ---- YCSB ------------------------------------------------------------------ *)
+
+let test_ycsb_aloha_conservation () =
+  let cfg =
+    { Ycsb.keys_per_partition = 200; hot_keys = 4; rw_keys = 10;
+      distributed = true }
+  in
+  let options =
+    { Alohadb.Cluster.default_options with n_servers = n;
+      partitioner = `Prefix }
+  in
+  let c = Alohadb.Cluster.create options in
+  Ycsb.load_aloha cfg c;
+  Alohadb.Cluster.start c;
+  let gen = Ycsb.generator cfg ~n_partitions:n ~seed:21 in
+  let sim = Alohadb.Cluster.sim c in
+  let keys_written = ref 0 and outstanding = ref 0 in
+  for i = 0 to 99 do
+    incr outstanding;
+    Sim.Engine.schedule sim ~at:(1_000 + (i * 29)) (fun () ->
+        let req = Ycsb.gen_aloha gen ~fe:(i mod n) in
+        (match req with
+        | Alohadb.Txn.Read_write { writes; _ } ->
+            keys_written := !keys_written + List.length writes
+        | _ -> ());
+        Alohadb.Cluster.submit c ~fe:(i mod n) req (fun _ ->
+            decr outstanding))
+  done;
+  Sim.Engine.run ~until:400_000 sim;
+  Alcotest.(check int) "resolved" 0 !outstanding;
+  let total =
+    aloha_scan c ~prefix:"y:"
+    |> List.fold_left (fun acc (_, v) -> acc + Value.to_int v) 0
+  in
+  Alcotest.(check int) "sum of values = increments applied" !keys_written total
+
+let test_ycsb_generator_shape () =
+  let cfg =
+    { Ycsb.keys_per_partition = 1000; hot_keys = 10; rw_keys = 10;
+      distributed = true }
+  in
+  let gen = Ycsb.generator cfg ~n_partitions:8 ~seed:3 in
+  for fe = 0 to 7 do
+    match Ycsb.gen_aloha gen ~fe with
+    | Alohadb.Txn.Read_write { writes; _ } ->
+        let keys = List.map fst writes in
+        (* Exactly two partitions: the submitting one plus one other. *)
+        let parts =
+          List.sort_uniq compare
+            (List.map
+               (fun k -> int_of_string (List.nth (String.split_on_char ':' k) 1))
+               keys)
+        in
+        Alcotest.(check int) "two partitions" 2 (List.length parts);
+        Alcotest.(check bool) "includes own partition" true
+          (List.mem fe parts);
+        (* Exactly one hot key (< hot_keys) per participant partition. *)
+        List.iter
+          (fun p ->
+            let hot =
+              List.filter
+                (fun k ->
+                  match String.split_on_char ':' k with
+                  | [ _; part; idx ] ->
+                      int_of_string part = p && int_of_string idx < 10
+                  | _ -> false)
+                keys
+            in
+            Alcotest.(check int) "one hot key per partition" 1
+              (List.length hot))
+          parts
+    | _ -> Alcotest.fail "expected read-write"
+  done
+
+let test_tpcc_generator_distribution () =
+  let cfg = Tpcc.default_cfg ~n_servers:4 ~warehouses_per_host:2 in
+  let gen = Tpcc.generator cfg ~n_servers:4 ~seed:7 in
+  for fe = 0 to 3 do
+    let t = Tpcc.gen_neworder_calvin gen ~fe in
+    (* The home district key routes to the submitting host. *)
+    (match t.Calvin.Ctxn.read_set with
+    | dnoid :: _ ->
+        let w = int_of_string (List.nth (String.split_on_char ':' dnoid) 1) in
+        Alcotest.(check int) "home warehouse on fe" fe (w mod 4)
+    | [] -> Alcotest.fail "empty read set");
+    (* Distributed: some stock key lives on another host. *)
+    let remote =
+      List.exists
+        (fun k ->
+          contains_sub k ":stock:"
+          && int_of_string (List.nth (String.split_on_char ':' k) 1) mod 4 <> fe)
+        t.Calvin.Ctxn.write_set
+    in
+    Alcotest.(check bool) "always distributed" true remote
+  done
+
+let suite =
+  [ Alcotest.test_case "aloha tpcc neworder invariants" `Quick
+      test_aloha_tpcc_neworder_invariants;
+    Alcotest.test_case "aloha tpcc payment invariants" `Quick
+      test_aloha_tpcc_payment_invariants;
+    Alcotest.test_case "calvin tpcc neworder invariants" `Quick
+      test_calvin_tpcc_neworder_invariants;
+    Alcotest.test_case "stpcc aloha basic" `Quick test_stpcc_aloha_basic;
+    Alcotest.test_case "ycsb conservation" `Quick test_ycsb_aloha_conservation;
+    Alcotest.test_case "ycsb generator shape" `Quick test_ycsb_generator_shape;
+    Alcotest.test_case "tpcc generator distribution" `Quick
+      test_tpcc_generator_distribution ]
