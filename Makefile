@@ -1,0 +1,19 @@
+.PHONY: all build test fmt check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Check dune-file formatting without promoting (ocamlformat is not a
+# dependency; OCaml sources are exempt via dune-project).
+fmt:
+	dune build @fmt
+
+check: fmt build test
+
+clean:
+	dune clean

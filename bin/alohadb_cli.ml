@@ -2,6 +2,7 @@
 
    Examples:
      alohadb_cli run --system aloha --workload ycsb --ci 0.01 --servers 8
+     alohadb_cli run --system twopl --workload ycsb --ci 0.001
      alohadb_cli run --system calvin --workload tpcc --per-host 1 \
        --clients 500 --measure-ms 200
      alohadb_cli figure fig9 --scale full
@@ -11,8 +12,13 @@ open Cmdliner
 
 let run_cmd =
   let system =
-    let doc = "System under test: aloha or calvin." in
-    Arg.(value & opt (enum [ ("aloha", `Aloha); ("calvin", `Calvin) ]) `Aloha
+    let doc = "System under test: aloha, calvin, or twopl." in
+    Arg.(value
+         & opt (enum
+                  (List.map
+                     (fun (name, e) -> (name, (name, e)))
+                     Harness.Setup.engines))
+             ("aloha", List.assoc "aloha" Harness.Setup.engines)
          & info [ "system"; "s" ] ~doc)
   in
   let workload =
@@ -57,52 +63,35 @@ let run_cmd =
     Arg.(value & opt int 100 & info [ "measure-ms" ] ~doc:"Measured window.")
   in
   let seed = Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Workload seed.") in
-  let run system workload n per_host ci clients rate epoch_ms warmup_ms
-      measure_ms seed =
+  let run (sys_name, engine) workload n per_host ci clients rate epoch_ms
+      warmup_ms measure_ms seed =
     let epoch_us = epoch_ms * 1000 in
     let warmup_us = warmup_ms * 1000 in
     let measure_us = measure_ms * 1000 in
     let arrival =
       if rate > 0.0 then Harness.Arrivals.Open_poisson { rate_per_fe = rate }
       else
-        let default = match system with `Aloha -> 2_000 | `Calvin -> 500 in
+        (* ALOHA sustains far more closed-loop clients than the lock-based
+           engines. *)
+        let default = if sys_name = "aloha" then 2_000 else 500 in
         Harness.Arrivals.Closed
           { clients_per_fe = (if clients > 0 then clients else default) }
     in
+    let built =
+      match workload with
+      | `Tpcc ->
+          Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
+            ~kind:`NewOrder ~epoch_us ~seed ()
+      | `Tpcc_payment ->
+          Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
+            ~kind:`Payment ~epoch_us ~seed ()
+      | `Stpcc ->
+          Harness.Setup.stpcc ~engine ~n ~districts_per_host:per_host
+            ~epoch_us ~seed ()
+      | `Ycsb -> Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ~seed ()
+    in
     let result =
-      match system with
-      | `Aloha ->
-          let { Harness.Setup.a_cluster; a_gen } =
-            match workload with
-            | `Tpcc ->
-                Harness.Setup.aloha_tpcc ~n ~warehouses_per_host:per_host
-                  ~kind:`NewOrder ~epoch_us ~seed ()
-            | `Tpcc_payment ->
-                Harness.Setup.aloha_tpcc ~n ~warehouses_per_host:per_host
-                  ~kind:`Payment ~epoch_us ~seed ()
-            | `Stpcc ->
-                Harness.Setup.aloha_stpcc ~n ~districts_per_host:per_host
-                  ~epoch_us ~seed ()
-            | `Ycsb -> Harness.Setup.aloha_ycsb ~n ~ci ~epoch_us ~seed ()
-          in
-          Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen ~arrival
-            ~warmup_us ~measure_us ()
-      | `Calvin ->
-          let { Harness.Setup.c_cluster; c_gen } =
-            match workload with
-            | `Tpcc ->
-                Harness.Setup.calvin_tpcc ~n ~warehouses_per_host:per_host
-                  ~kind:`NewOrder ~epoch_us ~seed ()
-            | `Tpcc_payment ->
-                Harness.Setup.calvin_tpcc ~n ~warehouses_per_host:per_host
-                  ~kind:`Payment ~epoch_us ~seed ()
-            | `Stpcc ->
-                Harness.Setup.calvin_stpcc ~n ~districts_per_host:per_host
-                  ~epoch_us ~seed ()
-            | `Ycsb -> Harness.Setup.calvin_ycsb ~n ~ci ~epoch_us ~seed ()
-          in
-          Harness.Driver.run_calvin ~cluster:c_cluster ~gen:c_gen ~arrival
-            ~warmup_us ~measure_us ()
+      Harness.Driver.run built ~arrival ~warmup_us ~measure_us ()
     in
     Format.printf "%a@." Harness.Driver.pp_result result;
     List.iter

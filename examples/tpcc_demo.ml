@@ -1,35 +1,36 @@
 (* TPC-C on ALOHA-DB and Calvin side by side: a small cluster, a burst of
    NewOrder transactions, throughput and the paper's headline ratio.
 
+   Both engines run through the same kernel client loop — only the packed
+   ENGINE module differs.
+
    Run with:  dune exec examples/tpcc_demo.exe *)
+
+let aloha_engine = List.assoc "aloha" Harness.Setup.engines
+let calvin_engine = List.assoc "calvin" Harness.Setup.engines
 
 let () =
   let n = 4 in
   Format.printf "TPC-C NewOrder, %d servers, 1 warehouse per host@." n;
   Format.printf "(distributed transactions, 1%% invalid-item aborts)@.@.";
 
-  let { Harness.Setup.a_cluster; a_gen } =
-    Harness.Setup.aloha_tpcc ~n ~warehouses_per_host:1 ~kind:`NewOrder ()
-  in
-  let aloha =
-    Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen
-      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 1_000 })
+  let run engine clients =
+    let built =
+      Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:1 ~kind:`NewOrder ()
+    in
+    Harness.Driver.run built
+      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = clients })
       ~warmup_us:75_000 ~measure_us:100_000 ()
   in
+
+  let aloha = run aloha_engine 1_000 in
   Format.printf "ALOHA-DB : %a@." Harness.Driver.pp_result aloha;
   List.iter
     (fun (stage, us) ->
       Format.printf "           %-22s %6.2f ms@." stage (us /. 1000.0))
     aloha.Harness.Driver.stages;
 
-  let { Harness.Setup.c_cluster; c_gen } =
-    Harness.Setup.calvin_tpcc ~n ~warehouses_per_host:1 ~kind:`NewOrder ()
-  in
-  let calvin =
-    Harness.Driver.run_calvin ~cluster:c_cluster ~gen:c_gen
-      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 300 })
-      ~warmup_us:75_000 ~measure_us:100_000 ()
-  in
+  let calvin = run calvin_engine 300 in
   Format.printf "@.Calvin   : %a@." Harness.Driver.pp_result calvin;
   List.iter
     (fun (stage, us) ->
@@ -38,5 +39,7 @@ let () =
 
   Format.printf "@.speedup  : %.1fx (paper reports 13-112x depending on scale)@."
     (aloha.Harness.Driver.throughput_tps /. calvin.Harness.Driver.throughput_tps);
-  Format.printf "aborts   : ALOHA %d installed-phase aborts (the required 1%%), Calvin %d (cannot abort)@."
-    aloha.Harness.Driver.aborted_install calvin.Harness.Driver.aborted_install
+  Format.printf
+    "aborts   : ALOHA %d installed-phase aborts (the required 1%%), Calvin %d (cannot abort)@."
+    (Kernel.Result.abort aloha "install")
+    (Kernel.Result.abort calvin "install")

@@ -1,7 +1,10 @@
 (* A miniature of the paper's Figure 9: YCSB-like microbenchmark
    throughput as the contention index rises.  ALOHA-DB stays flat — its
    key-level concurrency control never blocks on hot keys — while Calvin's
-   single-threaded lock manager collapses.
+   single-threaded lock manager collapses and the conventional 2PL/2PC
+   baseline collapses even earlier.
+
+   All three engines run through the same kernel client loop.
 
    Run with:  dune exec examples/ycsb_contention.exe *)
 
@@ -10,26 +13,22 @@ let () =
   Format.printf
     "YCSB read-modify-write, %d servers, 10 keys/txn, 2 partitions/txn@.@."
     n;
-  Format.printf "%-12s %-14s %-14s@." "CI" "ALOHA (txn/s)" "Calvin (txn/s)";
+  Format.printf "%-12s %-14s %-14s %-14s@." "CI" "ALOHA (txn/s)"
+    "Calvin (txn/s)" "2PL (txn/s)";
   List.iter
     (fun ci ->
-      let { Harness.Setup.a_cluster; a_gen } =
-        Harness.Setup.aloha_ycsb ~n ~ci ~keys_per_partition:20_000 ()
+      let point name clients =
+        let engine = List.assoc name Harness.Setup.engines in
+        let built =
+          Harness.Setup.ycsb ~engine ~n ~ci ~keys_per_partition:20_000 ()
+        in
+        let r =
+          Harness.Driver.run built
+            ~arrival:(Harness.Arrivals.Closed { clients_per_fe = clients })
+            ~warmup_us:60_000 ~measure_us:80_000 ()
+        in
+        r.Harness.Driver.throughput_tps
       in
-      let aloha =
-        Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen
-          ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 1_200 })
-          ~warmup_us:60_000 ~measure_us:80_000 ()
-      in
-      let { Harness.Setup.c_cluster; c_gen } =
-        Harness.Setup.calvin_ycsb ~n ~ci ~keys_per_partition:20_000 ()
-      in
-      let calvin =
-        Harness.Driver.run_calvin ~cluster:c_cluster ~gen:c_gen
-          ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 300 })
-          ~warmup_us:60_000 ~measure_us:80_000 ()
-      in
-      Format.printf "%-12g %-14.0f %-14.0f@." ci
-        aloha.Harness.Driver.throughput_tps
-        calvin.Harness.Driver.throughput_tps)
+      Format.printf "%-12g %-14.0f %-14.0f %-14.0f@." ci
+        (point "aloha" 1_200) (point "calvin" 300) (point "twopl" 300))
     [ 0.0001; 0.001; 0.01; 0.1 ]

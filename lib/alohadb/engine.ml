@@ -1,0 +1,70 @@
+let name = "aloha"
+
+type cluster = Cluster.t
+
+let options_of ?seed (params : Kernel.Params.t) =
+  let base = Cluster.default_options in
+  { base with
+    Cluster.n_servers = params.n_servers;
+    partitioner = `Prefix;
+    seed = (match seed with Some s -> s | None -> base.Cluster.seed);
+    epoch =
+      (match params.epoch_us with
+      | Some duration_us -> { base.Cluster.epoch with Epoch.Manager.duration_us }
+      | None -> base.Cluster.epoch) }
+
+let create ?seed params =
+  Cluster.create
+    ~registry:(Functor_cc.Registry.with_builtins ())
+    (options_of ?seed params)
+
+let register c name h = Functor_cc.Registry.register (Cluster.registry c) name h
+let load c key v = Cluster.load c ~key v
+let start = Cluster.start
+let stop (_ : cluster) = ()
+let sim = Cluster.sim
+let metrics = Cluster.metrics
+let n_servers = Cluster.n_servers
+
+let lower_op : Kernel.Txn.op -> Txn.op = function
+  | Kernel.Txn.Put v -> Txn.Put v
+  | Kernel.Txn.Delete -> Txn.Delete
+  | Kernel.Txn.Add d -> Txn.Add d
+  | Kernel.Txn.Subtr d -> Txn.Subtr d
+  | Kernel.Txn.Max d -> Txn.Max d
+  | Kernel.Txn.Min d -> Txn.Min d
+  | Kernel.Txn.Call { handler; read_set; args } ->
+      Txn.Call { handler; read_set; args }
+  | Kernel.Txn.Det { handler; read_set; args; dependents } ->
+      Txn.Det { handler; read_set; args; dependents }
+
+let submit c ~fe txn ~k =
+  let d = Kernel.Txn.functor_form txn in
+  let writes = List.map (fun (key, op) -> (key, lower_op op)) d.writes in
+  Cluster.submit c ~fe
+    (Txn.read_write ~precondition_keys:d.precondition_keys writes)
+    (fun result ->
+      k
+        (match result with
+        | Txn.Committed _ | Txn.Values _ -> Kernel.Txn.Ok
+        | Txn.Aborted { stage; _ } -> Kernel.Txn.Aborted stage))
+
+let read_committed c key =
+  let srv = Cluster.server c (Cluster.partition_of c key) in
+  let result = ref None in
+  Functor_cc.Compute_engine.get (Server.engine srv) ~key ~version:max_int
+    (fun v -> result := v);
+  !result
+
+let committed_key = "aloha.committed"
+let latency_key = "aloha.lat_total_us"
+
+let abort_keys =
+  [ ("install", "aloha.aborted_install"); ("compute", "aloha.aborted_compute") ]
+
+let counter_keys = []
+
+let stage_keys =
+  [ ("functor installing", "aloha.lat_install_us");
+    ("wait for processing", "aloha.lat_wait_us");
+    ("processing", "aloha.lat_proc_us") ]

@@ -1,0 +1,15 @@
+(** ALOHA-DB behind the {!Kernel.Intf.ENGINE} signature.
+
+    The cluster type is transparent ([= Cluster.t]) so experiments that
+    need ALOHA-specific construction (custom {!Config.t}, clock skew,
+    epoch participant hooks) can build the cluster natively and still run
+    it through the generic [Kernel.Run] loop.
+
+    Transactions execute from their [functor_form] facet: [Det] ops keep
+    the §IV-E dynamic dependent-write scheme. *)
+
+include Kernel.Intf.ENGINE with type cluster = Cluster.t
+
+val options_of : ?seed:int -> Kernel.Params.t -> Cluster.options
+(** The options {!create} uses: prefix partitioning, default config, and
+    the epoch duration from the params (when given). *)

@@ -1,74 +1,1 @@
-type t =
-  | Open_poisson of { rate_per_fe : float }
-  | Open_burst of { rate_per_fe : float; period_us : int }
-  | Closed of { clients_per_fe : int }
-
-let nothing () = ()
-
-(* Knuth's method; fine for the per-epoch means used here (< ~10^4). *)
-let poisson rng ~mean =
-  if mean <= 0.0 then 0
-  else if mean > 50.0 then begin
-    (* Normal approximation for large means, clamped at zero. *)
-    let u1 = Sim.Rng.float rng 1.0 and u2 = Sim.Rng.float rng 1.0 in
-    let u1 = if u1 <= 0.0 then 1e-12 else u1 in
-    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
-    let v = int_of_float (Float.round (mean +. (z *. sqrt mean))) in
-    if v < 0 then 0 else v
-  end
-  else begin
-    let l = exp (-.mean) in
-    let rec go k p =
-      let p = p *. Sim.Rng.float rng 1.0 in
-      if p <= l then k else go (k + 1) p
-    in
-    go 0 1.0
-  end
-
-let install ~sim ~rng ~n_fes ~arrival ~submit =
-  match arrival with
-  | Open_poisson { rate_per_fe } ->
-      if rate_per_fe <= 0.0 then invalid_arg "Arrivals: rate";
-      let mean_gap_us = 1e6 /. rate_per_fe in
-      let start fe =
-        let frng = Sim.Rng.split rng in
-        let rec next () =
-          let gap =
-            int_of_float (Sim.Rng.exponential frng ~mean:mean_gap_us)
-          in
-          Sim.Engine.after sim (max 1 gap) (fun () ->
-              submit ~fe ~done_k:nothing;
-              next ())
-        in
-        next ()
-      in
-      for fe = 0 to n_fes - 1 do
-        start fe
-      done
-  | Open_burst { rate_per_fe; period_us } ->
-      if rate_per_fe <= 0.0 || period_us <= 0 then invalid_arg "Arrivals";
-      let mean = rate_per_fe *. float_of_int period_us /. 1e6 in
-      let start fe =
-        let frng = Sim.Rng.split rng in
-        let rec tick () =
-          let k = poisson frng ~mean in
-          for _ = 1 to k do
-            submit ~fe ~done_k:nothing
-          done;
-          Sim.Engine.after sim period_us tick
-        in
-        Sim.Engine.after sim 1 tick
-      in
-      for fe = 0 to n_fes - 1 do
-        start fe
-      done
-  | Closed { clients_per_fe } ->
-      if clients_per_fe <= 0 then invalid_arg "Arrivals: clients";
-      for fe = 0 to n_fes - 1 do
-        for _ = 1 to clients_per_fe do
-          let rec client () = submit ~fe ~done_k:client in
-          (* Stagger initial submissions within the first millisecond so
-             closed-loop clients do not arrive as one impulse. *)
-          Sim.Engine.after sim (Sim.Rng.int rng 1000) client
-        done
-      done
+include Kernel.Arrivals

@@ -1,23 +1,12 @@
-(** Client load generation.
+(** Client load generation — re-export of {!Kernel.Arrivals} so existing
+    harness callers keep their constructor paths. *)
 
-    Three arrival processes cover the paper's experiments:
-
-    - {!Open_poisson}: independent Poisson arrivals per frontend — the
-      standard open-loop load for throughput-vs-latency sweeps (Fig. 6)
-      and light-load latency measurements (Fig. 10, 11);
-    - {!Open_burst}: the whole period's arrivals land at the start of each
-      period.  This reproduces the open-source Calvin artifact the paper
-      notes in Fig. 11 ("generates most of the transactions at the
-      beginning of the epoch"), which is why Calvin's latency slope vs
-      epoch duration is ~1 while ALOHA-DB's is ~0.5;
-    - {!Closed}: a fixed number of clients per frontend, each resubmitting
-      on completion — saturates the system for peak-throughput points
-      (Fig. 7, 8, 9). *)
-
-type t =
+type t = Kernel.Arrivals.t =
   | Open_poisson of { rate_per_fe : float }  (** transactions/s per FE *)
   | Open_burst of { rate_per_fe : float; period_us : int }
   | Closed of { clients_per_fe : int }
+  | Scripted of { arrivals : (int * int) list }
+      (** [(at_us, fe)] deterministic submission events *)
 
 val install :
   sim:Sim.Engine.t ->
@@ -26,6 +15,4 @@ val install :
   arrival:t ->
   submit:(fe:int -> done_k:(unit -> unit) -> unit) ->
   unit
-(** Start the arrival process.  [submit ~fe ~done_k] must eventually call
-    [done_k] exactly once for closed-loop arrivals; open-loop arrivals
-    ignore it. *)
+(** See {!Kernel.Arrivals.install}. *)

@@ -1,7 +1,7 @@
-type result = {
+type result = Kernel.Result.t = {
   committed : int;
-  aborted_install : int;
-  aborted_compute : int;
+  aborts : (string * int) list;
+  counters : (string * int) list;
   throughput_tps : float;
   lat_mean_us : float;
   lat_p50_us : int;
@@ -10,81 +10,11 @@ type result = {
   stages : (string * float) list;
 }
 
-let pp_result fmt r =
-  Format.fprintf fmt
-    "%.0f txn/s (n=%d, aborts=%d/%d), lat mean=%.2f ms p50=%.2f p95=%.2f p99=%.2f"
-    r.throughput_tps r.committed r.aborted_install r.aborted_compute
-    (r.lat_mean_us /. 1000.0)
-    (float_of_int r.lat_p50_us /. 1000.0)
-    (float_of_int r.lat_p95_us /. 1000.0)
-    (float_of_int r.lat_p99_us /. 1000.0)
+let pp_result = Kernel.Result.pp
 
-let hist_stats metrics name =
-  match Sim.Metrics.latency metrics name with
-  | None -> (0.0, 0, 0, 0)
-  | Some h ->
-      if Sim.Stats.Histogram.count h = 0 then (0.0, 0, 0, 0)
-      else
-        ( Sim.Stats.Histogram.mean h,
-          Sim.Stats.Histogram.percentile h 50.0,
-          Sim.Stats.Histogram.percentile h 95.0,
-          Sim.Stats.Histogram.percentile h 99.0 )
+let run (Setup.Built ((module E), cluster, gen)) ~arrival ?warmup_us
+    ?measure_us ?seed () =
+  Kernel.Run.run (module E) ~cluster ~gen ~arrival ?warmup_us ?measure_us
+    ?seed ()
 
-let stage_mean metrics name =
-  match Sim.Metrics.latency metrics name with
-  | None -> 0.0
-  | Some h -> Sim.Stats.Histogram.mean h
-
-let extract ~metrics ~measure_us ~committed_key ~latency_key ~aborts ~stages =
-  let committed = Sim.Metrics.get metrics committed_key in
-  let aborted_install, aborted_compute = aborts in
-  let mean, p50, p95, p99 = hist_stats metrics latency_key in
-  { committed;
-    aborted_install = Sim.Metrics.get metrics aborted_install;
-    aborted_compute = Sim.Metrics.get metrics aborted_compute;
-    throughput_tps = float_of_int committed *. 1e6 /. float_of_int measure_us;
-    lat_mean_us = mean;
-    lat_p50_us = p50;
-    lat_p95_us = p95;
-    lat_p99_us = p99;
-    stages =
-      List.map (fun (label, key) -> (label, stage_mean metrics key)) stages }
-
-let run_window ~sim ~metrics ~warmup_us ~measure_us =
-  Sim.Engine.run ~until:(Sim.Engine.now sim + warmup_us) sim;
-  Sim.Metrics.reset metrics;
-  Sim.Engine.run ~until:(Sim.Engine.now sim + measure_us) sim
-
-let run_aloha ~cluster ~gen ~arrival ?(warmup_us = 150_000)
-    ?(measure_us = 400_000) ?(seed = 7) () =
-  let sim = Alohadb.Cluster.sim cluster in
-  let metrics = Alohadb.Cluster.metrics cluster in
-  let rng = Sim.Rng.create seed in
-  Arrivals.install ~sim ~rng ~n_fes:(Alohadb.Cluster.n_servers cluster)
-    ~arrival ~submit:(fun ~fe ~done_k ->
-      Alohadb.Cluster.submit cluster ~fe (gen ~fe) (fun _ -> done_k ()));
-  run_window ~sim ~metrics ~warmup_us ~measure_us;
-  extract ~metrics ~measure_us ~committed_key:"aloha.committed"
-    ~latency_key:"aloha.lat_total_us"
-    ~aborts:("aloha.aborted_install", "aloha.aborted_compute")
-    ~stages:
-      [ ("functor installing", "aloha.lat_install_us");
-        ("wait for processing", "aloha.lat_wait_us");
-        ("processing", "aloha.lat_proc_us") ]
-
-let run_calvin ~cluster ~gen ~arrival ?(warmup_us = 150_000)
-    ?(measure_us = 400_000) ?(seed = 7) () =
-  let sim = Calvin.Cluster.sim cluster in
-  let metrics = Calvin.Cluster.metrics cluster in
-  let rng = Sim.Rng.create seed in
-  Arrivals.install ~sim ~rng ~n_fes:(Calvin.Cluster.n_servers cluster)
-    ~arrival ~submit:(fun ~fe ~done_k ->
-      Calvin.Cluster.submit cluster ~fe (gen ~fe) ~k:done_k);
-  run_window ~sim ~metrics ~warmup_us ~measure_us;
-  extract ~metrics ~measure_us ~committed_key:"calvin.committed"
-    ~latency_key:"calvin.lat_total_us"
-    ~aborts:("calvin.aborted_install", "calvin.aborted_compute")
-    ~stages:
-      [ ("sequencing", "calvin.stage_seq_us");
-        ("locking and read", "calvin.stage_lockread_us");
-        ("processing", "calvin.stage_proc_us") ]
+let run_engine = Kernel.Run.run

@@ -1,42 +1,47 @@
-(** Experiment driver: wire a workload generator to a cluster, run a
-    warm-up window, reset the metrics, run a measurement window, and
-    extract a {!result}.
+(** Experiment driver: run a {!Setup.built} deployment through the
+    generic kernel client loop (warm-up window, metrics reset,
+    measurement window) and extract an engine-agnostic result.
 
-    Throughput is committed transactions per measured second; latencies
-    come from the cluster's histograms; the stage breakdown feeds
-    Figure 10. *)
+    Per-engine abort classes and auxiliary counters are reported through
+    each engine's declared metric keys — 2PL give-ups surface here
+    instead of being silently zero under hardcoded ["aloha.*"] names. *)
 
-type result = {
+type result = Kernel.Result.t = {
   committed : int;
-  aborted_install : int;
-  aborted_compute : int;
+  aborts : (string * int) list;
+  counters : (string * int) list;
   throughput_tps : float;
   lat_mean_us : float;
   lat_p50_us : int;
   lat_p95_us : int;
   lat_p99_us : int;
   stages : (string * float) list;
-      (** (stage name, mean µs); ALOHA: install / wait / processing;
-          Calvin: sequencing / lock+read / processing *)
 }
 
 val pp_result : Format.formatter -> result -> unit
 
-val run_aloha :
-  cluster:Alohadb.Cluster.t ->
-  gen:(fe:int -> Alohadb.Txn.request) ->
+val run :
+  Setup.built ->
   arrival:Arrivals.t ->
   ?warmup_us:int ->
   ?measure_us:int ->
   ?seed:int ->
-  unit -> result
-(** The cluster must already be created, loaded and started. *)
+  unit ->
+  result
+(** The deployment is already created, loaded and started by
+    {!Setup.build}. *)
 
-val run_calvin :
-  cluster:Calvin.Cluster.t ->
-  gen:(fe:int -> Calvin.Ctxn.t) ->
+val run_engine :
+  (module Kernel.Intf.ENGINE with type cluster = 'c) ->
+  cluster:'c ->
+  gen:(fe:int -> Kernel.Txn.t) ->
   arrival:Arrivals.t ->
   ?warmup_us:int ->
   ?measure_us:int ->
   ?seed:int ->
-  unit -> result
+  unit ->
+  result
+(** Escape hatch for experiments that construct a cluster natively
+    (custom engine config, fault injection) — [Alohadb.Engine]'s cluster
+    type is transparent precisely so those can still use the generic
+    loop.  Same as {!Kernel.Run.run}. *)

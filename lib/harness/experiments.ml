@@ -37,6 +37,16 @@ let full =
     fig9_cis = [ 1e-4; 3e-4; 1e-3; 1.7e-3; 3e-3; 0.01; 0.03; 0.1 ];
     fig11_epochs_ms = [ 20; 50; 100; 150; 200 ] }
 
+(* ALOHA sustains far more closed-loop clients per FE than the
+   lock-based engines before queueing dominates. *)
+let clients_for scale engine =
+  if Setup.engine_name engine = "aloha" then scale.aloha_clients
+  else scale.calvin_clients
+
+let aloha = Kernel.Intf.Pack (module Alohadb.Engine)
+let calvin = Kernel.Intf.Pack (module Calvin.Engine)
+let twopl = Kernel.Intf.Pack (module Twopl.Engine)
+
 let row fig cols =
   Printf.printf "[%s] %s\n%!" fig (String.concat "  " cols)
 
@@ -55,9 +65,13 @@ let table1 () =
     (fun (ftype, farg) -> row "table1" [ Printf.sprintf "%-14s" ftype; "|"; farg ])
     Functor_cc.Ftype.table_i;
   row "table1"
+    [ "engines behind Kernel.Run:";
+      String.concat ", " (List.map fst Setup.engines) ];
+  row "table1"
     [ "registered user handlers in the bundled workloads:";
       "cadd, occ_validate, tpcc_neworder, tpcc_stock, tpcc_payment_cust,";
-      "stpcc_neworder, stpcc_stock" ]
+      "tpcc_orderline, stpcc_neworder, stpcc_stock, stpcc_orderline";
+      "(static engines run them through the generic kernel_apply proc)" ]
 
 (* ---- workload points ---------------------------------------------------- *)
 
@@ -66,39 +80,21 @@ type workload =
   | STPCC of { per_host : int }
   | YCSB of { ci : float }
 
-let run_aloha_point ?epoch_us ?config ~n ~workload ~arrival scale =
-  let { Setup.a_cluster; a_gen } =
+let run_point ?epoch_us ~engine ~n ~workload ~arrival scale =
+  let built =
     match workload with
     | TPCC { per_host; kind } ->
-        Setup.aloha_tpcc ~n ~warehouses_per_host:per_host ~kind ?epoch_us
-          ?config ()
+        Setup.tpcc ~engine ~n ~warehouses_per_host:per_host ~kind ?epoch_us ()
     | STPCC { per_host } ->
-        Setup.aloha_stpcc ~n ~districts_per_host:per_host ?epoch_us ?config ()
-    | YCSB { ci } -> Setup.aloha_ycsb ~n ~ci ?epoch_us ?config ()
+        Setup.stpcc ~engine ~n ~districts_per_host:per_host ?epoch_us ()
+    | YCSB { ci } -> Setup.ycsb ~engine ~n ~ci ?epoch_us ()
   in
-  Driver.run_aloha ~cluster:a_cluster ~gen:a_gen ~arrival
-    ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
+  Driver.run built ~arrival ~warmup_us:scale.warmup_us
+    ~measure_us:scale.measure_us ()
 
-let run_calvin_point ?epoch_us ~n ~workload ~arrival scale =
-  let { Setup.c_cluster; c_gen } =
-    match workload with
-    | TPCC { per_host; kind } ->
-        Setup.calvin_tpcc ~n ~warehouses_per_host:per_host ~kind ?epoch_us ()
-    | STPCC { per_host } ->
-        Setup.calvin_stpcc ~n ~districts_per_host:per_host ?epoch_us ()
-    | YCSB { ci } -> Setup.calvin_ycsb ~n ~ci ?epoch_us ()
-  in
-  Driver.run_calvin ~cluster:c_cluster ~gen:c_gen ~arrival
-    ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
-
-let aloha_peak ?config ~n ~workload scale =
-  run_aloha_point ?config ~n ~workload
-    ~arrival:(Arrivals.Closed { clients_per_fe = scale.aloha_clients })
-    scale
-
-let calvin_peak ~n ~workload scale =
-  run_calvin_point ~n ~workload
-    ~arrival:(Arrivals.Closed { clients_per_fe = scale.calvin_clients })
+let peak ~engine ~n ~workload scale =
+  run_point ~engine ~n ~workload
+    ~arrival:(Arrivals.Closed { clients_per_fe = clients_for scale engine })
     scale
 
 (* ---- Figure 6: throughput vs latency ------------------------------------ *)
@@ -106,35 +102,28 @@ let calvin_peak ~n ~workload scale =
 let fig6 scale =
   let n = 8 in
   let configs =
-    [ ("Aloha-1W", `A, TPCC { per_host = 1; kind = `NewOrder });
-      ("Aloha-10W", `A, TPCC { per_host = 10; kind = `NewOrder });
-      ("Aloha-1D", `A, STPCC { per_host = 1 });
-      ("Aloha-10D", `A, STPCC { per_host = 10 });
-      ("Calvin-1W", `C, TPCC { per_host = 1; kind = `NewOrder });
-      ("Calvin-10W", `C, TPCC { per_host = 10; kind = `NewOrder });
-      ("Calvin-1D", `C, STPCC { per_host = 1 });
-      ("Calvin-10D", `C, STPCC { per_host = 10 }) ]
+    [ ("Aloha-1W", aloha, TPCC { per_host = 1; kind = `NewOrder });
+      ("Aloha-10W", aloha, TPCC { per_host = 10; kind = `NewOrder });
+      ("Aloha-1D", aloha, STPCC { per_host = 1 });
+      ("Aloha-10D", aloha, STPCC { per_host = 10 });
+      ("Calvin-1W", calvin, TPCC { per_host = 1; kind = `NewOrder });
+      ("Calvin-10W", calvin, TPCC { per_host = 10; kind = `NewOrder });
+      ("Calvin-1D", calvin, STPCC { per_host = 1 });
+      ("Calvin-10D", calvin, STPCC { per_host = 10 }) ]
   in
   row "fig6" [ "series"; "point"; "throughput"; "latency" ];
   List.iter
-    (fun (name, sys, workload) ->
-      let peak =
-        match sys with
-        | `A -> aloha_peak ~n ~workload scale
-        | `C -> calvin_peak ~n ~workload scale
-      in
-      row "fig6" [ name; "peak(closed)"; fmt_tps peak.Driver.throughput_tps;
-                   fmt_lat peak ];
+    (fun (name, engine, workload) ->
+      let peak_r = peak ~engine ~n ~workload scale in
+      row "fig6"
+        [ name; "peak(closed)"; fmt_tps peak_r.Driver.throughput_tps;
+          fmt_lat peak_r ];
       List.iter
         (fun f ->
-          let rate = peak.Driver.throughput_tps *. f /. float_of_int n in
+          let rate = peak_r.Driver.throughput_tps *. f /. float_of_int n in
           if rate >= 1.0 then begin
             let arrival = Arrivals.Open_poisson { rate_per_fe = rate } in
-            let r =
-              match sys with
-              | `A -> run_aloha_point ~n ~workload ~arrival scale
-              | `C -> run_calvin_point ~n ~workload ~arrival scale
-            in
+            let r = run_point ~engine ~n ~workload ~arrival scale in
             row "fig6"
               [ name; Printf.sprintf "open(%.2fx)" f;
                 fmt_tps r.Driver.throughput_tps; fmt_lat r ]
@@ -148,27 +137,22 @@ let fig7 scale =
   let n = 8 in
   row "fig7" [ "series"; "per-host"; "throughput" ];
   let series =
-    [ ("Aloha-STPCC-NewOrder", `A, fun x -> STPCC { per_host = x });
-      ("Aloha-TPCC-NewOrder", `A,
+    [ ("Aloha-STPCC-NewOrder", aloha, fun x -> STPCC { per_host = x });
+      ("Aloha-TPCC-NewOrder", aloha,
        fun x -> TPCC { per_host = x; kind = `NewOrder });
-      ("Aloha-TPCC-Payment", `A,
+      ("Aloha-TPCC-Payment", aloha,
        fun x -> TPCC { per_host = x; kind = `Payment });
-      ("Calvin-STPCC-NewOrder", `C, fun x -> STPCC { per_host = x });
-      ("Calvin-TPCC-NewOrder", `C,
+      ("Calvin-STPCC-NewOrder", calvin, fun x -> STPCC { per_host = x });
+      ("Calvin-TPCC-NewOrder", calvin,
        fun x -> TPCC { per_host = x; kind = `NewOrder });
-      ("Calvin-TPCC-Payment", `C,
+      ("Calvin-TPCC-Payment", calvin,
        fun x -> TPCC { per_host = x; kind = `Payment }) ]
   in
   List.iter
-    (fun (name, sys, mk) ->
+    (fun (name, engine, mk) ->
       List.iter
         (fun x ->
-          let workload = mk x in
-          let r =
-            match sys with
-            | `A -> aloha_peak ~n ~workload scale
-            | `C -> calvin_peak ~n ~workload scale
-          in
+          let r = peak ~engine ~n ~workload:(mk x) scale in
           row "fig7"
             [ name; Printf.sprintf "x=%-2d" x;
               fmt_tps r.Driver.throughput_tps ])
@@ -180,25 +164,21 @@ let fig7 scale =
 let fig8 scale =
   row "fig8" [ "series"; "servers"; "throughput" ];
   let configs =
-    [ ("Aloha-1D", `A, STPCC { per_host = 1 });
-      ("Aloha-10D", `A, STPCC { per_host = 10 });
-      ("Aloha-1W", `A, TPCC { per_host = 1; kind = `NewOrder });
-      ("Aloha-10W", `A, TPCC { per_host = 10; kind = `NewOrder });
-      ("Calvin-1D", `C, STPCC { per_host = 1 });
-      ("Calvin-10D", `C, STPCC { per_host = 10 });
-      ("Calvin-1W", `C, TPCC { per_host = 1; kind = `NewOrder });
-      ("Calvin-10W", `C, TPCC { per_host = 10; kind = `NewOrder }) ]
+    [ ("Aloha-1D", aloha, STPCC { per_host = 1 });
+      ("Aloha-10D", aloha, STPCC { per_host = 10 });
+      ("Aloha-1W", aloha, TPCC { per_host = 1; kind = `NewOrder });
+      ("Aloha-10W", aloha, TPCC { per_host = 10; kind = `NewOrder });
+      ("Calvin-1D", calvin, STPCC { per_host = 1 });
+      ("Calvin-10D", calvin, STPCC { per_host = 10 });
+      ("Calvin-1W", calvin, TPCC { per_host = 1; kind = `NewOrder });
+      ("Calvin-10W", calvin, TPCC { per_host = 10; kind = `NewOrder }) ]
   in
   List.iter
-    (fun (name, sys, workload) ->
+    (fun (name, engine, workload) ->
       List.iter
         (fun n ->
           (* TPC-C distributed transactions need a second server. *)
-          let r =
-            match sys with
-            | `A -> aloha_peak ~n ~workload scale
-            | `C -> calvin_peak ~n ~workload scale
-          in
+          let r = peak ~engine ~n ~workload scale in
           row "fig8"
             [ name; Printf.sprintf "n=%-2d" n;
               fmt_tps r.Driver.throughput_tps ])
@@ -210,18 +190,18 @@ let fig8 scale =
 let fig9 scale =
   let n = 8 in
   row "fig9" [ "system"; "ci"; "throughput" ];
+  (* All three engines, including the conventional 2PL/2PC baseline the
+     introduction argues against. *)
   List.iter
-    (fun ci ->
-      let r = aloha_peak ~n ~workload:(YCSB { ci }) scale in
-      row "fig9" [ "ALOHA"; Printf.sprintf "ci=%-7g" ci;
-                   fmt_tps r.Driver.throughput_tps ])
-    scale.fig9_cis;
-  List.iter
-    (fun ci ->
-      let r = calvin_peak ~n ~workload:(YCSB { ci }) scale in
-      row "fig9" [ "Calvin"; Printf.sprintf "ci=%-7g" ci;
-                   fmt_tps r.Driver.throughput_tps ])
-    scale.fig9_cis
+    (fun (name, engine) ->
+      List.iter
+        (fun ci ->
+          let r = peak ~engine ~n ~workload:(YCSB { ci }) scale in
+          row "fig9"
+            [ Printf.sprintf "%-6s" name; Printf.sprintf "ci=%-7g" ci;
+              fmt_tps r.Driver.throughput_tps ])
+        scale.fig9_cis)
+    [ ("ALOHA", aloha); ("Calvin", calvin); ("2PL", twopl) ]
 
 (* ---- Figure 10: latency breakdown --------------------------------------- *)
 
@@ -243,7 +223,7 @@ let fig10 scale =
     (fun ci ->
       (* Light load: ~5 % of a saturated server. *)
       let r =
-        run_aloha_point ~n ~workload:(YCSB { ci })
+        run_point ~engine:aloha ~n ~workload:(YCSB { ci })
           ~arrival:(Arrivals.Open_poisson { rate_per_fe = 5_000.0 })
           scale
       in
@@ -253,7 +233,7 @@ let fig10 scale =
     (fun ci ->
       let rate = if ci >= 0.1 then 150.0 else 500.0 in
       let r =
-        run_calvin_point ~n ~workload:(YCSB { ci })
+        run_point ~engine:calvin ~n ~workload:(YCSB { ci })
           ~arrival:(Arrivals.Open_poisson { rate_per_fe = rate })
           scale
       in
@@ -275,7 +255,7 @@ let fig11 scale =
           measure_us = max scale.measure_us (4 * epoch_us) }
       in
       let r =
-        run_aloha_point ~n ~epoch_us ~workload:(YCSB { ci = 1e-3 })
+        run_point ~engine:aloha ~n ~epoch_us ~workload:(YCSB { ci = 1e-3 })
           ~arrival:(Arrivals.Open_poisson { rate_per_fe = 2_000.0 })
           scale'
       in
@@ -292,7 +272,7 @@ let fig11 scale =
       (* The open-source Calvin generates most transactions at the start
          of each epoch (§V-C2), reproduced by burst arrivals. *)
       let r =
-        run_calvin_point ~n ~epoch_us ~workload:(YCSB { ci = 1e-3 })
+        run_point ~engine:calvin ~n ~epoch_us ~workload:(YCSB { ci = 1e-3 })
           ~arrival:
             (Arrivals.Open_burst { rate_per_fe = 500.0; period_us = epoch_us })
           scale'
@@ -301,6 +281,10 @@ let fig11 scale =
     scale.fig11_epochs_ms
 
 (* ---- Ablation: straggler optimisation (§III-C) --------------------------- *)
+
+(* The ablations construct ALOHA clusters natively (custom config, fault
+   injection) — Alohadb.Engine's transparent cluster type lets them still
+   run through the generic kernel loop. *)
 
 let ablation_straggler scale =
   row "ablation-straggler"
@@ -316,7 +300,8 @@ let ablation_straggler scale =
       let cfg =
         Workload.Ycsb.cfg_of_contention_index ~keys_per_partition:50_000 1e-3
       in
-      Workload.Ycsb.load_aloha cfg c;
+      Workload.Ycsb.load cfg ~n_servers:8
+        ~put:(fun key v -> Alohadb.Cluster.load c ~key v);
       Alohadb.Cluster.start c;
       (* Straggler injection (§III-C Figure 3): server 0 holds one
          in-flight transaction 12 ms past each authorization's end, so
@@ -348,8 +333,10 @@ let ablation_straggler scale =
          the whole cycle and the system keeps up.  Windows span ~10 switch
          cycles so the close-burst quantisation averages out. *)
       let r =
-        Driver.run_aloha ~cluster:c
-          ~gen:(fun ~fe -> Workload.Ycsb.gen_aloha gen ~fe)
+        Driver.run_engine
+          (module Alohadb.Engine)
+          ~cluster:c
+          ~gen:(fun ~fe -> Workload.Ycsb.gen gen ~fe)
           ~arrival:(Arrivals.Open_poisson { rate_per_fe = 110_000.0 })
           ~warmup_us:150_000 ~measure_us:370_000 ()
       in
@@ -404,18 +391,20 @@ let ablation_push scale =
         in
         let src = key fe (Sim.Rng.int rng accounts_per_part) in
         let dst = key p2 (Sim.Rng.int rng accounts_per_part) in
-        Alohadb.Txn.read_write
+        Kernel.Txn.make
           [ (src,
-             Alohadb.Txn.Call
+             Kernel.Txn.Call
                { handler = "xfer"; read_set = [ src ];
                  args = [ Value.int (-10) ] });
             (dst,
-             Alohadb.Txn.Call
+             Kernel.Txn.Call
                { handler = "xfer"; read_set = [ src; dst ];
                  args = [ Value.int 10 ] }) ]
       in
       let r =
-        Driver.run_aloha ~cluster:c ~gen
+        Driver.run_engine
+          (module Alohadb.Engine)
+          ~cluster:c ~gen
           ~arrival:(Arrivals.Closed { clients_per_fe = scale.aloha_clients })
           ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
       in
@@ -474,48 +463,32 @@ let ablation_dependent scale =
       incr uid;
       let acct = akey (Sim.Rng.int rng hot_accounts) in
       let receipt = Printf.sprintf "r:%d:%d" (Sim.Rng.int rng n) !uid in
-      Alohadb.Txn.read_write
+      Kernel.Txn.make
         [ (acct,
-           Alohadb.Txn.Det
+           Kernel.Txn.Det
              { handler = "withdraw"; read_set = [ acct ];
                args = [ Value.int 1; Value.str receipt ];
                dependents = [ receipt ] }) ]
     in
     let r =
-      Driver.run_aloha ~cluster:c ~gen
+      Driver.run_engine
+        (module Alohadb.Engine)
+        ~cluster:c ~gen
         ~arrival:(Arrivals.Closed { clients_per_fe = scale.aloha_clients / 2 })
         ~warmup_us:scale.warmup_us ~measure_us:scale.measure_us ()
     in
     row "ablation-dependent"
       [ "determinate"; fmt_tps r.Driver.throughput_tps;
-        Printf.sprintf "aborted=%d" r.Driver.aborted_compute; fmt_lat r ]
+        Printf.sprintf "aborted=%d" (Kernel.Result.abort r "compute");
+        fmt_lat r ]
   in
   (* Optimistic method: read the balance from a snapshot, then install a
      validating functor that aborts if the balance changed (Hyder-style
-     backward validation). *)
+     backward validation).  Needs a two-step client (read then write), so
+     it drives Cluster.submit directly instead of the kernel loop. *)
   let opt () =
     let c = mk_cluster () in
-    let rng = Sim.Rng.create 29 in
     let uid = ref 0 in
-    let gen ~fe:_ =
-      incr uid;
-      let acct = akey (Sim.Rng.int rng hot_accounts) in
-      let receipt = Printf.sprintf "r:%d:%d" (Sim.Rng.int rng n) !uid in
-      (* The snapshot the client read: balance observed as "very large";
-         under contention the account moves between snapshot and
-         validation, so validation aborts.  We model the snapshot read as
-         instantaneous with the observed value taken just before
-         submission through a historical read of version infinity less
-         one epoch; for the harness it suffices that validation compares
-         against a stale value with high probability under contention. *)
-      ignore acct;
-      ignore receipt;
-      Alohadb.Txn.read_write []
-    in
-    ignore gen;
-    (* The optimistic variant needs a two-step client (read then write);
-       drive it manually below instead of through the closed-loop
-       generator. *)
     let sim = Alohadb.Cluster.sim c in
     let committed = ref 0 and aborted = ref 0 in
     let outstanding = ref 0 in
@@ -581,44 +554,23 @@ let ext_conventional scale =
   row "ext-conventional" [ "system"; "ci"; "throughput"; "diagnostics" ];
   List.iter
     (fun ci ->
-      let a = aloha_peak ~n ~workload:(YCSB { ci }) scale in
-      row "ext-conventional"
-        [ "ALOHA "; Printf.sprintf "ci=%-7g" ci;
-          fmt_tps a.Driver.throughput_tps; "" ];
-      let c = calvin_peak ~n ~workload:(YCSB { ci }) scale in
-      row "ext-conventional"
-        [ "Calvin"; Printf.sprintf "ci=%-7g" ci;
-          fmt_tps c.Driver.throughput_tps; "" ];
-      (* 2PL/2PC: same workload through Calvin's txn model. *)
-      let cfg =
-        Workload.Ycsb.cfg_of_contention_index ~keys_per_partition:50_000 ci
-      in
-      let cluster =
-        Twopl.Cluster.create
-          { Twopl.Cluster.default_options with n_servers = n }
-      in
-      Workload.Ycsb.load_calvin' cfg cluster;
-      let gen = Workload.Ycsb.generator cfg ~n_partitions:n ~seed:17 in
-      let sim = Twopl.Cluster.sim cluster in
-      let rng = Sim.Rng.create 7 in
-      Arrivals.install ~sim ~rng ~n_fes:n
-        ~arrival:(Arrivals.Closed { clients_per_fe = scale.calvin_clients })
-        ~submit:(fun ~fe ~done_k ->
-          Twopl.Cluster.submit cluster ~fe
-            (Workload.Ycsb.gen_calvin gen ~fe)
-            ~k:done_k);
-      let metrics = Twopl.Cluster.metrics cluster in
-      Sim.Engine.run ~until:(Sim.Engine.now sim + scale.warmup_us) sim;
-      Sim.Metrics.reset metrics;
-      Sim.Engine.run ~until:(Sim.Engine.now sim + scale.measure_us) sim;
-      let committed = Sim.Metrics.get metrics "twopl.committed" in
-      row "ext-conventional"
-        [ "2PL   "; Printf.sprintf "ci=%-7g" ci;
-          fmt_tps
-            (float_of_int committed *. 1e6 /. float_of_int scale.measure_us);
-          Printf.sprintf "timeouts=%d restarts=%d"
-            (Sim.Metrics.get metrics "twopl.lock_timeouts")
-            (Sim.Metrics.get metrics "twopl.restarts") ])
+      List.iter
+        (fun (name, engine) ->
+          let r = peak ~engine ~n ~workload:(YCSB { ci }) scale in
+          let diagnostics =
+            match r.Driver.counters with
+            | [] -> ""
+            | counters ->
+                String.concat " "
+                  (List.map
+                     (fun (label, v) -> Printf.sprintf "%s=%d" label v)
+                     (counters
+                      @ List.filter (fun (_, v) -> v > 0) r.Driver.aborts))
+          in
+          row "ext-conventional"
+            [ Printf.sprintf "%-6s" name; Printf.sprintf "ci=%-7g" ci;
+              fmt_tps r.Driver.throughput_tps; diagnostics ])
+        [ ("ALOHA", aloha); ("Calvin", calvin); ("2PL", twopl) ])
     scale.fig9_cis
 
 let all scale =

@@ -38,7 +38,8 @@ val fig8 : scale -> unit
 (** Scale-out: NewOrder throughput for 1..20 servers. *)
 
 val fig9 : scale -> unit
-(** Microbenchmark throughput vs contention index. *)
+(** Microbenchmark throughput vs contention index, all three engines
+    (ALOHA, Calvin, and the conventional 2PL/2PC baseline). *)
 
 val fig10 : scale -> unit
 (** Latency breakdown by stage under low and high contention. *)

@@ -1,106 +1,42 @@
-type aloha = {
-  a_cluster : Alohadb.Cluster.t;
-  a_gen : fe:int -> Alohadb.Txn.request;
-}
+type built =
+  | Built :
+      (module Kernel.Intf.ENGINE with type cluster = 'c)
+      * 'c
+      * (fe:int -> Kernel.Txn.t)
+      -> built
 
-type calvin = {
-  c_cluster : Calvin.Cluster.t;
-  c_gen : fe:int -> Calvin.Ctxn.t;
-}
+let engines : (string * Kernel.Intf.packed) list =
+  [ ("aloha", Kernel.Intf.Pack (module Alohadb.Engine));
+    ("calvin", Kernel.Intf.Pack (module Calvin.Engine));
+    ("twopl", Kernel.Intf.Pack (module Twopl.Engine)) ]
 
-let aloha_options ~n ~epoch_us ~config =
-  let base = Alohadb.Cluster.default_options in
-  { base with
-    Alohadb.Cluster.n_servers = n;
-    partitioner = `Prefix;
-    config =
-      (match config with Some c -> c | None -> base.Alohadb.Cluster.config);
-    epoch =
-      (match epoch_us with
-      | Some duration_us ->
-          { base.Alohadb.Cluster.epoch with Epoch.Manager.duration_us }
-      | None -> base.Alohadb.Cluster.epoch) }
+let engine_of_name name = List.assoc_opt name engines
 
-let calvin_options ~n ~epoch_us =
-  let base = Calvin.Cluster.default_options in
-  let config =
-    match epoch_us with
-    | Some e -> { Calvin.Config.default with Calvin.Config.epoch_us = e }
-    | None -> Calvin.Config.default
-  in
-  { base with Calvin.Cluster.n_servers = n; partitioner = `Prefix; config }
+let engine_name (Kernel.Intf.Pack (module E)) = E.name
 
-let aloha_tpcc ~n ~warehouses_per_host ~kind ?epoch_us ?config ?(seed = 17)
-    () =
+let build (type k) (Kernel.Intf.Pack (module E))
+    (module W : Kernel.Intf.WORKLOAD with type cfg = k) (cfg : k) ~n
+    ?epoch_us ?(seed = 17) () =
+  let params = Kernel.Params.make ?epoch_us ~n_servers:n () in
+  let c = E.create params in
+  W.register cfg ~register:(E.register c);
+  W.load cfg ~n_servers:n ~put:(E.load c);
+  E.start c;
+  let gen = W.generator cfg ~n_servers:n ~seed in
+  Built ((module E), c, gen)
+
+let tpcc ~engine ~n ~warehouses_per_host ~kind ?epoch_us ?seed () =
   let cfg = Workload.Tpcc.default_cfg ~n_servers:n ~warehouses_per_host in
-  let registry = Functor_cc.Registry.with_builtins () in
-  Workload.Tpcc.register_aloha registry;
-  let c =
-    Alohadb.Cluster.create ~registry (aloha_options ~n ~epoch_us ~config)
-  in
-  Workload.Tpcc.load_aloha cfg c;
-  Alohadb.Cluster.start c;
-  let gen = Workload.Tpcc.generator cfg ~n_servers:n ~seed in
-  let a_gen ~fe =
-    match kind with
-    | `NewOrder -> Workload.Tpcc.gen_neworder_aloha gen ~fe
-    | `Payment -> Workload.Tpcc.gen_payment_aloha gen ~fe
-  in
-  { a_cluster = c; a_gen }
+  match kind with
+  | `NewOrder ->
+      build engine (module Workload.Tpcc.Neworder) cfg ~n ?epoch_us ?seed ()
+  | `Payment ->
+      build engine (module Workload.Tpcc.Payment) cfg ~n ?epoch_us ?seed ()
 
-let calvin_tpcc ~n ~warehouses_per_host ~kind ?epoch_us ?(seed = 17) () =
-  let cfg = Workload.Tpcc.default_cfg ~n_servers:n ~warehouses_per_host in
-  let registry = Calvin.Ctxn.with_builtins () in
-  Workload.Tpcc.register_calvin registry;
-  let c = Calvin.Cluster.create ~registry (calvin_options ~n ~epoch_us) in
-  Workload.Tpcc.load_calvin cfg c;
-  Calvin.Cluster.start c;
-  let gen = Workload.Tpcc.generator cfg ~n_servers:n ~seed in
-  let c_gen ~fe =
-    match kind with
-    | `NewOrder -> Workload.Tpcc.gen_neworder_calvin gen ~fe
-    | `Payment -> Workload.Tpcc.gen_payment_calvin gen ~fe
-  in
-  { c_cluster = c; c_gen }
-
-let aloha_stpcc ~n ~districts_per_host ?epoch_us ?config ?(seed = 17) () =
+let stpcc ~engine ~n ~districts_per_host ?epoch_us ?seed () =
   let cfg = Workload.Scaled_tpcc.default_cfg ~n_servers:n ~districts_per_host in
-  let registry = Functor_cc.Registry.with_builtins () in
-  Workload.Scaled_tpcc.register_aloha registry;
-  let c =
-    Alohadb.Cluster.create ~registry (aloha_options ~n ~epoch_us ~config)
-  in
-  Workload.Scaled_tpcc.load_aloha cfg c;
-  Alohadb.Cluster.start c;
-  let gen = Workload.Scaled_tpcc.generator cfg ~seed in
-  let a_gen ~fe:_ = Workload.Scaled_tpcc.gen_neworder_aloha gen in
-  { a_cluster = c; a_gen }
+  build engine (module Workload.Scaled_tpcc.Neworder) cfg ~n ?epoch_us ?seed ()
 
-let calvin_stpcc ~n ~districts_per_host ?epoch_us ?(seed = 17) () =
-  let cfg = Workload.Scaled_tpcc.default_cfg ~n_servers:n ~districts_per_host in
-  let registry = Calvin.Ctxn.with_builtins () in
-  Workload.Scaled_tpcc.register_calvin registry;
-  let c = Calvin.Cluster.create ~registry (calvin_options ~n ~epoch_us) in
-  Workload.Scaled_tpcc.load_calvin cfg c;
-  Calvin.Cluster.start c;
-  let gen = Workload.Scaled_tpcc.generator cfg ~seed in
-  let c_gen ~fe:_ = Workload.Scaled_tpcc.gen_neworder_calvin gen in
-  { c_cluster = c; c_gen }
-
-let aloha_ycsb ~n ~ci ?(keys_per_partition = 50_000) ?epoch_us ?config
-    ?(seed = 17) () =
+let ycsb ~engine ~n ~ci ?(keys_per_partition = 50_000) ?epoch_us ?seed () =
   let cfg = Workload.Ycsb.cfg_of_contention_index ~keys_per_partition ci in
-  let c = Alohadb.Cluster.create (aloha_options ~n ~epoch_us ~config) in
-  Workload.Ycsb.load_aloha cfg c;
-  Alohadb.Cluster.start c;
-  let gen = Workload.Ycsb.generator cfg ~n_partitions:n ~seed in
-  { a_cluster = c; a_gen = (fun ~fe -> Workload.Ycsb.gen_aloha gen ~fe) }
-
-let calvin_ycsb ~n ~ci ?(keys_per_partition = 50_000) ?epoch_us ?(seed = 17)
-    () =
-  let cfg = Workload.Ycsb.cfg_of_contention_index ~keys_per_partition ci in
-  let c = Calvin.Cluster.create (calvin_options ~n ~epoch_us) in
-  Workload.Ycsb.load_calvin cfg c;
-  Calvin.Cluster.start c;
-  let gen = Workload.Ycsb.generator cfg ~n_partitions:n ~seed in
-  { c_cluster = c; c_gen = (fun ~fe -> Workload.Ycsb.gen_calvin gen ~fe) }
+  build engine (module Workload.Ycsb.Workload) cfg ~n ?epoch_us ?seed ()

@@ -1,39 +1,64 @@
-(** Cluster + workload construction for the paper's experiments.
+(** Cluster + workload assembly through the kernel signatures.
 
-    Each function builds a loaded, started cluster of [n] servers and
-    returns it with a per-FE request generator, ready for
-    {!Driver.run_aloha} / {!Driver.run_calvin}. *)
+    One generic {!build} replaces the old per-engine constructors: it
+    creates the engine's cluster, registers the workload's handlers,
+    loads the initial data, starts the cluster, and pairs it with the
+    workload's request generator.  The result is a {!built} existential
+    ready for {!Driver.run}. *)
 
-type aloha = {
-  a_cluster : Alohadb.Cluster.t;
-  a_gen : fe:int -> Alohadb.Txn.request;
-}
+type built =
+  | Built :
+      (module Kernel.Intf.ENGINE with type cluster = 'c)
+      * 'c
+      * (fe:int -> Kernel.Txn.t)
+      -> built
 
-type calvin = {
-  c_cluster : Calvin.Cluster.t;
-  c_gen : fe:int -> Calvin.Ctxn.t;
-}
+val engines : (string * Kernel.Intf.packed) list
+(** All registered engines: aloha, calvin, twopl. *)
 
-val aloha_tpcc :
-  n:int -> warehouses_per_host:int -> kind:[ `NewOrder | `Payment ] ->
-  ?epoch_us:int -> ?config:Alohadb.Config.t -> ?seed:int -> unit -> aloha
+val engine_of_name : string -> Kernel.Intf.packed option
 
-val calvin_tpcc :
-  n:int -> warehouses_per_host:int -> kind:[ `NewOrder | `Payment ] ->
-  ?epoch_us:int -> ?seed:int -> unit -> calvin
+val engine_name : Kernel.Intf.packed -> string
 
-val aloha_stpcc :
-  n:int -> districts_per_host:int -> ?epoch_us:int ->
-  ?config:Alohadb.Config.t -> ?seed:int -> unit -> aloha
+val build :
+  Kernel.Intf.packed ->
+  (module Kernel.Intf.WORKLOAD with type cfg = 'k) ->
+  'k ->
+  n:int ->
+  ?epoch_us:int ->
+  ?seed:int ->
+  unit ->
+  built
+(** [build engine workload cfg ~n] — create, register, load, start.
+    [seed] (default 17) seeds the workload generator. *)
 
-val calvin_stpcc :
-  n:int -> districts_per_host:int -> ?epoch_us:int -> ?seed:int -> unit ->
-  calvin
+(* -- convenience wrappers over the bundled workloads -- *)
 
-val aloha_ycsb :
-  n:int -> ci:float -> ?keys_per_partition:int -> ?epoch_us:int ->
-  ?config:Alohadb.Config.t -> ?seed:int -> unit -> aloha
+val tpcc :
+  engine:Kernel.Intf.packed ->
+  n:int ->
+  warehouses_per_host:int ->
+  kind:[ `NewOrder | `Payment ] ->
+  ?epoch_us:int ->
+  ?seed:int ->
+  unit ->
+  built
 
-val calvin_ycsb :
-  n:int -> ci:float -> ?keys_per_partition:int -> ?epoch_us:int ->
-  ?seed:int -> unit -> calvin
+val stpcc :
+  engine:Kernel.Intf.packed ->
+  n:int ->
+  districts_per_host:int ->
+  ?epoch_us:int ->
+  ?seed:int ->
+  unit ->
+  built
+
+val ycsb :
+  engine:Kernel.Intf.packed ->
+  n:int ->
+  ci:float ->
+  ?keys_per_partition:int ->
+  ?epoch_us:int ->
+  ?seed:int ->
+  unit ->
+  built

@@ -1,0 +1,64 @@
+module Registry = Functor_cc.Registry
+module Value = Functor_cc.Value
+
+let read_of reads k = try List.assoc k reads with Not_found -> None
+
+let arith prev arg = function
+  | Txn.Add _ -> prev + arg
+  | Txn.Subtr _ -> prev - arg
+  | Txn.Max _ -> if arg > prev then arg else prev
+  | Txn.Min _ -> if arg < prev then arg else prev
+  | _ -> assert false
+
+exception Aborted
+
+let writes ~registry ~version ~reads ops =
+  let eval_handler ~key handler read_set args =
+    match Registry.find registry handler with
+    | None -> raise Aborted
+    | Some h ->
+        let ctx =
+          { Registry.key;
+            version;
+            reads = List.map (fun k -> (k, read_of reads k)) read_set;
+            args }
+        in
+        h ctx
+  in
+  let one (key, op) =
+    match op with
+    | Txn.Put v -> [ (key, v) ]
+    | Txn.Delete ->
+        invalid_arg "Kernel.Apply: Delete has no static stored-proc form"
+    | Txn.Add d | Txn.Subtr d | Txn.Max d | Txn.Min d ->
+        (* Matches the ALOHA built-ins: total, absent key counts as 0. *)
+        let prev =
+          match read_of reads key with
+          | None -> 0
+          | Some v -> Value.to_int v
+        in
+        [ (key, Value.int (arith prev d op)) ]
+    | Txn.Call { handler; read_set; args }
+    | Txn.Det { handler; read_set; args; _ } -> (
+        match eval_handler ~key handler read_set args with
+        | Registry.Commit v -> [ (key, v) ]
+        | Registry.Abort -> raise Aborted
+        | Registry.Delete ->
+            invalid_arg
+              "Kernel.Apply: Delete has no static stored-proc form"
+        | Registry.Commit_det (v, deps) ->
+            (key, v)
+            :: List.filter_map
+                 (fun (dk, dw) ->
+                   match dw with
+                   | Registry.Dep_put w -> Some (dk, w)
+                   | Registry.Dep_skip -> None
+                   | Registry.Dep_delete ->
+                       invalid_arg
+                         "Kernel.Apply: Dep_delete has no static \
+                          stored-proc form")
+                 deps)
+  in
+  match List.concat_map one ops with
+  | ws -> Some ws
+  | exception Aborted -> None

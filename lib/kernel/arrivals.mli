@@ -1,0 +1,37 @@
+(** Client load generation.
+
+    Four arrival processes cover the paper's experiments and the test
+    suite:
+
+    - {!Open_poisson}: independent Poisson arrivals per frontend — the
+      standard open-loop load for throughput-vs-latency sweeps (Fig. 6)
+      and light-load latency measurements (Fig. 10, 11);
+    - {!Open_burst}: the whole period's arrivals land at the start of each
+      period.  This reproduces the open-source Calvin artifact the paper
+      notes in Fig. 11 ("generates most of the transactions at the
+      beginning of the epoch"), which is why Calvin's latency slope vs
+      epoch duration is ~1 while ALOHA-DB's is ~0.5;
+    - {!Closed}: a fixed number of clients per frontend, each resubmitting
+      on completion — saturates the system for peak-throughput points
+      (Fig. 7, 8, 9);
+    - {!Scripted}: an explicit list of [(time_us, frontend)] submission
+      events — deterministic histories for differential tests. *)
+
+type t =
+  | Open_poisson of { rate_per_fe : float }  (** transactions/s per FE *)
+  | Open_burst of { rate_per_fe : float; period_us : int }
+  | Closed of { clients_per_fe : int }
+  | Scripted of { arrivals : (int * int) list }
+      (** each entry [(at_us, fe)] submits one request from frontend [fe]
+          at simulated time [at_us] (clamped to ≥ 1) *)
+
+val install :
+  sim:Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  n_fes:int ->
+  arrival:t ->
+  submit:(fe:int -> done_k:(unit -> unit) -> unit) ->
+  unit
+(** Start the arrival process.  [submit ~fe ~done_k] must eventually call
+    [done_k] exactly once for closed-loop arrivals; open-loop and scripted
+    arrivals ignore it. *)

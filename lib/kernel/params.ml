@@ -1,0 +1,7 @@
+type t = {
+  n_servers : int;
+  epoch_us : int option;
+      (* epoch / sequencer batch duration; engines without epochs ignore it *)
+}
+
+let make ?epoch_us ~n_servers () = { n_servers; epoch_us }

@@ -1,0 +1,15 @@
+(** Engine-neutral deployment parameters.
+
+    The intersection of what every {!Intf.ENGINE} needs to assemble a
+    cluster.  Engine-specific tuning (ALOHA's straggler optimisation,
+    clock skew, …) stays behind each engine's native [Cluster.create];
+    adapters expose it through their own construction helpers. *)
+
+type t = {
+  n_servers : int;
+  epoch_us : int option;
+      (** epoch / sequencer batch duration; engines without epochs ignore
+          it *)
+}
+
+val make : ?epoch_us:int -> n_servers:int -> unit -> t

@@ -1,0 +1,63 @@
+type t = {
+  committed : int;
+  aborts : (string * int) list;
+  counters : (string * int) list;
+  throughput_tps : float;
+  lat_mean_us : float;
+  lat_p50_us : int;
+  lat_p95_us : int;
+  lat_p99_us : int;
+  stages : (string * float) list;
+}
+
+let abort_count r = List.fold_left (fun acc (_, n) -> acc + n) 0 r.aborts
+let abort r label = try List.assoc label r.aborts with Not_found -> 0
+let counter r label = try List.assoc label r.counters with Not_found -> 0
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%.0f txn/s (n=%d, aborts=%d), lat mean=%.2f ms p50=%.2f p95=%.2f p99=%.2f"
+    r.throughput_tps r.committed (abort_count r)
+    (r.lat_mean_us /. 1000.0)
+    (float_of_int r.lat_p50_us /. 1000.0)
+    (float_of_int r.lat_p95_us /. 1000.0)
+    (float_of_int r.lat_p99_us /. 1000.0)
+
+let hist_stats metrics name =
+  match Sim.Metrics.latency metrics name with
+  | None -> (0.0, 0, 0, 0)
+  | Some h ->
+      if Sim.Stats.Histogram.count h = 0 then (0.0, 0, 0, 0)
+      else
+        ( Sim.Stats.Histogram.mean h,
+          Sim.Stats.Histogram.percentile h 50.0,
+          Sim.Stats.Histogram.percentile h 95.0,
+          Sim.Stats.Histogram.percentile h 99.0 )
+
+let stage_mean metrics name =
+  match Sim.Metrics.latency metrics name with
+  | None -> 0.0
+  | Some h -> Sim.Stats.Histogram.mean h
+
+let extract ~metrics ~measure_us ~committed_key ~latency_key ~abort_keys
+    ~counter_keys ~stage_keys =
+  let committed = Sim.Metrics.get metrics committed_key in
+  let mean, p50, p95, p99 = hist_stats metrics latency_key in
+  { committed;
+    aborts =
+      List.map
+        (fun (label, key) -> (label, Sim.Metrics.get metrics key))
+        abort_keys;
+    counters =
+      List.map
+        (fun (label, key) -> (label, Sim.Metrics.get metrics key))
+        counter_keys;
+    throughput_tps = float_of_int committed *. 1e6 /. float_of_int measure_us;
+    lat_mean_us = mean;
+    lat_p50_us = p50;
+    lat_p95_us = p95;
+    lat_p99_us = p99;
+    stages =
+      List.map
+        (fun (label, key) -> (label, stage_mean metrics key))
+        stage_keys }

@@ -1,0 +1,32 @@
+(** The generic client loop: install an arrival process on a started
+    cluster, run a warm-up window, reset the metrics, run a measurement
+    window, and extract a {!Result.t} through the engine's declared
+    metric keys.
+
+    This is the single place that owns warmup/measure policy; every
+    harness entry point (CLI, figures, benches, tests) goes through it
+    regardless of engine. *)
+
+val run :
+  (module Intf.ENGINE with type cluster = 'c) ->
+  cluster:'c ->
+  gen:(fe:int -> Txn.t) ->
+  arrival:Arrivals.t ->
+  ?warmup_us:int ->
+  ?measure_us:int ->
+  ?seed:int ->
+  unit ->
+  Result.t
+(** The cluster must already be created, loaded and started. *)
+
+module Make (E : Intf.ENGINE) : sig
+  val run :
+    cluster:E.cluster ->
+    gen:(fe:int -> Txn.t) ->
+    arrival:Arrivals.t ->
+    ?warmup_us:int ->
+    ?measure_us:int ->
+    ?seed:int ->
+    unit ->
+    Result.t
+end

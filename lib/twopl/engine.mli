@@ -1,0 +1,11 @@
+(** 2PL/2PC behind the {!Kernel.Intf.ENGINE} signature.
+
+    Shares Calvin's transaction lowering: the static facet is shipped
+    through the generic ["kernel_apply"] stored procedure
+    ({!Calvin.Engine.apply_proc}).  Lock-wait give-ups surface through
+    [abort_keys] (["twopl.given_up"]); restarts and lock timeouts through
+    [counter_keys]. *)
+
+include Kernel.Intf.ENGINE
+
+val options_of : ?seed:int -> Kernel.Params.t -> Cluster.options

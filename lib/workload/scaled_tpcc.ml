@@ -1,5 +1,6 @@
 module Value = Functor_cc.Value
 module Registry = Functor_cc.Registry
+module Txn = Kernel.Txn
 
 type cfg = {
   districts : int;
@@ -82,37 +83,44 @@ let stock_handler (ctx : Registry.ctx) =
       Registry.Commit
         (Value.tup [ Value.int q'; Value.int (ytd + qty); Value.int (cnt + 1) ])
 
-let register_aloha registry =
-  Registry.register registry "stpcc_neworder" neworder_handler;
-  Registry.register registry "stpcc_stock" stock_handler
+(* OrderLine row for the static form (pre-assigned order id). *)
+let orderline_handler (ctx : Registry.ctx) =
+  let item = Value.to_int (Registry.arg ctx 0) in
+  let qty = Value.to_int (Registry.arg ctx 1) in
+  let price =
+    match Registry.read ctx (item_key item) with
+    | Some row -> Value.to_int (Value.nth row 0)
+    | None -> 0
+  in
+  Registry.Commit
+    (Value.tup [ Value.int item; Value.int qty; Value.int (qty * price) ])
 
-let iter_initial cfg f =
+let register ~register:reg =
+  reg "stpcc_neworder" neworder_handler;
+  reg "stpcc_stock" stock_handler;
+  reg "stpcc_orderline" orderline_handler
+
+let load cfg ~put =
   for d = 0 to cfg.districts - 1 do
-    f (dnoid_key d) (Value.int 1);
+    put (dnoid_key d) (Value.int 1);
     for c = 0 to cfg.customers - 1 do
-      f (cust_key ~d c) (Value.tup [ Value.int 0; Value.int 0 ])
+      put (cust_key ~d c) (Value.tup [ Value.int 0; Value.int 0 ])
     done
   done;
   for i = 0 to cfg.items - 1 do
-    f (item_key i)
+    put (item_key i)
       (Value.tup [ Value.int (100 + ((i * 37) mod 9900)); Value.str "item" ]);
-    f (stock_key i) (Value.tup [ Value.int 91; Value.int 0; Value.int 0 ])
+    put (stock_key i) (Value.tup [ Value.int 91; Value.int 0; Value.int 0 ])
   done
-
-let load_aloha cfg cluster =
-  iter_initial cfg (fun key v -> Alohadb.Cluster.load cluster ~key v)
-
-let load_calvin cfg cluster =
-  iter_initial cfg (fun key v -> Calvin.Cluster.load cluster ~key v)
 
 type generator = {
   cfg : cfg;
   rng : Sim.Rng.t;
-  calvin_noid : (int, int ref) Hashtbl.t;
+  static_noid : (int, int ref) Hashtbl.t;
 }
 
 let generator cfg ~seed =
-  { cfg; rng = Sim.Rng.create seed; calvin_noid = Hashtbl.create 256 }
+  { cfg; rng = Sim.Rng.create seed; static_noid = Hashtbl.create 256 }
 
 let draw g =
   let cfg = g.cfg in
@@ -144,11 +152,23 @@ let draw g =
   in
   (d, c, lines, invalid)
 
-let gen_neworder_aloha g =
-  let d, c, lines, _invalid = draw g in
+let next_oid g ~d =
+  let r =
+    match Hashtbl.find_opt g.static_noid d with
+    | Some r -> r
+    | None ->
+        let r = ref 1 in
+        Hashtbl.add g.static_noid d r;
+        r
+  in
+  let o = !r in
+  incr r;
+  o
+
+let neworder_functor_desc (d, c, lines, _invalid) =
   let det =
     ( dnoid_key d,
-      Alohadb.Txn.Det
+      Txn.Det
         { handler = "stpcc_neworder";
           read_set = dnoid_key d :: List.map (fun l -> item_key l.item) lines;
           args = [ Value.int d; Value.int c; encode_lines lines ];
@@ -158,89 +178,69 @@ let gen_neworder_aloha g =
     List.map
       (fun l ->
         ( stock_key l.item,
-          Alohadb.Txn.Call
+          Txn.Call
             { handler = "stpcc_stock";
               read_set = [ stock_key l.item ];
               args = [ Value.int l.qty ] } ))
       lines
   in
-  Alohadb.Txn.read_write
+  Txn.desc
     ~precondition_keys:(List.map (fun l -> stock_key l.item) lines)
     (det :: stocks)
 
-let calvin_neworder_proc ~(txn : Calvin.Ctxn.t) ~reads =
-  let arg i = List.nth txn.Calvin.Ctxn.args i in
-  let d = Value.to_int (arg 0) in
-  let c = Value.to_int (arg 1) in
-  let o = Value.to_int (arg 2) in
-  let lines = decode_lines (arg 3) in
-  let read key = Option.join (List.assoc_opt key reads) in
-  let noid =
-    match read (dnoid_key d) with Some v -> Value.to_int v | None -> 1
-  in
-  let stock_writes =
+let neworder_static_desc ~o (d, c, lines, _invalid) =
+  let stocks =
     List.map
       (fun l ->
-        let key = stock_key l.item in
-        let q, ytd, cnt =
-          match read key with
-          | Some row ->
-              ( Value.to_int (Value.nth row 0),
-                Value.to_int (Value.nth row 1),
-                Value.to_int (Value.nth row 2) )
-          | None -> (91, 0, 0)
-        in
-        let q' = if q - l.qty >= 10 then q - l.qty else q - l.qty + 91 in
-        ( key,
-          Value.tup
-            [ Value.int q'; Value.int (ytd + l.qty); Value.int (cnt + 1) ] ))
+        ( stock_key l.item,
+          Txn.Call
+            { handler = "stpcc_stock";
+              read_set = [ stock_key l.item ];
+              args = [ Value.int l.qty ] } ))
       lines
   in
-  let ol_writes =
+  let orderlines =
     List.mapi
       (fun n l ->
-        let price =
-          match read (item_key l.item) with
-          | Some row -> Value.to_int (Value.nth row 0)
-          | None -> 0
-        in
         ( orderline_key ~d ~o ~n,
-          Value.tup
-            [ Value.int l.item; Value.int l.qty; Value.int (l.qty * price) ]
-        ))
+          Txn.Call
+            { handler = "stpcc_orderline";
+              read_set = [ item_key l.item ];
+              args = [ Value.int l.item; Value.int l.qty ] } ))
       lines
   in
-  ((dnoid_key d, Value.int (noid + 1))
-   :: (order_key ~d ~o,
-       Value.tup [ Value.int c; Value.int (List.length lines) ])
-   :: (neworder_key ~d ~o, Value.int 1)
-   :: stock_writes)
-  @ ol_writes
+  Txn.desc
+    ((dnoid_key d, Txn.Add 1)
+     :: (order_key ~d ~o,
+         Txn.Put (Value.tup [ Value.int c; Value.int (List.length lines) ]))
+     :: (neworder_key ~d ~o, Txn.Put (Value.int 1))
+     :: (stocks @ orderlines))
 
-let register_calvin registry =
-  Calvin.Ctxn.register registry "calvin_stpcc_neworder" calvin_neworder_proc
+let gen_neworder g =
+  let a = draw g in
+  Txn.dual
+    ~functor_form:(neworder_functor_desc a)
+    ~static_form:
+      (lazy
+        (let rec valid ((_, _, _, invalid) as a) =
+           if invalid then valid (draw g) else a
+         in
+         let ((d, _, _, _) as a) = valid a in
+         let o = next_oid g ~d in
+         neworder_static_desc ~o a))
 
-let gen_neworder_calvin g =
-  let rec valid () =
-    let d, c, lines, invalid = draw g in
-    if invalid then valid () else (d, c, lines)
-  in
-  let d, c, lines = valid () in
-  let r =
-    match Hashtbl.find_opt g.calvin_noid d with
-    | Some r -> r
-    | None ->
-        let r = ref 1 in
-        Hashtbl.add g.calvin_noid d r;
-        r
-  in
-  let o = !r in
-  incr r;
-  let stock_keys = List.map (fun l -> stock_key l.item) lines in
-  let item_keys = List.map (fun l -> item_key l.item) lines in
-  { Calvin.Ctxn.proc = "calvin_stpcc_neworder";
-    read_set = (dnoid_key d :: item_keys) @ stock_keys;
-    write_set =
-      (dnoid_key d :: order_key ~d ~o :: neworder_key ~d ~o :: stock_keys)
-      @ List.mapi (fun n _ -> orderline_key ~d ~o ~n) lines;
-    args = [ Value.int d; Value.int c; Value.int o; encode_lines lines ] }
+module Neworder = struct
+  let name = "stpcc-neworder"
+
+  type nonrec cfg = cfg
+
+  let register cfg ~register:reg =
+    ignore (cfg : cfg);
+    register ~register:reg
+
+  let load cfg ~n_servers:_ ~put = load cfg ~put
+
+  let generator cfg ~n_servers:_ ~seed =
+    let g = generator cfg ~seed in
+    fun ~fe:_ -> gen_neworder g
+end

@@ -11,7 +11,11 @@
     [d mod n]); item/stock data is ["i:<i>:..."] (item [i] on server
     [i mod n]); order rows live with their district.  Contention is set by
     districts-per-host: each FE's NewOrders pick among the districts of
-    the whole cluster uniformly. *)
+    the whole cluster uniformly.
+
+    Engine-agnostic like {!Tpcc}: the functor facet uses the determinate
+    "stpcc_neworder" functor; the static facet pre-assigns order ids and
+    redraws invalid items. *)
 
 type cfg = {
   districts : int;  (** total districts across the cluster *)
@@ -31,19 +35,17 @@ val order_key : d:int -> o:int -> string
 val neworder_key : d:int -> o:int -> string
 val orderline_key : d:int -> o:int -> n:int -> string
 
-val register_aloha : Functor_cc.Registry.t -> unit
-(** Registers "stpcc_neworder" and "stpcc_stock". *)
+val register : register:(string -> Functor_cc.Registry.handler -> unit) -> unit
+(** Registers "stpcc_neworder", "stpcc_stock" and "stpcc_orderline". *)
 
-val load_aloha : cfg -> Alohadb.Cluster.t -> unit
+val load : cfg -> put:(string -> Functor_cc.Value.t -> unit) -> unit
 
 type generator
 
 val generator : cfg -> seed:int -> generator
 
-val gen_neworder_aloha : generator -> Alohadb.Txn.request
+val gen_neworder : generator -> Kernel.Txn.t
 (** Scaled TPC-C transactions are not tied to a home server; any FE may
     coordinate any district's order. *)
 
-val register_calvin : Calvin.Ctxn.registry -> unit
-val load_calvin : cfg -> Calvin.Cluster.t -> unit
-val gen_neworder_calvin : generator -> Calvin.Ctxn.t
+module Neworder : Kernel.Intf.WORKLOAD with type cfg = cfg

@@ -1,5 +1,6 @@
 module Value = Functor_cc.Value
 module Registry = Functor_cc.Registry
+module Txn = Kernel.Txn
 
 type cfg = {
   warehouses : int;
@@ -66,7 +67,7 @@ let decode_line v =
 let encode_lines lines = Value.tup (List.map encode_line lines)
 let decode_lines v = List.map decode_line (Value.to_tup v)
 
-(* ---- ALOHA-DB handlers -------------------------------------------------- *)
+(* ---- handlers ------------------------------------------------------------ *)
 
 (* Determinate functor on the district's next-order-id key: assigns the
    order id, bumps the counter, and emits the Order / NewOrder / OrderLine
@@ -132,36 +133,49 @@ let payment_cust_handler (ctx : Registry.ctx) =
         (cust_row ~balance:(balance - h) ~ytd_payment:(ytd + h)
            ~payment_cnt:(cnt + 1))
 
-let register_aloha registry =
-  Registry.register registry "tpcc_neworder" neworder_handler;
-  Registry.register registry "tpcc_stock" stock_handler;
-  Registry.register registry "tpcc_payment_cust" payment_cust_handler
+(* One OrderLine row for the static (pre-assigned order id) form: reads
+   the item row for the price, as the determinate functor does under
+   ALOHA. *)
+let orderline_handler (ctx : Registry.ctx) =
+  let item = Value.to_int (Registry.arg ctx 0) in
+  let supply_w = Value.to_int (Registry.arg ctx 1) in
+  let qty = Value.to_int (Registry.arg ctx 2) in
+  let home_w = Value.to_int (Registry.arg ctx 3) in
+  let price =
+    match Registry.read ctx (item_key ~w:home_w item) with
+    | Some row -> item_price row
+    | None -> 0
+  in
+  Registry.Commit
+    (Value.tup
+       [ Value.int item; Value.int supply_w; Value.int qty;
+         Value.int (qty * price) ])
+
+let register ~register:reg =
+  reg "tpcc_neworder" neworder_handler;
+  reg "tpcc_stock" stock_handler;
+  reg "tpcc_payment_cust" payment_cust_handler;
+  reg "tpcc_orderline" orderline_handler
 
 (* ---- loading ------------------------------------------------------------ *)
 
-let iter_initial cfg f =
+let load cfg ~put =
   for w = 0 to cfg.warehouses - 1 do
-    f (wytd_key w) (Value.int 0);
+    put (wytd_key w) (Value.int 0);
     for d = 0 to cfg.districts - 1 do
-      f (dtax_key ~w ~d) (Value.float 0.05);
-      f (dytd_key ~w ~d) (Value.int 0);
-      f (dnoid_key ~w ~d) (Value.int 1);
+      put (dtax_key ~w ~d) (Value.float 0.05);
+      put (dytd_key ~w ~d) (Value.int 0);
+      put (dnoid_key ~w ~d) (Value.int 1);
       for c = 0 to cfg.customers - 1 do
-        f (cust_key ~w ~d c) (cust_row ~balance:0 ~ytd_payment:0 ~payment_cnt:0)
+        put (cust_key ~w ~d c)
+          (cust_row ~balance:0 ~ytd_payment:0 ~payment_cnt:0)
       done
     done;
     for i = 0 to cfg.items - 1 do
-      f (item_key ~w i) (item_row ~price:(100 + ((i * 37) mod 9900)));
-      f (stock_key ~w i)
-        (stock_row ~qty:91 ~ytd:0 ~order_cnt:0 ~remote_cnt:0)
+      put (item_key ~w i) (item_row ~price:(100 + ((i * 37) mod 9900)));
+      put (stock_key ~w i) (stock_row ~qty:91 ~ytd:0 ~order_cnt:0 ~remote_cnt:0)
     done
   done
-
-let load_aloha cfg cluster =
-  iter_initial cfg (fun key v -> Alohadb.Cluster.load cluster ~key v)
-
-let load_calvin cfg cluster =
-  iter_initial cfg (fun key v -> Calvin.Cluster.load cluster ~key v)
 
 (* ---- generator ---------------------------------------------------------- *)
 
@@ -169,8 +183,8 @@ type generator = {
   cfg : cfg;
   n_servers : int;
   rng : Sim.Rng.t;
-  calvin_noid : (int * int, int ref) Hashtbl.t;
-      (* Calvin pre-assigns order ids (it cannot abort, §V-A2) *)
+  static_noid : (int * int, int ref) Hashtbl.t;
+      (* static engines pre-assign order ids (they cannot abort, §V-A2) *)
   mutable uid : int;
 }
 
@@ -178,7 +192,7 @@ let generator cfg ~n_servers ~seed =
   if cfg.warehouses < n_servers then
     invalid_arg "Tpcc.generator: need at least one warehouse per host";
   { cfg; n_servers; rng = Sim.Rng.create seed;
-    calvin_noid = Hashtbl.create 256; uid = 0 }
+    static_noid = Hashtbl.create 256; uid = 0 }
 
 let per_host g = g.cfg.warehouses / g.n_servers
 
@@ -242,26 +256,39 @@ let draw_neworder g ~fe =
   in
   { no_w = w; no_d = d; no_c = c; lines; invalid }
 
-let gen_neworder_aloha g ~fe =
-  let { no_w = w; no_d = d; no_c = c; lines; invalid = _ } =
-    draw_neworder g ~fe
+let next_oid g ~w ~d =
+  let key = (w, d) in
+  let r =
+    match Hashtbl.find_opt g.static_noid key with
+    | Some r -> r
+    | None ->
+        let r = ref 1 in
+        Hashtbl.add g.static_noid key r;
+        r
   in
+  let o = !r in
+  incr r;
+  o
+
+(* The functor facet: the district counter carries the determinate
+   "tpcc_neworder" functor; each stock update is an independent user
+   functor; the unmet stock precondition of an invalid item drives the
+   coordinator's second-round abort. *)
+let neworder_functor_desc { no_w = w; no_d = d; no_c = c; lines; _ } =
   let det =
     ( dnoid_key ~w ~d,
-      Alohadb.Txn.Det
+      Txn.Det
         { handler = "tpcc_neworder";
           read_set =
-            dnoid_key ~w ~d
-            :: List.map (fun l -> item_key ~w l.item) lines;
-          args =
-            [ Value.int w; Value.int d; Value.int c; encode_lines lines ];
+            dnoid_key ~w ~d :: List.map (fun l -> item_key ~w l.item) lines;
+          args = [ Value.int w; Value.int d; Value.int c; encode_lines lines ];
           dependents = [] } )
   in
   let stocks =
     List.map
       (fun l ->
         ( stock_key ~w:l.supply_w l.item,
-          Alohadb.Txn.Call
+          Txn.Call
             { handler = "tpcc_stock";
               read_set = [ stock_key ~w:l.supply_w l.item ];
               args =
@@ -269,11 +296,61 @@ let gen_neworder_aloha g ~fe =
                   Value.int (if l.supply_w = w then 0 else 1) ] } ))
       lines
   in
-  Alohadb.Txn.read_write
-    ~precondition_keys:(List.map (fun l -> stock_key ~w:l.supply_w l.item) lines)
+  Txn.desc
+    ~precondition_keys:
+      (List.map (fun l -> stock_key ~w:l.supply_w l.item) lines)
     (det :: stocks)
 
-let gen_payment_aloha g ~fe =
+(* The static facet: the order id is pre-assigned from the generator's
+   counter and every row is an explicit op, so the write set is fully
+   known up front (what deterministic engines require, §V-A2). *)
+let neworder_static_desc ~o { no_w = w; no_d = d; no_c = c; lines; _ } =
+  let stocks =
+    List.map
+      (fun l ->
+        ( stock_key ~w:l.supply_w l.item,
+          Txn.Call
+            { handler = "tpcc_stock";
+              read_set = [ stock_key ~w:l.supply_w l.item ];
+              args =
+                [ Value.int l.qty;
+                  Value.int (if l.supply_w = w then 0 else 1) ] } ))
+      lines
+  in
+  let orderlines =
+    List.mapi
+      (fun n l ->
+        ( orderline_key ~w ~d ~o ~n,
+          Txn.Call
+            { handler = "tpcc_orderline";
+              read_set = [ item_key ~w l.item ];
+              args =
+                [ Value.int l.item; Value.int l.supply_w; Value.int l.qty;
+                  Value.int w ] } ))
+      lines
+  in
+  Txn.desc
+    ((dnoid_key ~w ~d, Txn.Add 1)
+     :: (order_key ~w ~d ~o,
+         Txn.Put (Value.tup [ Value.int c; Value.int (List.length lines) ]))
+     :: (neworder_key ~w ~d ~o, Txn.Put (Value.int 1))
+     :: (stocks @ orderlines))
+
+let gen_neworder g ~fe =
+  let a = draw_neworder g ~fe in
+  Txn.dual
+    ~functor_form:(neworder_functor_desc a)
+    ~static_form:
+      (lazy
+        ((* Static engines cannot abort, so their facet never references an
+            invalid item: redraw until valid, exactly as the old
+            Calvin-only generator did. *)
+         let rec valid a = if a.invalid then valid (draw_neworder g ~fe) else a in
+         let a = valid a in
+         let o = next_oid g ~w:a.no_w ~d:a.no_d in
+         neworder_static_desc ~o a))
+
+let gen_payment g ~fe =
   let cfg = g.cfg in
   let w = home_warehouse g ~fe in
   let d = Sim.Rng.int g.rng cfg.districts in
@@ -284,146 +361,48 @@ let gen_payment_aloha g ~fe =
   let c = Sim.Rng.int g.rng cfg.customers in
   let h = 1 + Sim.Rng.int g.rng 5000 in
   g.uid <- g.uid + 1;
-  Alohadb.Txn.read_write
-    [ (wytd_key w, Alohadb.Txn.Add h);
-      (dytd_key ~w ~d, Alohadb.Txn.Add h);
+  (* Payment's write set is already static: one description serves both
+     facets. *)
+  Txn.make
+    [ (wytd_key w, Txn.Add h);
+      (dytd_key ~w ~d, Txn.Add h);
       (cust_key ~w:cw ~d:cd c,
-       Alohadb.Txn.Call
+       Txn.Call
          { handler = "tpcc_payment_cust";
            read_set = [ cust_key ~w:cw ~d:cd c ];
            args = [ Value.int h ] });
-      (hist_key ~w ~d ~c g.uid, Alohadb.Txn.Put (Value.int h)) ]
+      (hist_key ~w ~d ~c g.uid, Txn.Put (Value.int h)) ]
 
-(* ---- Calvin procedures -------------------------------------------------- *)
+(* ---- WORKLOAD instances -------------------------------------------------- *)
 
-let calvin_neworder_proc ~(txn : Calvin.Ctxn.t) ~reads =
-  let arg i = List.nth txn.Calvin.Ctxn.args i in
-  let w = Value.to_int (arg 0) in
-  let d = Value.to_int (arg 1) in
-  let c = Value.to_int (arg 2) in
-  let o = Value.to_int (arg 3) in
-  let lines = decode_lines (arg 4) in
-  let read key = Option.join (List.assoc_opt key reads) in
-  let noid =
-    match read (dnoid_key ~w ~d) with
-    | Some v -> Value.to_int v
-    | None -> 1
-  in
-  let stock_writes =
-    List.map
-      (fun l ->
-        let key = stock_key ~w:l.supply_w l.item in
-        let row =
-          match read key with
-          | Some row -> row
-          | None -> stock_row ~qty:91 ~ytd:0 ~order_cnt:0 ~remote_cnt:0
-        in
-        let q = Value.to_int (Value.nth row 0) in
-        let ytd = Value.to_int (Value.nth row 1) in
-        let order_cnt = Value.to_int (Value.nth row 2) in
-        let remote_cnt = Value.to_int (Value.nth row 3) in
-        let q' = if q - l.qty >= 10 then q - l.qty else q - l.qty + 91 in
-        ( key,
-          stock_row ~qty:q' ~ytd:(ytd + l.qty) ~order_cnt:(order_cnt + 1)
-            ~remote_cnt:(remote_cnt + if l.supply_w = w then 0 else 1) ))
-      lines
-  in
-  let ol_writes =
-    List.mapi
-      (fun n l ->
-        let price =
-          match read (item_key ~w l.item) with
-          | Some row -> item_price row
-          | None -> 0
-        in
-        ( orderline_key ~w ~d ~o ~n,
-          Value.tup
-            [ Value.int l.item; Value.int l.supply_w; Value.int l.qty;
-              Value.int (l.qty * price) ] ))
-      lines
-  in
-  ((dnoid_key ~w ~d, Value.int (noid + 1))
-   :: (order_key ~w ~d ~o,
-       Value.tup [ Value.int c; Value.int (List.length lines) ])
-   :: (neworder_key ~w ~d ~o, Value.int 1)
-   :: stock_writes)
-  @ ol_writes
+module Neworder = struct
+  let name = "tpcc-neworder"
 
-let calvin_payment_proc ~(txn : Calvin.Ctxn.t) ~reads =
-  let arg i = List.nth txn.Calvin.Ctxn.args i in
-  let h = Value.to_int (arg 0) in
-  let read key = Option.join (List.assoc_opt key reads) in
-  match txn.Calvin.Ctxn.write_set with
-  | [ wytd; dytd; cust; hist ] ->
-      let bump key =
-        match read key with
-        | Some v -> Value.int (Value.to_int v + h)
-        | None -> Value.int h
-      in
-      let cust_v =
-        match read cust with
-        | Some row ->
-            cust_row
-              ~balance:(Value.to_int (Value.nth row 0) - h)
-              ~ytd_payment:(Value.to_int (Value.nth row 1) + h)
-              ~payment_cnt:(Value.to_int (Value.nth row 2) + 1)
-        | None -> cust_row ~balance:(-h) ~ytd_payment:h ~payment_cnt:1
-      in
-      [ (wytd, bump wytd); (dytd, bump dytd); (cust, cust_v);
-        (hist, Value.int h) ]
-  | _ -> invalid_arg "calvin_payment: malformed write set"
+  type nonrec cfg = cfg
 
-let register_calvin registry =
-  Calvin.Ctxn.register registry "calvin_neworder" calvin_neworder_proc;
-  Calvin.Ctxn.register registry "calvin_payment" calvin_payment_proc
+  let register cfg ~register:reg =
+    ignore (cfg : cfg);
+    register ~register:reg
 
-let calvin_next_oid g ~w ~d =
-  let key = (w, d) in
-  let r =
-    match Hashtbl.find_opt g.calvin_noid key with
-    | Some r -> r
-    | None ->
-        let r = ref 1 in
-        Hashtbl.add g.calvin_noid key r;
-        r
-  in
-  let o = !r in
-  incr r;
-  o
+  let load cfg ~n_servers:_ ~put = load cfg ~put
 
-let gen_neworder_calvin g ~fe =
-  (* Calvin's open-source implementation cannot abort, so the generator
-     never produces invalid items and pre-assigns the order id (§V-A2). *)
-  let rec valid () =
-    let a = draw_neworder g ~fe in
-    if a.invalid then valid () else a
-  in
-  let { no_w = w; no_d = d; no_c = c; lines; invalid = _ } = valid () in
-  let o = calvin_next_oid g ~w ~d in
-  let stock_keys = List.map (fun l -> stock_key ~w:l.supply_w l.item) lines in
-  let item_keys = List.map (fun l -> item_key ~w l.item) lines in
-  { Calvin.Ctxn.proc = "calvin_neworder";
-    read_set = (dnoid_key ~w ~d :: item_keys) @ stock_keys;
-    write_set =
-      (dnoid_key ~w ~d :: order_key ~w ~d ~o :: neworder_key ~w ~d ~o
-       :: stock_keys)
-      @ List.mapi (fun n _ -> orderline_key ~w ~d ~o ~n) lines;
-    args =
-      [ Value.int w; Value.int d; Value.int c; Value.int o;
-        encode_lines lines ] }
+  let generator cfg ~n_servers ~seed =
+    let g = generator cfg ~n_servers ~seed in
+    fun ~fe -> gen_neworder g ~fe
+end
 
-let gen_payment_calvin g ~fe =
-  let cfg = g.cfg in
-  let w = home_warehouse g ~fe in
-  let d = Sim.Rng.int g.rng cfg.districts in
-  let cw = if cfg.force_distributed then remote_warehouse g ~fe else w in
-  let cd = Sim.Rng.int g.rng cfg.districts in
-  let c = Sim.Rng.int g.rng cfg.customers in
-  let h = 1 + Sim.Rng.int g.rng 5000 in
-  g.uid <- g.uid + 1;
-  let cust = cust_key ~w:cw ~d:cd c in
-  { Calvin.Ctxn.proc = "calvin_payment";
-    read_set = [ wytd_key w; dytd_key ~w ~d; cust ];
-    write_set =
-      [ wytd_key w; dytd_key ~w ~d; cust; hist_key ~w ~d ~c g.uid ];
-    args = [ Value.int h ] }
+module Payment = struct
+  let name = "tpcc-payment"
+
+  type nonrec cfg = cfg
+
+  let register cfg ~register:reg =
+    ignore (cfg : cfg);
+    register ~register:reg
+
+  let load cfg ~n_servers:_ ~put = load cfg ~put
+
+  let generator cfg ~n_servers ~seed =
+    let g = generator cfg ~n_servers ~seed in
+    fun ~fe -> gen_payment g ~fe
+end

@@ -12,7 +12,10 @@
     (items are accessed uniformly); defaults are chosen to keep memory
     modest and are recorded in EXPERIMENTS.md.
 
-    ALOHA-DB mapping:
+    The implementation is engine-agnostic: generators produce two-facet
+    {!Kernel.Txn.t} values.
+
+    Functor facet (ALOHA):
     - the district's next-order-id key holds a {e determinate functor}
       ("tpcc_neworder") that assigns the order id during functor
       computing and emits the Order / NewOrder / OrderLine rows as
@@ -24,9 +27,11 @@
       precondition on the supply warehouse's partition triggers the
       coordinator's second-round abort.
 
-    Calvin mapping: equivalent stored procedures; order ids are
-    {e pre-assigned} by the generator (Calvin cannot abort, §V-A2), and
-    the district / stock / customer locks carry the contention. *)
+    Static facet (Calvin, 2PL): order ids are {e pre-assigned} by the
+    generator and invalid items are redrawn (deterministic engines cannot
+    abort, §V-A2); order / order-line rows become explicit ops
+    ("tpcc_orderline" computes the line amount from the item price), so
+    the write set is fully known before execution. *)
 
 type cfg = {
   warehouses : int;  (** total; home warehouse of FE [i] is ≡ i (mod n) *)
@@ -56,23 +61,20 @@ val order_key : w:int -> d:int -> o:int -> string
 val neworder_key : w:int -> d:int -> o:int -> string
 val orderline_key : w:int -> d:int -> o:int -> n:int -> string
 
-(* -- ALOHA-DB -- *)
+val register : register:(string -> Functor_cc.Registry.handler -> unit) -> unit
+(** Register "tpcc_neworder", "tpcc_stock", "tpcc_payment_cust" and
+    "tpcc_orderline" through an engine's registration hook. *)
 
-val register_aloha : Functor_cc.Registry.t -> unit
-(** Register "tpcc_neworder", "tpcc_stock", "tpcc_payment_cust". *)
-
-val load_aloha : cfg -> Alohadb.Cluster.t -> unit
+val load : cfg -> put:(string -> Functor_cc.Value.t -> unit) -> unit
 
 type generator
 
 val generator : cfg -> n_servers:int -> seed:int -> generator
 
-val gen_neworder_aloha : generator -> fe:int -> Alohadb.Txn.request
-val gen_payment_aloha : generator -> fe:int -> Alohadb.Txn.request
+val gen_neworder : generator -> fe:int -> Kernel.Txn.t
+val gen_payment : generator -> fe:int -> Kernel.Txn.t
 
-(* -- Calvin -- *)
+(** The two transactions as {!Kernel.Intf.WORKLOAD} instances. *)
 
-val register_calvin : Calvin.Ctxn.registry -> unit
-val load_calvin : cfg -> Calvin.Cluster.t -> unit
-val gen_neworder_calvin : generator -> fe:int -> Calvin.Ctxn.t
-val gen_payment_calvin : generator -> fe:int -> Calvin.Ctxn.t
+module Neworder : Kernel.Intf.WORKLOAD with type cfg = cfg
+module Payment : Kernel.Intf.WORKLOAD with type cfg = cfg

@@ -1,4 +1,5 @@
 module Value = Functor_cc.Value
+module Txn = Kernel.Txn
 
 type cfg = {
   keys_per_partition : int;
@@ -15,27 +16,14 @@ let cfg_of_contention_index ?(keys_per_partition = 100_000) ci =
 
 let key ~partition idx = Printf.sprintf "y:%d:%d" partition idx
 
-let iter_initial cfg ~n f =
-  for p = 0 to n - 1 do
+let register ~register:_ = ()
+
+let load cfg ~n_servers ~put =
+  for p = 0 to n_servers - 1 do
     for i = 0 to cfg.keys_per_partition - 1 do
-      f (key ~partition:p i) (Value.int 0)
+      put (key ~partition:p i) (Value.int 0)
     done
   done
-
-let load_aloha cfg cluster =
-  iter_initial cfg
-    ~n:(Alohadb.Cluster.n_servers cluster)
-    (fun key v -> Alohadb.Cluster.load cluster ~key v)
-
-let load_calvin cfg cluster =
-  iter_initial cfg
-    ~n:(Calvin.Cluster.n_servers cluster)
-    (fun key v -> Calvin.Cluster.load cluster ~key v)
-
-let load_calvin' cfg cluster =
-  iter_initial cfg
-    ~n:(Twopl.Cluster.n_servers cluster)
-    (fun key v -> Twopl.Cluster.load cluster ~key v)
 
 type generator = {
   cfg : cfg;
@@ -80,11 +68,24 @@ let draw_keys g ~fe =
     parts
   |> List.sort_uniq String.compare
 
-let gen_aloha g ~fe =
+let gen g ~fe =
   let keys = draw_keys g ~fe in
-  Alohadb.Txn.read_write (List.map (fun k -> (k, Alohadb.Txn.Add 1)) keys)
+  (* 10 ADD-1 ops — already static, so one description serves every
+     engine. *)
+  Txn.make (List.map (fun k -> (k, Txn.Add 1)) keys)
 
-let gen_calvin g ~fe =
-  let keys = draw_keys g ~fe in
-  { Calvin.Ctxn.proc = "incr_all"; read_set = keys; write_set = keys;
-    args = [ Value.int 1 ] }
+module Workload = struct
+  let name = "ycsb"
+
+  type nonrec cfg = cfg
+
+  let register cfg ~register:reg =
+    ignore (cfg : cfg);
+    register ~register:reg
+
+  let load cfg ~n_servers ~put = load cfg ~n_servers ~put
+
+  let generator cfg ~n_servers ~seed =
+    let g = generator cfg ~n_partitions:n_servers ~seed in
+    fun ~fe -> gen g ~fe
+end

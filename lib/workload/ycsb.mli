@@ -12,7 +12,11 @@
     smaller default keeps simulation memory modest (see EXPERIMENTS.md).
 
     Keys are ["y:<partition>:<idx>"]; the [`Prefix] partitioner routes on
-    the partition field. *)
+    the partition field.
+
+    Increments are commutative ADD ops, so one static description serves
+    every engine: ALOHA runs them as ADD functors, Calvin/2PL through the
+    generic "kernel_apply" procedure. *)
 
 type cfg = {
   keys_per_partition : int;
@@ -27,19 +31,17 @@ val cfg_of_contention_index : ?keys_per_partition:int -> float -> cfg
 
 val key : partition:int -> int -> string
 
-val load_aloha : cfg -> Alohadb.Cluster.t -> unit
-val load_calvin : cfg -> Calvin.Cluster.t -> unit
+val register : register:(string -> Functor_cc.Registry.handler -> unit) -> unit
+(** No workload-specific handlers: increments use the ADD built-in. *)
 
-val load_calvin' : cfg -> Twopl.Cluster.t -> unit
-(** Load the 2PL/2PC baseline (same single-version store shape). *)
+val load : cfg -> n_servers:int -> put:(string -> Functor_cc.Value.t -> unit) -> unit
 
 type generator
 
 val generator : cfg -> n_partitions:int -> seed:int -> generator
 
-val gen_aloha : generator -> fe:int -> Alohadb.Txn.request
-(** 10 ADD-1 functors: one hot + four cold keys on each of the two
-    participant partitions. *)
+val gen : generator -> fe:int -> Kernel.Txn.t
+(** 10 ADD-1 ops: one hot + four cold keys on each of the two participant
+    partitions. *)
 
-val gen_calvin : generator -> fe:int -> Calvin.Ctxn.t
-(** The same access pattern through Calvin's "incr_all" procedure. *)
+module Workload : Kernel.Intf.WORKLOAD with type cfg = cfg

@@ -1,7 +1,8 @@
-(* Cross-engine equivalence: the same YCSB-style increment workload fed to
-   ALOHA-DB, Calvin, and 2PL/2PC must leave identical per-key totals —
-   increments commute, so any serializable engine reaches the same state.
-   Also a model-based qcheck test for Calvin's lock manager. *)
+(* Cross-engine equivalence: the same seeded YCSB-style increment history
+   fed through the shared kernel client loop to every registered ENGINE
+   adapter (ALOHA-DB, Calvin, 2PL/2PC) must leave identical per-key
+   totals — increments commute, so any serializable engine reaches the
+   same state.  Also a model-based qcheck test for Calvin's lock manager. *)
 
 module Value = Functor_cc.Value
 
@@ -29,100 +30,51 @@ let expected_totals () =
 let txn_keys (k1, k2) =
   List.sort_uniq compare [ List.nth keys k1; List.nth keys k2 ]
 
-let run_aloha () =
-  let options =
-    { Alohadb.Cluster.default_options with n_servers = n;
-      partitioner = `Prefix }
+(* One scripted submission per batch entry, alternating frontends.  The
+   warmup window ends before the first arrival, so the committed counter
+   covers the whole history. *)
+let run_engine (Kernel.Intf.Pack (module E)) =
+  let c = E.create (Kernel.Params.make ~n_servers:n ()) in
+  List.iter (fun k -> E.load c k (Value.int 0)) keys;
+  E.start c;
+  let remaining = ref batch in
+  let gen ~fe:_ =
+    match !remaining with
+    | [] -> Alcotest.fail (E.name ^ ": generator exhausted")
+    | (ks, delta) :: tl ->
+        remaining := tl;
+        Kernel.Txn.make
+          (List.map (fun k -> (k, Kernel.Txn.Add delta)) (txn_keys ks))
   in
-  let c = Alohadb.Cluster.create options in
-  List.iter (fun k -> Alohadb.Cluster.load c ~key:k (Value.int 0)) keys;
-  Alohadb.Cluster.start c;
-  let sim = Alohadb.Cluster.sim c in
-  let resolved = ref 0 in
-  List.iteri
-    (fun i (ks, delta) ->
-      Sim.Engine.schedule sim ~at:(1_000 + (i * 400)) (fun () ->
-          Alohadb.Cluster.submit c ~fe:(i mod n)
-            (Alohadb.Txn.read_write
-               (List.map (fun k -> (k, Alohadb.Txn.Add delta)) (txn_keys ks)))
-            (fun _ -> incr resolved)))
-    batch;
-  Sim.Engine.run ~until:500_000 sim;
-  Alcotest.(check int) "aloha resolved" 60 !resolved;
-  List.map
-    (fun k ->
-      let engine =
-        Alohadb.Server.engine
-          (Alohadb.Cluster.server c (Alohadb.Cluster.partition_of c k))
-      in
-      let got = ref 0 in
-      Functor_cc.Compute_engine.get engine ~key:k ~version:max_int (function
-        | Some v -> got := Value.to_int v
-        | None -> ());
-      !got)
-    keys
-
-let calvin_txn ks delta =
-  { Calvin.Ctxn.proc = "incr_all"; read_set = txn_keys ks;
-    write_set = txn_keys ks; args = [ Value.int delta ] }
-
-let run_calvin () =
-  let options =
-    { Calvin.Cluster.default_options with n_servers = n; partitioner = `Prefix }
+  let arrivals = List.mapi (fun i _ -> (1_000 + (i * 400), i mod n)) batch in
+  let r =
+    Kernel.Run.run
+      (module E)
+      ~cluster:c ~gen
+      ~arrival:(Kernel.Arrivals.Scripted { arrivals })
+      ~warmup_us:500 ~measure_us:3_000_000 ()
   in
-  let c = Calvin.Cluster.create options in
-  List.iter (fun k -> Calvin.Cluster.load c ~key:k (Value.int 0)) keys;
-  Calvin.Cluster.start c;
-  let sim = Calvin.Cluster.sim c in
-  let resolved = ref 0 in
-  List.iteri
-    (fun i (ks, delta) ->
-      Sim.Engine.schedule sim ~at:(1_000 + (i * 400)) (fun () ->
-          Calvin.Cluster.submit c ~fe:(i mod n) (calvin_txn ks delta)
-            ~k:(fun () -> incr resolved)))
-    batch;
-  Sim.Engine.run ~until:800_000 sim;
-  Alcotest.(check int) "calvin resolved" 60 !resolved;
+  Alcotest.(check int)
+    (E.name ^ " committed all")
+    (List.length batch) r.Kernel.Result.committed;
+  Alcotest.(check int) (E.name ^ " aborted none") 0 (Kernel.Result.abort_count r);
   List.map
     (fun k ->
-      match
-        Calvin.Server.read_local
-          (Calvin.Cluster.server c (Calvin.Cluster.partition_of c k))
-          k
-      with
-      | Some v -> Value.to_int v
-      | None -> 0)
+      match E.read_committed c k with Some v -> Value.to_int v | None -> 0)
     keys
 
-let run_twopl () =
-  let c = Twopl.Cluster.create { Twopl.Cluster.default_options with n_servers = n } in
-  List.iter (fun k -> Twopl.Cluster.load c ~key:k (Value.int 0)) keys;
-  let sim = Twopl.Cluster.sim c in
-  let resolved = ref 0 in
-  List.iteri
-    (fun i (ks, delta) ->
-      Sim.Engine.schedule sim ~at:(1_000 + (i * 400)) (fun () ->
-          Twopl.Cluster.submit c ~fe:(i mod n) (calvin_txn ks delta)
-            ~k:(fun () -> incr resolved)))
-    batch;
-  Sim.Engine.run ~until:3_000_000 sim;
-  Alcotest.(check int) "2pl resolved" 60 !resolved;
-  List.map
-    (fun k ->
-      match
-        Twopl.Server.read_local
-          (Twopl.Cluster.server c (Twopl.Cluster.partition_of c k))
-          k
-      with
-      | Some v -> Value.to_int v
-      | None -> 0)
-    keys
+let engines =
+  [ Kernel.Intf.Pack (module Alohadb.Engine);
+    Kernel.Intf.Pack (module Calvin.Engine);
+    Kernel.Intf.Pack (module Twopl.Engine) ]
 
 let test_three_engines_agree () =
   let expected = Array.to_list (expected_totals ()) in
-  Alcotest.(check (list int)) "aloha = oracle" expected (run_aloha ());
-  Alcotest.(check (list int)) "calvin = oracle" expected (run_calvin ());
-  Alcotest.(check (list int)) "2pl = oracle" expected (run_twopl ())
+  List.iter
+    (fun (Kernel.Intf.Pack (module E) as engine) ->
+      Alcotest.(check (list int))
+        (E.name ^ " = oracle") expected (run_engine engine))
+    engines
 
 (* ---- model-based lock manager check -------------------------------------- *)
 

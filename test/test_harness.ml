@@ -48,23 +48,19 @@ let test_closed_loop_sustains () =
 
 let test_driver_ycsb_both_systems () =
   (* End-to-end smoke of the Figure-9 machinery at a tiny scale: ALOHA
-     throughput must exceed Calvin's and both must make progress. *)
-  let { Harness.Setup.a_cluster; a_gen } =
-    Harness.Setup.aloha_ycsb ~n:2 ~ci:0.01 ~keys_per_partition:1_000 ()
-  in
-  let ra =
-    Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen
-      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 200 })
+     throughput must exceed Calvin's and both must make progress.  Both
+     go through the generic kernel loop via packed ENGINE modules. *)
+  let point name clients =
+    let engine = List.assoc name Harness.Setup.engines in
+    let built =
+      Harness.Setup.ycsb ~engine ~n:2 ~ci:0.01 ~keys_per_partition:1_000 ()
+    in
+    Harness.Driver.run built
+      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = clients })
       ~warmup_us:50_000 ~measure_us:50_000 ()
   in
-  let { Harness.Setup.c_cluster; c_gen } =
-    Harness.Setup.calvin_ycsb ~n:2 ~ci:0.01 ~keys_per_partition:1_000 ()
-  in
-  let rc =
-    Harness.Driver.run_calvin ~cluster:c_cluster ~gen:c_gen
-      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 100 })
-      ~warmup_us:50_000 ~measure_us:50_000 ()
-  in
+  let ra = point "aloha" 200 in
+  let rc = point "calvin" 100 in
   Alcotest.(check bool) "aloha progresses" true (ra.Harness.Driver.committed > 100);
   Alcotest.(check bool) "calvin progresses" true (rc.Harness.Driver.committed > 50);
   Alcotest.(check bool) "aloha beats calvin" true
@@ -76,22 +72,23 @@ let test_driver_ycsb_both_systems () =
      && ra.Harness.Driver.lat_p99_us >= ra.Harness.Driver.lat_p50_us)
 
 let test_driver_tpcc_abort_accounting () =
-  let { Harness.Setup.a_cluster; a_gen } =
-    Harness.Setup.aloha_tpcc ~n:2 ~warehouses_per_host:1 ~kind:`NewOrder ()
+  let engine = List.assoc "aloha" Harness.Setup.engines in
+  let built =
+    Harness.Setup.tpcc ~engine ~n:2 ~warehouses_per_host:1 ~kind:`NewOrder ()
   in
   let r =
-    Harness.Driver.run_aloha ~cluster:a_cluster ~gen:a_gen
+    Harness.Driver.run built
       ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 100 })
       ~warmup_us:50_000 ~measure_us:100_000 ()
   in
   Alcotest.(check bool) "commits" true (r.Harness.Driver.committed > 100);
   (* 1 % of NewOrders reference an unknown item and must abort in the
      write-only phase. *)
-  Alcotest.(check bool) "install aborts occur" true
-    (r.Harness.Driver.aborted_install > 0);
+  let aborted_install = Kernel.Result.abort r "install" in
+  Alcotest.(check bool) "install aborts occur" true (aborted_install > 0);
   let ratio =
-    float_of_int r.Harness.Driver.aborted_install
-    /. float_of_int (r.Harness.Driver.committed + r.Harness.Driver.aborted_install)
+    float_of_int aborted_install
+    /. float_of_int (r.Harness.Driver.committed + aborted_install)
   in
   Alcotest.(check bool) "abort rate ~1%" true (ratio > 0.001 && ratio < 0.05)
 

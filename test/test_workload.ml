@@ -1,5 +1,6 @@
 (* Workload-level integration tests: TPC-C invariants on both engines,
-   Scaled TPC-C, YCSB. *)
+   Scaled TPC-C, YCSB.  Workloads produce engine-neutral Kernel.Txn
+   values; these tests submit them through the ENGINE adapters. *)
 
 module Value = Functor_cc.Value
 module Tpcc = Workload.Tpcc
@@ -16,16 +17,20 @@ let small_tpcc_cfg =
 
 (* ---- ALOHA TPC-C --------------------------------------------------------- *)
 
+(* Alohadb.Engine's cluster is the native cluster, so native inspection
+   (scans below) composes with the adapter's submit path. *)
+let aloha_cluster load_workload =
+  let c = Alohadb.Engine.create (Kernel.Params.make ~n_servers:n ()) in
+  load_workload c;
+  Alohadb.Engine.start c;
+  c
+
 let run_aloha_tpcc ~payments ~neworders =
-  let registry = Functor_cc.Registry.with_builtins () in
-  Tpcc.register_aloha registry;
-  let options =
-    { Alohadb.Cluster.default_options with n_servers = n;
-      partitioner = `Prefix }
+  let c =
+    aloha_cluster (fun c ->
+        Tpcc.register ~register:(Alohadb.Engine.register c);
+        Tpcc.load small_tpcc_cfg ~put:(Alohadb.Engine.load c))
   in
-  let c = Alohadb.Cluster.create ~registry options in
-  Tpcc.load_aloha small_tpcc_cfg c;
-  Alohadb.Cluster.start c;
   let gen = Tpcc.generator small_tpcc_cfg ~n_servers:n ~seed:5 in
   let committed_no = ref 0 and aborted_no = ref 0 in
   let committed_pay = ref 0 and pay_total = ref 0 in
@@ -35,13 +40,12 @@ let run_aloha_tpcc ~payments ~neworders =
     incr outstanding;
     let fe = i mod n in
     Sim.Engine.schedule sim ~at:(1_000 + (i * 37)) (fun () ->
-        Alohadb.Cluster.submit c ~fe (Tpcc.gen_neworder_aloha gen ~fe)
-          (fun result ->
+        Alohadb.Engine.submit c ~fe (Tpcc.gen_neworder gen ~fe)
+          ~k:(fun reply ->
             decr outstanding;
-            match result with
-            | Alohadb.Txn.Committed _ -> incr committed_no
-            | Alohadb.Txn.Aborted _ -> incr aborted_no
-            | Alohadb.Txn.Values _ -> ()))
+            match reply with
+            | Kernel.Txn.Ok -> incr committed_no
+            | Kernel.Txn.Aborted _ -> incr aborted_no))
   done;
   for i = 0 to payments - 1 do
     incr outstanding;
@@ -49,24 +53,22 @@ let run_aloha_tpcc ~payments ~neworders =
     Sim.Engine.schedule sim ~at:(2_000 + (i * 41)) (fun () ->
         (* The payment amount h appears as Add h on both the wytd and dytd
            keys; extract it so the invariants can track the total. *)
-        let req = Tpcc.gen_payment_aloha gen ~fe in
+        let txn = Tpcc.gen_payment gen ~fe in
         let amount =
-          match req with
-          | Alohadb.Txn.Read_write { writes; _ } ->
-              List.fold_left
-                (fun acc (_, op) ->
-                  match op with Alohadb.Txn.Add h -> acc + h | _ -> acc)
-                0 writes
-              / 2 (* wytd and dytd both add h *)
-          | _ -> 0
+          List.fold_left
+            (fun acc (_, op) ->
+              match op with Kernel.Txn.Add h -> acc + h | _ -> acc)
+            0
+            (Kernel.Txn.functor_form txn).Kernel.Txn.writes
+          / 2 (* wytd and dytd both add h *)
         in
-        Alohadb.Cluster.submit c ~fe req (fun result ->
+        Alohadb.Engine.submit c ~fe txn ~k:(fun reply ->
             decr outstanding;
-            match result with
-            | Alohadb.Txn.Committed _ ->
+            match reply with
+            | Kernel.Txn.Ok ->
                 incr committed_pay;
                 pay_total := !pay_total + amount
-            | Alohadb.Txn.Aborted _ | Alohadb.Txn.Values _ -> ()))
+            | Kernel.Txn.Aborted _ -> ()))
   done;
   Sim.Engine.run ~until:600_000 sim;
   Alcotest.(check int) "all resolved" 0 !outstanding;
@@ -176,29 +178,25 @@ let test_aloha_tpcc_payment_invariants () =
 (* ---- Calvin TPC-C --------------------------------------------------------- *)
 
 let test_calvin_tpcc_neworder_invariants () =
-  let registry = Calvin.Ctxn.with_builtins () in
-  Tpcc.register_calvin registry;
-  let options =
-    { Calvin.Cluster.default_options with n_servers = n; partitioner = `Prefix }
-  in
-  let c = Calvin.Cluster.create ~registry options in
-  Tpcc.load_calvin small_tpcc_cfg c;
-  Calvin.Cluster.start c;
+  let c = Calvin.Engine.create (Kernel.Params.make ~n_servers:n ()) in
+  Tpcc.register ~register:(Calvin.Engine.register c);
+  Tpcc.load small_tpcc_cfg ~put:(Calvin.Engine.load c);
+  Calvin.Engine.start c;
   let gen = Tpcc.generator small_tpcc_cfg ~n_servers:n ~seed:5 in
   let committed = ref 0 in
   for i = 0 to 79 do
-    Calvin.Cluster.submit c ~fe:(i mod n)
-      (Tpcc.gen_neworder_calvin gen ~fe:(i mod n))
-      ~k:(fun () -> incr committed)
+    Calvin.Engine.submit c ~fe:(i mod n)
+      (Tpcc.gen_neworder gen ~fe:(i mod n))
+      ~k:(fun _ -> incr committed)
   done;
-  Calvin.Cluster.run_for c 600_000;
+  Sim.Engine.run ~until:600_000 (Calvin.Engine.sim c);
   Alcotest.(check int) "all committed (Calvin cannot abort)" 80 !committed;
-  (* District counters advanced once per order on each home district. *)
+  (* District counters advanced once per order on each home district
+     (the static facet pre-assigns the order ids the counter tracks). *)
   let dnoid_sum = ref 0 in
   for w = 0 to small_tpcc_cfg.Tpcc.warehouses - 1 do
     for d = 0 to small_tpcc_cfg.Tpcc.districts - 1 do
-      let server = Calvin.Cluster.server c (w mod n) in
-      match Calvin.Server.read_local server (Tpcc.dnoid_key ~w ~d) with
+      match Calvin.Engine.read_committed c (Tpcc.dnoid_key ~w ~d) with
       | Some v -> dnoid_sum := !dnoid_sum + (Value.to_int v - 1)
       | None -> ()
     done
@@ -212,27 +210,23 @@ let test_stpcc_aloha_basic () =
     { (Stpcc.default_cfg ~n_servers:n ~districts_per_host:2) with
       Stpcc.items = 40; customers = 10; invalid_item_fraction = 0.0 }
   in
-  let registry = Functor_cc.Registry.with_builtins () in
-  Stpcc.register_aloha registry;
-  let options =
-    { Alohadb.Cluster.default_options with n_servers = n;
-      partitioner = `Prefix }
+  let c =
+    aloha_cluster (fun c ->
+        Stpcc.register ~register:(Alohadb.Engine.register c);
+        Stpcc.load cfg ~put:(Alohadb.Engine.load c))
   in
-  let c = Alohadb.Cluster.create ~registry options in
-  Stpcc.load_aloha cfg c;
-  Alohadb.Cluster.start c;
   let gen = Stpcc.generator cfg ~seed:9 in
   let committed = ref 0 and outstanding = ref 0 in
   let sim = Alohadb.Cluster.sim c in
   for i = 0 to 59 do
     incr outstanding;
     Sim.Engine.schedule sim ~at:(1_000 + (i * 53)) (fun () ->
-        Alohadb.Cluster.submit c ~fe:(i mod n) (Stpcc.gen_neworder_aloha gen)
-          (fun result ->
+        Alohadb.Engine.submit c ~fe:(i mod n) (Stpcc.gen_neworder gen)
+          ~k:(fun reply ->
             decr outstanding;
-            match result with
-            | Alohadb.Txn.Committed _ -> incr committed
-            | _ -> ()))
+            match reply with
+            | Kernel.Txn.Ok -> incr committed
+            | Kernel.Txn.Aborted _ -> ()))
   done;
   Sim.Engine.run ~until:500_000 sim;
   Alcotest.(check int) "resolved" 0 !outstanding;
@@ -251,25 +245,20 @@ let test_ycsb_aloha_conservation () =
     { Ycsb.keys_per_partition = 200; hot_keys = 4; rw_keys = 10;
       distributed = true }
   in
-  let options =
-    { Alohadb.Cluster.default_options with n_servers = n;
-      partitioner = `Prefix }
+  let c =
+    aloha_cluster (fun c -> Ycsb.load cfg ~n_servers:n ~put:(Alohadb.Engine.load c))
   in
-  let c = Alohadb.Cluster.create options in
-  Ycsb.load_aloha cfg c;
-  Alohadb.Cluster.start c;
   let gen = Ycsb.generator cfg ~n_partitions:n ~seed:21 in
   let sim = Alohadb.Cluster.sim c in
   let keys_written = ref 0 and outstanding = ref 0 in
   for i = 0 to 99 do
     incr outstanding;
     Sim.Engine.schedule sim ~at:(1_000 + (i * 29)) (fun () ->
-        let req = Ycsb.gen_aloha gen ~fe:(i mod n) in
-        (match req with
-        | Alohadb.Txn.Read_write { writes; _ } ->
-            keys_written := !keys_written + List.length writes
-        | _ -> ());
-        Alohadb.Cluster.submit c ~fe:(i mod n) req (fun _ ->
+        let txn = Ycsb.gen gen ~fe:(i mod n) in
+        keys_written :=
+          !keys_written
+          + List.length (Kernel.Txn.functor_form txn).Kernel.Txn.writes;
+        Alohadb.Engine.submit c ~fe:(i mod n) txn ~k:(fun _ ->
             decr outstanding))
   done;
   Sim.Engine.run ~until:400_000 sim;
@@ -287,55 +276,55 @@ let test_ycsb_generator_shape () =
   in
   let gen = Ycsb.generator cfg ~n_partitions:8 ~seed:3 in
   for fe = 0 to 7 do
-    match Ycsb.gen_aloha gen ~fe with
-    | Alohadb.Txn.Read_write { writes; _ } ->
-        let keys = List.map fst writes in
-        (* Exactly two partitions: the submitting one plus one other. *)
-        let parts =
-          List.sort_uniq compare
-            (List.map
-               (fun k -> int_of_string (List.nth (String.split_on_char ':' k) 1))
-               keys)
+    let txn = Ycsb.gen gen ~fe in
+    let keys =
+      List.map fst (Kernel.Txn.functor_form txn).Kernel.Txn.writes
+    in
+    (* Exactly two partitions: the submitting one plus one other. *)
+    let parts =
+      List.sort_uniq compare
+        (List.map
+           (fun k -> int_of_string (List.nth (String.split_on_char ':' k) 1))
+           keys)
+    in
+    Alcotest.(check int) "two partitions" 2 (List.length parts);
+    Alcotest.(check bool) "includes own partition" true (List.mem fe parts);
+    (* Exactly one hot key (< hot_keys) per participant partition. *)
+    List.iter
+      (fun p ->
+        let hot =
+          List.filter
+            (fun k ->
+              match String.split_on_char ':' k with
+              | [ _; part; idx ] ->
+                  int_of_string part = p && int_of_string idx < 10
+              | _ -> false)
+            keys
         in
-        Alcotest.(check int) "two partitions" 2 (List.length parts);
-        Alcotest.(check bool) "includes own partition" true
-          (List.mem fe parts);
-        (* Exactly one hot key (< hot_keys) per participant partition. *)
-        List.iter
-          (fun p ->
-            let hot =
-              List.filter
-                (fun k ->
-                  match String.split_on_char ':' k with
-                  | [ _; part; idx ] ->
-                      int_of_string part = p && int_of_string idx < 10
-                  | _ -> false)
-                keys
-            in
-            Alcotest.(check int) "one hot key per partition" 1
-              (List.length hot))
-          parts
-    | _ -> Alcotest.fail "expected read-write"
+        Alcotest.(check int) "one hot key per partition" 1 (List.length hot))
+      parts
   done
 
 let test_tpcc_generator_distribution () =
   let cfg = Tpcc.default_cfg ~n_servers:4 ~warehouses_per_host:2 in
   let gen = Tpcc.generator cfg ~n_servers:4 ~seed:7 in
   for fe = 0 to 3 do
-    let t = Tpcc.gen_neworder_calvin gen ~fe in
+    (* The static facet is what the deterministic engines see. *)
+    let d = Kernel.Txn.static_form (Tpcc.gen_neworder gen ~fe) in
+    let writes = Kernel.Txn.write_keys d in
     (* The home district key routes to the submitting host. *)
-    (match t.Calvin.Ctxn.read_set with
+    (match List.filter (fun k -> contains_sub k ":dnoid:") writes with
     | dnoid :: _ ->
         let w = int_of_string (List.nth (String.split_on_char ':' dnoid) 1) in
         Alcotest.(check int) "home warehouse on fe" fe (w mod 4)
-    | [] -> Alcotest.fail "empty read set");
+    | [] -> Alcotest.fail "no district counter in write set");
     (* Distributed: some stock key lives on another host. *)
     let remote =
       List.exists
         (fun k ->
           contains_sub k ":stock:"
           && int_of_string (List.nth (String.split_on_char ':' k) 1) mod 4 <> fe)
-        t.Calvin.Ctxn.write_set
+        writes
     in
     Alcotest.(check bool) "always distributed" true remote
   done
