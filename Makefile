@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean
+.PHONY: all build test fmt check clean bench bench-smoke
 
 all: build
 
@@ -7,6 +7,15 @@ build:
 
 test:
 	dune runtest
+
+# Full benchmark sweep (all figures at quick scale + micro suite).
+bench:
+	dune exec bench/main.exe -- --json all
+
+# CI smoke: one macro figure + the micro suite, with JSON emission, so the
+# bench binary and BENCH_*.json output can't silently rot.
+bench-smoke:
+	dune exec bench/main.exe -- --json fig6 micro
 
 # Check dune-file formatting without promoting (ocamlformat is not a
 # dependency; OCaml sources are exempt via dune-project).

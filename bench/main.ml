@@ -6,7 +6,9 @@
      dune exec bench/main.exe                -- all figures, quick scale
      dune exec bench/main.exe -- --full      -- all figures, paper scale
      dune exec bench/main.exe -- fig9        -- one figure
-     dune exec bench/main.exe -- micro       -- Bechamel micro suite *)
+     dune exec bench/main.exe -- micro       -- Bechamel micro suite
+     dune exec bench/main.exe -- --json ...  -- also write BENCH_micro.json /
+                                                BENCH_macro.json in the cwd *)
 
 let micro () =
   let open Bechamel in
@@ -62,18 +64,18 @@ let micro () =
              Functor_cc.Compute_engine.create ~registry ~callbacks
                ~compute_cost_us:0 ~metrics:(Sim.Metrics.create ()) ()
            in
-           Functor_cc.Compute_engine.load_initial e ~key:"k"
+           Functor_cc.Compute_engine.load_initial e ~key:(Mvstore.Key.intern "k")
              (Functor_cc.Value.int 0);
            for v = 1 to 64 do
              ignore
-               (Functor_cc.Compute_engine.install e ~key:"k" ~version:v ~lo:0
+               (Functor_cc.Compute_engine.install e ~key:(Mvstore.Key.intern "k") ~version:v ~lo:0
                   ~hi:max_int
                   (Functor_cc.Funct.mk_pending ~ftype:Functor_cc.Ftype.Add
                      ~farg:(Functor_cc.Funct.farg_args
                               [ Functor_cc.Value.int 1 ])
                      ~txn_id:v ~coordinator:0))
            done;
-           Functor_cc.Compute_engine.compute_key e ~key:"k" ~version:64))
+           Functor_cc.Compute_engine.compute_key e ~key:(Mvstore.Key.intern "k") ~version:64))
   in
   let rng_bench =
     let rng = Sim.Rng.create 9 in
@@ -98,6 +100,7 @@ let micro () =
         (fun name ols ->
           match Analyze.OLS.estimates ols with
           | Some [ est ] ->
+              Harness.Report.record_micro ~name ~ns_per_op:est;
               Printf.printf "[micro] %-44s %12.1f ns/op\n%!" name est
           | Some _ | None ->
               Printf.printf "[micro] %-44s (no estimate)\n%!" name)
@@ -110,10 +113,11 @@ let () =
     if List.mem "--full" args then Harness.Experiments.full
     else Harness.Experiments.quick
   in
+  if List.mem "--json" args then Harness.Report.enable ();
   let cmds =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
-  let run = function
+  let run_target = function
     | "table1" -> Harness.Experiments.table1 ()
     | "fig6" -> Harness.Experiments.fig6 scale
     | "fig7" -> Harness.Experiments.fig7 scale
@@ -137,6 +141,18 @@ let () =
           other;
         exit 2
   in
-  match cmds with
+  let run cmd =
+    let t0 = Unix.gettimeofday () in
+    run_target cmd;
+    Harness.Report.record_fig_time ~fig:cmd
+      ~seconds:(Unix.gettimeofday () -. t0)
+  in
+  (match cmds with
   | [] -> run "all"
-  | cmds -> List.iter run cmds
+  | cmds -> List.iter run cmds);
+  if Harness.Report.recording () then begin
+    Harness.Report.write_micro "BENCH_micro.json";
+    Harness.Report.write_macro ~scale:scale.Harness.Experiments.label
+      "BENCH_macro.json";
+    Printf.printf "wrote BENCH_micro.json and BENCH_macro.json\n%!"
+  end

@@ -23,7 +23,7 @@ type t = {
   em : Epoch.Manager.t;
   metrics : Sim.Metrics.t;
   registry : Functor_cc.Registry.t;
-  partition_of : string -> int;
+  partition_of : Mvstore.Key.t -> int;
 }
 
 let create ?registry options =
@@ -48,7 +48,14 @@ let create ?registry options =
     | `Hash -> Net.Partitioner.hash ~partitions:n
     | `Prefix -> Net.Partitioner.by_prefix_int ~partitions:n
   in
-  let partition_of key = Net.Partitioner.partition_of part key in
+  (* Partition routing is memoized per interned key: the hash (or prefix
+     parse) of a key's name runs once per cluster, after which routing is
+     a stamp compare on the key record.  The stamp keeps slots from
+     different clusters (sharing the process-wide intern table) apart. *)
+  let stamp = Mvstore.Key.new_stamp () in
+  let partition_of key =
+    Mvstore.Key.memo_int key ~stamp ~f:(Net.Partitioner.partition_of part)
+  in
   let addr_of_partition i = Net.Address.of_int i in
   let em_addr = Net.Address.of_int n in
   let server_clock () =
@@ -80,10 +87,12 @@ let metrics t = t.metrics
 let n_servers t = Array.length t.servers
 let server t i = t.servers.(i)
 let registry t = t.registry
-let partition_of t key = t.partition_of key
+let partition_of t key = t.partition_of (Mvstore.Key.intern key)
 
 let load t ~key value =
-  Server.load_initial t.servers.(t.partition_of key) ~key value
+  Server.load_initial
+    t.servers.(t.partition_of (Mvstore.Key.intern key))
+    ~key value
 
 let submit t ~fe req k = Server.submit t.servers.(fe) req k
 

@@ -52,8 +52,8 @@ let submit c ~fe txn ~k =
 let read_committed c key =
   let srv = Cluster.server c (Cluster.partition_of c key) in
   let result = ref None in
-  Functor_cc.Compute_engine.get (Server.engine srv) ~key ~version:max_int
-    (fun v -> result := v);
+  Functor_cc.Compute_engine.get (Server.engine srv)
+    ~key:(Mvstore.Key.intern key) ~version:max_int (fun v -> result := v);
   !result
 
 let committed_key = "aloha.committed"

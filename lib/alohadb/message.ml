@@ -9,14 +9,14 @@ type install = {
   ts : int;
   lo : int;
   hi : int;
-  writes : (string * fspec) list;
-  preconditions : string list;
+  writes : (Mvstore.Key.t * fspec) list;
+  preconditions : Mvstore.Key.t list;
 }
 
 type req =
   | Install of install
-  | Abort_txn of { ts : int; keys : string list }
-  | Get_req of { key : string; version : int }
+  | Abort_txn of { ts : int; keys : Mvstore.Key.t list }
+  | Get_req of { key : Mvstore.Key.t; version : int }
 
 type resp =
   | Install_ack of { ok : bool }
@@ -25,13 +25,13 @@ type resp =
 
 type oneway =
   | Push of {
-      key : string;
+      key : Mvstore.Key.t;
       version : int;
-      src_key : string;
+      src_key : Mvstore.Key.t;
       value : Functor_cc.Value.t option;
     }
   | Dep_write of {
-      key : string;
+      key : Mvstore.Key.t;
       version : int;
       final : Functor_cc.Funct.final;
     }
@@ -101,12 +101,14 @@ let fspec_of_op ~key:_ ~recipients ?(pushed_reads = []) op =
   | Txn.Call { handler; read_set; args } ->
       { ftype = Functor_cc.Ftype.User handler;
         farg =
-          { Functor_cc.Funct.read_set; args; recipients; dependents = [];
-            pushed_reads } }
+          { Functor_cc.Funct.read_set = List.map Mvstore.Key.intern read_set;
+            args; recipients; dependents = []; pushed_reads } }
   | Txn.Det { handler; read_set; args; dependents } ->
       { ftype = Functor_cc.Ftype.User handler;
         farg =
-          { Functor_cc.Funct.read_set; args; recipients; dependents;
+          { Functor_cc.Funct.read_set = List.map Mvstore.Key.intern read_set;
+            args; recipients;
+            dependents = List.map Mvstore.Key.intern dependents;
             pushed_reads } }
 
 let fspec_dep_marker ~det_key =

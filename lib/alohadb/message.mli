@@ -13,16 +13,16 @@ type install = {
   ts : int;  (** the transaction timestamp = version, as an int *)
   lo : int;  (** validity window (local-clock µs) the version must be in *)
   hi : int;
-  writes : (string * fspec) list;
-  preconditions : string list;
+  writes : (Mvstore.Key.t * fspec) list;
+  preconditions : Mvstore.Key.t list;
       (** keys that must already exist on this partition *)
 }
 
 type req =
   | Install of install
-  | Abort_txn of { ts : int; keys : string list }
+  | Abort_txn of { ts : int; keys : Mvstore.Key.t list }
       (** second-round rollback of the write-only phase *)
-  | Get_req of { key : string; version : int }
+  | Get_req of { key : Mvstore.Key.t; version : int }
 
 type resp =
   | Install_ack of { ok : bool }
@@ -31,13 +31,13 @@ type resp =
 
 type oneway =
   | Push of {
-      key : string;
+      key : Mvstore.Key.t;
       version : int;
-      src_key : string;
+      src_key : Mvstore.Key.t;
       value : Functor_cc.Value.t option;
     }
   | Dep_write of {
-      key : string;
+      key : Mvstore.Key.t;
       version : int;
       final : Functor_cc.Funct.final;
     }
@@ -62,9 +62,11 @@ val functor_of_fspec :
 val fspec_value : Functor_cc.Value.t -> fspec
 val fspec_delete : fspec
 val fspec_of_op :
-  key:string -> recipients:string list -> ?pushed_reads:string list ->
-  Txn.op -> fspec
+  key:Mvstore.Key.t -> recipients:Mvstore.Key.t list ->
+  ?pushed_reads:Mvstore.Key.t list -> Txn.op -> fspec
 (** Transform one transaction write into its functor spec (§IV-B
-    "Transforming a transaction to functors"). *)
+    "Transforming a transaction to functors").  [Call]/[Det] read sets
+    and dependents arrive as client-facing strings and are interned
+    here, at the wire boundary. *)
 
-val fspec_dep_marker : det_key:string -> fspec
+val fspec_dep_marker : det_key:Mvstore.Key.t -> fspec

@@ -7,24 +7,21 @@ let final_to_fspec = function
 
 let snapshot_of_engine engine =
   let table = Functor_cc.Compute_engine.table engine in
-  List.filter_map
-    (fun key ->
-      match Mvstore.Table.chain table key with
-      | None -> None
-      | Some chain ->
-          (* Latest committed/deleted final; skip aborted versions the
-             same way reads do. *)
-          let best =
-            Mvstore.Chain.fold chain ~init:None ~f:(fun acc version record ->
-                match record.Funct.state with
-                | Funct.Final f -> (
-                    match final_to_fspec f with
-                    | Some spec -> Some (version, spec)
-                    | None -> acc)
-                | Funct.Pending _ -> acc)
-          in
-          Option.map (fun (version, spec) -> (key, version, spec)) best)
-    (Mvstore.Table.keys table)
+  Mvstore.Table.fold_chains table ~init:[] ~f:(fun key chain acc ->
+      (* Latest committed/deleted final; skip aborted versions the same
+         way reads do. *)
+      let best =
+        Mvstore.Chain.fold chain ~init:None ~f:(fun acc version record ->
+            match record.Funct.state with
+            | Funct.Final f -> (
+                match final_to_fspec f with
+                | Some spec -> Some (version, spec)
+                | None -> acc)
+            | Funct.Pending _ -> acc)
+      in
+      match best with
+      | Some (version, spec) -> (key, version, spec) :: acc
+      | None -> acc)
 
 let max_final_version engine =
   List.fold_left
@@ -74,13 +71,8 @@ let rebuild ~engine ~wal =
 
 let recompute engine =
   let table = Functor_cc.Compute_engine.table engine in
-  List.iter
-    (fun key ->
-      match Mvstore.Table.chain table key with
-      | None -> ()
-      | Some chain -> (
-          match Mvstore.Chain.latest_version chain with
-          | Some version ->
-              Functor_cc.Compute_engine.compute_key engine ~key ~version
-          | None -> ()))
-    (Mvstore.Table.keys table)
+  Mvstore.Table.iter table ~f:(fun key chain ->
+      match Mvstore.Chain.latest_version chain with
+      | Some version ->
+          Functor_cc.Compute_engine.compute_key engine ~key ~version
+      | None -> ())

@@ -13,7 +13,7 @@
     paper's evaluation also runs with fault tolerance disabled. *)
 
 val snapshot_of_engine :
-  Functor_cc.Compute_engine.t -> (string * int * Message.fspec) list
+  Functor_cc.Compute_engine.t -> (Mvstore.Key.t * int * Message.fspec) list
 (** Capture every key's latest committed/deleted final record, for
     {!Wal.checkpoint}.  Keys whose versions are all aborted are skipped;
     versions above each key's latest final (still-pending functors) are

@@ -1,6 +1,7 @@
 module Ts = Clocksync.Timestamp
 module Value = Functor_cc.Value
 module Funct = Functor_cc.Funct
+module Key = Mvstore.Key
 
 (* Frontend-side per-transaction completion tracking. *)
 type track = {
@@ -34,11 +35,29 @@ type t = {
   address : Net.Address.t;
   node_id : int;
   clock : Clocksync.Node_clock.t;
-  partition_of : string -> int;
+  partition_of : Key.t -> int;
   addr_of_partition : int -> Net.Address.t;
   my_partition : int;
   config : Config.t;
   metrics : Sim.Metrics.t;
+  (* Hot-path metric handles, resolved once at creation (see DESIGN.md,
+     "Hot paths and how to measure them"). *)
+  m_noauth_starts : int ref;
+  m_held : int ref;
+  m_submitted_rw : int ref;
+  m_submitted_ro : int ref;
+  m_installed : int ref;
+  m_committed : int ref;
+  m_aborted_compute : int ref;
+  m_aborted_install : int ref;
+  m_functors_installed : int ref;
+  m_precondition_failures : int ref;
+  m_ro_completed : int ref;
+  h_lat_total : Sim.Stats.Histogram.t;
+  h_lat_install : Sim.Stats.Histogram.t;
+  h_lat_wait : Sim.Stats.Histogram.t;
+  h_lat_proc : Sim.Stats.Histogram.t;
+  h_lat_ro : Sim.Stats.Histogram.t;
   pool : Sim.Worker_pool.t;
   ts_source : Clocksync.Ts_source.t;
   part : Epoch.Participant.t;
@@ -70,12 +89,11 @@ let acquire t =
       match Clocksync.Ts_source.next t.ts_source ~lo:w.lo ~hi:w.hi with
       | None -> None
       | Some ts ->
-          if not w.Epoch.Participant.authorized then
-            Sim.Metrics.incr t.metrics "aloha.noauth_starts";
+          if not w.Epoch.Participant.authorized then incr t.m_noauth_starts;
           Some (w, ts))
 
 let hold t thunk =
-  Sim.Metrics.incr t.metrics "aloha.held";
+  incr t.m_held;
   Queue.add thunk t.held
 
 let drain_held t =
@@ -96,12 +114,13 @@ let run_read t keys version reply =
     let results = Array.make n ("", None) in
     let remaining = ref n in
     let deliver i key v =
-      results.(i) <- (key, v);
+      results.(i) <- (Key.name key, v);
       decr remaining;
       if !remaining = 0 then reply (Txn.Values (Array.to_list results))
     in
     List.iteri
       (fun i key ->
+        let key = Key.intern key in
         if t.partition_of key = t.my_partition then
           Sim.Worker_pool.submit t.pool ~cost:t.config.cost_get_us (fun () ->
               Functor_cc.Compute_engine.get t.engine ~key ~version
@@ -123,8 +142,7 @@ let run_read t keys version reply =
    operations additionally place a Dep_marker on each dependent key's
    partition (our realisation of §IV-E deferred writes). *)
 let groups_of_writes t writes =
-  Sim.Prof.span "groups_of_writes" @@ fun () ->
-  let tbl : (int, (string * Message.fspec) list ref) Hashtbl.t =
+  let tbl : (int, (Key.t * Message.fspec) list ref) Hashtbl.t =
     Hashtbl.create 8
   in
   let push partition entry =
@@ -132,6 +150,8 @@ let groups_of_writes t writes =
     | Some r -> r := entry :: !r
     | None -> Hashtbl.add tbl partition (ref [ entry ])
   in
+  (* Intern every written key once; everything below works on dense ids. *)
+  let kwrites = List.map (fun (k, op) -> (Key.intern k, op)) writes in
   (* Recipient sets only arise when some functor reads a key other than
      its own; skip the quadratic scan for the common all-numeric case. *)
   let cross_reads =
@@ -139,25 +159,26 @@ let groups_of_writes t writes =
       (fun (key, op) ->
         match op with
         | Txn.Call { read_set; _ } | Txn.Det { read_set; _ } ->
-            List.exists (fun rk -> not (String.equal rk key)) read_set
+            List.exists (fun rk -> not (String.equal rk (Key.name key)))
+              read_set
         | Txn.Put _ | Txn.Delete | Txn.Add _ | Txn.Subtr _ | Txn.Max _
         | Txn.Min _ ->
             false)
-      writes
+      kwrites
   in
-  let written_keys = List.map fst writes in
+  let written_keys = List.map fst kwrites in
   List.iter
     (fun (key, op) ->
+      let key_partition = t.partition_of key in
       let recipients =
-        if t.config.push_opt && cross_reads then Txn.recipients_for writes key
+        if t.config.push_opt && cross_reads then
+          (* Only keep recipients living on other partitions:
+             same-partition reads are local anyway, so pushing would only
+             add overhead. *)
+          List.filter
+            (fun r -> t.partition_of r <> key_partition)
+            (List.map Key.intern (Txn.recipients_for writes (Key.name key)))
         else []
-      in
-      (* Only keep recipients living on other partitions: same-partition
-         reads are local anyway, so pushing would only add overhead. *)
-      let recipients =
-        List.filter
-          (fun r -> t.partition_of r <> t.partition_of key)
-          recipients
       in
       (* Inverse of the recipient set: read-set keys of THIS functor that a
          sibling functor (on another partition) writes and will push. *)
@@ -171,26 +192,31 @@ let groups_of_writes t writes =
             | Txn.Min _ ->
                 []
           in
-          List.filter
+          List.filter_map
             (fun rk ->
-              (not (String.equal rk key))
-              && t.partition_of rk <> t.partition_of key
-              && List.exists (String.equal rk) written_keys)
+              let rk = Key.intern rk in
+              if
+                (not (Key.equal rk key))
+                && t.partition_of rk <> key_partition
+                && List.exists (Key.equal rk) written_keys
+              then Some rk
+              else None)
             reads
       in
-      push (t.partition_of key)
+      push key_partition
         (key, Message.fspec_of_op ~key ~recipients ~pushed_reads op);
       match op with
       | Txn.Det { dependents; _ } ->
           List.iter
             (fun dk ->
+              let dk = Key.intern dk in
               push (t.partition_of dk)
                 (dk, Message.fspec_dep_marker ~det_key:key))
             dependents
       | Txn.Put _ | Txn.Delete | Txn.Add _ | Txn.Subtr _ | Txn.Max _
       | Txn.Min _ | Txn.Call _ ->
           ())
-    writes;
+    kwrites;
   Hashtbl.fold (fun partition entries acc -> (partition, List.rev !entries) :: acc)
     tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
@@ -207,11 +233,10 @@ let record_commit_metrics t track completed_at =
     else track.install_done_at
   in
   let proc = if completed_at > proc_start then completed_at - proc_start else 0 in
-  Sim.Metrics.record_latency t.metrics "aloha.lat_total_us"
-    (completed_at - track.issued_at);
-  Sim.Metrics.record_latency t.metrics "aloha.lat_install_us" install;
-  Sim.Metrics.record_latency t.metrics "aloha.lat_wait_us" wait;
-  Sim.Metrics.record_latency t.metrics "aloha.lat_proc_us" proc
+  Sim.Stats.Histogram.add t.h_lat_total (completed_at - track.issued_at);
+  Sim.Stats.Histogram.add t.h_lat_install install;
+  Sim.Stats.Histogram.add t.h_lat_wait wait;
+  Sim.Stats.Histogram.add t.h_lat_proc proc
 
 let maybe_complete t track =
   if
@@ -223,7 +248,7 @@ let maybe_complete t track =
     let completed_at = now t in
     record_commit_metrics t track completed_at;
     if track.any_aborted then begin
-      Sim.Metrics.incr t.metrics "aloha.aborted_compute";
+      incr t.m_aborted_compute;
       match track.ack with
       | Txn.Ack_on_computed ->
           track.reply (Txn.Aborted { ts = Some track.ts; stage = `Compute })
@@ -233,7 +258,7 @@ let maybe_complete t track =
           ()
     end
     else begin
-      Sim.Metrics.incr t.metrics "aloha.committed";
+      incr t.m_committed;
       match track.ack with
       | Txn.Ack_on_computed -> track.reply (Txn.Committed { ts = track.ts })
       | Txn.Ack_on_install -> ()
@@ -243,7 +268,7 @@ let maybe_complete t track =
 let finish_write_phase t track =
   Epoch.Participant.txn_finished t.part ~epoch:track.epoch;
   track.install_done_at <- now t;
-  Sim.Metrics.incr t.metrics "aloha.installed";
+  incr t.m_installed;
   (match track.ack with
   | Txn.Ack_on_install -> track.reply (Txn.Committed { ts = track.ts })
   | Txn.Ack_on_computed -> ());
@@ -252,7 +277,7 @@ let finish_write_phase t track =
 (* Second round: roll back the write-only phase on every partition that
    acknowledged it (§IV-C "arbitrary abort", in-epoch case). *)
 let abort_write_phase t track keys_by_dst =
-  Sim.Metrics.incr t.metrics "aloha.aborted_install";
+  incr t.m_aborted_install;
   let targets = track.acked_ok in
   let expected = List.length targets in
   if expected = 0 then begin
@@ -291,7 +316,7 @@ let rec submit t req reply =
   | Txn.Read_at { keys; version } -> run_read t keys version reply
 
 and submit_rw t rw reply =
-  Sim.Metrics.incr t.metrics "aloha.submitted_rw";
+  incr t.m_submitted_rw;
   match acquire t with
   | None ->
       hold t (fun () ->
@@ -305,12 +330,12 @@ and retry_rw t rw reply =
   | Some (w, ts) -> start_rw t rw reply w ts
 
 and start_rw t (writes, precondition_keys, ack) reply w ts =
-  Sim.Prof.span "start_rw" @@ fun () ->
   let issued_at = now t in
   Epoch.Participant.txn_started t.part ~epoch:w.Epoch.Participant.epoch;
   let groups = groups_of_writes t writes in
+  let preconditions = List.map Key.intern precondition_keys in
   let precond_of partition =
-    List.filter (fun k -> t.partition_of k = partition) precondition_keys
+    List.filter (fun k -> t.partition_of k = partition) preconditions
   in
   let track =
     { ts; epoch = w.Epoch.Participant.epoch; issued_at; ack; reply;
@@ -355,7 +380,7 @@ and start_rw t (writes, precondition_keys, ack) reply w ts =
         groups)
 
 and submit_ro t keys reply =
-  Sim.Metrics.incr t.metrics "aloha.submitted_ro";
+  incr t.m_submitted_ro;
   match acquire t with
   | None -> hold t (fun () -> submit_ro_held t keys reply)
   | Some (w, ts) -> delay_ro t keys reply w ts
@@ -371,9 +396,8 @@ and delay_ro t keys reply w ts =
   let issued_at = now t in
   let run () =
     run_read t keys (Ts.to_int ts) (fun result ->
-        Sim.Metrics.record_latency t.metrics "aloha.lat_ro_us"
-          (now t - issued_at);
-        Sim.Metrics.incr t.metrics "aloha.ro_completed";
+        Sim.Stats.Histogram.add t.h_lat_ro (now t - issued_at);
+        incr t.m_ro_completed;
         reply result)
   in
   t.delayed_reads <- (w.Epoch.Participant.epoch, run) :: t.delayed_reads
@@ -399,7 +423,7 @@ let do_install t ~src (inst : Message.install) reply =
     | None -> false
   in
   if not (List.for_all present inst.preconditions) then begin
-    Sim.Metrics.incr t.metrics "aloha.precondition_failures";
+    incr t.m_precondition_failures;
     reply (Message.Install_ack { ok = false })
   end
   else begin
@@ -421,7 +445,7 @@ let do_install t ~src (inst : Message.install) reply =
             ~lo ~hi record
         with
         | Ok () -> (
-            Sim.Metrics.incr t.metrics "aloha.functors_installed";
+            incr t.m_functors_installed;
             (match t.wal with
             | Some wal ->
                 Wal.append wal
@@ -516,10 +540,28 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
     Functor_cc.Compute_engine.create ~registry
       ~callbacks:bootstrap_callbacks ~compute_cost_us:0 ~metrics ()
   in
+  let c = Sim.Metrics.counter metrics in
+  let h = Sim.Metrics.histogram metrics in
   let t =
     { sim; data; address = addr; node_id; clock; partition_of;
-      addr_of_partition; my_partition; config; metrics; pool; ts_source;
-      part;
+      addr_of_partition; my_partition; config; metrics;
+      m_noauth_starts = c "aloha.noauth_starts";
+      m_held = c "aloha.held";
+      m_submitted_rw = c "aloha.submitted_rw";
+      m_submitted_ro = c "aloha.submitted_ro";
+      m_installed = c "aloha.installed";
+      m_committed = c "aloha.committed";
+      m_aborted_compute = c "aloha.aborted_compute";
+      m_aborted_install = c "aloha.aborted_install";
+      m_functors_installed = c "aloha.functors_installed";
+      m_precondition_failures = c "aloha.precondition_failures";
+      m_ro_completed = c "aloha.ro_completed";
+      h_lat_total = h "aloha.lat_total_us";
+      h_lat_install = h "aloha.lat_install_us";
+      h_lat_wait = h "aloha.lat_wait_us";
+      h_lat_proc = h "aloha.lat_proc_us";
+      h_lat_ro = h "aloha.lat_ro_us";
+      pool; ts_source; part;
       engine = bootstrap_engine;
       processor =
         Functor_cc.Processor.create ~engine:bootstrap_engine ~pool
@@ -604,8 +646,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
             + (List.length inst.writes * config.Config.cost_install_us)
           in
           Sim.Worker_pool.submit pool ~cost (fun () ->
-              Sim.Prof.span "do_install" (fun () ->
-                  do_install t ~src inst reply))
+              do_install t ~src inst reply)
       | Message.Req (Message.Abort_txn { ts; keys }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
             (fun () -> do_abort t ~ts ~keys reply)
@@ -634,6 +675,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
   t
 
 let load_initial t ~key value =
+  let key = Key.intern key in
   if t.partition_of key <> t.my_partition then
     invalid_arg "Server.load_initial: key not owned by this partition";
   Functor_cc.Compute_engine.load_initial t.engine ~key value

@@ -26,7 +26,7 @@ val create :
   node_id:int ->
   em:Net.Address.t ->
   clock:Clocksync.Node_clock.t ->
-  partition_of:(string -> int) ->
+  partition_of:(Mvstore.Key.t -> int) ->
   addr_of_partition:(int -> Net.Address.t) ->
   my_partition:int ->
   registry:Functor_cc.Registry.t ->

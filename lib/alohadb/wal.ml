@@ -1,13 +1,13 @@
 type entry =
   | Log_install of {
-      key : string;
+      key : Mvstore.Key.t;
       version : int;
       spec : Message.fspec;
       txn_id : int;
       coordinator : int;
       epoch : int;
     }
-  | Log_abort of { key : string; version : int }
+  | Log_abort of { key : Mvstore.Key.t; version : int }
   | Log_epoch_closed of int
 
 type t = {
@@ -16,7 +16,7 @@ type t = {
   mutable buffered : entry list;  (* newest first *)
   mutable flushed : entry list;  (* newest first *)
   mutable flush_scheduled : bool;
-  mutable ckpt : (string * int * Message.fspec) list;
+  mutable ckpt : (Mvstore.Key.t * int * Message.fspec) list;
 }
 
 let create sim ?(flush_latency_us = 500) () =

@@ -13,14 +13,14 @@
 
 type entry =
   | Log_install of {
-      key : string;
+      key : Mvstore.Key.t;
       version : int;
       spec : Message.fspec;
       txn_id : int;
       coordinator : int;
       epoch : int;
     }
-  | Log_abort of { key : string; version : int }
+  | Log_abort of { key : Mvstore.Key.t; version : int }
       (** second-round rollback of an installed write *)
   | Log_epoch_closed of int
 
@@ -41,8 +41,8 @@ val pending_count : t -> int
 (** Buffered entries not yet flushed (lost on crash). *)
 
 val checkpoint :
-  t -> snapshot:(string * int * Message.fspec) list -> retain_above:int ->
-  unit
+  t -> snapshot:(Mvstore.Key.t * int * Message.fspec) list ->
+  retain_above:int -> unit
 (** Atomically replace the log prefix with a checkpoint: [snapshot] holds
     every key's latest final record (as a VALUE/DELETED/ABORTED fspec)
     with its version; log entries whose version is <= [retain_above] are
@@ -50,5 +50,5 @@ val checkpoint :
     kept for replay.  Checkpoint installation is treated as atomic, as in
     shadow-paging schemes, and makes the retained entries durable. *)
 
-val snapshot : t -> (string * int * Message.fspec) list
+val snapshot : t -> (Mvstore.Key.t * int * Message.fspec) list
 (** The latest checkpoint (empty if none was taken). *)

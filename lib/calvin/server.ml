@@ -27,6 +27,14 @@ type t = {
   registry : Ctxn.registry;
   config : Config.t;
   metrics : Sim.Metrics.t;
+  (* Hot-path metric handles, resolved once at creation. *)
+  m_submitted : int ref;
+  m_committed : int ref;
+  m_missing_proc : int ref;
+  h_stage_seq : Sim.Stats.Histogram.t;
+  h_stage_lockread : Sim.Stats.Histogram.t;
+  h_stage_proc : Sim.Stats.Histogram.t;
+  h_lat_total : Sim.Stats.Histogram.t;
   store : (string, Value.t) Hashtbl.t;
   lm_pool : Sim.Worker_pool.t;  (* the single-threaded lock manager *)
   exec_pool : Sim.Worker_pool.t;
@@ -81,8 +89,7 @@ let maybe_execute t (fl : inflight) =
   then begin
     fl.exec_started <- true;
     let exec_start = Sim.Engine.now t.sim in
-    Sim.Metrics.record_latency t.metrics "calvin.stage_lockread_us"
-      (exec_start - fl.sched_start);
+    Sim.Stats.Histogram.add t.h_stage_lockread (exec_start - fl.sched_start);
     let txn = fl.routed.Message.txn in
     let local_writes_estimate =
       List.length (local_keys t txn.Ctxn.write_set)
@@ -93,7 +100,7 @@ let maybe_execute t (fl : inflight) =
     in
     Sim.Worker_pool.submit t.exec_pool ~cost (fun () ->
         (match Ctxn.find t.registry txn.Ctxn.proc with
-        | None -> Sim.Metrics.incr t.metrics "calvin.missing_proc"
+        | None -> incr t.m_missing_proc
         | Some proc ->
             let writes = proc ~txn ~reads:fl.gathered in
             List.iter
@@ -101,7 +108,7 @@ let maybe_execute t (fl : inflight) =
                 if t.partition_of key = t.node_id then
                   Hashtbl.replace t.store key v)
               writes);
-        Sim.Metrics.record_latency t.metrics "calvin.stage_proc_us"
+        Sim.Stats.Histogram.add t.h_stage_proc
           (Sim.Engine.now t.sim - exec_start);
         Hashtbl.remove t.inflight fl.routed.Message.uid;
         release_locks t fl)
@@ -169,7 +176,7 @@ let admit_txn t (routed : Message.routed) =
   in
   Sim.Worker_pool.submit t.lm_pool ~cost (fun () ->
       fl.sched_start <- Sim.Engine.now t.sim;
-      Sim.Metrics.record_latency t.metrics "calvin.stage_seq_us"
+      Sim.Stats.Histogram.add t.h_stage_seq
         (fl.sched_start - routed.Message.submitted_at);
       Lock_manager.request t.lm ~uid:routed.Message.uid ~keys:lock_keys)
 
@@ -203,7 +210,7 @@ let on_batch t ~epoch ~seq_id txns =
 (* ---- sequencer --------------------------------------------------------- *)
 
 let submit ?k t txn =
-  Sim.Metrics.incr t.metrics "calvin.submitted";
+  incr t.m_submitted;
   t.seq_buffer <- (Sim.Engine.now t.sim, txn, k) :: t.seq_buffer
 
 let ship_epoch t =
@@ -218,25 +225,30 @@ let ship_epoch t =
           origin = t.node_id; submitted_at; txn })
       txns
   in
+  (* Participant sets are computed once per transaction and reused for
+     completion tracking and per-destination routing (previously they were
+     recomputed for every destination server). *)
+  let routed_parts =
+    List.map
+      (fun (r : Message.routed) ->
+        (r, Ctxn.participants ~partition_of:t.partition_of r.Message.txn))
+      routed
+  in
   (* Register origin-side completion tracking. *)
   List.iter2
-    (fun (r : Message.routed) (_, _, k) ->
-      let participants =
-        Ctxn.participants ~partition_of:t.partition_of r.Message.txn
-      in
+    (fun ((r : Message.routed), participants) (_, _, k) ->
       Hashtbl.replace t.dones r.Message.uid
         { submitted_at = r.Message.submitted_at;
           awaiting = List.length participants;
           on_complete = k })
-    routed txns;
+    routed_parts txns;
   (* One batch message to every server (empty ones keep the barrier). *)
   for dst = 0 to t.n_servers - 1 do
     let for_dst =
-      List.filter
-        (fun (r : Message.routed) ->
-          List.exists (fun p -> p = dst)
-            (Ctxn.participants ~partition_of:t.partition_of r.Message.txn))
-        routed
+      List.filter_map
+        (fun ((r : Message.routed), participants) ->
+          if List.exists (fun p -> p = dst) participants then Some r else None)
+        routed_parts
     in
     Net.Rpc.send t.rpc ~src:t.address ~dst:(t.addr_of_partition dst)
       (Message.Batch { epoch; seq_id = t.node_id; txns = for_dst })
@@ -254,8 +266,8 @@ let on_done t ~uid =
       d.awaiting <- d.awaiting - 1;
       if d.awaiting = 0 then begin
         Hashtbl.remove t.dones uid;
-        Sim.Metrics.incr t.metrics "calvin.committed";
-        Sim.Metrics.record_latency t.metrics "calvin.lat_total_us"
+        incr t.m_committed;
+        Sim.Stats.Histogram.add t.h_lat_total
           (Sim.Engine.now t.sim - d.submitted_at);
         match d.on_complete with Some k -> k () | None -> ()
       end
@@ -282,9 +294,18 @@ let on_reads t ~uid ~values =
 let create ~sim ~rpc ~addr ~node_id ~n_servers ~partition_of
     ~addr_of_partition ~registry ~config ~metrics () =
   let executors = max 1 (config.Config.cores - 2) in
+  let c = Sim.Metrics.counter metrics in
+  let h = Sim.Metrics.histogram metrics in
   let t =
     { sim; rpc; address = addr; node_id; n_servers; partition_of;
       addr_of_partition; registry; config; metrics;
+      m_submitted = c "calvin.submitted";
+      m_committed = c "calvin.committed";
+      m_missing_proc = c "calvin.missing_proc";
+      h_stage_seq = h "calvin.stage_seq_us";
+      h_stage_lockread = h "calvin.stage_lockread_us";
+      h_stage_proc = h "calvin.stage_proc_us";
+      h_lat_total = h "calvin.lat_total_us";
       store = Hashtbl.create 65536;
       lm_pool = Sim.Worker_pool.create sim ~workers:1;
       exec_pool = Sim.Worker_pool.create sim ~workers:executors;

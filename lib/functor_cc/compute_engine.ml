@@ -1,11 +1,13 @@
+module Key = Mvstore.Key
+
 type callbacks = {
-  is_local : string -> bool;
-  remote_get : key:string -> version:int -> (Value.t option -> unit) -> unit;
+  is_local : Key.t -> bool;
+  remote_get : key:Key.t -> version:int -> (Value.t option -> unit) -> unit;
   send_push :
-    dst_key:string -> version:int -> src_key:string -> Value.t option -> unit;
-  send_dep_write : key:string -> version:int -> Funct.final -> unit;
+    dst_key:Key.t -> version:int -> src_key:Key.t -> Value.t option -> unit;
+  send_dep_write : key:Key.t -> version:int -> Funct.final -> unit;
   notify_final :
-    key:string -> version:int -> pending:Funct.pending ->
+    key:Key.t -> version:int -> pending:Funct.pending ->
     final:Funct.final -> unit;
   exec : cost:int -> (unit -> unit) -> unit;
   now : unit -> int;
@@ -16,12 +18,42 @@ type t = {
   registry : Registry.t;
   cb : callbacks;
   compute_cost_us : int;
-  metrics : Sim.Metrics.t;
+  (* Counter handles, resolved once here instead of a string-keyed
+     hashtable lookup per event on the compute path. *)
+  m_on_demand_waits : int ref;
+  m_push_hits : int ref;
+  m_remote_reads : int ref;
+  m_pushes_sent : int ref;
+  m_dep_marker_triggers : int ref;
+  m_missing_handler : int ref;
+  m_computed : int ref;
+  m_aborts_computed : int ref;
+  m_dep_writes_resolved : int ref;
+  m_dep_write_duplicate : int ref;
+  m_dep_write_direct : int ref;
+  m_push_late : int ref;
+  m_push_orphan : int ref;
+  m_aborted_in_epoch : int ref;
 }
 
 let create ~registry ~callbacks ~compute_cost_us ~metrics () =
+  let c = Sim.Metrics.counter metrics in
   { table = Mvstore.Table.create (); registry; cb = callbacks;
-    compute_cost_us; metrics }
+    compute_cost_us;
+    m_on_demand_waits = c "fcc.on_demand_waits";
+    m_push_hits = c "fcc.push_hits";
+    m_remote_reads = c "fcc.remote_reads";
+    m_pushes_sent = c "fcc.pushes_sent";
+    m_dep_marker_triggers = c "fcc.dep_marker_triggers";
+    m_missing_handler = c "fcc.missing_handler";
+    m_computed = c "fcc.computed";
+    m_aborts_computed = c "fcc.aborts_computed";
+    m_dep_writes_resolved = c "fcc.dep_writes_resolved";
+    m_dep_write_duplicate = c "fcc.dep_write_duplicate";
+    m_dep_write_direct = c "fcc.dep_write_direct";
+    m_push_late = c "fcc.push_late";
+    m_push_orphan = c "fcc.push_orphan";
+    m_aborted_in_epoch = c "fcc.aborted_in_epoch" }
 
 let table t = t.table
 
@@ -30,7 +62,9 @@ let load_initial t ~key value =
     Mvstore.Table.put_unchecked t.table ~key ~version:0 (Funct.mk_value value)
   with
   | Ok () -> ()
-  | Error _ -> invalid_arg (Printf.sprintf "load_initial: duplicate key %S" key)
+  | Error _ ->
+      invalid_arg
+        (Printf.sprintf "load_initial: duplicate key %S" (Key.name key))
 
 let install t ~key ~version ~lo ~hi record =
   Mvstore.Table.put t.table ~key ~version ~lo ~hi record
@@ -42,40 +76,44 @@ let watermark t ~key =
 
 (* After a record turns final, push the key's watermark forward over the
    (now contiguous) prefix of final records.  This is the single-threaded
-   counterpart of the CAS loop in Algorithm 1 lines 7–9. *)
+   counterpart of the CAS loop in Algorithm 1 lines 7–9.  One rank search
+   then a linear walk, instead of a binary search per advanced version. *)
 let refresh_watermark chain =
-  let rec go w =
-    match Mvstore.Chain.find_next_after chain ~version:w with
-    | Some (v, record) when Funct.is_final record ->
-        Mvstore.Chain.advance_watermark chain v;
-        go v
-    | Some _ | None -> ()
-  in
-  go (Mvstore.Chain.watermark chain)
+  Mvstore.Chain.advance_watermark_while chain ~f:Funct.is_final
 
 (* ---- Algorithm 1: Get ---------------------------------------------- *)
 
-let rec get t ~key ~version k =
-  match Mvstore.Table.find_le t.table ~key ~version with
-  | None -> k None
-  | Some (ver, record) -> get_record t ~key ~ver record k
+(* The chain handle is threaded through the whole per-key recursion
+   (get → compute → finalize → refresh_watermark), so after the entry
+   lookup the hot path never touches the table again. *)
 
-and get_record t ~key ~ver record k =
+let rec get t ~key ~version k =
+  match Mvstore.Table.chain t.table key with
+  | None -> k None
+  | Some chain -> get_in t ~chain ~key ~version k
+
+and get_in t ~chain ~key ~version k =
+  match Mvstore.Chain.find_le chain ~version with
+  | None -> k None
+  | Some (ver, record) -> get_record t ~chain ~key ~ver record k
+
+and get_record t ~chain ~key ~ver record k =
   match record.Funct.state with
   | Funct.Final (Funct.Committed v) -> k (Some v)
   | Funct.Final Funct.Deleted_v -> k None
   | Funct.Final Funct.Aborted_v ->
       (* Line 22–23: skip the aborted version downwards. *)
-      if ver = 0 then k None else get t ~key ~version:(ver - 1) k
+      if ver = 0 then k None else get_in t ~chain ~key ~version:(ver - 1) k
   | Funct.Pending p ->
-      Sim.Metrics.incr t.metrics "fcc.on_demand_waits";
+      incr t.m_on_demand_waits;
       Funct.add_waiter p (fun final ->
           match final with
           | Funct.Committed v -> k (Some v)
           | Funct.Deleted_v -> k None
           | Funct.Aborted_v ->
-              if ver = 0 then k None else get t ~key ~version:(ver - 1) k);
-      ensure_computing t ~key ~ver record p
+              if ver = 0 then k None
+              else get_in t ~chain ~key ~version:(ver - 1) k);
+      ensure_computing t ~chain ~key ~ver record p
 
 (* ---- read-set gathering --------------------------------------------- *)
 
@@ -86,9 +124,9 @@ and get_record t ~key ~ver record k =
 and gather t ~p ~ver keys k =
   match keys with
   | [] -> k []
-  | _ ->
+  | first :: _ ->
       let n = List.length keys in
-      let results = Array.make n ("", None) in
+      let results = Array.make n (first, None) in
       let remaining = ref n in
       let deliver i rk got v =
         if not !got then begin
@@ -98,33 +136,47 @@ and gather t ~p ~ver keys k =
           if !remaining = 0 then k (Array.to_list results)
         end
       in
+      (* Membership set built once per evaluation, not one list scan per
+         remote key. *)
+      let pushed_set =
+        match p.Funct.farg.Funct.pushed_reads with
+        | [] -> None
+        | prs ->
+            let h = Hashtbl.create 8 in
+            List.iter (fun pk -> Hashtbl.replace h (Key.id pk) ()) prs;
+            Some h
+      in
+      let expects_push rk =
+        match pushed_set with
+        | None -> false
+        | Some h -> Hashtbl.mem h (Key.id rk)
+      in
       List.iteri
         (fun i rk ->
           let got = ref false in
           match Funct.pushed_value p rk with
           | Some v ->
-              Sim.Metrics.incr t.metrics "fcc.push_hits";
+              incr t.m_push_hits;
               deliver i rk got v
           | None ->
               if t.cb.is_local rk then
                 get t ~key:rk ~version:(ver - 1) (fun v -> deliver i rk got v)
-              else if List.exists (String.equal rk) p.farg.Funct.pushed_reads
-              then begin
+              else if expects_push rk then begin
                 (* §IV-B: a sibling functor will push this value; wait for
                    it instead of issuing a remote read.  If the whole
                    transaction is rolled back before the push, this
                    record is finalised as ABORTED and the waiter becomes
                    moot. *)
                 Funct.on_push p ~key:rk (fun v ->
-                    Sim.Metrics.incr t.metrics "fcc.push_hits";
+                    incr t.m_push_hits;
                     deliver i rk got v)
               end
               else begin
                 (* Race: push vs remote read. *)
                 Funct.on_push p ~key:rk (fun v ->
-                    Sim.Metrics.incr t.metrics "fcc.push_hits";
+                    incr t.m_push_hits;
                     deliver i rk got v);
-                Sim.Metrics.incr t.metrics "fcc.remote_reads";
+                incr t.m_remote_reads;
                 t.cb.remote_get ~key:rk ~version:(ver - 1) (fun v ->
                     deliver i rk got v)
               end)
@@ -132,16 +184,15 @@ and gather t ~p ~ver keys k =
 
 (* ---- computation ----------------------------------------------------- *)
 
-and ensure_computing t ~key ~ver record (p : Funct.pending) =
+and ensure_computing t ~chain ~key ~ver record (p : Funct.pending) =
   match p.status with
   | Funct.Computing -> ()
   | Funct.Installed ->
       p.status <- Funct.Computing;
       if p.retrieved_at_us < 0 then p.retrieved_at_us <- t.cb.now ();
-      begin_compute t ~key ~ver record p
+      begin_compute t ~chain ~key ~ver record p
 
-and begin_compute t ~key ~ver record p =
-  Sim.Prof.span "begin_compute" @@ fun () ->
+and begin_compute t ~chain ~key ~ver record p =
   (* Recipient-set pushes (§IV-B) happen as part of this functor's
      computing phase: ship this key's previous value to the functors of
      every recipient key, before running our own handler. *)
@@ -152,13 +203,13 @@ and begin_compute t ~key ~ver record p =
         let push prev =
           List.iter
             (fun dst_key ->
-              Sim.Metrics.incr t.metrics "fcc.pushes_sent";
+              incr t.m_pushes_sent;
               t.cb.send_push ~dst_key ~version:ver ~src_key:key prev)
             recipients
         in
         (match prev_opt with
         | Some prev -> push prev
-        | None -> get t ~key ~version:(ver - 1) (fun v -> push v))
+        | None -> get_in t ~chain ~key ~version:(ver - 1) (fun v -> push v))
   in
   match p.ftype with
   | Ftype.Value | Ftype.Aborted | Ftype.Deleted ->
@@ -169,29 +220,31 @@ and begin_compute t ~key ~ver record p =
       (* §IV-E: resolution arrives via deliver_dep_write once the
          determinate functor computes; we only need to make sure that
          computation is triggered. *)
-      Sim.Metrics.incr t.metrics "fcc.dep_marker_triggers";
+      incr t.m_dep_marker_triggers;
       if t.cb.is_local det_key then compute_key t ~key:det_key ~version:ver
       else
         (* A Get at exactly the marker's version forces the remote BE to
            compute the determinate functor; the reply itself is unused. *)
         t.cb.remote_get ~key:det_key ~version:ver (fun _ -> ())
   | Ftype.Add | Ftype.Subtr | Ftype.Max | Ftype.Min ->
-      get t ~key ~version:(ver - 1) (fun prev ->
+      get_in t ~chain ~key ~version:(ver - 1) (fun prev ->
           send_recipient_pushes (Some prev);
           t.cb.exec ~cost:t.compute_cost_us (fun () ->
               let outcome = eval_builtin p.ftype prev p.farg.Funct.args in
-              apply_outcome t ~key ~ver record p outcome))
+              apply_outcome t ~chain ~key ~ver record p outcome))
   | Ftype.User name -> (
       match Registry.find t.registry name with
       | None ->
-          Sim.Metrics.incr t.metrics "fcc.missing_handler";
-          apply_outcome t ~key ~ver record p Registry.Abort
+          incr t.m_missing_handler;
+          apply_outcome t ~chain ~key ~ver record p Registry.Abort
       | Some handler ->
           send_recipient_pushes None;
           gather t ~p ~ver p.farg.Funct.read_set (fun reads ->
               t.cb.exec ~cost:t.compute_cost_us (fun () ->
                   let ctx =
-                    { Registry.key; version = ver; reads;
+                    { Registry.key = Key.name key; version = ver;
+                      reads =
+                        List.map (fun (rk, v) -> (Key.name rk, v)) reads;
                       args = p.farg.Funct.args }
                   in
                   let outcome =
@@ -201,7 +254,7 @@ and begin_compute t ~key ~ver record p =
                          rather than wedging the engine. *)
                       Registry.Abort
                   in
-                  apply_outcome t ~key ~ver record p outcome)))
+                  apply_outcome t ~chain ~key ~ver record p outcome)))
 
 and eval_builtin ftype prev args =
   let arg0 =
@@ -227,13 +280,14 @@ and eval_builtin ftype prev args =
   in
   Registry.Commit (Value.int result)
 
-and apply_outcome t ~key ~ver record p outcome =
+and apply_outcome t ~chain ~key ~ver record p outcome =
   let dep_writes_of outcome =
     (* Two kinds of dependent keys (§IV-E): declared ones, which carry a
        Dep_marker that must be resolved even when the write is skipped or
        the transaction aborts; and dynamically named ones (e.g. TPC-C
        order rows keyed by the order id assigned here), which have no
-       marker and are simply inserted. *)
+       marker and are simply inserted.  Handlers name dependent keys as
+       strings; they are interned here, once per outcome. *)
     let explicit =
       match outcome with
       | Registry.Commit_det (_, writes) -> writes
@@ -248,7 +302,7 @@ and apply_outcome t ~key ~ver record p outcome =
     let resolved_declared =
       List.map
         (fun dk ->
-          match List.assoc_opt dk explicit with
+          match List.assoc_opt (Key.name dk) explicit with
           | Some w -> (dk, of_dep_write w)
           | None ->
               (* On txn abort (or when unspecified) the marker must
@@ -259,8 +313,9 @@ and apply_outcome t ~key ~ver record p outcome =
     let dynamic =
       List.filter_map
         (fun (dk, w) ->
-          if List.exists (String.equal dk) declared then None
-          else Some (dk, of_dep_write w))
+          if List.exists (fun d -> String.equal (Key.name d) dk) declared
+          then None
+          else Some (Key.intern dk, of_dep_write w))
         explicit
     in
     resolved_declared @ dynamic
@@ -275,21 +330,16 @@ and apply_outcome t ~key ~ver record p outcome =
   List.iter
     (fun (dk, dfinal) -> t.cb.send_dep_write ~key:dk ~version:ver dfinal)
     deps;
-  finalize t ~key ~ver record p final
+  finalize t ~chain ~key ~ver record p final
 
-and finalize t ~key ~ver record p final =
-  Sim.Prof.span "finalize" @@ fun () ->
+and finalize t ~chain ~key ~ver record p final =
   record.Funct.state <- Funct.Final final;
   (match final with
-  | Funct.Aborted_v -> Sim.Metrics.incr t.metrics "fcc.aborts_computed"
+  | Funct.Aborted_v -> incr t.m_aborts_computed
   | Funct.Committed _ | Funct.Deleted_v -> ());
-  Sim.Metrics.incr t.metrics "fcc.computed";
-  Sim.Prof.span "refresh_wm" (fun () ->
-      match Mvstore.Table.chain t.table key with
-      | Some chain -> refresh_watermark chain
-      | None -> ());
-  Sim.Prof.span "notify_final" (fun () ->
-      t.cb.notify_final ~key ~version:ver ~pending:p ~final);
+  incr t.m_computed;
+  refresh_watermark chain;
+  t.cb.notify_final ~key ~version:ver ~pending:p ~final;
   let waiters = p.waiters in
   p.waiters <- [];
   List.iter (fun w -> w final) waiters
@@ -297,89 +347,78 @@ and finalize t ~key ~ver record p final =
 (* ---- Algorithm 1: Compute ------------------------------------------- *)
 
 and compute_key t ~key ~version =
-  Sim.Prof.span "compute_key" @@ fun () ->
   match Mvstore.Table.chain t.table key with
   | None -> ()
   | Some chain ->
       let lo = Mvstore.Chain.watermark chain + 1 in
       let pending = ref [] in
-      Sim.Prof.span "ck_scan" (fun () ->
-          Mvstore.Chain.iter_range chain ~lo ~hi:version (fun ver record ->
-              match record.Funct.state with
-              | Funct.Final _ -> ()
-              | Funct.Pending p -> pending := (ver, record, p) :: !pending));
+      Mvstore.Chain.iter_range chain ~lo ~hi:version (fun ver record ->
+          match record.Funct.state with
+          | Funct.Final _ -> ()
+          | Funct.Pending p -> pending := (ver, record, p) :: !pending);
       List.iter
-        (fun (ver, record, p) -> ensure_computing t ~key ~ver record p)
+        (fun (ver, record, p) -> ensure_computing t ~chain ~key ~ver record p)
         (List.rev !pending)
 
 (* ---- deliveries from the network ------------------------------------ *)
 
 let deliver_push t ~key ~version ~src_key value =
-  match Mvstore.Table.find_le t.table ~key ~version with
-  | Some (ver, record) when ver = version -> (
-      match record.Funct.state with
-      | Funct.Pending p -> Funct.add_push p ~key:src_key value
-      | Funct.Final _ -> Sim.Metrics.incr t.metrics "fcc.push_late")
-  | Some _ | None -> Sim.Metrics.incr t.metrics "fcc.push_orphan"
+  let orphan () = incr t.m_push_orphan in
+  match Mvstore.Table.chain t.table key with
+  | None -> orphan ()
+  | Some chain -> (
+      match Mvstore.Chain.find_le chain ~version with
+      | Some (ver, record) when ver = version -> (
+          match record.Funct.state with
+          | Funct.Pending p -> Funct.add_push p ~key:src_key value
+          | Funct.Final _ -> incr t.m_push_late)
+      | Some _ | None -> orphan ())
 
 let deliver_dep_write t ~key ~version ~final =
-  match Mvstore.Table.find_le t.table ~key ~version with
+  let chain = Mvstore.Table.chain_of t.table key in
+  match Mvstore.Chain.find_le chain ~version with
   | Some (ver, record) when ver = version -> (
       match record.Funct.state with
       | Funct.Pending p ->
-          Sim.Metrics.incr t.metrics "fcc.dep_writes_resolved";
-          finalize t ~key ~ver record p final
-      | Funct.Final _ -> Sim.Metrics.incr t.metrics "fcc.dep_write_duplicate")
+          incr t.m_dep_writes_resolved;
+          finalize t ~chain ~key ~ver record p final
+      | Funct.Final _ -> incr t.m_dep_write_duplicate)
   | Some _ | None ->
       (* No marker installed: store the deferred write directly (covers
          workloads that skip markers for keys never read before the
          determinate functor's watermark advances). *)
-      Sim.Metrics.incr t.metrics "fcc.dep_write_direct";
-      (match
-         Mvstore.Table.put_unchecked t.table ~key ~version
-           (Funct.mk_final final)
-       with
+      incr t.m_dep_write_direct;
+      (match Mvstore.Chain.insert chain ~version (Funct.mk_final final) with
       | Ok () -> ()
-      | Error `Duplicate_version -> ());
-      (match Mvstore.Table.chain t.table key with
-      | Some chain -> refresh_watermark chain
-      | None -> ())
+      | Error `Duplicate -> ());
+      refresh_watermark chain
 
 let abort_version t ~key ~version =
-  match Mvstore.Table.find_le t.table ~key ~version with
-  | Some (ver, record) when ver = version -> (
-      match record.Funct.state with
-      | Funct.Pending p ->
-          Sim.Metrics.incr t.metrics "fcc.aborted_in_epoch";
-          finalize t ~key ~ver record p Funct.Aborted_v
-      | Funct.Final _ ->
-          (* Blind VALUE/DELETE writes are installed already-final; the
-             second-round rollback must erase them too.  Safe because
-             in-epoch versions are invisible to reads until the epoch
-             closes (§III-D). *)
-          Sim.Metrics.incr t.metrics "fcc.aborted_in_epoch";
-          record.Funct.state <- Funct.Final Funct.Aborted_v)
-  | Some _ | None -> ()
+  match Mvstore.Table.chain t.table key with
+  | None -> ()
+  | Some chain -> (
+      match Mvstore.Chain.find_le chain ~version with
+      | Some (ver, record) when ver = version -> (
+          match record.Funct.state with
+          | Funct.Pending p ->
+              incr t.m_aborted_in_epoch;
+              finalize t ~chain ~key ~ver record p Funct.Aborted_v
+          | Funct.Final _ ->
+              (* Blind VALUE/DELETE writes are installed already-final; the
+                 second-round rollback must erase them too.  Safe because
+                 in-epoch versions are invisible to reads until the epoch
+                 closes (§III-D). *)
+              incr t.m_aborted_in_epoch;
+              record.Funct.state <- Funct.Final Funct.Aborted_v)
+      | Some _ | None -> ())
 
 let gc t ~before =
-  List.fold_left
-    (fun acc key ->
-      match Mvstore.Table.chain t.table key with
-      | None -> acc
-      | Some chain ->
-          let horizon = min before (Mvstore.Chain.watermark chain) in
-          if horizon <= 0 then acc
-          else acc + Mvstore.Chain.truncate_below chain ~version:horizon)
-    0
-    (Mvstore.Table.keys t.table)
+  Mvstore.Table.fold_chains t.table ~init:0 ~f:(fun _key chain acc ->
+      let horizon = min before (Mvstore.Chain.watermark chain) in
+      if horizon <= 0 then acc
+      else acc + Mvstore.Chain.truncate_below chain ~version:horizon)
 
 let pending_count t =
-  List.fold_left
-    (fun acc key ->
-      match Mvstore.Table.chain t.table key with
-      | None -> acc
-      | Some chain ->
-          Mvstore.Chain.fold chain ~init:acc ~f:(fun acc _ record ->
-              if Funct.is_final record then acc else acc + 1))
-    0
-    (Mvstore.Table.keys t.table)
+  Mvstore.Table.fold_chains t.table ~init:0 ~f:(fun _key chain acc ->
+      Mvstore.Chain.fold chain ~init:acc ~f:(fun acc _ record ->
+          if Funct.is_final record then acc else acc + 1))

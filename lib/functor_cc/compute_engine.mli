@@ -19,23 +19,30 @@
     completion notifications) are delegated to callbacks supplied by the
     surrounding server, which routes them over the simulated network.
     Because every read is of a strictly lower version and version-0 initial
-    data is final, the recursion always terminates. *)
+    data is final, the recursion always terminates.
+
+    Keys are interned ({!Mvstore.Key.t}).  Internally the chain handle is
+    threaded through the whole per-key computation, so a Get that
+    triggers computation performs exactly one table probe; finalisation
+    and watermark refresh perform none. *)
 
 type t
 
 type callbacks = {
-  is_local : string -> bool;
+  is_local : Mvstore.Key.t -> bool;
       (** does this partition own the key? *)
-  remote_get : key:string -> version:int -> (Value.t option -> unit) -> unit;
+  remote_get :
+    key:Mvstore.Key.t -> version:int -> (Value.t option -> unit) -> unit;
       (** read a non-local key (latest version <= [version]) *)
   send_push :
-    dst_key:string -> version:int -> src_key:string -> Value.t option -> unit;
+    dst_key:Mvstore.Key.t -> version:int -> src_key:Mvstore.Key.t ->
+    Value.t option -> unit;
       (** deliver a recipient-set push to the partition owning [dst_key] *)
   send_dep_write :
-    key:string -> version:int -> Funct.final -> unit;
+    key:Mvstore.Key.t -> version:int -> Funct.final -> unit;
       (** deliver a deferred (dependent-key) write to the key's partition *)
   notify_final :
-    key:string -> version:int -> pending:Funct.pending ->
+    key:Mvstore.Key.t -> version:int -> pending:Funct.pending ->
     final:Funct.final -> unit;
       (** a pending functor reached its final state (drives coordinator
           completion tracking and stage metrics) *)
@@ -55,29 +62,31 @@ val create :
 
 val table : t -> Funct.t Mvstore.Table.t
 
-val load_initial : t -> key:string -> Value.t -> unit
+val load_initial : t -> key:Mvstore.Key.t -> Value.t -> unit
 (** Install initial data at version 0 (final, below every timestamp). *)
 
 val install :
-  t -> key:string -> version:int -> lo:int -> hi:int -> Funct.t ->
+  t -> key:Mvstore.Key.t -> version:int -> lo:int -> hi:int -> Funct.t ->
   (unit, Mvstore.Table.put_error) result
 (** The write-only-phase [Put]: version must lie in [lo, hi]. *)
 
-val get : t -> key:string -> version:int -> (Value.t option -> unit) -> unit
+val get :
+  t -> key:Mvstore.Key.t -> version:int -> (Value.t option -> unit) -> unit
 
-val compute_key : t -> key:string -> version:int -> unit
+val compute_key : t -> key:Mvstore.Key.t -> version:int -> unit
 
 val deliver_push :
-  t -> key:string -> version:int -> src_key:string -> Value.t option -> unit
+  t -> key:Mvstore.Key.t -> version:int -> src_key:Mvstore.Key.t ->
+  Value.t option -> unit
 
 val deliver_dep_write :
-  t -> key:string -> version:int -> final:Funct.final -> unit
+  t -> key:Mvstore.Key.t -> version:int -> final:Funct.final -> unit
 
-val abort_version : t -> key:string -> version:int -> unit
+val abort_version : t -> key:Mvstore.Key.t -> version:int -> unit
 (** Coordinator-initiated in-epoch abort of the functor at (key, version).
     A no-op when the version is absent or already final. *)
 
-val watermark : t -> key:string -> int
+val watermark : t -> key:Mvstore.Key.t -> int
 (** The key's value watermark (-1 when the key is unknown). *)
 
 val gc : t -> before:int -> int

@@ -7,7 +7,7 @@ type t =
   | Max
   | Min
   | User of string
-  | Dep_marker of string
+  | Dep_marker of Mvstore.Key.t
 
 let is_final = function
   | Value | Aborted | Deleted -> true
@@ -27,7 +27,7 @@ let equal a b =
   | Max, Max
   | Min, Min -> true
   | User x, User y -> String.equal x y
-  | Dep_marker x, Dep_marker y -> String.equal x y
+  | Dep_marker x, Dep_marker y -> Mvstore.Key.equal x y
   | ( (Value | Aborted | Deleted | Add | Subtr | Max | Min | User _
       | Dep_marker _),
       _ ) -> false
@@ -41,7 +41,7 @@ let to_string = function
   | Max -> "MAX"
   | Min -> "MIN"
   | User name -> Printf.sprintf "USER(%s)" name
-  | Dep_marker key -> Printf.sprintf "DEP_MARKER(%s)" key
+  | Dep_marker key -> Printf.sprintf "DEP_MARKER(%s)" (Mvstore.Key.name key)
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 

@@ -17,7 +17,7 @@ type t =
   | Max  (** keep the larger of old value and argument *)
   | Min  (** keep the smaller of old value and argument *)
   | User of string  (** named handler with explicit read set *)
-  | Dep_marker of string
+  | Dep_marker of Mvstore.Key.t
       (** dependent-key placeholder; payload is the determinate key *)
 
 val is_final : t -> bool

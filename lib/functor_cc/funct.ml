@@ -4,11 +4,11 @@ type final =
   | Deleted_v
 
 type farg = {
-  read_set : string list;
+  read_set : Mvstore.Key.t list;
   args : Value.t list;
-  recipients : string list;
-  dependents : string list;
-  pushed_reads : string list;
+  recipients : Mvstore.Key.t list;
+  dependents : Mvstore.Key.t list;
+  pushed_reads : Mvstore.Key.t list;
 }
 
 let farg_empty =
@@ -26,8 +26,8 @@ type pending = {
   coordinator : int;
   mutable status : status;
   mutable waiters : (final -> unit) list;
-  mutable pushed : (string * Value.t option) list;
-  mutable push_waiters : (string * (Value.t option -> unit)) list;
+  mutable pushed : (Mvstore.Key.t * Value.t option) list;
+  mutable push_waiters : (Mvstore.Key.t * (Value.t option -> unit)) list;
   mutable installed_at_us : int;
   mutable retrieved_at_us : int;
 }
@@ -55,17 +55,21 @@ let is_final t = match t.state with Final _ -> true | Pending _ -> false
 
 let add_waiter p w = p.waiters <- w :: p.waiters
 
+let rec assoc_key k = function
+  | [] -> None
+  | (k', v) :: tl -> if Mvstore.Key.equal k k' then Some v else assoc_key k tl
+
 let add_push p ~key v =
-  if not (List.mem_assoc key p.pushed) then begin
+  if assoc_key key p.pushed = None then begin
     p.pushed <- (key, v) :: p.pushed;
     let ready, waiting =
-      List.partition (fun (k, _) -> String.equal k key) p.push_waiters
+      List.partition (fun (k, _) -> Mvstore.Key.equal k key) p.push_waiters
     in
     p.push_waiters <- waiting;
     List.iter (fun (_, w) -> w v) ready
   end
 
-let pushed_value p key = List.assoc_opt key p.pushed
+let pushed_value p key = assoc_key key p.pushed
 
 let on_push p ~key w = p.push_waiters <- (key, w) :: p.push_waiters
 

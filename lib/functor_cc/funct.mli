@@ -13,17 +13,17 @@ type final =
   | Deleted_v  (** reads observe deletion (⊥) *)
 
 type farg = {
-  read_set : string list;
+  read_set : Mvstore.Key.t list;
       (** keys the handler reads (at version - 1); empty for built-ins,
           which implicitly read their own key *)
   args : Value.t list;  (** client-supplied arguments *)
-  recipients : string list;
+  recipients : Mvstore.Key.t list;
       (** §IV-B recipient set: keys of same-transaction functors whose read
           set includes this key; computing this functor proactively pushes
           this key's previous value to them *)
-  dependents : string list;
+  dependents : Mvstore.Key.t list;
       (** §IV-E dependent keys this (determinate) functor may write *)
-  pushed_reads : string list;
+  pushed_reads : Mvstore.Key.t list;
       (** read-set keys that a same-transaction functor will push here
           proactively (§IV-B): the engine waits for the push instead of
           issuing a remote read *)
@@ -43,9 +43,9 @@ type pending = {
   coordinator : int;  (** FE node id to notify on completion *)
   mutable status : status;
   mutable waiters : (final -> unit) list;
-  mutable pushed : (string * Value.t option) list;
+  mutable pushed : (Mvstore.Key.t * Value.t option) list;
       (** proactively pushed reads received so far (assoc by key) *)
-  mutable push_waiters : (string * (Value.t option -> unit)) list;
+  mutable push_waiters : (Mvstore.Key.t * (Value.t option -> unit)) list;
       (** continuations waiting for a specific key's push *)
   mutable installed_at_us : int;
       (** when the record was installed at the BE (-1 = unset); drives the
@@ -71,15 +71,15 @@ val is_final : t -> bool
 
 val add_waiter : pending -> (final -> unit) -> unit
 
-val add_push : pending -> key:string -> Value.t option -> unit
+val add_push : pending -> key:Mvstore.Key.t -> Value.t option -> unit
 (** Record a proactively pushed read; duplicate pushes for a key keep the
     first value (they are idempotent by construction). *)
 
-val pushed_value : pending -> string -> Value.t option option
+val pushed_value : pending -> Mvstore.Key.t -> Value.t option option
 (** [Some v] when a push for the key has arrived ([v] itself is the pushed
     optional value). *)
 
-val on_push : pending -> key:string -> (Value.t option -> unit) -> unit
+val on_push : pending -> key:Mvstore.Key.t -> (Value.t option -> unit) -> unit
 (** Register a continuation fired when a push for [key] arrives.  Callers
     racing a push against a remote read must guard against double
     delivery themselves. *)

@@ -42,7 +42,7 @@ let register registry = Registry.register registry handler_name validate
 
 let make_functor ~snapshot ~new_value ~txn_id ~coordinator =
   let farg =
-    { Funct.read_set = List.map fst snapshot;
+    { Funct.read_set = List.map (fun (k, _) -> Mvstore.Key.intern k) snapshot;
       args = [ encode_snapshot snapshot; new_value ];
       recipients = [];
       dependents = [];

@@ -1,17 +1,18 @@
-type item = { key : string; version : int }
+type item = { key : Mvstore.Key.t; version : int }
 
 type t = {
   engine : Compute_engine.t;
   pool : Sim.Worker_pool.t;
   dispatch_cost_us : int;
-  metrics : Sim.Metrics.t;
+  m_dispatched : int ref;
   buffers : (int, item list ref) Hashtbl.t;  (* epoch -> reverse order *)
   mutable dispatched : int;
 }
 
 let create ~engine ~pool ~dispatch_cost_us ~metrics () =
-  { engine; pool; dispatch_cost_us; metrics; buffers = Hashtbl.create 8;
-    dispatched = 0 }
+  { engine; pool; dispatch_cost_us;
+    m_dispatched = Sim.Metrics.counter metrics "proc.dispatched";
+    buffers = Hashtbl.create 8; dispatched = 0 }
 
 let buffer t ~epoch ~key ~version =
   let items =
@@ -26,7 +27,7 @@ let buffer t ~epoch ~key ~version =
 
 let dispatch t { key; version } =
   t.dispatched <- t.dispatched + 1;
-  Sim.Metrics.incr t.metrics "proc.dispatched";
+  incr t.m_dispatched;
   Sim.Worker_pool.submit t.pool ~cost:t.dispatch_cost_us (fun () ->
       Compute_engine.compute_key t.engine ~key ~version)
 

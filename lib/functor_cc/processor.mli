@@ -18,7 +18,7 @@ val create :
   metrics:Sim.Metrics.t ->
   unit -> t
 
-val buffer : t -> epoch:int -> key:string -> version:int -> unit
+val buffer : t -> epoch:int -> key:Mvstore.Key.t -> version:int -> unit
 (** Record metadata for a functor installed in the given (open) epoch. *)
 
 val release : t -> upto_epoch:int -> unit

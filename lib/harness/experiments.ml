@@ -48,6 +48,7 @@ let calvin = Kernel.Intf.Pack (module Calvin.Engine)
 let twopl = Kernel.Intf.Pack (module Twopl.Engine)
 
 let row fig cols =
+  Report.record_row ~fig ~cols;
   Printf.printf "[%s] %s\n%!" fig (String.concat "  " cols)
 
 let fmt_tps tps = Printf.sprintf "tps=%-9.0f" tps
@@ -56,6 +57,26 @@ let fmt_lat r =
   Printf.sprintf "lat_ms=%-7.2f p99_ms=%-7.2f"
     (r.Driver.lat_mean_us /. 1000.0)
     (float_of_int r.Driver.lat_p99_us /. 1000.0)
+
+(* Structured row helpers: print the human-readable line and record the
+   same point for BENCH_macro.json. *)
+
+let lat_mean_ms r = r.Driver.lat_mean_us /. 1000.0
+let lat_p99_ms r = float_of_int r.Driver.lat_p99_us /. 1000.0
+
+let row_tps_lat fig ~series ~point ?(extra = []) r =
+  Report.record_point ~fig ~series ~point ~tps:r.Driver.throughput_tps
+    ~lat_mean_ms:(lat_mean_ms r) ~lat_p99_ms:(lat_p99_ms r) ();
+  row fig ([ series; point; fmt_tps r.Driver.throughput_tps; fmt_lat r ] @ extra)
+
+let row_tps fig ~series ~point ?(extra = []) r =
+  Report.record_point ~fig ~series ~point ~tps:r.Driver.throughput_tps ();
+  row fig ([ series; point; fmt_tps r.Driver.throughput_tps ] @ extra)
+
+let row_lat fig ~series ~point r =
+  Report.record_point ~fig ~series ~point ~lat_mean_ms:(lat_mean_ms r)
+    ~lat_p99_ms:(lat_p99_ms r) ();
+  row fig [ series; point; fmt_lat r ]
 
 (* ---- Table I ----------------------------------------------------------- *)
 
@@ -115,18 +136,16 @@ let fig6 scale =
   List.iter
     (fun (name, engine, workload) ->
       let peak_r = peak ~engine ~n ~workload scale in
-      row "fig6"
-        [ name; "peak(closed)"; fmt_tps peak_r.Driver.throughput_tps;
-          fmt_lat peak_r ];
+      row_tps_lat "fig6" ~series:name ~point:"peak(closed)" peak_r;
       List.iter
         (fun f ->
           let rate = peak_r.Driver.throughput_tps *. f /. float_of_int n in
           if rate >= 1.0 then begin
             let arrival = Arrivals.Open_poisson { rate_per_fe = rate } in
             let r = run_point ~engine ~n ~workload ~arrival scale in
-            row "fig6"
-              [ name; Printf.sprintf "open(%.2fx)" f;
-                fmt_tps r.Driver.throughput_tps; fmt_lat r ]
+            row_tps_lat "fig6" ~series:name
+              ~point:(Printf.sprintf "open(%.2fx)" f)
+              r
           end)
         scale.fig6_fractions)
     configs
@@ -153,9 +172,7 @@ let fig7 scale =
       List.iter
         (fun x ->
           let r = peak ~engine ~n ~workload:(mk x) scale in
-          row "fig7"
-            [ name; Printf.sprintf "x=%-2d" x;
-              fmt_tps r.Driver.throughput_tps ])
+          row_tps "fig7" ~series:name ~point:(Printf.sprintf "x=%-2d" x) r)
         scale.fig7_xs)
     series
 
@@ -179,9 +196,7 @@ let fig8 scale =
         (fun n ->
           (* TPC-C distributed transactions need a second server. *)
           let r = peak ~engine ~n ~workload scale in
-          row "fig8"
-            [ name; Printf.sprintf "n=%-2d" n;
-              fmt_tps r.Driver.throughput_tps ])
+          row_tps "fig8" ~series:name ~point:(Printf.sprintf "n=%-2d" n) r)
         scale.fig8_servers)
     configs
 
@@ -197,9 +212,10 @@ let fig9 scale =
       List.iter
         (fun ci ->
           let r = peak ~engine ~n ~workload:(YCSB { ci }) scale in
-          row "fig9"
-            [ Printf.sprintf "%-6s" name; Printf.sprintf "ci=%-7g" ci;
-              fmt_tps r.Driver.throughput_tps ])
+          row_tps "fig9"
+            ~series:(Printf.sprintf "%-6s" name)
+            ~point:(Printf.sprintf "ci=%-7g" ci)
+            r)
         scale.fig9_cis)
     [ ("ALOHA", aloha); ("Calvin", calvin); ("2PL", twopl) ]
 
@@ -259,7 +275,7 @@ let fig11 scale =
           ~arrival:(Arrivals.Open_poisson { rate_per_fe = 2_000.0 })
           scale'
       in
-      row "fig11" [ "ALOHA"; Printf.sprintf "%-3d" ms; fmt_lat r ])
+      row_lat "fig11" ~series:"ALOHA" ~point:(Printf.sprintf "%-3d" ms) r)
     scale.fig11_epochs_ms;
   List.iter
     (fun ms ->
@@ -277,7 +293,7 @@ let fig11 scale =
             (Arrivals.Open_burst { rate_per_fe = 500.0; period_us = epoch_us })
           scale'
       in
-      row "fig11" [ "Calvin"; Printf.sprintf "%-3d" ms; fmt_lat r ])
+      row_lat "fig11" ~series:"Calvin" ~point:(Printf.sprintf "%-3d" ms) r)
     scale.fig11_epochs_ms
 
 (* ---- Ablation: straggler optimisation (§III-C) --------------------------- *)
@@ -567,9 +583,10 @@ let ext_conventional scale =
                      (counters
                       @ List.filter (fun (_, v) -> v > 0) r.Driver.aborts))
           in
-          row "ext-conventional"
-            [ Printf.sprintf "%-6s" name; Printf.sprintf "ci=%-7g" ci;
-              fmt_tps r.Driver.throughput_tps; diagnostics ])
+          row_tps "ext-conventional"
+            ~series:(Printf.sprintf "%-6s" name)
+            ~point:(Printf.sprintf "ci=%-7g" ci)
+            ~extra:[ diagnostics ] r)
         [ ("ALOHA", aloha); ("Calvin", calvin); ("2PL", twopl) ])
     scale.fig9_cis
 

@@ -1,0 +1,99 @@
+(* Machine-readable benchmark reporting.
+
+   The console output of Experiments is meant for eyeballs; CI and the
+   regression gate want JSON.  Figures record structured points (tps /
+   latency) through the row helpers in Experiments, every console row is
+   also captured verbatim for figures without a structured shape, and the
+   micro suite records ns/op estimates.  bench/main.exe decides whether a
+   run is recording (--json) and where the files go. *)
+
+type macro_point = {
+  fig : string;
+  series : string;
+  point : string;
+  tps : float option;
+  lat_mean_ms : float option;
+  lat_p99_ms : float option;
+}
+
+let enabled = ref false
+let macro_points : macro_point list ref = ref []
+let raw_rows : (string * string list) list ref = ref []
+let fig_times : (string * float) list ref = ref []
+let micro_results : (string * float) list ref = ref []
+
+let enable () = enabled := true
+let recording () = !enabled
+
+let record_point ~fig ~series ~point ?tps ?lat_mean_ms ?lat_p99_ms () =
+  if !enabled then
+    macro_points :=
+      { fig; series; point; tps; lat_mean_ms; lat_p99_ms } :: !macro_points
+
+let record_row ~fig ~cols = if !enabled then raw_rows := (fig, cols) :: !raw_rows
+
+let record_fig_time ~fig ~seconds =
+  if !enabled then fig_times := (fig, seconds) :: !fig_times
+
+let record_micro ~name ~ns_per_op =
+  if !enabled then micro_results := (name, ns_per_op) :: !micro_results
+
+(* ---- JSON emission (hand-rolled; no json dependency) -------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = Printf.sprintf "\"%s\"" (escape s)
+
+let jfloat f =
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let jfloat_opt = function None -> "null" | Some f -> jfloat f
+
+let point_json p =
+  Printf.sprintf
+    "{\"fig\":%s,\"series\":%s,\"point\":%s,\"tps\":%s,\"lat_mean_ms\":%s,\"lat_p99_ms\":%s}"
+    (jstr p.fig) (jstr p.series) (jstr p.point) (jfloat_opt p.tps)
+    (jfloat_opt p.lat_mean_ms) (jfloat_opt p.lat_p99_ms)
+
+let row_json (fig, cols) =
+  Printf.sprintf "{\"fig\":%s,\"cols\":[%s]}" (jstr fig)
+    (String.concat "," (List.map jstr cols))
+
+let time_json (fig, seconds) =
+  Printf.sprintf "{\"fig\":%s,\"wall_s\":%s}" (jstr fig) (jfloat seconds)
+
+let micro_json (name, ns) =
+  Printf.sprintf "{\"name\":%s,\"ns_per_op\":%s}" (jstr name) (jfloat ns)
+
+let write path body =
+  let oc = open_out path in
+  output_string oc body;
+  output_char oc '\n';
+  close_out oc
+
+let write_micro path =
+  write path
+    (Printf.sprintf "{\"suite\":\"micro\",\"results\":[%s]}"
+       (String.concat "," (List.rev_map micro_json !micro_results)))
+
+let write_macro ~scale path =
+  write path
+    (Printf.sprintf
+       "{\"suite\":\"macro\",\"scale\":%s,\"points\":[%s],\"rows\":[%s],\"timings\":[%s]}"
+       (jstr scale)
+       (String.concat "," (List.rev_map point_json !macro_points))
+       (String.concat "," (List.rev_map row_json !raw_rows))
+       (String.concat "," (List.rev_map time_json !fig_times)))

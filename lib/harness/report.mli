@@ -1,0 +1,27 @@
+(* Machine-readable benchmark reporting: collects figure points, raw
+   console rows, per-figure wall-clock timings and micro ns/op estimates,
+   and emits them as JSON (BENCH_macro.json / BENCH_micro.json).
+
+   Recording is off by default; bench/main.exe turns it on with --json.
+   When off, every record_* call is a no-op, so the harness can call them
+   unconditionally. *)
+
+val enable : unit -> unit
+val recording : unit -> bool
+
+val record_point :
+  fig:string ->
+  series:string ->
+  point:string ->
+  ?tps:float ->
+  ?lat_mean_ms:float ->
+  ?lat_p99_ms:float ->
+  unit ->
+  unit
+
+val record_row : fig:string -> cols:string list -> unit
+val record_fig_time : fig:string -> seconds:float -> unit
+val record_micro : name:string -> ns_per_op:float -> unit
+
+val write_micro : string -> unit
+val write_macro : scale:string -> string -> unit

@@ -4,24 +4,42 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable watermark : int;
+  (* Index of the entry holding [watermark], or -1 when unknown.  A cache,
+     not an invariant: validated against [data] before every use and
+     rebuilt with a rank search on mismatch.  Sequential compute probes
+     the chain at exactly the watermark (previous value of the next
+     functor, base of the watermark walk), so this turns the two hottest
+     rank searches into array hits. *)
+  mutable wm_idx : int;
 }
 
-let create () = { data = [||]; size = 0; watermark = -1 }
+let create () = { data = [||]; size = 0; watermark = -1; wm_idx = -1 }
+
+let wm_idx_valid t =
+  t.wm_idx >= 0 && t.wm_idx < t.size
+  && t.data.(t.wm_idx).version = t.watermark
 
 let length t = t.size
 
-(* Index of the last entry with version <= v, or -1. *)
+(* Index of the last entry with version <= v, or -1.  The two O(1) guards
+   cover the dominant access patterns: reads at or above the latest
+   version, and probes below the chain's base. *)
 let rank_le t v =
-  let lo = ref 0 and hi = ref (t.size - 1) and ans = ref (-1) in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    if t.data.(mid).version <= v then begin
-      ans := mid;
-      lo := mid + 1
-    end
-    else hi := mid - 1
-  done;
-  !ans
+  if t.size = 0 || t.data.(0).version > v then -1
+  else if t.data.(t.size - 1).version <= v then t.size - 1
+  else if v = t.watermark && wm_idx_valid t then t.wm_idx
+  else begin
+    let lo = ref 0 and hi = ref (t.size - 1) and ans = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.data.(mid).version <= v then begin
+        ans := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    !ans
+  end
 
 let grow t e =
   let capacity = Array.length t.data in
@@ -33,18 +51,30 @@ let grow t e =
   end
 
 let insert t ~version payload =
-  let pos = rank_le t version in
-  if pos >= 0 && t.data.(pos).version = version then Error `Duplicate
-  else begin
+  if t.size = 0 || t.data.(t.size - 1).version < version then begin
+    (* Append: versions arrive mostly in order, so this is the common
+       case — no rank search, no shift. *)
     let e = { version; payload } in
     grow t e;
-    (* Shift the suffix right by one to make room at pos+1. *)
-    let insert_at = pos + 1 in
-    if insert_at < t.size then
-      Array.blit t.data insert_at t.data (insert_at + 1) (t.size - insert_at);
-    t.data.(insert_at) <- e;
+    t.data.(t.size) <- e;
     t.size <- t.size + 1;
     Ok ()
+  end
+  else begin
+    let pos = rank_le t version in
+    if pos >= 0 && t.data.(pos).version = version then Error `Duplicate
+    else begin
+      let e = { version; payload } in
+      grow t e;
+      (* Shift the suffix right by one to make room at pos+1. *)
+      let insert_at = pos + 1 in
+      if insert_at < t.size then
+        Array.blit t.data insert_at t.data (insert_at + 1) (t.size - insert_at);
+      t.data.(insert_at) <- e;
+      t.size <- t.size + 1;
+      if insert_at <= t.wm_idx then t.wm_idx <- t.wm_idx + 1;
+      Ok ()
+    end
   end
 
 let find_le t ~version =
@@ -79,7 +109,25 @@ let update t ~version payload =
 
 let watermark t = t.watermark
 
-let advance_watermark t v = if v > t.watermark then t.watermark <- v
+let advance_watermark t v =
+  if v > t.watermark then begin
+    t.watermark <- v;
+    t.wm_idx <- -1
+  end
+
+let advance_watermark_while t ~f =
+  let i = ref ((if wm_idx_valid t then t.wm_idx else rank_le t t.watermark) + 1)
+  in
+  let stop = ref false in
+  while (not !stop) && !i < t.size do
+    let e = t.data.(!i) in
+    if f e.payload then begin
+      t.watermark <- e.version;
+      t.wm_idx <- !i;
+      incr i
+    end
+    else stop := true
+  done
 
 let iter_range t ~lo ~hi f =
   let start = rank_le t (lo - 1) + 1 in
@@ -106,6 +154,7 @@ let truncate_below t ~version =
   else begin
     Array.blit t.data drop t.data 0 (t.size - drop);
     t.size <- t.size - drop;
+    t.wm_idx <- (if t.wm_idx >= drop then t.wm_idx - drop else -1);
     drop
   end
 

@@ -44,6 +44,12 @@ val advance_watermark : 'a t -> int -> unit
 (** Monotone: lower targets are ignored (the paper's CAS loop, lines 7–9
     of Algorithm 1, collapses to this in a single-threaded engine). *)
 
+val advance_watermark_while : 'a t -> f:('a -> bool) -> unit
+(** Advance the watermark over the contiguous run of records directly
+    above it for which [f payload] holds: one rank search plus a linear
+    walk, the hot-path form of repeated [find_next_after] +
+    [advance_watermark]. *)
+
 val iter_range : 'a t -> lo:int -> hi:int -> (int -> 'a -> unit) -> unit
 (** Apply to every record with lo <= version <= hi, ascending. *)
 

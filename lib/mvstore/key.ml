@@ -1,0 +1,53 @@
+(* Interned keys: one record per distinct key name for the whole process.
+   Chains, functor read sets and network routing all address keys through
+   [t], so the hot paths compare and hash dense ints instead of re-hashing
+   sprintf-built strings.  The intern table only grows; sequential
+   experiment runs reuse the records (and their ids) for recurring key
+   names, which is exactly the behaviour a per-run table would give for a
+   single run, without threading an interner through every constructor. *)
+
+type t = {
+  id : int;
+  name : string;
+  mutable memo_stamp : int;
+  mutable memo : int;
+      (* One generation-stamped memo slot per key.  Holders of a stamp
+         (e.g. a cluster's partitioner) can cache an int per key — the
+         partition id — without a side table. *)
+}
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 65_536
+let next_id = ref 0
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some k -> k
+  | None ->
+      let k = { id = !next_id; name; memo_stamp = -1; memo = 0 } in
+      incr next_id;
+      Hashtbl.add table name k;
+      k
+
+let id k = k.id
+let name k = k.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash k = k.id
+let interned_count () = !next_id
+
+let next_stamp = ref 0
+
+let new_stamp () =
+  incr next_stamp;
+  !next_stamp
+
+let memo_int k ~stamp ~f =
+  if k.memo_stamp = stamp then k.memo
+  else begin
+    let v = f k.name in
+    k.memo_stamp <- stamp;
+    k.memo <- v;
+    v
+  end
+
+let pp ppf k = Format.fprintf ppf "%s#%d" k.name k.id

@@ -5,7 +5,10 @@
     caller-supplied validity window (the current write epoch, or the
     straggler-optimisation window).  Visibility (in-epoch vs out-epoch) is
     enforced by the read path in the functor layer, which supplies the
-    epoch-start bound. *)
+    epoch-start bound.
+
+    Keys are interned ({!Key.t}); the table hashes their dense int ids, so
+    a lookup costs an int probe rather than a string hash. *)
 
 type 'a t
 
@@ -16,26 +19,35 @@ type put_error =
 val create : ?initial_capacity:int -> unit -> 'a t
 
 val put :
-  'a t -> key:string -> version:int -> lo:int -> hi:int -> 'a ->
+  'a t -> key:Key.t -> version:int -> lo:int -> hi:int -> 'a ->
   (unit, put_error) result
 (** Insert a new version for a key; [lo]/[hi] bound the acceptable version
     range (inclusive). *)
 
-val put_unchecked : 'a t -> key:string -> version:int -> 'a ->
+val put_unchecked : 'a t -> key:Key.t -> version:int -> 'a ->
   (unit, [ `Duplicate_version ]) result
 (** Insert without a window check — used for loading initial data at
     version zero and for deferred (dependent-key) writes, whose version was
     validated when the determinate functor was installed. *)
 
-val chain : 'a t -> string -> 'a Chain.t option
+val chain : 'a t -> Key.t -> 'a Chain.t option
 (** The key's chain, if the key has ever been written. *)
 
-val find_le : 'a t -> key:string -> version:int -> (int * 'a) option
+val chain_of : 'a t -> Key.t -> 'a Chain.t
+(** The key's chain, created empty on first use.  Callers that touch a
+    chain repeatedly should fetch the handle once and keep it. *)
 
-val update : 'a t -> key:string -> version:int -> 'a -> bool
+val find_le : 'a t -> key:Key.t -> version:int -> (int * 'a) option
 
-val keys : 'a t -> string list
-(** All keys (unordered); test/debug helper. *)
+val update : 'a t -> key:Key.t -> version:int -> 'a -> bool
+
+val iter : 'a t -> f:(Key.t -> 'a Chain.t -> unit) -> unit
+(** Visit every (key, chain) pair without materialising a key list. *)
+
+val fold_chains : 'a t -> init:'b -> f:(Key.t -> 'a Chain.t -> 'b -> 'b) -> 'b
+
+val keys : 'a t -> Key.t list
+(** All keys (unordered); test/debug helper — allocates, prefer {!iter}. *)
 
 val key_count : 'a t -> int
 

@@ -1,12 +1,29 @@
+(* FIFO links keep a per-link record (keyed by a single packed int, so a
+   send costs one int-hash probe and no tuple allocation) holding the link
+   clock and a pending-delivery queue.  Instead of one engine event and one
+   closure per message, each link arms at most one outstanding dispatcher
+   event; the dispatcher delivers every queued message whose time has
+   come, so same-instant bursts on a link coalesce into a single heap
+   entry (ALOHA-KV-style request batching).  FIFO order is the queue
+   order; delivery times are non-decreasing per link. *)
+
+type 'msg link = {
+  l_src : Address.t;
+  l_dst : Address.t;
+  mutable clock : int;
+      (* Latest delivery time handed out on this link; later sends never
+         deliver before it, which is the FIFO guarantee. *)
+  pending : (int * 'msg) Queue.t;
+  mutable armed : bool;  (* a dispatcher event is in the agenda *)
+}
+
 type 'msg t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
   latency : Latency.t;
   fifo : bool;
   handlers : (Address.t, src:Address.t -> 'msg -> unit) Hashtbl.t;
-  (* Per-(src,dst) link clock: earliest time the next FIFO message on the
-     link may be delivered. *)
-  link_clock : (int * int, int) Hashtbl.t;
+  links : (int, 'msg link) Hashtbl.t;
   mutable sent : int;
   mutable dropped : int;
   mutable trace : (src:Address.t -> dst:Address.t -> 'msg -> unit) option;
@@ -15,7 +32,7 @@ type 'msg t = {
 let create engine rng ~latency ?(fifo = true) () =
   { engine; rng; latency; fifo;
     handlers = Hashtbl.create 64;
-    link_clock = Hashtbl.create 256;
+    links = Hashtbl.create 256;
     sent = 0; dropped = 0; trace = None }
 
 let engine t = t.engine
@@ -26,6 +43,44 @@ let unregister t addr = Hashtbl.remove t.handlers addr
 
 let set_trace t f = t.trace <- Some f
 
+let link_of t ~src ~dst =
+  let id = (Address.to_int src lsl 16) lor Address.to_int dst in
+  match Hashtbl.find_opt t.links id with
+  | Some l -> l
+  | None ->
+      let l =
+        { l_src = src; l_dst = dst; clock = 0;
+          pending = Queue.create (); armed = false }
+      in
+      Hashtbl.add t.links id l;
+      l
+
+(* Deliver every queued message that is due, then re-arm for the next
+   one (if any).  The handler is resolved once per dispatch: handlers
+   only change from other engine events, never mid-dispatch. *)
+let rec dispatch t l =
+  let now = Sim.Engine.now t.engine in
+  let handler = Hashtbl.find_opt t.handlers l.l_dst in
+  let rec drain () =
+    match Queue.peek_opt l.pending with
+    | Some (at, msg) when at <= now ->
+        ignore (Queue.pop l.pending);
+        (match handler with
+        | Some h -> h ~src:l.l_src msg
+        | None -> t.dropped <- t.dropped + 1);
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ();
+  arm t l
+
+and arm t l =
+  match Queue.peek_opt l.pending with
+  | None -> l.armed <- false
+  | Some (at, _) ->
+      l.armed <- true;
+      Sim.Engine.schedule t.engine ~at (fun () -> dispatch t l)
+
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
   (match t.trace with Some f -> f ~src ~dst msg | None -> ());
@@ -33,27 +88,19 @@ let send t ~src ~dst msg =
     if Address.equal src dst then Latency.local_delivery
     else Latency.sample t.latency t.rng
   in
-  let now = Sim.Engine.now t.engine in
-  let deliver_at =
-    let earliest = now + lat in
-    if t.fifo then begin
-      let link = (Address.to_int src, Address.to_int dst) in
-      let clock =
-        match Hashtbl.find_opt t.link_clock link with
-        | Some c -> c
-        | None -> 0
-      in
-      let at = if earliest > clock then earliest else clock + 1 in
-      Hashtbl.replace t.link_clock link at;
-      at
-    end
-    else earliest
-  in
-  Sim.Engine.schedule t.engine ~at:deliver_at (fun () ->
-      match Hashtbl.find_opt t.handlers dst with
-      | Some handler -> handler ~src msg
-      | None -> t.dropped <- t.dropped + 1)
+  let earliest = Sim.Engine.now t.engine + lat in
+  if t.fifo then begin
+    let l = link_of t ~src ~dst in
+    let at = if earliest > l.clock then earliest else l.clock in
+    l.clock <- at;
+    Queue.push (at, msg) l.pending;
+    if not l.armed then arm t l
+  end
+  else
+    Sim.Engine.schedule t.engine ~at:earliest (fun () ->
+        match Hashtbl.find_opt t.handlers dst with
+        | Some handler -> handler ~src msg
+        | None -> t.dropped <- t.dropped + 1)
 
 let messages_sent t = t.sent
-
 let messages_dropped t = t.dropped

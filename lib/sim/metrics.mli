@@ -14,8 +14,18 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** 0 when the counter was never touched. *)
 
+val counter : t -> string -> int ref
+(** Static handle to a named counter: resolve once at component creation,
+    then bump with [incr r] — no string hash on the hot path.  The ref is
+    zeroed (not replaced) by {!reset}, so handles stay valid across
+    warm-up resets. *)
+
 val record_latency : t -> string -> int -> unit
 (** Record a microsecond sample under a named histogram. *)
+
+val histogram : t -> string -> Stats.Histogram.t
+(** Static handle to a named histogram, same contract as {!counter}:
+    cleared in place by {!reset}, never replaced. *)
 
 val latency : t -> string -> Stats.Histogram.t option
 

@@ -18,6 +18,14 @@ type t = {
   registry : Calvin.Ctxn.registry;
   config : Config.t;
   metrics : Sim.Metrics.t;
+  (* Hot-path metric handles, resolved once at creation. *)
+  m_submitted : int ref;
+  m_committed : int ref;
+  m_restarts : int ref;
+  m_given_up : int ref;
+  m_lock_timeouts : int ref;
+  m_missing_proc : int ref;
+  h_lat_total : Sim.Stats.Histogram.t;
   rng : Sim.Rng.t;
   store : (string, Value.t) Hashtbl.t;
   pool : Sim.Worker_pool.t;
@@ -75,7 +83,7 @@ let do_lock_and_read t ~uid ~reads ~writes reply =
               w.settled <- true;
               Hashtbl.remove t.waits uid;
               LM.release t.lm ~uid;
-              Sim.Metrics.incr t.metrics "twopl.lock_timeouts";
+              incr t.m_lock_timeouts;
               w.reply Message.Lock_timeout
             end))
 
@@ -140,7 +148,7 @@ let rec attempt t txn ~tries ~submitted_at k =
     let pending = ref (List.length to_release) in
     let continue () =
       if tries < t.config.Config.max_retries then begin
-        Sim.Metrics.incr t.metrics "twopl.restarts";
+        incr t.m_restarts;
         let backoff =
           t.config.Config.retry_backoff_us
           + Sim.Rng.int t.rng (t.config.Config.retry_backoff_us * (tries + 1))
@@ -149,7 +157,7 @@ let rec attempt t txn ~tries ~submitted_at k =
             attempt t txn ~tries:(tries + 1) ~submitted_at k)
       end
       else begin
-        Sim.Metrics.incr t.metrics "twopl.given_up";
+        incr t.m_given_up;
         k ()
       end
     in
@@ -170,7 +178,7 @@ let rec attempt t txn ~tries ~submitted_at k =
       (fun () ->
         match Calvin.Ctxn.find t.registry txn.Calvin.Ctxn.proc with
         | None ->
-            Sim.Metrics.incr t.metrics "twopl.missing_proc";
+            incr t.m_missing_proc;
             finish_abort ()
         | Some proc ->
             let writes = proc ~txn ~reads:!values in
@@ -195,9 +203,8 @@ let rec attempt t txn ~tries ~submitted_at k =
                             (fun _ ->
                               decr committed;
                               if !committed = 0 then begin
-                                Sim.Metrics.incr t.metrics "twopl.committed";
-                                Sim.Metrics.record_latency t.metrics
-                                  "twopl.lat_total_us"
+                                incr t.m_committed;
+                                Sim.Stats.Histogram.add t.h_lat_total
                                   (Sim.Engine.now t.sim - submitted_at);
                                 k ()
                               end))
@@ -223,16 +230,24 @@ let rec attempt t txn ~tries ~submitted_at k =
     parts
 
 let submit ?(k = fun () -> ()) t txn =
-  Sim.Metrics.incr t.metrics "twopl.submitted";
+  incr t.m_submitted;
   attempt t txn ~tries:0 ~submitted_at:(Sim.Engine.now t.sim) k
 
 (* ---- construction -------------------------------------------------------- *)
 
 let create ~sim ~rpc ~addr ~node_id ~partition_of ~addr_of_partition
     ~registry ~config ~metrics ~seed () =
+  let c = Sim.Metrics.counter metrics in
   let t =
     { sim; rpc; address = addr; node_id; partition_of; addr_of_partition;
       registry; config; metrics;
+      m_submitted = c "twopl.submitted";
+      m_committed = c "twopl.committed";
+      m_restarts = c "twopl.restarts";
+      m_given_up = c "twopl.given_up";
+      m_lock_timeouts = c "twopl.lock_timeouts";
+      m_missing_proc = c "twopl.missing_proc";
+      h_lat_total = Sim.Metrics.histogram metrics "twopl.lat_total_us";
       rng = Sim.Rng.create (seed + node_id);
       store = Hashtbl.create 65536;
       pool = Sim.Worker_pool.create sim ~workers:config.Config.cores;

@@ -16,12 +16,32 @@ let cfg_of_contention_index ?(keys_per_partition = 100_000) ci =
 
 let key ~partition idx = Printf.sprintf "y:%d:%d" partition idx
 
+(* Process-wide cache of key names, one array per partition.  Names depend
+   only on (partition, idx), so the load phase and every generator — across
+   figures run in the same process — share a single materialisation instead
+   of sprintf-ing on every draw.  Rebuilt when the partition size changes. *)
+let name_cache : (int, string array) Hashtbl.t = Hashtbl.create 16
+let name_cache_size = ref 0
+
+let names ~partition ~size =
+  if !name_cache_size <> size then begin
+    Hashtbl.reset name_cache;
+    name_cache_size := size
+  end;
+  match Hashtbl.find_opt name_cache partition with
+  | Some a -> a
+  | None ->
+      let a = Array.init size (fun i -> key ~partition i) in
+      Hashtbl.add name_cache partition a;
+      a
+
 let register ~register:_ = ()
 
 let load cfg ~n_servers ~put =
   for p = 0 to n_servers - 1 do
+    let a = names ~partition:p ~size:cfg.keys_per_partition in
     for i = 0 to cfg.keys_per_partition - 1 do
-      put (key ~partition:p i) (Value.int 0)
+      put a.(i) (Value.int 0)
     done
   done
 
@@ -29,12 +49,16 @@ type generator = {
   cfg : cfg;
   n_partitions : int;
   rng : Sim.Rng.t;
+  part_names : string array array;  (* partition -> idx -> key name *)
 }
 
 let generator cfg ~n_partitions ~seed =
   if cfg.hot_keys > cfg.keys_per_partition then
     invalid_arg "Ycsb.generator: more hot keys than keys";
-  { cfg; n_partitions; rng = Sim.Rng.create seed }
+  { cfg; n_partitions; rng = Sim.Rng.create seed;
+    part_names =
+      Array.init n_partitions (fun p ->
+          names ~partition:p ~size:cfg.keys_per_partition) }
 
 (* One hot key plus (rw_keys/participants - 1) cold keys per partition;
    exactly one hot key per participant, as in Calvin's microbenchmark. *)
@@ -54,15 +78,16 @@ let draw_keys g ~fe =
   let keys_per = g.cfg.rw_keys / per_part in
   List.concat_map
     (fun p ->
-      let hot = key ~partition:p (Sim.Rng.int g.rng cfg.hot_keys) in
+      let pn = g.part_names.(p) in
+      let hot = pn.(Sim.Rng.int g.rng cfg.hot_keys) in
       let cold_range = cfg.keys_per_partition - cfg.hot_keys in
       let cold =
         List.init (keys_per - 1) (fun _ ->
             (* When every key is hot (CI at its minimum for this partition
                size) cold draws fall back to the whole keyspace. *)
             if cold_range <= 0 then
-              key ~partition:p (Sim.Rng.int g.rng cfg.keys_per_partition)
-            else key ~partition:p (cfg.hot_keys + Sim.Rng.int g.rng cold_range))
+              pn.(Sim.Rng.int g.rng cfg.keys_per_partition)
+            else pn.(cfg.hot_keys + Sim.Rng.int g.rng cold_range))
       in
       hot :: cold)
     parts

@@ -7,6 +7,9 @@ module Ftype = Functor_cc.Ftype
 module Txn = Alohadb.Txn
 module Message = Alohadb.Message
 
+let ik = Mvstore.Key.intern
+let names = List.map Mvstore.Key.name
+
 (* ---- processor ------------------------------------------------------- *)
 
 let mk_proc () =
@@ -34,10 +37,10 @@ let mk_proc () =
 
 let test_processor_release_by_epoch () =
   let sim, engine, proc = mk_proc () in
-  Functor_cc.Compute_engine.load_initial engine ~key:"k" (Value.int 0);
+  Functor_cc.Compute_engine.load_initial engine ~key:(ik "k") (Value.int 0);
   let install version =
     ignore
-      (Functor_cc.Compute_engine.install engine ~key:"k" ~version ~lo:0
+      (Functor_cc.Compute_engine.install engine ~key:(ik "k") ~version ~lo:0
          ~hi:max_int
          (Funct.mk_pending ~ftype:Ftype.Add
             ~farg:(Funct.farg_args [ Value.int 1 ])
@@ -45,8 +48,8 @@ let test_processor_release_by_epoch () =
   in
   install 1;
   install 2;
-  Functor_cc.Processor.buffer proc ~epoch:1 ~key:"k" ~version:1;
-  Functor_cc.Processor.buffer proc ~epoch:2 ~key:"k" ~version:2;
+  Functor_cc.Processor.buffer proc ~epoch:1 ~key:(ik "k") ~version:1;
+  Functor_cc.Processor.buffer proc ~epoch:2 ~key:(ik "k") ~version:2;
   Alcotest.(check int) "both buffered" 2 (Functor_cc.Processor.buffered proc);
   (* Closing epoch 1 must not release epoch 2's metadata. *)
   Functor_cc.Processor.release proc ~upto_epoch:1;
@@ -67,27 +70,27 @@ let test_processor_release_by_epoch () =
 
 let test_fspec_of_op_shapes () =
   let spec =
-    Message.fspec_of_op ~key:"k" ~recipients:[ "r" ] (Txn.Add 5)
+    Message.fspec_of_op ~key:(ik "k") ~recipients:[ ik "r" ] (Txn.Add 5)
   in
   Alcotest.(check bool) "ADD ftype" true
     (Ftype.equal spec.Message.ftype Ftype.Add);
   Alcotest.(check (list string)) "recipients carried" [ "r" ]
-    spec.Message.farg.Funct.recipients;
+    (names spec.Message.farg.Funct.recipients);
   let call =
-    Message.fspec_of_op ~key:"k" ~recipients:[] ~pushed_reads:[ "a" ]
+    Message.fspec_of_op ~key:(ik "k") ~recipients:[] ~pushed_reads:[ ik "a" ]
       (Txn.Call { handler = "h"; read_set = [ "a"; "b" ]; args = [] })
   in
   Alcotest.(check (list string)) "read set" [ "a"; "b" ]
-    call.Message.farg.Funct.read_set;
+    (names call.Message.farg.Funct.read_set);
   Alcotest.(check (list string)) "pushed reads" [ "a" ]
-    call.Message.farg.Funct.pushed_reads;
+    (names call.Message.farg.Funct.pushed_reads);
   let det =
-    Message.fspec_of_op ~key:"k" ~recipients:[]
+    Message.fspec_of_op ~key:(ik "k") ~recipients:[]
       (Txn.Det
          { handler = "h"; read_set = [ "k" ]; args = []; dependents = [ "d" ] })
   in
   Alcotest.(check (list string)) "dependents" [ "d" ]
-    det.Message.farg.Funct.dependents
+    (names det.Message.farg.Funct.dependents)
 
 let test_functor_of_fspec_final_forms () =
   let v = Message.functor_of_fspec (Message.fspec_value (Value.int 9))
@@ -102,13 +105,13 @@ let test_functor_of_fspec_final_forms () =
   | Funct.Final Funct.Deleted_v -> ()
   | _ -> Alcotest.fail "DELETE should be a tombstone");
   let marker =
-    Message.functor_of_fspec (Message.fspec_dep_marker ~det_key:"a")
+    Message.functor_of_fspec (Message.fspec_dep_marker ~det_key:(ik "a"))
       ~txn_id:1 ~coordinator:0
   in
   match marker.Funct.state with
   | Funct.Pending p ->
       Alcotest.(check bool) "marker carries det key" true
-        (Ftype.equal p.Funct.ftype (Ftype.Dep_marker "a"))
+        (Ftype.equal p.Funct.ftype (Ftype.Dep_marker (ik "a")))
   | Funct.Final _ -> Alcotest.fail "marker must be pending"
 
 (* ---- recipient derivation --------------------------------------------- *)

@@ -9,9 +9,12 @@ module Recovery = Alohadb.Recovery
 
 (* ---- WAL unit tests ------------------------------------------------------ *)
 
+let ik = Mvstore.Key.intern
+
 let entry key version =
   Wal.Log_install
-    { key; version; spec = Alohadb.Message.fspec_value (Value.int version);
+    { key = ik key; version;
+      spec = Alohadb.Message.fspec_value (Value.int version);
       txn_id = version; coordinator = 0; epoch = 1 }
 
 let test_wal_flush_timing () =
@@ -50,7 +53,7 @@ let test_wal_checkpoint_truncates () =
   done;
   Sim.Engine.run ~until:1_000 sim;
   Wal.checkpoint wal
-    ~snapshot:[ ("k", 4, Alohadb.Message.fspec_value (Value.int 99)) ]
+    ~snapshot:[ (ik "k", 4, Alohadb.Message.fspec_value (Value.int 99)) ]
     ~retain_above:4;
   Alcotest.(check int) "suffix retained" 2 (Wal.durable_count wal);
   Alcotest.(check int) "snapshot stored" 1 (List.length (Wal.snapshot wal))
@@ -121,8 +124,8 @@ let engine_state engine =
   List.filter_map
     (fun key ->
       let got = ref None in
-      Functor_cc.Compute_engine.get engine ~key ~version:max_int (fun v ->
-          got := Some v);
+      Functor_cc.Compute_engine.get engine ~key:(ik key) ~version:max_int
+        (fun v -> got := Some v);
       match !got with
       | Some (Some v) -> Some (key, Value.to_int v)
       | Some None -> None
@@ -189,7 +192,8 @@ let crash_and_recover ~checkpoint_midway () =
   Alcotest.(check int) "wal fully flushed" 0 (Wal.pending_count wal);
   (* Crash: partition 1's memory is gone; rebuild from its WAL. *)
   let recovered =
-    fresh_engine ~survivor ~partition_of:(Cluster.partition_of c)
+    fresh_engine ~survivor
+      ~partition_of:(fun k -> Cluster.partition_of c (Mvstore.Key.name k))
       ~my_partition:1
   in
   (* Initial data is not logged (it predates the log); a real deployment
@@ -198,7 +202,7 @@ let crash_and_recover ~checkpoint_midway () =
     List.iter
       (fun k ->
         if Cluster.partition_of c k = 1 then
-          Functor_cc.Compute_engine.load_initial recovered ~key:k
+          Functor_cc.Compute_engine.load_initial recovered ~key:(ik k)
             (Value.int 100))
       keys;
   let restored = Recovery.rebuild ~engine:recovered ~wal in
@@ -211,7 +215,7 @@ let crash_and_recover ~checkpoint_midway () =
     (fun (key, v_before) ->
       if Cluster.partition_of c key = 1 then begin
         let got = ref None in
-        Functor_cc.Compute_engine.get recovered ~key ~version:max_int
+        Functor_cc.Compute_engine.get recovered ~key:(ik key) ~version:max_int
           (fun v -> got := Some v);
         match !got with
         | Some (Some v) ->

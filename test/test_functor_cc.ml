@@ -7,6 +7,8 @@ module Funct = Functor_cc.Funct
 module Registry = Functor_cc.Registry
 module Engine = Functor_cc.Compute_engine
 
+let ik = Mvstore.Key.intern
+
 (* ---- Value -------------------------------------------------------------- *)
 
 let test_value_accessors () =
@@ -71,20 +73,22 @@ let mk_engine ?(registry = Registry.with_builtins ()) ?remote_get () =
         | None -> fun ~key:_ ~version:_ k -> k None);
       send_push =
         (fun ~dst_key ~version ~src_key _ ->
-          pushes := (dst_key, version, src_key) :: !pushes;
+          pushes :=
+            (Mvstore.Key.name dst_key, version, Mvstore.Key.name src_key)
+            :: !pushes;
           match !engine_ref with
           | Some e ->
               Engine.deliver_push e ~key:dst_key ~version ~src_key None
           | None -> ());
       send_dep_write =
         (fun ~key ~version final ->
-          dep_writes := (key, version, final) :: !dep_writes;
+          dep_writes := (Mvstore.Key.name key, version, final) :: !dep_writes;
           match !engine_ref with
           | Some e -> Engine.deliver_dep_write e ~key ~version ~final
           | None -> ());
       notify_final =
         (fun ~key ~version ~pending:_ ~final:_ ->
-          finals := (key, version) :: !finals);
+          finals := (Mvstore.Key.name key, version) :: !finals);
       exec =
         (fun ~cost:_ k ->
           incr computes;
@@ -98,9 +102,12 @@ let mk_engine ?(registry = Registry.with_builtins ()) ?remote_get () =
   engine_ref := Some e;
   { engine = e; pushes; dep_writes; finals; computes }
 
+(* The helpers below speak client-side string keys and intern at entry,
+   keeping the test bodies readable. *)
+
 let install_pending h ~key ~version ~ftype ~farg =
   match
-    Engine.install h.engine ~key ~version ~lo:0 ~hi:max_int
+    Engine.install h.engine ~key:(ik key) ~version ~lo:0 ~hi:max_int
       (Funct.mk_pending ~ftype ~farg ~txn_id:version ~coordinator:0)
   with
   | Ok () -> ()
@@ -108,24 +115,35 @@ let install_pending h ~key ~version ~ftype ~farg =
 
 let install_value h ~key ~version v =
   match
-    Engine.install h.engine ~key ~version ~lo:0 ~hi:max_int (Funct.mk_value v)
+    Engine.install h.engine ~key:(ik key) ~version ~lo:0 ~hi:max_int
+      (Funct.mk_value v)
   with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "install failed"
 
 let get_int h ~key ~version =
   let result = ref None in
-  Engine.get h.engine ~key ~version (fun v -> result := Some v);
+  Engine.get h.engine ~key:(ik key) ~version (fun v -> result := Some v);
   match !result with
   | Some (Some v) -> Some (Value.to_int v)
   | Some None -> None
   | None -> Alcotest.fail "get did not complete synchronously"
 
+let load_initial h ~key v = Engine.load_initial h.engine ~key:(ik key) v
+
+let compute_key h ~key ~version =
+  Engine.compute_key h.engine ~key:(ik key) ~version
+
+let abort_version h ~key ~version =
+  Engine.abort_version h.engine ~key:(ik key) ~version
+
+let watermark h ~key = Engine.watermark h.engine ~key:(ik key)
+
 (* ---- engine behaviour ---------------------------------------------------- *)
 
 let test_builtin_add_chain () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 10);
+  load_initial h ~key:"k" (Value.int 10);
   install_pending h ~key:"k" ~version:5 ~ftype:Ftype.Add
     ~farg:(Funct.farg_args [ Value.int 3 ]);
   install_pending h ~key:"k" ~version:9 ~ftype:Ftype.Subtr
@@ -138,11 +156,11 @@ let test_builtin_add_chain () =
   Alcotest.(check (option int)) "initial untouched" (Some 10)
     (get_int h ~key:"k" ~version:4);
   Alcotest.(check int) "watermark caught up" 9
-    (Engine.watermark h.engine ~key:"k")
+    (watermark h ~key:"k")
 
 let test_max_min () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 10);
+  load_initial h ~key:"k" (Value.int 10);
   install_pending h ~key:"k" ~version:1 ~ftype:Ftype.Max
     ~farg:(Funct.farg_args [ Value.int 50 ]);
   install_pending h ~key:"k" ~version:2 ~ftype:Ftype.Min
@@ -161,10 +179,10 @@ let test_add_absent_key_aborts () =
 
 let test_aborted_version_skipped () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  load_initial h ~key:"k" (Value.int 1);
   install_value h ~key:"k" ~version:5 (Value.int 2);
   (match
-     Engine.install h.engine ~key:"k" ~version:7 ~lo:0 ~hi:max_int
+     Engine.install h.engine ~key:(ik "k") ~version:7 ~lo:0 ~hi:max_int
        (Funct.mk_final Funct.Aborted_v)
    with
   | Ok () -> ()
@@ -174,9 +192,9 @@ let test_aborted_version_skipped () =
 
 let test_delete_tombstone () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  load_initial h ~key:"k" (Value.int 1);
   (match
-     Engine.install h.engine ~key:"k" ~version:4 ~lo:0 ~hi:max_int
+     Engine.install h.engine ~key:(ik "k") ~version:4 ~lo:0 ~hi:max_int
        (Funct.mk_final Funct.Deleted_v)
    with
   | Ok () -> ()
@@ -188,13 +206,13 @@ let test_delete_tombstone () =
 
 let test_compute_at_most_once () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 0);
+  load_initial h ~key:"k" (Value.int 0);
   install_pending h ~key:"k" ~version:2 ~ftype:Ftype.Add
     ~farg:(Funct.farg_args [ Value.int 1 ]);
   ignore (get_int h ~key:"k" ~version:5);
   let after_first = !(h.computes) in
   ignore (get_int h ~key:"k" ~version:5);
-  Engine.compute_key h.engine ~key:"k" ~version:2;
+  compute_key h ~key:"k" ~version:2;
   Alcotest.(check int) "no recomputation" after_first !(h.computes)
 
 let test_user_handler_reads () =
@@ -204,11 +222,11 @@ let test_user_handler_reads () =
       let b = Value.to_int (Option.get (Registry.read ctx "b")) in
       Registry.Commit (Value.int (a + b)));
   let h = mk_engine ~registry () in
-  Engine.load_initial h.engine ~key:"a" (Value.int 7);
-  Engine.load_initial h.engine ~key:"b" (Value.int 5);
-  Engine.load_initial h.engine ~key:"c" (Value.int 0);
+  load_initial h ~key:"a" (Value.int 7);
+  load_initial h ~key:"b" (Value.int 5);
+  load_initial h ~key:"c" (Value.int 0);
   install_pending h ~key:"c" ~version:3 ~ftype:(Ftype.User "sum2")
-    ~farg:{ Funct.read_set = [ "a"; "b" ]; args = []; recipients = [];
+    ~farg:{ Funct.read_set = [ ik "a"; ik "b" ]; args = []; recipients = [];
             dependents = []; pushed_reads = [] };
   Alcotest.(check (option int)) "sum of reads" (Some 12)
     (get_int h ~key:"c" ~version:4)
@@ -222,18 +240,18 @@ let test_handler_reads_snapshot_below_version () =
       | Some v -> Registry.Commit v
       | None -> Registry.Abort);
   let h = mk_engine ~registry () in
-  Engine.load_initial h.engine ~key:"a" (Value.int 1);
-  Engine.load_initial h.engine ~key:"b" (Value.int 0);
+  load_initial h ~key:"a" (Value.int 1);
+  load_initial h ~key:"b" (Value.int 0);
   install_value h ~key:"a" ~version:10 (Value.int 2);
   install_pending h ~key:"b" ~version:5 ~ftype:(Ftype.User "copy_a")
-    ~farg:{ Funct.read_set = [ "a" ]; args = []; recipients = [];
+    ~farg:{ Funct.read_set = [ ik "a" ]; args = []; recipients = [];
             dependents = []; pushed_reads = [] };
   Alcotest.(check (option int)) "reads version < 5, not version 10" (Some 1)
     (get_int h ~key:"b" ~version:5)
 
 let test_missing_handler_aborts () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 9);
+  load_initial h ~key:"k" (Value.int 9);
   install_pending h ~key:"k" ~version:2 ~ftype:(Ftype.User "nope")
     ~farg:Funct.farg_empty;
   Alcotest.(check (option int)) "missing handler aborts version" (Some 9)
@@ -247,12 +265,12 @@ let test_dep_marker_resolution () =
         ( Value.int (own + 1),
           [ ("dep", Registry.Dep_put (Value.int 99)) ] ));
   let h = mk_engine ~registry () in
-  Engine.load_initial h.engine ~key:"det_key" (Value.int 0);
-  Engine.load_initial h.engine ~key:"dep" (Value.int 1);
+  load_initial h ~key:"det_key" (Value.int 0);
+  load_initial h ~key:"dep" (Value.int 1);
   install_pending h ~key:"det_key" ~version:4 ~ftype:(Ftype.User "det")
-    ~farg:{ Funct.read_set = [ "det_key" ]; args = []; recipients = [];
-            dependents = [ "dep" ]; pushed_reads = [] };
-  install_pending h ~key:"dep" ~version:4 ~ftype:(Ftype.Dep_marker "det_key")
+    ~farg:{ Funct.read_set = [ ik "det_key" ]; args = []; recipients = [];
+            dependents = [ ik "dep" ]; pushed_reads = [] };
+  install_pending h ~key:"dep" ~version:4 ~ftype:(Ftype.Dep_marker (ik "det_key"))
     ~farg:Funct.farg_empty;
   (* Reading the dependent key triggers the determinate functor. *)
   Alcotest.(check (option int)) "deferred write observed" (Some 99)
@@ -266,10 +284,10 @@ let test_dynamic_dep_write () =
       Registry.Commit_det
         (Value.int 0, [ ("dyn:7", Registry.Dep_put (Value.int 42)) ]));
   let h = mk_engine ~registry () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 0);
+  load_initial h ~key:"k" (Value.int 0);
   install_pending h ~key:"k" ~version:3 ~ftype:(Ftype.User "emit")
     ~farg:{ Funct.read_set = []; args = []; recipients = []; dependents = []; pushed_reads = [] };
-  Engine.compute_key h.engine ~key:"k" ~version:3;
+  compute_key h ~key:"k" ~version:3;
   Alcotest.(check (option int)) "dynamically named row inserted" (Some 42)
     (get_int h ~key:"dyn:7" ~version:3);
   Alcotest.(check (option int)) "absent below its version" None
@@ -277,18 +295,18 @@ let test_dynamic_dep_write () =
 
 let test_abort_version_rolls_back_final () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  load_initial h ~key:"k" (Value.int 1);
   install_value h ~key:"k" ~version:5 (Value.int 2);
-  Engine.abort_version h.engine ~key:"k" ~version:5;
+  abort_version h ~key:"k" ~version:5;
   Alcotest.(check (option int)) "rolled back" (Some 1)
     (get_int h ~key:"k" ~version:9)
 
 let test_abort_version_pending () =
   let h = mk_engine () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 1);
+  load_initial h ~key:"k" (Value.int 1);
   install_pending h ~key:"k" ~version:5 ~ftype:Ftype.Add
     ~farg:(Funct.farg_args [ Value.int 10 ]);
-  Engine.abort_version h.engine ~key:"k" ~version:5;
+  abort_version h ~key:"k" ~version:5;
   Alcotest.(check (option int)) "pending aborted, not applied" (Some 1)
     (get_int h ~key:"k" ~version:9);
   (* notify fired exactly once for the aborted functor *)
@@ -301,15 +319,15 @@ let test_recipient_push_emitted () =
       | Some v -> Registry.Commit v
       | None -> Registry.Commit (Value.int (-1)));
   let h = mk_engine ~registry () in
-  Engine.load_initial h.engine ~key:"src" (Value.int 5);
-  Engine.load_initial h.engine ~key:"dst" (Value.int 0);
+  load_initial h ~key:"src" (Value.int 5);
+  load_initial h ~key:"dst" (Value.int 0);
   install_pending h ~key:"src" ~version:3 ~ftype:Ftype.Add
     ~farg:{ Funct.read_set = []; args = [ Value.int 1 ];
-            recipients = [ "dst" ]; dependents = []; pushed_reads = [] };
+            recipients = [ ik "dst" ]; dependents = []; pushed_reads = [] };
   install_pending h ~key:"dst" ~version:3 ~ftype:(Ftype.User "recv")
-    ~farg:{ Funct.read_set = [ "src" ]; args = []; recipients = [];
+    ~farg:{ Funct.read_set = [ ik "src" ]; args = []; recipients = [];
             dependents = []; pushed_reads = [] };
-  Engine.compute_key h.engine ~key:"src" ~version:3;
+  compute_key h ~key:"src" ~version:3;
   Alcotest.(check bool) "push was sent" true (!(h.pushes) <> []);
   (match !(h.pushes) with
   | (dst, 3, "src") :: _ -> Alcotest.(check string) "to dst functor" "dst" dst
@@ -319,10 +337,10 @@ let test_optimistic_validation () =
   let registry = Registry.with_builtins () in
   Functor_cc.Optimistic.register registry;
   let h = mk_engine ~registry () in
-  Engine.load_initial h.engine ~key:"k" (Value.int 10);
+  load_initial h ~key:"k" (Value.int 10);
   (* Valid snapshot: commits. *)
   (match
-     Engine.install h.engine ~key:"k" ~version:5 ~lo:0 ~hi:max_int
+     Engine.install h.engine ~key:(ik "k") ~version:5 ~lo:0 ~hi:max_int
        (Functor_cc.Optimistic.make_functor
           ~snapshot:[ ("k", Some (Value.int 10)) ]
           ~new_value:(Value.int 11) ~txn_id:5 ~coordinator:0)
@@ -333,7 +351,7 @@ let test_optimistic_validation () =
     (get_int h ~key:"k" ~version:6);
   (* Stale snapshot: aborts. *)
   (match
-     Engine.install h.engine ~key:"k" ~version:9 ~lo:0 ~hi:max_int
+     Engine.install h.engine ~key:(ik "k") ~version:9 ~lo:0 ~hi:max_int
        (Functor_cc.Optimistic.make_functor
           ~snapshot:[ ("k", Some (Value.int 10)) ]  (* stale: now 11 *)
           ~new_value:(Value.int 12) ~txn_id:9 ~coordinator:0)
@@ -355,7 +373,7 @@ let prop_numeric_series =
     QCheck2.Gen.(list_size (int_range 1 50) op_gen)
     (fun ops ->
       let h = mk_engine () in
-      Engine.load_initial h.engine ~key:"k" (Value.int 0);
+      load_initial h ~key:"k" (Value.int 0);
       List.iteri
         (fun i op ->
           let version = i + 1 in
@@ -386,15 +404,15 @@ let prop_watermark_complete =
     (fun raw ->
       let versions = List.sort_uniq compare raw in
       let h = mk_engine () in
-      Engine.load_initial h.engine ~key:"k" (Value.int 0);
+      load_initial h ~key:"k" (Value.int 0);
       List.iter
         (fun version ->
           install_pending h ~key:"k" ~version ~ftype:Ftype.Add
             ~farg:(Funct.farg_args [ Value.int 1 ]))
         versions;
       let top = List.fold_left max 0 versions in
-      Engine.compute_key h.engine ~key:"k" ~version:top;
-      Engine.watermark h.engine ~key:"k" = top
+      compute_key h ~key:"k" ~version:top;
+      watermark h ~key:"k" = top
       && Engine.pending_count h.engine = 0)
 
 let suite =

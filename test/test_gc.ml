@@ -43,18 +43,18 @@ let mk_engine () =
 
 let test_engine_gc_preserves_reads () =
   let e = mk_engine () in
-  Engine.load_initial e ~key:"k" (Value.int 0);
+  Engine.load_initial e ~key:(Mvstore.Key.intern "k") (Value.int 0);
   for v = 1 to 50 do
     ignore
-      (Engine.install e ~key:"k" ~version:v ~lo:0 ~hi:max_int
+      (Engine.install e ~key:(Mvstore.Key.intern "k") ~version:v ~lo:0 ~hi:max_int
          (Funct.mk_pending ~ftype:Functor_cc.Ftype.Add
             ~farg:(Funct.farg_args [ Value.int 1 ])
             ~txn_id:v ~coordinator:0))
   done;
-  Engine.compute_key e ~key:"k" ~version:50;
+  Engine.compute_key e ~key:(Mvstore.Key.intern "k") ~version:50;
   let read version =
     let got = ref 0 in
-    Engine.get e ~key:"k" ~version (function
+    Engine.get e ~key:(Mvstore.Key.intern "k") ~version (function
       | Some v -> got := Value.to_int v
       | None -> got := -1);
     !got
@@ -71,10 +71,10 @@ let test_engine_gc_preserves_reads () =
 
 let test_engine_gc_spares_pending () =
   let e = mk_engine () in
-  Engine.load_initial e ~key:"k" (Value.int 0);
+  Engine.load_initial e ~key:(Mvstore.Key.intern "k") (Value.int 0);
   for v = 1 to 10 do
     ignore
-      (Engine.install e ~key:"k" ~version:v ~lo:0 ~hi:max_int
+      (Engine.install e ~key:(Mvstore.Key.intern "k") ~version:v ~lo:0 ~hi:max_int
          (Funct.mk_pending ~ftype:Functor_cc.Ftype.Add
             ~farg:(Funct.farg_args [ Value.int 1 ])
             ~txn_id:v ~coordinator:0))
@@ -83,9 +83,9 @@ let test_engine_gc_spares_pending () =
      anything above it. *)
   let reclaimed = Engine.gc e ~before:100 in
   Alcotest.(check int) "nothing reclaimed above watermark" 0 reclaimed;
-  Engine.compute_key e ~key:"k" ~version:10;
+  Engine.compute_key e ~key:(Mvstore.Key.intern "k") ~version:10;
   let got = ref 0 in
-  Engine.get e ~key:"k" ~version:max_int (function
+  Engine.get e ~key:(Mvstore.Key.intern "k") ~version:max_int (function
     | Some v -> got := Value.to_int v
     | None -> ());
   Alcotest.(check int) "values intact after gc attempt" 10 !got

@@ -3,6 +3,8 @@
 module Chain = Mvstore.Chain
 module Table = Mvstore.Table
 
+let ik = Mvstore.Key.intern
+
 let test_chain_insert_find () =
   let c : string Chain.t = Chain.create () in
   List.iter
@@ -70,30 +72,55 @@ let test_chain_find_next_after () =
   Alcotest.(check bool) "nothing after last" true
     (Chain.find_next_after c ~version:20 = None)
 
+let test_key_interning () =
+  let a = ik "same" and b = ik "same" and c = ik "other" in
+  Alcotest.(check bool) "same name, same key" true (Mvstore.Key.equal a b);
+  Alcotest.(check bool) "physical sharing" true (a == b);
+  Alcotest.(check bool) "distinct names differ" false (Mvstore.Key.equal a c);
+  Alcotest.(check string) "name round-trips" "same" (Mvstore.Key.name a);
+  (* memo slots: cached per stamp, recomputed under a new stamp *)
+  let s1 = Mvstore.Key.new_stamp () in
+  let calls = ref 0 in
+  let f _name = incr calls; 7 in
+  Alcotest.(check int) "computed" 7 (Mvstore.Key.memo_int a ~stamp:s1 ~f);
+  Alcotest.(check int) "cached" 7 (Mvstore.Key.memo_int a ~stamp:s1 ~f);
+  Alcotest.(check int) "one evaluation" 1 !calls;
+  let s2 = Mvstore.Key.new_stamp () in
+  ignore (Mvstore.Key.memo_int a ~stamp:s2 ~f);
+  Alcotest.(check int) "new stamp recomputes" 2 !calls
+
 let test_table_window () =
   let t : int Table.t = Table.create () in
-  (match Table.put t ~key:"k" ~version:50 ~lo:10 ~hi:100 1 with
+  let k = ik "k" in
+  (match Table.put t ~key:k ~version:50 ~lo:10 ~hi:100 1 with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "in-window put");
-  (match Table.put t ~key:"k" ~version:5 ~lo:10 ~hi:100 2 with
+  (match Table.put t ~key:k ~version:5 ~lo:10 ~hi:100 2 with
   | Error `Version_out_of_window -> ()
   | _ -> Alcotest.fail "below window accepted");
-  (match Table.put t ~key:"k" ~version:101 ~lo:10 ~hi:100 3 with
+  (match Table.put t ~key:k ~version:101 ~lo:10 ~hi:100 3 with
   | Error `Version_out_of_window -> ()
   | _ -> Alcotest.fail "above window accepted");
-  (match Table.put t ~key:"k" ~version:50 ~lo:10 ~hi:100 4 with
+  (match Table.put t ~key:k ~version:50 ~lo:10 ~hi:100 4 with
   | Error `Duplicate_version -> ()
   | _ -> Alcotest.fail "duplicate accepted")
 
 let test_table_counts () =
   let t : int Table.t = Table.create () in
-  ignore (Table.put_unchecked t ~key:"a" ~version:1 1);
-  ignore (Table.put_unchecked t ~key:"a" ~version:2 2);
-  ignore (Table.put_unchecked t ~key:"b" ~version:1 3);
+  ignore (Table.put_unchecked t ~key:(ik "a") ~version:1 1);
+  ignore (Table.put_unchecked t ~key:(ik "a") ~version:2 2);
+  ignore (Table.put_unchecked t ~key:(ik "b") ~version:1 3);
   Alcotest.(check int) "keys" 2 (Table.key_count t);
   Alcotest.(check int) "records" 3 (Table.record_count t);
   Alcotest.(check (option (pair int int))) "find_le" (Some (2, 2))
-    (Table.find_le t ~key:"a" ~version:99)
+    (Table.find_le t ~key:(ik "a") ~version:99);
+  let folded =
+    Table.fold_chains t ~init:0 ~f:(fun _ chain acc -> acc + Chain.length chain)
+  in
+  Alcotest.(check int) "fold_chains sees all records" 3 folded;
+  let iterated = ref 0 in
+  Table.iter t ~f:(fun _ chain -> iterated := !iterated + Chain.length chain);
+  Alcotest.(check int) "iter sees all records" 3 !iterated
 
 (* qcheck: chain behaves like a reference sorted association list. *)
 let prop_chain_matches_reference =
@@ -133,8 +160,94 @@ let prop_chain_matches_reference =
           [ 0; 50; 150; 299; 1000 ]
       end)
 
+(* qcheck: a random op sequence (insert / update / truncate_below /
+   advance_watermark) keeps the chain agreeing with a sorted-assoc-list
+   reference on find_le, find_next_after, find_exact and versions, and the
+   watermark stays monotone throughout. *)
+let prop_chain_ops_match_reference =
+  let open QCheck2.Gen in
+  let op =
+    frequency
+      [ (6, map2 (fun v x -> `Insert (v, x)) (int_range 0 300) (int_range 0 999));
+        (2, map2 (fun v x -> `Update (v, x)) (int_range 0 300) (int_range 0 999));
+        (1, map (fun v -> `Truncate v) (int_range 0 300));
+        (1, map (fun v -> `Advance v) (int_range 0 300)) ]
+  in
+  let gen = list_size (int_range 1 120) op in
+  QCheck2.Test.make ~name:"chain ops = reference model" ~count:300 gen
+    (fun ops ->
+      let c : int Chain.t = Chain.create () in
+      (* reference: (version, payload) sorted ascending *)
+      let model = ref [] in
+      let wm = ref (-1) in
+      let ok = ref true in
+      let probes = [ 0; 75; 150; 225; 300; 1000 ] in
+      let model_find_le probe =
+        List.filter (fun (v, _) -> v <= probe) !model
+        |> List.fold_left (fun _ (v, x) -> Some (v, x)) None
+      in
+      let model_next_after probe =
+        List.find_opt (fun (v, _) -> v > probe) !model
+      in
+      let check_agreement () =
+        List.iter
+          (fun probe ->
+            if Chain.find_le c ~version:probe <> model_find_le probe then
+              ok := false;
+            if Chain.find_next_after c ~version:probe <> model_next_after probe
+            then ok := false;
+            if
+              Chain.find_exact c ~version:probe
+              <> Option.map snd
+                   (List.find_opt (fun (v, _) -> v = probe) !model)
+            then ok := false)
+          probes;
+        if Chain.versions c <> List.map fst !model then ok := false;
+        (* watermark monotone and equal to the model's *)
+        if Chain.watermark c <> !wm then ok := false
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Insert (v, x) -> (
+              match Chain.insert c ~version:v x with
+              | Ok () ->
+                  if List.mem_assoc v !model then ok := false
+                  else
+                    model :=
+                      List.sort (fun (a, _) (b, _) -> compare a b)
+                        ((v, x) :: !model)
+              | Error `Duplicate ->
+                  if not (List.mem_assoc v !model) then ok := false)
+          | `Update (v, x) ->
+              let hit = Chain.update c ~version:v x in
+              if hit <> List.mem_assoc v !model then ok := false;
+              if hit then
+                model :=
+                  List.map (fun (v', x') -> if v' = v then (v, x) else (v', x'))
+                    !model
+          | `Truncate v ->
+              let reclaimed = Chain.truncate_below c ~version:v in
+              (* model: keep everything from the latest version <= v on
+                 (that record stays as the base for historical reads) *)
+              let keep =
+                match model_find_le v with
+                | Some (base, _) -> fun (v', _) -> v' >= base
+                | None -> fun _ -> true
+              in
+              let before = List.length !model in
+              model := List.filter keep !model;
+              if reclaimed <> before - List.length !model then ok := false
+          | `Advance v ->
+              Chain.advance_watermark c v;
+              if v > !wm then wm := v);
+          check_agreement ())
+        ops;
+      !ok)
+
 let suite =
-  [ Alcotest.test_case "chain insert/find" `Quick test_chain_insert_find;
+  [ Alcotest.test_case "key interning" `Quick test_key_interning;
+    Alcotest.test_case "chain insert/find" `Quick test_chain_insert_find;
     Alcotest.test_case "chain duplicate" `Quick test_chain_duplicate;
     Alcotest.test_case "chain update" `Quick test_chain_update;
     Alcotest.test_case "chain watermark" `Quick test_chain_watermark_monotone;
@@ -143,4 +256,5 @@ let suite =
       test_chain_find_next_after;
     Alcotest.test_case "table window" `Quick test_table_window;
     Alcotest.test_case "table counts" `Quick test_table_counts;
-    QCheck_alcotest.to_alcotest prop_chain_matches_reference ]
+    QCheck_alcotest.to_alcotest prop_chain_matches_reference;
+    QCheck_alcotest.to_alcotest prop_chain_ops_match_reference ]

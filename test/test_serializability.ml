@@ -168,7 +168,7 @@ let final_engine_state c =
     let got = ref None in
     Functor_cc.Compute_engine.get
       (Alohadb.Server.engine server)
-      ~key ~version:max_int
+      ~key:(Mvstore.Key.intern key) ~version:max_int
       (fun v -> got := Some v);
     match !got with
     | Some (Some v) -> Hashtbl.replace state key (Some (Value.to_int v))

@@ -82,14 +82,15 @@ let aloha_scan c ~prefix =
     let table = Functor_cc.Compute_engine.table engine in
     List.iter
       (fun key ->
-        if String.length key >= String.length prefix
-           && String.sub key 0 (String.length prefix) = prefix
+        let name = Mvstore.Key.name key in
+        if String.length name >= String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix
         then begin
           let got = ref None in
           Functor_cc.Compute_engine.get engine ~key ~version:max_int
             (fun v -> got := Some v);
           match !got with
-          | Some (Some v) -> acc := (key, v) :: !acc
+          | Some (Some v) -> acc := (name, v) :: !acc
           | Some None -> ()
           | None -> Alcotest.fail "scan read did not resolve"
         end)
