@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean bench bench-smoke
+.PHONY: all build test fmt check clean bench bench-smoke bench-guard chaos chaos-smoke
 
 all: build
 
@@ -16,6 +16,22 @@ bench:
 # bench binary and BENCH_*.json output can't silently rot.
 bench-smoke:
 	dune exec bench/main.exe -- --json fig6 micro
+
+# Compare the micro suite against the committed baseline; fails on >30%
+# ns/op regressions (see ci/check_bench_regression.py for how to update).
+bench-guard:
+	dune exec bench/main.exe -- --json micro
+	python3 ci/check_bench_regression.py BENCH_micro.json bench/baseline_micro.json
+
+# Randomized fault schedules against all three engines, 25 seeds each.
+# A failing (engine, seed) pair replays with:
+#   dune exec bin/alohadb_cli.exe -- chaos --engine E --seed N --verbose
+chaos:
+	dune exec bin/alohadb_cli.exe -- chaos --engine all --seed 1 --count 25
+
+# CI smoke: fewer seeds so the job stays fast.
+chaos-smoke:
+	dune exec bin/alohadb_cli.exe -- chaos --engine all --seed 1 --count 8
 
 # Check dune-file formatting without promoting (ocamlformat is not a
 # dependency; OCaml sources are exempt via dune-project).

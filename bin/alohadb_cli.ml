@@ -146,10 +146,80 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc)
     Term.(const Harness.Experiments.table1 $ const ())
 
+let chaos_cmd =
+  let engine =
+    let doc = "Engine under chaos: aloha, calvin, twopl, or all." in
+    Arg.(value & opt string "all" & info [ "engine"; "e" ] ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First schedule seed.")
+  in
+  let count =
+    Arg.(value & opt int 1
+         & info [ "count"; "c" ]
+             ~doc:"Number of consecutive seeds to run, starting at --seed.")
+  in
+  let servers =
+    Arg.(value & opt int 3 & info [ "servers"; "n" ] ~doc:"Cluster size.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Print each schedule's events.")
+  in
+  let run engine seed count servers verbose =
+    let names =
+      if engine = "all" then List.map fst Chaos.Driver.targets else [ engine ]
+    in
+    let targets =
+      List.map
+        (fun name ->
+          match Chaos.Driver.target_of_name name with
+          | Some t -> (name, t)
+          | None ->
+              Format.eprintf "unknown engine %s@." name;
+              exit 2)
+        names
+    in
+    let failures = ref 0 in
+    for s = seed to seed + count - 1 do
+      let schedule = Chaos.Schedule.generate ~seed:s ~n_servers:servers in
+      if verbose then Format.printf "%a@." Chaos.Schedule.pp schedule;
+      List.iter
+        (fun (name, target) ->
+          let r = Chaos.Driver.run_schedule target ~schedule in
+          let ok = Chaos.Driver.passed r in
+          if not ok then incr failures;
+          (* One machine-readable line per (engine, seed): the chaos-smoke
+             CI job greps these out and archives the failing ones. *)
+          Format.printf
+            "{\"engine\":\"%s\",\"seed\":%d,\"trace_hash\":\"%s\",\
+             \"trace_events\":%d,\"committed\":%d,\"drops\":%d,\"ok\":%b}@."
+            name s r.Chaos.Driver.trace_hash r.Chaos.Driver.trace_events
+            r.Chaos.Driver.committed r.Chaos.Driver.drops ok;
+          if not ok then
+            List.iter
+              (fun v -> Format.printf "  violation: %s@." v)
+              r.Chaos.Driver.violations)
+        targets
+    done;
+    if !failures > 0 then begin
+      Format.eprintf "chaos: %d failing (engine, seed) pairs@." !failures;
+      exit 1
+    end
+  in
+  let doc =
+    "Run seeded fault-injection schedules (drop/delay/duplicate/reorder, \
+     partitions, backend crash+recovery, clock skew) and check the chaos \
+     invariants.  A failing schedule is reproduced exactly by rerunning \
+     with its seed."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ engine $ seed $ count $ servers $ verbose)
+
 let () =
   let doc =
     "ALOHA-DB: scalable transaction processing using functors (ICDCS'18 \
      reproduction)"
   in
   let info = Cmd.info "alohadb_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; table1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; table1_cmd; chaos_cmd ]))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fail CI when a micro-benchmark regresses past the threshold.
+
+Usage:
+    python3 ci/check_bench_regression.py BENCH_micro.json bench/baseline_micro.json
+
+Compares ns/op per benchmark name against the committed baseline and
+exits non-zero if any benchmark is more than THRESHOLD slower (default
+30%, override with BENCH_REGRESSION_THRESHOLD, e.g. "0.5" for 50%).
+A benchmark present in the baseline but missing from the current run is
+also an error: coverage must not silently shrink.  New benchmarks are
+reported but do not fail the check until they are added to the baseline.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    try:
+        return {r["name"]: float(r["ns_per_op"]) for r in doc["results"]}
+    except (KeyError, TypeError) as exc:
+        sys.exit(f"error: {path} is not a BENCH_micro.json document: {exc}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} CURRENT_JSON BASELINE_JSON")
+    current_path, baseline_path = argv[1], argv[2]
+    threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.30"))
+
+    current = load(current_path)
+    baseline = load(baseline_path)
+
+    regressions = []
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+
+    print(f"{'benchmark':48} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(baseline):
+        if name not in current:
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = "  <-- REGRESSION" if delta > threshold else ""
+        print(f"{name:48} {base:10.1f}ns {cur:10.1f}ns {delta:+7.1%}{flag}")
+        if delta > threshold:
+            regressions.append((name, base, cur, delta))
+    for name in new:
+        print(f"{name:48} {'(new)':>12} {current[name]:10.1f}ns")
+
+    ok = True
+    if missing:
+        ok = False
+        print(f"\nerror: benchmark(s) missing from {current_path}:", file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}", file=sys.stderr)
+    if regressions:
+        ok = False
+        print(
+            f"\nerror: {len(regressions)} benchmark(s) regressed more than "
+            f"{threshold:.0%} vs {baseline_path}:",
+            file=sys.stderr,
+        )
+        for name, base, cur, delta in regressions:
+            print(
+                f"  - {name}: {base:.1f} -> {cur:.1f} ns/op ({delta:+.1%})",
+                file=sys.stderr,
+            )
+    if not ok:
+        print(
+            "\nIf this slowdown is intentional (e.g. the primitive now does"
+            " more work), refresh the baseline and commit it:\n"
+            "    dune exec bench/main.exe -- --json micro\n"
+            f"    cp BENCH_micro.json {baseline_path}\n"
+            "and explain the regression in the commit message.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

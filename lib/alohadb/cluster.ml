@@ -6,6 +6,7 @@ type options = {
   partitioner : [ `Hash | `Prefix ];
   seed : int;
   clock_skew_us : int;
+  faults : Net.Faults.t option;
 }
 
 let default_options =
@@ -15,7 +16,8 @@ let default_options =
     latency = Net.Latency.uniform ~base:80 ~jitter:40;
     partitioner = `Hash;
     seed = 42;
-    clock_skew_us = 100 }
+    clock_skew_us = 100;
+    faults = None }
 
 type t = {
   sim : Sim.Engine.t;
@@ -24,6 +26,8 @@ type t = {
   metrics : Sim.Metrics.t;
   registry : Functor_cc.Registry.t;
   partition_of : Mvstore.Key.t -> int;
+  data : Message.rpc;
+  control : Epoch.Protocol.rpc;
 }
 
 let create ?registry options =
@@ -36,11 +40,15 @@ let create ?registry options =
   let sim = Sim.Engine.create () in
   let rng = Sim.Rng.create options.seed in
   let metrics = Sim.Metrics.create () in
+  (* Both planes share one physical network, so one fault oracle covers
+     them (a partition window cuts epoch control traffic too). *)
   let data : Message.rpc =
-    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency ()
+    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency
+      ?faults:options.faults ()
   in
   let control : Epoch.Protocol.rpc =
-    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency ()
+    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency
+      ?faults:options.faults ()
   in
   let n = options.n_servers in
   let part =
@@ -78,9 +86,20 @@ let create ?registry options =
       ~clock:(Clocksync.Node_clock.perfect sim)
       ~config:options.epoch ~metrics ()
   in
-  { sim; servers; em; metrics; registry; partition_of }
+  { sim; servers; em; metrics; registry; partition_of; data; control }
 
 let start t = Epoch.Manager.start t.em
+
+let set_trace t f =
+  Net.Rpc.set_trace t.data f;
+  Net.Rpc.set_trace t.control f
+
+let drop_stats t =
+  let d = Net.Rpc.drop_stats t.data and c = Net.Rpc.drop_stats t.control in
+  { Net.Network.injected = d.Net.Network.injected + c.Net.Network.injected;
+    partitioned = d.partitioned + c.partitioned;
+    crashed = d.crashed + c.crashed;
+    unregistered = d.unregistered + c.unregistered }
 
 let sim t = t.sim
 let metrics t = t.metrics

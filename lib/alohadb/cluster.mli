@@ -18,6 +18,9 @@ type options = {
   clock_skew_us : int;
       (** per-server clock offsets are drawn uniformly from
           [-skew, +skew] *)
+  faults : Net.Faults.t option;
+      (** fault-injection oracle shared by the data and control planes
+          (one physical network); [None] = fault-free *)
 }
 
 val default_options : options
@@ -32,6 +35,12 @@ val create :
 
 val start : t -> unit
 (** Start the epoch manager (grants the first epoch). *)
+
+val set_trace : t -> (src:Net.Address.t -> dst:Net.Address.t -> unit) -> unit
+(** Observe every send on both planes (chaos trace hashing). *)
+
+val drop_stats : t -> Net.Network.drop_stats
+(** Drop counters summed over the data and control planes. *)
 
 val sim : t -> Sim.Engine.t
 val metrics : t -> Sim.Metrics.t

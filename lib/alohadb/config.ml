@@ -4,6 +4,8 @@ type t = {
   push_opt : bool;
   durability : bool;
   wal_flush_us : int;
+  install_retry_us : int;
+  ack_after_flush : bool;
   cost_coord_us : int;
   cost_install_base_us : int;
   cost_install_us : int;
@@ -19,6 +21,8 @@ let default =
     push_opt = true;
     durability = false;
     wal_flush_us = 500;
+    install_retry_us = 0;
+    ack_after_flush = false;
     cost_coord_us = 6;
     cost_install_base_us = 3;
     cost_install_us = 1;

@@ -14,6 +14,16 @@ type t = {
       (** write-ahead logging + checkpoint support (§III-A); disabled by
           default, matching the paper's evaluation setup *)
   wal_flush_us : int;  (** modelled group-commit flush latency *)
+  install_retry_us : int;
+      (** FE data-plane RPC retransmission period; 0 (the default)
+          disables retries — appropriate on a fault-free network.  Chaos
+          runs enable it so lost installs/aborts/reads cannot wedge a
+          transaction (duplicates are idempotent at the BE). *)
+  ack_after_flush : bool;
+      (** defer install/abort acks until the WAL entries they cover are
+          flushed, so a crash can only lose writes the FE never saw
+          acknowledged (and will therefore retry).  Requires
+          [durability] *)
   cost_coord_us : int;
       (** FE: transform a transaction into functors and fan out installs *)
   cost_install_base_us : int;  (** BE: fixed cost per install message *)

@@ -11,13 +11,28 @@ let options_of ?seed (params : Kernel.Params.t) =
     epoch =
       (match params.epoch_us with
       | Some duration_us -> { base.Cluster.epoch with Epoch.Manager.duration_us }
-      | None -> base.Cluster.epoch) }
+      | None -> base.Cluster.epoch);
+    faults = params.faults;
+    config =
+      (match params.faults with
+      | None -> base.Cluster.config
+      | Some _ ->
+          (* Under fault injection the protocol's liveness relies on
+             durable logging, frontend install/abort retries and
+             flush-gated acks; a lossy network with none of these would
+             wedge the epoch pipeline. *)
+          { base.Cluster.config with
+            Config.durability = true;
+            install_retry_us = 10_000;
+            ack_after_flush = true }) }
 
 let create ?seed params =
   Cluster.create
     ~registry:(Functor_cc.Registry.with_builtins ())
     (options_of ?seed params)
 
+let set_trace = Cluster.set_trace
+let drop_stats = Cluster.drop_stats
 let register c name h = Functor_cc.Registry.register (Cluster.registry c) name h
 let load c key v = Cluster.load c ~key v
 let start = Cluster.start

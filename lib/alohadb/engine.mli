@@ -12,4 +12,12 @@ include Kernel.Intf.ENGINE with type cluster = Cluster.t
 
 val options_of : ?seed:int -> Kernel.Params.t -> Cluster.options
 (** The options {!create} uses: prefix partitioning, default config, and
-    the epoch duration from the params (when given). *)
+    the epoch duration from the params (when given).  When
+    [params.faults] is set the config is hardened (WAL durability,
+    install retries, flush-gated acks) so the protocol stays live and
+    atomic under loss and crashes. *)
+
+val set_trace :
+  cluster -> (src:Net.Address.t -> dst:Net.Address.t -> unit) -> unit
+
+val drop_stats : cluster -> Net.Network.drop_stats

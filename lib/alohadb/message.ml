@@ -41,6 +41,7 @@ type oneway =
       max_retrieved_at : int;
       aborted : bool;
     }
+  | Batch_done_ack of { txn_id : int }
 
 type wire =
   | Req of req

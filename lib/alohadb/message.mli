@@ -48,6 +48,10 @@ type oneway =
                                    Figure-10 stage breakdown *)
       aborted : bool;  (** some functor of the txn finalised as ABORTED *)
     }
+  | Batch_done_ack of { txn_id : int }
+      (** coordinator's receipt for a [Batch_done]; stops the backend's
+          resend loop (the notification is one-way, so under a lossy
+          network it is repeated until acknowledged) *)
 
 type wire =
   | Req of req

@@ -15,7 +15,9 @@ type track = {
   mutable install_failed : bool;
   mutable acked_ok : Net.Address.t list;
   mutable install_done_at : int;
-  mutable dones : int;
+  mutable done_srcs : Net.Address.t list;
+      (* BEs whose Batch_done arrived — a set, so duplicated messages
+         cannot double-count *)
   mutable any_aborted : bool;
   mutable max_retrieved : int;
 }
@@ -58,15 +60,28 @@ type t = {
   h_lat_wait : Sim.Stats.Histogram.t;
   h_lat_proc : Sim.Stats.Histogram.t;
   h_lat_ro : Sim.Stats.Histogram.t;
+  m_be_dropped : int ref;
   pool : Sim.Worker_pool.t;
   ts_source : Clocksync.Ts_source.t;
   part : Epoch.Participant.t;
+  registry : Functor_cc.Registry.t;
   mutable engine : Functor_cc.Compute_engine.t;
   mutable processor : Functor_cc.Processor.t;
   tracks : (int, track) Hashtbl.t;
   batches : (int, batch) Hashtbl.t;
+  install_verdicts : (int, bool) Hashtbl.t;
+      (* txn_id -> install ack verdict, so retransmitted installs are
+         answered idempotently (volatile: wiped by a crash) *)
+  pending_dones : (int, unit) Hashtbl.t;
+      (* txn_ids whose Batch_done awaits the coordinator's ack; drives
+         the resend loop (volatile: wiped by a crash — recovery rebuilds
+         the batch, and recomputation sends a fresh notification) *)
   held : (unit -> unit) Queue.t;
   wal : Wal.t option;
+  mutable be_down : bool;
+      (* backend role crashed: storage/compute requests are dropped until
+         {!restart_be}; the frontend role and epoch participant stay up *)
+  mutable last_closed_epoch : int;
   mutable delayed_reads : (int * (unit -> unit)) list;
       (* (epoch, run) — latest-version reads waiting for their epoch to
          close (§III-B) *)
@@ -76,9 +91,36 @@ let addr t = t.address
 let pool t = t.pool
 let engine t = t.engine
 let participant t = t.part
+let clock t = t.clock
 let held_requests t = Queue.length t.held
+let be_down t = t.be_down
 
 let now t = Sim.Engine.now t.sim
+
+(* Data-plane call with periodic retransmission (config.install_retry_us).
+   The first reply wins; the BE side answers duplicated requests
+   idempotently.  With retries enabled, a lost request or reply turns into
+   latency instead of a wedged transaction — which is what keeps the epoch
+   in_flight barrier (and hence atomic commitment) live under message
+   loss. *)
+let call_with_retry t ~dst req k =
+  let period = t.config.Config.install_retry_us in
+  if period <= 0 then Net.Rpc.call t.data ~src:t.address ~dst req k
+  else begin
+    let answered = ref false in
+    let once resp =
+      if not !answered then begin
+        answered := true;
+        k resp
+      end
+    in
+    let rec attempt () =
+      Net.Rpc.call t.data ~src:t.address ~dst req once;
+      Sim.Engine.after t.sim period (fun () ->
+          if not !answered then attempt ())
+    in
+    attempt ()
+  end
 
 (* ---- frontend: timestamp acquisition and held requests --------------- *)
 
@@ -121,12 +163,15 @@ let run_read t keys version reply =
     List.iteri
       (fun i key ->
         let key = Key.intern key in
-        if t.partition_of key = t.my_partition then
+        if t.partition_of key = t.my_partition && not t.be_down then
           Sim.Worker_pool.submit t.pool ~cost:t.config.cost_get_us (fun () ->
               Functor_cc.Compute_engine.get t.engine ~key ~version
                 (fun v -> deliver i key v))
         else
-          Net.Rpc.call t.data ~src:t.address
+          (* Remote partition — or our own backend while it is down, in
+             which case the self-addressed request is dropped and retried
+             until the restart answers it. *)
+          call_with_retry t
             ~dst:(t.addr_of_partition (t.partition_of key))
             (Message.Req (Message.Get_req { key; version }))
             (function
@@ -242,7 +287,7 @@ let maybe_complete t track =
   if
     track.awaiting_installs = 0
     && (not track.install_failed)
-    && track.dones = track.expected_dones
+    && List.length track.done_srcs = track.expected_dones
   then begin
     Hashtbl.remove t.tracks (Ts.to_int track.ts);
     let completed_at = now t in
@@ -296,7 +341,7 @@ let abort_write_phase t track keys_by_dst =
           | Some (_, keys) -> keys
           | None -> []
         in
-        Net.Rpc.call t.data ~src:t.address ~dst
+        call_with_retry t ~dst
           (Message.Req (Message.Abort_txn { ts = Ts.to_int track.ts; keys }))
           (fun _resp ->
             decr remaining;
@@ -341,7 +386,7 @@ and start_rw t (writes, precondition_keys, ack) reply w ts =
     { ts; epoch = w.Epoch.Participant.epoch; issued_at; ack; reply;
       expected_dones = List.length groups;
       awaiting_installs = List.length groups; install_failed = false;
-      acked_ok = []; install_done_at = issued_at; dones = 0;
+      acked_ok = []; install_done_at = issued_at; done_srcs = [];
       any_aborted = false; max_retrieved = issued_at }
   in
   Hashtbl.replace t.tracks (Ts.to_int ts) track;
@@ -364,7 +409,7 @@ and start_rw t (writes, precondition_keys, ack) reply w ts =
               writes = entries;
               preconditions = precond_of partition }
           in
-          Net.Rpc.call t.data ~src:t.address ~dst
+          call_with_retry t ~dst
             (Message.Req (Message.Install install))
             (function
               | Message.Install_ack { ok } ->
@@ -405,97 +450,155 @@ and delay_ro t keys reply w ts =
 (* ---- backend ----------------------------------------------------------- *)
 
 let send_batch_done t (b : batch) ~txn_id ~functors =
-  Net.Rpc.send t.data ~src:t.address ~dst:b.coordinator
-    (Message.One
-       (Message.Batch_done
-          { txn_id; functors;
-            max_retrieved_at = b.batch_max_retrieved;
-            aborted = b.batch_aborted }))
+  let send () =
+    Net.Rpc.send t.data ~src:t.address ~dst:b.coordinator
+      (Message.One
+         (Message.Batch_done
+            { txn_id; functors;
+              max_retrieved_at = b.batch_max_retrieved;
+              aborted = b.batch_aborted }))
+  in
+  send ();
+  (* The notification is one-way, so a lossy network can eat it and wedge
+     the coordinator; with retries configured it is repeated until the
+     coordinator's Batch_done_ack clears it (the coordinator dedupes by
+     source address). *)
+  let period = t.config.Config.install_retry_us in
+  if period > 0 then begin
+    Hashtbl.replace t.pending_dones txn_id ();
+    let rec again () =
+      if (not t.be_down) && Hashtbl.mem t.pending_dones txn_id then begin
+        send ();
+        Sim.Engine.after t.sim period again
+      end
+    in
+    Sim.Engine.after t.sim period again
+  end
+
+(* Acknowledge an install (or abort): with [ack_after_flush] a positive
+   ack waits until the WAL entries it covers are durable, so a crash can
+   only lose writes the coordinator never saw acknowledged — and will
+   therefore retransmit after the restart. *)
+let ack_install t ~ok reply =
+  match t.wal with
+  | Some wal when ok && t.config.ack_after_flush ->
+      Wal.after_durable wal (fun () -> reply (Message.Install_ack { ok }))
+  | Some _ | None -> reply (Message.Install_ack { ok })
+
+let ack_abort t reply =
+  match t.wal with
+  | Some wal when t.config.ack_after_flush ->
+      Wal.after_durable wal (fun () -> reply Message.Abort_ack)
+  | Some _ | None -> reply Message.Abort_ack
 
 let do_install t ~src (inst : Message.install) reply =
-  let present key =
-    match
-      Mvstore.Table.find_le
-        (Functor_cc.Compute_engine.table t.engine)
-        ~key ~version:inst.ts
-    with
-    | Some _ -> true
-    | None -> false
-  in
-  if not (List.for_all present inst.preconditions) then begin
-    incr t.m_precondition_failures;
-    reply (Message.Install_ack { ok = false })
-  end
-  else begin
-    let lo = Ts.to_int (Ts.window_lo ~time_us:inst.lo) in
-    let hi = Ts.to_int (Ts.window_hi ~time_us:inst.hi) in
-    let b =
-      { coordinator = src; remaining = 0;
-        batch_max_retrieved = now t; batch_aborted = false }
-    in
-    let installed = now t in
-    List.iter
-      (fun (key, spec) ->
-        let record =
-          Message.functor_of_fspec spec ~txn_id:inst.txn_id
-            ~coordinator:(Net.Address.to_int src)
+  if t.be_down then incr t.m_be_dropped
+  else
+    match Hashtbl.find_opt t.install_verdicts inst.txn_id with
+    | Some ok ->
+        (* Retransmission of an install we already answered (the ack was
+           lost): repeat the verdict, without re-applying anything. *)
+        ack_install t ~ok reply
+    | None ->
+        let present key =
+          match
+            Mvstore.Table.find_le
+              (Functor_cc.Compute_engine.table t.engine)
+              ~key ~version:inst.ts
+          with
+          | Some _ -> true
+          | None -> false
         in
-        match
-          Functor_cc.Compute_engine.install t.engine ~key ~version:inst.ts
-            ~lo ~hi record
-        with
-        | Ok () -> (
-            incr t.m_functors_installed;
-            (match t.wal with
-            | Some wal ->
-                Wal.append wal
-                  (Wal.Log_install
-                     { key; version = inst.ts; spec; txn_id = inst.txn_id;
-                       coordinator = Net.Address.to_int src;
-                       epoch = inst.epoch })
-            | None -> ());
-            match record.Funct.state with
-            | Funct.Pending p ->
-                p.Funct.installed_at_us <- installed;
-                b.remaining <- b.remaining + 1;
-                Functor_cc.Processor.buffer t.processor ~epoch:inst.epoch
-                  ~key ~version:inst.ts
-            | Funct.Final _ -> ())
-        | Error (`Duplicate_version | `Version_out_of_window) ->
-            (* The FE guarantees unique in-window timestamps; reaching this
-               branch is a protocol bug, not a workload condition. *)
-            assert false)
-      inst.writes;
-    if b.remaining = 0 then
-      send_batch_done t b ~txn_id:inst.txn_id
-        ~functors:(List.length inst.writes)
-    else Hashtbl.replace t.batches inst.txn_id b;
-    reply (Message.Install_ack { ok = true })
-  end
+        if not (List.for_all present inst.preconditions) then begin
+          incr t.m_precondition_failures;
+          Hashtbl.replace t.install_verdicts inst.txn_id false;
+          ack_install t ~ok:false reply
+        end
+        else begin
+          let lo = Ts.to_int (Ts.window_lo ~time_us:inst.lo) in
+          let hi = Ts.to_int (Ts.window_hi ~time_us:inst.hi) in
+          let b =
+            { coordinator = src; remaining = 0;
+              batch_max_retrieved = now t; batch_aborted = false }
+          in
+          let installed = now t in
+          List.iter
+            (fun (key, spec) ->
+              let record =
+                Message.functor_of_fspec spec ~txn_id:inst.txn_id
+                  ~coordinator:(Net.Address.to_int src)
+              in
+              match
+                Functor_cc.Compute_engine.install t.engine ~key
+                  ~version:inst.ts ~lo ~hi record
+              with
+              | Ok () -> (
+                  incr t.m_functors_installed;
+                  (match t.wal with
+                  | Some wal ->
+                      Wal.append wal
+                        (Wal.Log_install
+                           { key; version = inst.ts; spec;
+                             txn_id = inst.txn_id;
+                             coordinator = Net.Address.to_int src;
+                             epoch = inst.epoch })
+                  | None -> ());
+                  match record.Funct.state with
+                  | Funct.Pending p ->
+                      p.Funct.installed_at_us <- installed;
+                      b.remaining <- b.remaining + 1;
+                      Functor_cc.Processor.buffer t.processor
+                        ~epoch:inst.epoch ~key ~version:inst.ts
+                  | Funct.Final _ -> ())
+              | Error (`Duplicate_version | `Version_out_of_window) ->
+                  (* The version already exists: a WAL-recovered copy of
+                     this very install, retransmitted because the crash ate
+                     the ack (the verdict cache is volatile).  The
+                     recovered record is authoritative — it was re-buffered
+                     by the restart — so there is nothing to apply. *)
+                  ())
+            inst.writes;
+          if b.remaining = 0 then
+            send_batch_done t b ~txn_id:inst.txn_id
+              ~functors:(List.length inst.writes)
+          else Hashtbl.replace t.batches inst.txn_id b;
+          Hashtbl.replace t.install_verdicts inst.txn_id true;
+          ack_install t ~ok:true reply
+        end
 
 let do_abort t ~ts ~keys reply =
-  List.iter
-    (fun key ->
-      (match t.wal with
-      | Some wal -> Wal.append wal (Wal.Log_abort { key; version = ts })
-      | None -> ());
-      Functor_cc.Compute_engine.abort_version t.engine ~key ~version:ts)
-    keys;
-  reply Message.Abort_ack
+  if t.be_down then incr t.m_be_dropped
+  else begin
+    List.iter
+      (fun key ->
+        (match t.wal with
+        | Some wal -> Wal.append wal (Wal.Log_abort { key; version = ts })
+        | None -> ());
+        Functor_cc.Compute_engine.abort_version t.engine ~key ~version:ts)
+      keys;
+    ack_abort t reply
+  end
 
-let on_batch_done t ~txn_id ~max_retrieved_at ~aborted =
+let on_batch_done t ~src ~txn_id ~max_retrieved_at ~aborted =
   match Hashtbl.find_opt t.tracks txn_id with
   | None -> ()  (* transaction already aborted in the write phase *)
   | Some track ->
-      track.dones <- track.dones + 1;
-      if aborted then track.any_aborted <- true;
-      if max_retrieved_at > track.max_retrieved then
-        track.max_retrieved <- max_retrieved_at;
-      maybe_complete t track
+      if not (List.exists (Net.Address.equal src) track.done_srcs) then begin
+        track.done_srcs <- src :: track.done_srcs;
+        if aborted then track.any_aborted <- true;
+        if max_retrieved_at > track.max_retrieved then
+          track.max_retrieved <- max_retrieved_at;
+        maybe_complete t track
+      end
 
 let on_functor_final t ~pending ~final =
   match Hashtbl.find_opt t.batches pending.Funct.txn_id with
   | None -> ()
+  | Some { remaining; _ } when remaining <= 0 ->
+      (* A recovered pending functor (not tracked by any live batch)
+         finalised against a later batch for the same txn; don't let it
+         drive [remaining] negative. *)
+      ()
   | Some b ->
       b.remaining <- b.remaining - 1;
       if pending.Funct.retrieved_at_us > b.batch_max_retrieved then
@@ -513,6 +616,73 @@ let on_functor_final t ~pending ~final =
         Hashtbl.remove t.batches pending.Funct.txn_id;
         send_batch_done t b ~txn_id:pending.Funct.txn_id ~functors:0
       end
+
+(* ---- engine (re)spawn -------------------------------------------------- *)
+
+(* (Re)create the partition's compute engine and processor — at
+   construction and again after a backend crash.  The outward-acting
+   callbacks are guarded by a liveness check: continuations of the dead
+   incarnation's in-flight computations may still fire after a crash, and
+   must not leak pushes, dependent writes, or batch completions from
+   volatile state that the crash destroyed. *)
+let spawn_engine t =
+  let me = ref t.engine in
+  let live () = t.engine == !me in
+  let callbacks =
+    { Functor_cc.Compute_engine.is_local =
+        (fun key -> t.partition_of key = t.my_partition);
+      remote_get =
+        (fun ~key ~version k ->
+          if live () then
+            call_with_retry t
+              ~dst:(t.addr_of_partition (t.partition_of key))
+              (Message.Req (Message.Get_req { key; version }))
+              (function
+                | Message.Get_resp v -> k v
+                | Message.Install_ack _ | Message.Abort_ack ->
+                    invalid_arg "remote_get: protocol mismatch"));
+      send_push =
+        (fun ~dst_key ~version ~src_key value ->
+          if live () then begin
+            let partition = t.partition_of dst_key in
+            if partition = t.my_partition then
+              Functor_cc.Compute_engine.deliver_push t.engine ~key:dst_key
+                ~version ~src_key value
+            else
+              Net.Rpc.send t.data ~src:t.address
+                ~dst:(t.addr_of_partition partition)
+                (Message.One
+                   (Message.Push { key = dst_key; version; src_key; value }))
+          end);
+      send_dep_write =
+        (fun ~key ~version final ->
+          if live () then begin
+            let partition = t.partition_of key in
+            if partition = t.my_partition then
+              Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
+                ~version ~final
+            else
+              Net.Rpc.send t.data ~src:t.address
+                ~dst:(t.addr_of_partition partition)
+                (Message.One (Message.Dep_write { key; version; final }))
+          end);
+      notify_final =
+        (fun ~key:_ ~version:_ ~pending ~final ->
+          if live () then on_functor_final t ~pending ~final);
+      exec =
+        (fun ~cost k ->
+          if live () then Sim.Worker_pool.submit t.pool ~cost k);
+      now = (fun () -> Sim.Engine.now t.sim) }
+  in
+  let engine =
+    Functor_cc.Compute_engine.create ~registry:t.registry ~callbacks
+      ~compute_cost_us:t.config.Config.cost_compute_us ~metrics:t.metrics ()
+  in
+  me := engine;
+  t.engine <- engine;
+  t.processor <-
+    Functor_cc.Processor.create ~engine ~pool:t.pool
+      ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics ()
 
 (* ---- construction ------------------------------------------------------ *)
 
@@ -561,75 +731,39 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       h_lat_wait = h "aloha.lat_wait_us";
       h_lat_proc = h "aloha.lat_proc_us";
       h_lat_ro = h "aloha.lat_ro_us";
-      pool; ts_source; part;
+      m_be_dropped = c "aloha.be_dropped";
+      pool; ts_source; part; registry;
       engine = bootstrap_engine;
       processor =
         Functor_cc.Processor.create ~engine:bootstrap_engine ~pool
           ~dispatch_cost_us:0 ~metrics ();
       tracks = Hashtbl.create 1024;
       batches = Hashtbl.create 1024;
+      install_verdicts = Hashtbl.create 1024;
+      pending_dones = Hashtbl.create 64;
       held = Queue.create ();
       wal =
         (if config.Config.durability then
            Some (Wal.create sim ~flush_latency_us:config.Config.wal_flush_us ())
          else None);
+      be_down = false;
+      last_closed_epoch = 0;
       delayed_reads = [] }
   in
-  let callbacks =
-    { Functor_cc.Compute_engine.is_local =
-        (fun key -> partition_of key = my_partition);
-      remote_get =
-        (fun ~key ~version k ->
-          Net.Rpc.call data ~src:addr
-            ~dst:(addr_of_partition (partition_of key))
-            (Message.Req (Message.Get_req { key; version }))
-            (function
-              | Message.Get_resp v -> k v
-              | Message.Install_ack _ | Message.Abort_ack ->
-                  invalid_arg "remote_get: protocol mismatch"));
-      send_push =
-        (fun ~dst_key ~version ~src_key value ->
-          let partition = partition_of dst_key in
-          if partition = my_partition then
-            Functor_cc.Compute_engine.deliver_push t.engine ~key:dst_key
-              ~version ~src_key value
-          else
-            Net.Rpc.send data ~src:addr ~dst:(addr_of_partition partition)
-              (Message.One
-                 (Message.Push { key = dst_key; version; src_key; value })));
-      send_dep_write =
-        (fun ~key ~version final ->
-          let partition = partition_of key in
-          if partition = my_partition then
-            Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
-              ~version ~final
-          else
-            Net.Rpc.send data ~src:addr ~dst:(addr_of_partition partition)
-              (Message.One (Message.Dep_write { key; version; final })));
-      notify_final =
-        (fun ~key:_ ~version:_ ~pending ~final ->
-          on_functor_final t ~pending ~final);
-      exec =
-        (fun ~cost k -> Sim.Worker_pool.submit pool ~cost k);
-      now = (fun () -> Sim.Engine.now sim) }
-  in
-  let engine =
-    Functor_cc.Compute_engine.create ~registry ~callbacks
-      ~compute_cost_us:config.Config.cost_compute_us ~metrics ()
-  in
-  t.engine <- engine;
-  let processor =
-    Functor_cc.Processor.create ~engine ~pool
-      ~dispatch_cost_us:config.Config.cost_dispatch_us ~metrics ()
-  in
-  t.processor <- processor;
+  spawn_engine t;
   Epoch.Participant.set_hooks part
     ~on_open:(fun ~epoch:_ ~lo:_ ~hi:_ -> drain_held t)
     ~on_closed:(fun ~epoch ->
-      (match t.wal with
-      | Some wal -> Wal.append wal (Wal.Log_epoch_closed epoch)
-      | None -> ());
-      Functor_cc.Processor.release processor ~upto_epoch:epoch;
+      if epoch > t.last_closed_epoch then t.last_closed_epoch <- epoch;
+      (* The backend part of epoch close (log the close, release the
+         processor) is skipped while the backend is down; the restart
+         releases everything up to [last_closed_epoch] instead. *)
+      if not t.be_down then begin
+        (match t.wal with
+        | Some wal -> Wal.append wal (Wal.Log_epoch_closed epoch)
+        | None -> ());
+        Functor_cc.Processor.release t.processor ~upto_epoch:epoch
+      end;
       let ready, waiting =
         List.partition (fun (e, _) -> e <= epoch) t.delayed_reads
       in
@@ -653,24 +787,37 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       | Message.Req (Message.Get_req { key; version }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_get_us
             (fun () ->
-              Functor_cc.Compute_engine.get t.engine ~key ~version (fun v ->
-                  reply (Message.Get_resp v)))
+              if t.be_down then incr t.m_be_dropped
+              else
+                Functor_cc.Compute_engine.get t.engine ~key ~version
+                  (fun v -> reply (Message.Get_resp v)))
       | Message.One _ -> ());
-  Net.Rpc.serve_oneway data addr (fun ~src:_ wire ->
+  Net.Rpc.serve_oneway data addr (fun ~src wire ->
       match wire with
       | Message.One (Message.Push { key; version; src_key; value }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
             (fun () ->
-              Functor_cc.Compute_engine.deliver_push t.engine ~key ~version
-                ~src_key value)
+              if t.be_down then incr t.m_be_dropped
+              else
+                Functor_cc.Compute_engine.deliver_push t.engine ~key ~version
+                  ~src_key value)
       | Message.One (Message.Dep_write { key; version; final }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
             (fun () ->
-              Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
-                ~version ~final)
+              if t.be_down then incr t.m_be_dropped
+              else
+                Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
+                  ~version ~final)
       | Message.One (Message.Batch_done { txn_id; functors = _;
                                           max_retrieved_at; aborted }) ->
-          on_batch_done t ~txn_id ~max_retrieved_at ~aborted
+          (* Frontend-role message: processed even while the backend role
+             is down.  Always acked — including duplicates of an already
+             completed transaction — so the sender's resend loop stops. *)
+          on_batch_done t ~src ~txn_id ~max_retrieved_at ~aborted;
+          Net.Rpc.send t.data ~src:t.address ~dst:src
+            (Message.One (Message.Batch_done_ack { txn_id }))
+      | Message.One (Message.Batch_done_ack { txn_id }) ->
+          Hashtbl.remove t.pending_dones txn_id
       | Message.Req _ -> ());
   t
 
@@ -692,3 +839,86 @@ let checkpoint_now t =
       let snapshot = Recovery.snapshot_of_engine t.engine in
       let retain_above = Recovery.max_final_version t.engine in
       Wal.checkpoint wal ~snapshot ~retain_above
+
+(* ---- backend crash / restart ------------------------------------------- *)
+
+let crash_be t =
+  if t.be_down then invalid_arg "Server.crash_be: backend already down";
+  t.be_down <- true;
+  Sim.Metrics.incr t.metrics "aloha.be_crashes";
+  (* The unflushed WAL tail is gone; so is all volatile state: batches,
+     the install-verdict cache, and the engine (a fresh empty one replaces
+     it immediately, which also cuts off — via the spawn liveness guard —
+     any continuation of the dead incarnation still in flight). *)
+  (match t.wal with Some wal -> ignore (Wal.lose_unflushed wal) | None -> ());
+  Hashtbl.reset t.batches;
+  Hashtbl.reset t.install_verdicts;
+  Hashtbl.reset t.pending_dones;
+  spawn_engine t
+
+let restart_be t =
+  if not t.be_down then invalid_arg "Server.restart_be: backend is up";
+  Sim.Metrics.incr t.metrics "aloha.be_restarts";
+  (match t.wal with
+  | Some wal ->
+      ignore (Recovery.rebuild ~engine:t.engine ~wal);
+      (* Replayed installs that are still pending re-enter the processor
+         at their logged epoch; epochs that closed while we were down (or
+         before the crash) are then released for recomputation — the
+         epoch-close work the crash made us miss.  Later epochs stay
+         buffered until their own close. *)
+      let table = Functor_cc.Compute_engine.table t.engine in
+      let batch_of txn_id ~coordinator =
+        match Hashtbl.find_opt t.batches txn_id with
+        | Some b -> b
+        | None ->
+            let b =
+              { coordinator = Net.Address.of_int coordinator;
+                remaining = 0;
+                batch_max_retrieved = now t;
+                batch_aborted = false }
+            in
+            Hashtbl.replace t.batches txn_id b;
+            b
+      in
+      let finals = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Wal.Log_install { key; version; epoch; txn_id; coordinator; _ }
+            -> (
+              match Mvstore.Table.find_le table ~key ~version with
+              | Some (v, record) when v = version -> (
+                  match record.Funct.state with
+                  | Funct.Pending _ ->
+                      Functor_cc.Processor.buffer t.processor ~epoch ~key
+                        ~version;
+                      (* Rebuild the batch so the recomputation's finals
+                         re-drive the coordinator's Batch_done (the
+                         pre-crash batch table was volatile). *)
+                      let b = batch_of txn_id ~coordinator in
+                      b.remaining <- b.remaining + 1
+                  | Funct.Final _ ->
+                      Hashtbl.replace finals txn_id coordinator)
+              | Some _ | None -> ())
+          | Wal.Log_abort _ | Wal.Log_epoch_closed _ -> ())
+        (Wal.durable wal);
+      (* Transactions recovered entirely final (immediate-final specs like
+         VALUE): nothing will recompute, so repeat their Batch_done now —
+         the ack for the pre-crash one may never have arrived, and the
+         coordinator dedupes by source either way.  Skipped when any
+         functor of the txn is still pending here: its completion sends
+         the (single) authoritative notification. *)
+      Hashtbl.iter
+        (fun txn_id coordinator ->
+          if not (Hashtbl.mem t.batches txn_id) then
+            send_batch_done t
+              { coordinator = Net.Address.of_int coordinator;
+                remaining = 0;
+                batch_max_retrieved = now t;
+                batch_aborted = false }
+              ~txn_id ~functors:0)
+        finals;
+      Functor_cc.Processor.release t.processor
+        ~upto_epoch:t.last_closed_epoch
+  | None -> ());
+  t.be_down <- false

@@ -55,6 +55,9 @@ val participant : t -> Epoch.Participant.t
 
 val addr : t -> Net.Address.t
 
+val clock : t -> Clocksync.Node_clock.t
+(** The server's local clock (fault injection skews it). *)
+
 val held_requests : t -> int
 (** Client requests waiting for a usable timestamp window. *)
 
@@ -66,3 +69,24 @@ val checkpoint_now : t -> unit
     log below it.  Raises [Invalid_argument] when durability is off.
     Intended to be called when the partition is quiescent (no pending
     functors), e.g. between epochs. *)
+
+val crash_be : t -> unit
+(** Crash the backend role of this server: the unflushed WAL tail and all
+    volatile backend state (installed-but-unlogged functors, batch
+    tracking, the compute engine) are lost, and storage/compute requests
+    are dropped (counted under ["aloha.be_dropped"]) until {!restart_be}.
+    The frontend role and the epoch participant stay up — coordinator
+    failover is out of scope (see {!Recovery}) — so transactions this
+    server coordinates keep retrying their installs and hold their epoch
+    open, which is exactly the barrier that preserves atomicity across
+    the crash.  Raises [Invalid_argument] if already down. *)
+
+val restart_be : t -> unit
+(** Restart a crashed backend through {!Recovery.rebuild}: reload the
+    checkpoint, replay the durable log, re-buffer still-pending functors
+    at their logged epochs, and release every epoch that closed before or
+    during the outage.  Requires [config.durability] for state to
+    survive; without a WAL the backend restarts empty.  Raises
+    [Invalid_argument] if not down. *)
+
+val be_down : t -> bool

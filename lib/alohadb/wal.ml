@@ -17,27 +17,57 @@ type t = {
   mutable flushed : entry list;  (* newest first *)
   mutable flush_scheduled : bool;
   mutable ckpt : (Mvstore.Key.t * int * Message.fspec) list;
+  mutable waiters : (unit -> unit) list;  (* newest first *)
+  mutable generation : int;  (* bumped by lose_unflushed (crash) *)
 }
 
 let create sim ?(flush_latency_us = 500) () =
   { sim; flush_latency_us; buffered = []; flushed = [];
-    flush_scheduled = false; ckpt = [] }
+    flush_scheduled = false; ckpt = []; waiters = []; generation = 0 }
+
+let run_waiters t =
+  let ws = t.waiters in
+  t.waiters <- [];
+  List.iter (fun k -> k ()) (List.rev ws)
 
 let rec schedule_flush t =
   if not t.flush_scheduled then begin
     t.flush_scheduled <- true;
+    let gen = t.generation in
     Sim.Engine.after t.sim t.flush_latency_us (fun () ->
-        t.flush_scheduled <- false;
-        (* Everything buffered when the flush started — and anything added
-           while it ran — reaches the device in order. *)
-        t.flushed <- t.buffered @ t.flushed;
-        t.buffered <- [];
-        if t.buffered <> [] then schedule_flush t)
+        (* A crash between schedule and completion voids this flush: the
+           buffered tail it would have covered is gone. *)
+        if gen = t.generation then begin
+          t.flush_scheduled <- false;
+          (* Everything buffered when the flush started — and anything
+             added while it ran — reaches the device in order. *)
+          t.flushed <- t.buffered @ t.flushed;
+          t.buffered <- [];
+          run_waiters t;
+          if t.buffered <> [] then schedule_flush t
+        end)
   end
 
 let append t entry =
   t.buffered <- entry :: t.buffered;
   schedule_flush t
+
+let after_durable t k =
+  if t.buffered = [] && not t.flush_scheduled then k ()
+  else begin
+    t.waiters <- k :: t.waiters;
+    schedule_flush t
+  end
+
+let lose_unflushed t =
+  t.generation <- t.generation + 1;
+  t.flush_scheduled <- false;
+  let lost = List.length t.buffered in
+  t.buffered <- [];
+  (* Waiters were acks for entries that never reached the device; the
+     crash loses them along with the entries. *)
+  t.waiters <- [];
+  lost
 
 let durable t = List.rev t.flushed
 
@@ -60,6 +90,8 @@ let checkpoint t ~snapshot ~retain_above =
     | None -> false
   in
   t.flushed <- List.filter keep (t.buffered @ t.flushed);
-  t.buffered <- []
+  t.buffered <- [];
+  (* The checkpoint made everything (snapshot + retained tail) durable. *)
+  run_waiters t
 
 let snapshot t = t.ckpt

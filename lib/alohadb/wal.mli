@@ -32,6 +32,17 @@ val create : Sim.Engine.t -> ?flush_latency_us:int -> unit -> t
 val append : t -> entry -> unit
 (** Buffer an entry; it becomes durable at the next flush completion. *)
 
+val after_durable : t -> (unit -> unit) -> unit
+(** Run the callback once everything appended so far is flushed (at once
+    if nothing is pending).  Used to defer install acks until their log
+    entries are durable ({!Config.t.ack_after_flush}).  Callbacks pending
+    at a crash are discarded by {!lose_unflushed}. *)
+
+val lose_unflushed : t -> int
+(** Crash the device: the buffered (unflushed) tail is lost, pending
+    {!after_durable} callbacks are dropped.  Returns how many entries were
+    lost.  The durable prefix and checkpoint are what recovery sees. *)
+
 val durable : t -> entry list
 (** Entries that survived as of now, oldest first (what a post-crash
     recovery would read). *)

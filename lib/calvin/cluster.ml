@@ -4,6 +4,7 @@ type options = {
   latency : Net.Latency.t;
   partitioner : [ `Hash | `Prefix ];
   seed : int;
+  faults : Net.Faults.t option;
 }
 
 let default_options =
@@ -11,13 +12,15 @@ let default_options =
     config = Config.default;
     latency = Net.Latency.uniform ~base:80 ~jitter:40;
     partitioner = `Hash;
-    seed = 42 }
+    seed = 42;
+    faults = None }
 
 type t = {
   sim : Sim.Engine.t;
   servers : Server.t array;
   metrics : Sim.Metrics.t;
   partition_of : string -> int;
+  rpc : Message.rpc;
 }
 
 let create ?registry options =
@@ -29,7 +32,8 @@ let create ?registry options =
   let rng = Sim.Rng.create options.seed in
   let metrics = Sim.Metrics.create () in
   let rpc : Message.rpc =
-    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency ()
+    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency
+      ?faults:options.faults ()
   in
   let n = options.n_servers in
   let part =
@@ -45,9 +49,11 @@ let create ?registry options =
           ~n_servers:n ~partition_of ~addr_of_partition ~registry
           ~config:options.config ~metrics ())
   in
-  { sim; servers; metrics; partition_of }
+  { sim; servers; metrics; partition_of; rpc }
 
 let start t = Array.iter Server.start t.servers
+let set_trace t f = Net.Rpc.set_trace t.rpc f
+let drop_stats t = Net.Rpc.drop_stats t.rpc
 
 let sim t = t.sim
 let metrics t = t.metrics

@@ -9,6 +9,10 @@ type options = {
   latency : Net.Latency.t;
   partitioner : [ `Hash | `Prefix ];
   seed : int;
+  faults : Net.Faults.t option;
+      (** fault oracle for the shared RPC plane; Calvin's sequencer
+          barrier tolerates no loss, so pair it with
+          [Net.Faults.Reliable] transport.  [None] = fault-free. *)
 }
 
 val default_options : options
@@ -20,6 +24,11 @@ val create : ?registry:Ctxn.registry -> options -> t
 
 val start : t -> unit
 (** Start every sequencer's epoch timer. *)
+
+val set_trace : t -> (src:Net.Address.t -> dst:Net.Address.t -> unit) -> unit
+(** Observe every send (chaos trace hashing). *)
+
+val drop_stats : t -> Net.Network.drop_stats
 
 val sim : t -> Sim.Engine.t
 val metrics : t -> Sim.Metrics.t

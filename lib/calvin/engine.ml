@@ -33,6 +33,7 @@ let options_of ?seed (params : Kernel.Params.t) =
     Cluster.n_servers = params.n_servers;
     partitioner = `Prefix;
     seed = (match seed with Some s -> s | None -> base.Cluster.seed);
+    faults = params.faults;
     config =
       (match params.epoch_us with
       | Some epoch_us -> { Config.default with Config.epoch_us }
@@ -46,6 +47,8 @@ let create ?seed params =
     funreg;
     seq = ref 0 }
 
+let set_trace cl f = Cluster.set_trace cl.c f
+let drop_stats cl = Cluster.drop_stats cl.c
 let register cl name h = Functor_cc.Registry.register cl.funreg name h
 let load cl key v = Cluster.load cl.c ~key v
 let start cl = Cluster.start cl.c

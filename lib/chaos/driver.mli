@@ -1,0 +1,68 @@
+(** Run seeded fault {!Schedule}s against an engine and check the chaos
+    invariants.
+
+    For each schedule the driver performs three runs of the same scripted
+    increment workload: the faulted run, a byte-for-byte replay (same
+    seed, fresh cluster — their {!Trace} digests must be identical), and
+    a crash-free reference.  It then checks:
+
+    - {b completion soundness}: every submitted transaction eventually
+      replied, despite loss / partitions / crashes;
+    - {b state oracle}: the committed per-key totals equal the
+      closed-form sum of the submitted increments, and equal the
+      reference run's state (2PL, which may abandon transactions under
+      induced lock-wait timeouts, is held to "at or below the oracle"
+      when give-ups occurred);
+    - {b determinism}: same seed, same trace hash;
+    - {b monotone probes}: per-key value watermarks (ALOHA) and
+      committed counters sampled during the run never regress — probes
+      on a crashing node are excluded, since recovery rebuilds from the
+      checkpoint and the durable log;
+    - {b at-most-once evaluation}: in crash-free ALOHA runs,
+      [fcc.computed <= aloha.functors_installed]. *)
+
+module type TARGET = sig
+  include Kernel.Intf.ENGINE
+
+  val transport : Net.Faults.transport
+  val set_trace :
+    cluster -> (src:Net.Address.t -> dst:Net.Address.t -> unit) -> unit
+  val drop_stats : cluster -> Net.Network.drop_stats
+  val apply : cluster -> faults:Net.Faults.t -> Schedule.event -> unit
+  val probes :
+    cluster ->
+    keys:string list ->
+    exclude_nodes:int list ->
+    (string * (unit -> int)) list
+end
+
+module Aloha_target : TARGET with type cluster = Alohadb.Cluster.t
+module Calvin_target : TARGET
+module Twopl_target : TARGET
+
+type packed = Target : (module TARGET with type cluster = 'c) -> packed
+
+val targets : (string * packed) list
+(** [("aloha", …); ("calvin", …); ("twopl", …)]. *)
+
+val target_of_name : string -> packed option
+
+type report = {
+  seed : int;
+  engine : string;
+  trace_hash : string;
+  trace_events : int;
+  committed : int;
+  drops : int;  (** total messages lost to injected faults *)
+  violations : string list;  (** empty = all invariants held *)
+}
+
+val passed : report -> bool
+
+val run_schedule : packed -> schedule:Schedule.t -> report
+
+val run_seed : packed -> seed:int -> n_servers:int -> report
+(** [run_schedule] on [Schedule.generate ~seed ~n_servers]. *)
+
+val trace_hash_of : packed -> schedule:Schedule.t -> string
+(** One faulted run, digest only (replay verification in tests). *)

@@ -1,0 +1,111 @@
+type event =
+  | Edict of Net.Faults.edict
+  | Partition of { group : int list; from_us : int; until_us : int }
+  | Crash of { node : int; at_us : int; restart_at_us : int }
+  | Skew of { node : int; at_us : int; skew_us : int }
+
+type t = { seed : int; n_servers : int; events : event list }
+
+(* All fault windows live inside [window_lo, window_hi); the driver's
+   scripted arrivals end around 25ms and the run horizon is long, so every
+   window closes (and every crashed node restarts) with ample time left to
+   drain retries and recovery. *)
+let window_lo = 2_000
+let window_hi = 45_000
+
+let gen_edict rng ~n_servers =
+  let kind =
+    match Sim.Rng.int rng 4 with
+    | 0 -> Net.Faults.Drop
+    | 1 -> Net.Faults.Delay
+    | 2 -> Net.Faults.Duplicate
+    | _ -> Net.Faults.Reorder
+  in
+  let p = float_of_int (5 + Sim.Rng.int rng 25) /. 100. in
+  let extra_max_us = 500 + Sim.Rng.int rng 4_500 in
+  let from_us = window_lo + Sim.Rng.int rng 20_000 in
+  let until_us = from_us + 3_000 + Sim.Rng.int rng (window_hi - from_us - 3_000) in
+  let node () = Some (Net.Address.of_int (Sim.Rng.int rng n_servers)) in
+  let src, dst =
+    match Sim.Rng.int rng 3 with
+    | 0 -> (None, None)
+    | 1 -> (node (), None)
+    | _ -> (None, node ())
+  in
+  Edict { Net.Faults.kind; p; extra_max_us; src; dst; from_us; until_us }
+
+let gen_partition rng ~n_servers =
+  (* A proper, non-empty subset of the servers; the complement keeps the
+     epoch manager, so the group loses its control traffic too. *)
+  let size = 1 + Sim.Rng.int rng (max 1 (n_servers - 1)) in
+  let nodes = Array.init n_servers Fun.id in
+  Sim.Rng.shuffle_in_place rng nodes;
+  let group = Array.to_list (Array.sub nodes 0 size) in
+  let from_us = 4_000 + Sim.Rng.int rng 10_000 in
+  let until_us = from_us + 2_000 + Sim.Rng.int rng 6_000 in
+  Partition { group; from_us; until_us }
+
+let gen_crash rng ~n_servers =
+  let node = Sim.Rng.int rng n_servers in
+  let at_us = 5_000 + Sim.Rng.int rng 15_000 in
+  let restart_at_us = at_us + 2_000 + Sim.Rng.int rng 8_000 in
+  Crash { node; at_us; restart_at_us }
+
+let gen_skew rng ~n_servers =
+  let node = Sim.Rng.int rng n_servers in
+  let at_us = window_lo + Sim.Rng.int rng 20_000 in
+  let magnitude = 200 + Sim.Rng.int rng 1_800 in
+  let skew_us = if Sim.Rng.bool rng then magnitude else -magnitude in
+  Skew { node; at_us; skew_us }
+
+let generate ~seed ~n_servers =
+  if n_servers <= 0 then invalid_arg "Schedule.generate: n_servers";
+  let rng = Sim.Rng.create seed in
+  let edicts =
+    List.init (1 + Sim.Rng.int rng 3) (fun _ -> gen_edict rng ~n_servers)
+  in
+  let partitions =
+    if n_servers > 1 && Sim.Rng.bool rng then [ gen_partition rng ~n_servers ]
+    else []
+  in
+  let crashes = if Sim.Rng.bool rng then [ gen_crash rng ~n_servers ] else [] in
+  let skews =
+    List.init (Sim.Rng.int rng 3) (fun _ -> gen_skew rng ~n_servers)
+  in
+  { seed; n_servers; events = edicts @ partitions @ crashes @ skews }
+
+let has_crash t =
+  List.exists (function Crash _ -> true | _ -> false) t.events
+
+let pp_event ppf = function
+  | Edict e ->
+      let kind =
+        match e.Net.Faults.kind with
+        | Net.Faults.Drop -> "drop"
+        | Delay -> "delay"
+        | Duplicate -> "dup"
+        | Reorder -> "reorder"
+      in
+      let filt name = function
+        | None -> ""
+        | Some a -> Printf.sprintf " %s=%d" name (Net.Address.to_int a)
+      in
+      Format.fprintf ppf "edict %s p=%.2f extra<=%dus%s%s [%d,%d)" kind
+        e.Net.Faults.p e.Net.Faults.extra_max_us
+        (filt "src" e.Net.Faults.src)
+        (filt "dst" e.Net.Faults.dst)
+        e.Net.Faults.from_us e.Net.Faults.until_us
+  | Partition { group; from_us; until_us } ->
+      Format.fprintf ppf "partition {%s} [%d,%d)"
+        (String.concat "," (List.map string_of_int group))
+        from_us until_us
+  | Crash { node; at_us; restart_at_us } ->
+      Format.fprintf ppf "crash node=%d at=%d restart=%d" node at_us
+        restart_at_us
+  | Skew { node; at_us; skew_us } ->
+      Format.fprintf ppf "skew node=%d at=%d by=%dus" node at_us skew_us
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule seed=%d n=%d" t.seed t.n_servers;
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" pp_event e) t.events;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,18 @@
+type t = { mutable hash : int64; mutable events : int }
+
+(* FNV-1a offset basis / prime, folding each event field as one word. *)
+let basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let create () = { hash = basis; events = 0 }
+
+let mix h v = Int64.mul (Int64.logxor h (Int64.of_int v)) prime
+
+let note t ~now ~src ~dst =
+  t.hash <-
+    mix (mix (mix t.hash now) (Net.Address.to_int src)) (Net.Address.to_int dst);
+  t.events <- t.events + 1
+
+let events t = t.events
+let to_hex t = Printf.sprintf "%016Lx" t.hash
+let equal a b = Int64.equal a.hash b.hash && a.events = b.events

@@ -1,0 +1,20 @@
+(** Order-sensitive digest of a run's message trace.
+
+    Every attempted send is folded as [(now, src, dst)] into an FNV-1a
+    accumulator (hook it up with [Cluster.set_trace]).  Two runs of the
+    same seeded schedule must produce byte-identical digests — this is
+    the observable form of the chaos determinism contract. *)
+
+type t
+
+val create : unit -> t
+val note : t -> now:int -> src:Net.Address.t -> dst:Net.Address.t -> unit
+
+val events : t -> int
+(** Number of sends folded in. *)
+
+val to_hex : t -> string
+(** 16-hex-digit digest. *)
+
+val equal : t -> t -> bool
+(** Same digest and same event count. *)

@@ -30,6 +30,8 @@ let now t =
 
 let offset t = raw_now t - true_now t
 
+let skew_by t ~us = t.offset_us <- t.offset_us + us
+
 let sync t ~error_bound_us =
   if error_bound_us < 0 then invalid_arg "Node_clock.sync: negative bound";
   let err = offset t in

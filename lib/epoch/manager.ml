@@ -2,6 +2,10 @@ type config = { duration_us : int; lead_us : int }
 
 let default_config = { duration_us = 25_000; lead_us = 500 }
 
+(* Interval between Revoke re-broadcasts while a switch is pending; well
+   above the fault-free switch time so retries only fire under faults. *)
+let revoke_retry_us = 5_000
+
 type phase =
   | Idle
   | Open of { epoch : int; hi : int }
@@ -62,7 +66,24 @@ and begin_switch t ~epoch ~hi =
             revoke_sent_at = Sim.Engine.now t.sim }
   | Open _ | Switching _ | Idle -> invalid_arg "Manager: bad switch state");
   Sim.Metrics.incr t.metrics "em.revokes";
-  broadcast t (Protocol.Revoke { epoch })
+  broadcast t (Protocol.Revoke { epoch });
+  schedule_revoke_retry t ~epoch
+
+(* A lost Revoke (or lost Revoke_ack) must not wedge the epoch switch
+   forever: while Switching, re-send the revoke to the FEs that have not
+   acked yet.  Participants treat duplicates idempotently and re-ack. *)
+and schedule_revoke_retry t ~epoch =
+  Sim.Engine.after t.sim revoke_retry_us (fun () ->
+      match t.phase with
+      | Switching s when s.epoch = epoch ->
+          Sim.Metrics.incr t.metrics "em.revoke_retries";
+          Net.Address.Set.iter
+            (fun fe ->
+              Net.Rpc.send t.rpc ~src:t.addr ~dst:fe
+                (Protocol.Revoke { epoch }))
+            s.awaiting;
+          schedule_revoke_retry t ~epoch
+      | Switching _ | Open _ | Idle -> ())
 
 and handle_ack t ~src ~epoch =
   match t.phase with

@@ -15,8 +15,11 @@ type t = {
   straggler_opt : bool;
   metrics : Sim.Metrics.t;
   in_flight : (int, int) Hashtbl.t;  (* epoch -> count *)
+  orphans : (int, unit) Hashtbl.t;
+      (* revoked epochs whose Grant never arrived; acked when drained *)
   mutable state : auth_state;
   mutable granted : int;  (* latest epoch granted *)
+  mutable max_acked_revoke : int;  (* highest epoch whose revoke we acked *)
   mutable on_open : epoch:int -> lo:int -> hi:int -> unit;
   mutable on_closed : epoch:int -> unit;
   mutable observers : (unit -> unit) list;
@@ -32,19 +35,37 @@ let in_flight t ~epoch =
 let notify_observers t = List.iter (fun f -> f ()) t.observers
 
 let send_ack t ~epoch =
+  if epoch > t.max_acked_revoke then t.max_acked_revoke <- epoch;
   Sim.Metrics.incr t.metrics "fe.revoke_acks";
   Net.Rpc.send t.rpc ~src:t.addr ~dst:t.em (Protocol.Revoke_ack { epoch })
 
-(* Ack the revoke as soon as the revoked epoch has no in-flight txns. *)
+(* Ack the revoke as soon as the revoked epoch has no in-flight txns; the
+   same rule applies to orphan revokes (epochs whose grant we missed). *)
 let maybe_ack t =
-  match t.state with
+  (match t.state with
   | Revoked r when (not r.acked) && in_flight t ~epoch:r.epoch = 0 ->
       t.state <- Revoked { r with acked = true };
       send_ack t ~epoch:r.epoch
-  | Revoked _ | Authorized _ | Waiting -> ()
+  | Revoked _ | Authorized _ | Waiting -> ());
+  if Hashtbl.length t.orphans > 0 then begin
+    let ready =
+      Hashtbl.fold
+        (fun e () acc -> if in_flight t ~epoch:e = 0 then e :: acc else acc)
+        t.orphans []
+    in
+    List.iter
+      (fun e ->
+        Hashtbl.remove t.orphans e;
+        send_ack t ~epoch:e)
+      (List.sort compare ready)
+  end
 
 let handle_grant t ~epoch ~lo ~hi ~next_duration =
-  if epoch > t.granted then begin
+  (* A grant for an epoch whose revoke we already acked is a reordered
+     straggler message: the EM has moved on believing we have nothing in
+     flight there, so accepting it would let us issue timestamps into a
+     closed epoch.  Ignore it. *)
+  if epoch > t.granted && epoch > t.max_acked_revoke then begin
     t.granted <- epoch;
     t.state <- Authorized { epoch; lo; hi; next_duration };
     if epoch > 1 then begin
@@ -62,14 +83,30 @@ let handle_revoke t ~epoch =
       t.state <-
         Revoked { epoch; hi = a.hi; next_duration = a.next_duration;
                   acked = false }
-  | Authorized _ | Revoked _ | Waiting -> ());
+  | Revoked r when r.epoch = epoch ->
+      (* Duplicate (EM re-broadcast): if we already acked, our ack was
+         probably lost — resend it.  Otherwise the pending maybe_ack path
+         still covers it. *)
+      if r.acked then send_ack t ~epoch
+  | Waiting | Authorized _ | Revoked _ ->
+      if epoch < t.granted || epoch <= t.max_acked_revoke then
+        (* Stale revoke for an epoch we have left behind; the EM can only
+           be re-broadcasting because our ack was lost. *)
+        send_ack t ~epoch
+      else
+        (* Orphan revoke: the Grant for [epoch] never arrived (lost or
+           still in flight).  Record it and ack once nothing is in flight
+           for that epoch, so a lost Grant cannot wedge the switch; the
+           grant itself, if it turns up later, is ignored. *)
+        Hashtbl.replace t.orphans epoch ());
   maybe_ack t;
   notify_observers t
 
 let create ~rpc ~addr ~em ~clock ~straggler_opt ~metrics () =
   let t =
     { rpc; addr; em; clock; straggler_opt; metrics;
-      in_flight = Hashtbl.create 8; state = Waiting; granted = 0;
+      in_flight = Hashtbl.create 8; orphans = Hashtbl.create 4;
+      state = Waiting; granted = 0; max_acked_revoke = 0;
       on_open = ignore_open; on_closed = ignore_closed; observers = [] }
   in
   Net.Rpc.serve_oneway rpc addr (fun ~src:_ msg ->
@@ -93,7 +130,10 @@ let window t =
       let now = Clocksync.Node_clock.now t.clock in
       if now > hi then None else Some { epoch; lo; hi; authorized = true }
   | Revoked { epoch; hi; next_duration; _ } ->
-      if not t.straggler_opt then None
+      (* Straggler starts land in epoch + 1; once we have acked a revoke
+         for that epoch (orphan path) the EM believes it drained, so no
+         new starts may enter it. *)
+      if (not t.straggler_opt) || epoch + 1 <= t.max_acked_revoke then None
       else
         (* §III-C: timestamps of unauthorized starts must not exceed the
            previous finish plus the next epoch's duration. *)

@@ -36,6 +36,7 @@ val run_engine :
   cluster:'c ->
   gen:(fe:int -> Kernel.Txn.t) ->
   arrival:Arrivals.t ->
+  ?on_reply:(fe:int -> Kernel.Txn.reply -> unit) ->
   ?warmup_us:int ->
   ?measure_us:int ->
   ?seed:int ->

@@ -2,6 +2,10 @@ type t = {
   n_servers : int;
   epoch_us : int option;
       (* epoch / sequencer batch duration; engines without epochs ignore it *)
+  faults : Net.Faults.t option;
+      (* fault-injection oracle threaded into the cluster's network(s);
+         None = fault-free.  Engines may also harden their configuration
+         (retries, durability) when faults are present. *)
 }
 
-let make ?epoch_us ~n_servers () = { n_servers; epoch_us }
+let make ?epoch_us ?faults ~n_servers () = { n_servers; epoch_us; faults }

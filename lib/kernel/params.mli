@@ -10,6 +10,11 @@ type t = {
   epoch_us : int option;
       (** epoch / sequencer batch duration; engines without epochs ignore
           it *)
+  faults : Net.Faults.t option;
+      (** fault-injection oracle wired into the cluster's network(s);
+          [None] (the default) is fault-free.  Engines that can survive
+          faults additionally harden their configuration (retries, WAL
+          durability) when this is set. *)
 }
 
-val make : ?epoch_us:int -> n_servers:int -> unit -> t
+val make : ?epoch_us:int -> ?faults:Net.Faults.t -> n_servers:int -> unit -> t

@@ -4,22 +4,29 @@ let run_window ~sim ~metrics ~warmup_us ~measure_us =
   Sim.Engine.run ~until:(Sim.Engine.now sim + measure_us) sim
 
 let run (type c) (module E : Intf.ENGINE with type cluster = c)
-    ~(cluster : c) ~gen ~arrival ?(warmup_us = 150_000)
+    ~(cluster : c) ~gen ~arrival ?on_reply ?(warmup_us = 150_000)
     ?(measure_us = 400_000) ?(seed = 7) () =
   let sim = E.sim cluster in
   let metrics = E.metrics cluster in
   let rng = Sim.Rng.create seed in
+  let observe =
+    match on_reply with
+    | None -> fun ~fe:_ (_ : Txn.reply) -> ()
+    | Some f -> f
+  in
   Arrivals.install ~sim ~rng ~n_fes:(E.n_servers cluster) ~arrival
     ~submit:(fun ~fe ~done_k ->
-      E.submit cluster ~fe (gen ~fe) ~k:(fun _ -> done_k ()));
+      E.submit cluster ~fe (gen ~fe) ~k:(fun reply ->
+          observe ~fe reply;
+          done_k ()));
   run_window ~sim ~metrics ~warmup_us ~measure_us;
   Result.extract ~metrics ~measure_us ~committed_key:E.committed_key
     ~latency_key:E.latency_key ~abort_keys:E.abort_keys
     ~counter_keys:E.counter_keys ~stage_keys:E.stage_keys
 
 module Make (E : Intf.ENGINE) = struct
-  let run ~cluster ~gen ~arrival ?warmup_us ?measure_us ?seed () =
+  let run ~cluster ~gen ~arrival ?on_reply ?warmup_us ?measure_us ?seed () =
     run
       (module E : Intf.ENGINE with type cluster = E.cluster)
-      ~cluster ~gen ~arrival ?warmup_us ?measure_us ?seed ()
+      ~cluster ~gen ~arrival ?on_reply ?warmup_us ?measure_us ?seed ()
 end

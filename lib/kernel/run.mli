@@ -12,18 +12,22 @@ val run :
   cluster:'c ->
   gen:(fe:int -> Txn.t) ->
   arrival:Arrivals.t ->
+  ?on_reply:(fe:int -> Txn.reply -> unit) ->
   ?warmup_us:int ->
   ?measure_us:int ->
   ?seed:int ->
   unit ->
   Result.t
-(** The cluster must already be created, loaded and started. *)
+(** The cluster must already be created, loaded and started.
+    [on_reply] observes every completion (chaos invariant checking:
+    counting replies proves no submission was lost). *)
 
 module Make (E : Intf.ENGINE) : sig
   val run :
     cluster:E.cluster ->
     gen:(fe:int -> Txn.t) ->
     arrival:Arrivals.t ->
+    ?on_reply:(fe:int -> Txn.reply -> unit) ->
     ?warmup_us:int ->
     ?measure_us:int ->
     ?seed:int ->

@@ -5,7 +5,12 @@
    event; the dispatcher delivers every queued message whose time has
    come, so same-instant bursts on a link coalesce into a single heap
    entry (ALOHA-KV-style request batching).  FIFO order is the queue
-   order; delivery times are non-decreasing per link. *)
+   order; delivery times are non-decreasing per link.
+
+   An optional {!Faults.t} oracle is consulted on every send: it can drop
+   the message (injected loss, partition cut-off, crashed endpoint — each
+   counted under its own key), add delay, duplicate, or ask for the
+   message to bypass the link's FIFO queue (reordering). *)
 
 type 'msg link = {
   l_src : Address.t;
@@ -17,23 +22,36 @@ type 'msg link = {
   mutable armed : bool;  (* a dispatcher event is in the agenda *)
 }
 
+type drop_stats = {
+  injected : int;  (* probabilistic link faults *)
+  partitioned : int;  (* partition windows *)
+  crashed : int;  (* endpoint marked crashed at send or delivery *)
+  unregistered : int;  (* no handler at delivery time *)
+}
+
 type 'msg t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
   latency : Latency.t;
   fifo : bool;
+  faults : Faults.t option;
   handlers : (Address.t, src:Address.t -> 'msg -> unit) Hashtbl.t;
   links : (int, 'msg link) Hashtbl.t;
   mutable sent : int;
-  mutable dropped : int;
+  mutable d_injected : int;
+  mutable d_partitioned : int;
+  mutable d_crashed : int;
+  mutable d_unregistered : int;
   mutable trace : (src:Address.t -> dst:Address.t -> 'msg -> unit) option;
 }
 
-let create engine rng ~latency ?(fifo = true) () =
-  { engine; rng; latency; fifo;
+let create engine rng ~latency ?(fifo = true) ?faults () =
+  { engine; rng; latency; fifo; faults;
     handlers = Hashtbl.create 64;
     links = Hashtbl.create 256;
-    sent = 0; dropped = 0; trace = None }
+    sent = 0;
+    d_injected = 0; d_partitioned = 0; d_crashed = 0; d_unregistered = 0;
+    trace = None }
 
 let engine t = t.engine
 
@@ -55,6 +73,16 @@ let link_of t ~src ~dst =
       Hashtbl.add t.links id l;
       l
 
+(* A message reaching a dead address: during a crash window this is a
+   crash drop (the host is down), otherwise an unregistered-address drop
+   (nobody ever served, or the process was stopped). *)
+let count_undeliverable t dst =
+  let crashed =
+    match t.faults with Some f -> Faults.is_crashed f dst | None -> false
+  in
+  if crashed then t.d_crashed <- t.d_crashed + 1
+  else t.d_unregistered <- t.d_unregistered + 1
+
 (* Deliver every queued message that is due, then re-arm for the next
    one (if any).  The handler is resolved once per dispatch: handlers
    only change from other engine events, never mid-dispatch. *)
@@ -67,7 +95,7 @@ let rec dispatch t l =
         ignore (Queue.pop l.pending);
         (match handler with
         | Some h -> h ~src:l.l_src msg
-        | None -> t.dropped <- t.dropped + 1);
+        | None -> count_undeliverable t l.l_dst);
         drain ()
     | Some _ | None -> ()
   in
@@ -81,6 +109,25 @@ and arm t l =
       l.armed <- true;
       Sim.Engine.schedule t.engine ~at (fun () -> dispatch t l)
 
+(* Direct (non-FIFO) delivery: used for the fifo=false mode and for
+   fault-reordered messages that must overtake their link queue. *)
+let deliver_direct t ~src ~dst ~at msg =
+  Sim.Engine.schedule t.engine ~at (fun () ->
+      match Hashtbl.find_opt t.handlers dst with
+      | Some handler -> handler ~src msg
+      | None -> count_undeliverable t dst)
+
+let enqueue_fifo t ~src ~dst ~earliest msg =
+  let l = link_of t ~src ~dst in
+  let at = if earliest > l.clock then earliest else l.clock in
+  l.clock <- at;
+  Queue.push (at, msg) l.pending;
+  if not l.armed then arm t l
+
+let deliver t ~src ~dst ~earliest ~reorder msg =
+  if t.fifo && not reorder then enqueue_fifo t ~src ~dst ~earliest msg
+  else deliver_direct t ~src ~dst ~at:earliest msg
+
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
   (match t.trace with Some f -> f ~src ~dst msg | None -> ());
@@ -88,19 +135,27 @@ let send t ~src ~dst msg =
     if Address.equal src dst then Latency.local_delivery
     else Latency.sample t.latency t.rng
   in
-  let earliest = Sim.Engine.now t.engine + lat in
-  if t.fifo then begin
-    let l = link_of t ~src ~dst in
-    let at = if earliest > l.clock then earliest else l.clock in
-    l.clock <- at;
-    Queue.push (at, msg) l.pending;
-    if not l.armed then arm t l
-  end
-  else
-    Sim.Engine.schedule t.engine ~at:earliest (fun () ->
-        match Hashtbl.find_opt t.handlers dst with
-        | Some handler -> handler ~src msg
-        | None -> t.dropped <- t.dropped + 1)
+  let now = Sim.Engine.now t.engine in
+  match t.faults with
+  | None -> deliver t ~src ~dst ~earliest:(now + lat) ~reorder:false msg
+  | Some f -> (
+      match Faults.decide f ~now ~src ~dst with
+      | Faults.Drop_injected -> t.d_injected <- t.d_injected + 1
+      | Faults.Drop_partitioned -> t.d_partitioned <- t.d_partitioned + 1
+      | Faults.Drop_crashed -> t.d_crashed <- t.d_crashed + 1
+      | Faults.Deliver { extra_delay_us; copies; reorder } ->
+          let earliest = now + lat + extra_delay_us in
+          for _ = 1 to copies do
+            deliver t ~src ~dst ~earliest ~reorder msg
+          done)
 
 let messages_sent t = t.sent
-let messages_dropped t = t.dropped
+
+let drop_stats t =
+  { injected = t.d_injected;
+    partitioned = t.d_partitioned;
+    crashed = t.d_crashed;
+    unregistered = t.d_unregistered }
+
+let messages_dropped t =
+  t.d_injected + t.d_partitioned + t.d_crashed + t.d_unregistered

@@ -7,15 +7,25 @@
     protocol layer wants TCP-like semantics.
 
     Delivery to an unregistered address counts as a drop (recorded), which
-    failure-injection tests exploit. *)
+    failure-injection tests exploit.  An optional {!Faults.t} oracle adds
+    deterministic, seeded fault injection: drops, delays, duplicates,
+    reorderings, partitions, and crash windows (see {!Faults}). *)
 
 type 'msg t
 
+type drop_stats = {
+  injected : int;  (** lost to probabilistic link faults *)
+  partitioned : int;  (** cut off by partition windows *)
+  crashed : int;  (** endpoint inside a crash window *)
+  unregistered : int;  (** no handler at the destination *)
+}
+
 val create :
-  Sim.Engine.t -> Sim.Rng.t -> latency:Latency.t -> ?fifo:bool -> unit ->
-  'msg t
+  Sim.Engine.t -> Sim.Rng.t -> latency:Latency.t -> ?fifo:bool ->
+  ?faults:Faults.t -> unit -> 'msg t
 (** [fifo] (default [true]) delivers messages on each (src, dst) link in
-    send order, modelling a TCP connection per link. *)
+    send order, modelling a TCP connection per link.  [faults], when given,
+    is consulted on every send. *)
 
 val engine : _ t -> Sim.Engine.t
 
@@ -32,7 +42,14 @@ val send : 'msg t -> src:Address.t -> dst:Address.t -> 'msg -> unit
     delivered with loopback latency. *)
 
 val messages_sent : _ t -> int
+
 val messages_dropped : _ t -> int
+(** Total drops, all causes (= the sum of the {!drop_stats} fields). *)
+
+val drop_stats : _ t -> drop_stats
+(** Drops broken out by cause, so chaos invariants can assert precisely. *)
 
 val set_trace : 'msg t -> (src:Address.t -> dst:Address.t -> 'msg -> unit) -> unit
-(** Observe every send (for tests and debugging). *)
+(** Observe every send (for tests, debugging, and chaos trace hashing).
+    The hook fires at send time, before the fault oracle — so a trace
+    covers attempted sends and is independent of delivery outcome. *)

@@ -38,9 +38,9 @@ let dispatch t addr ~src (msg : _ wire) =
       | None -> ()
       | Some handler -> handler ~src payload)
 
-let create engine rng ~latency () =
+let create engine rng ~latency ?faults () =
   let t =
-    { net = Network.create engine rng ~latency ();
+    { net = Network.create engine rng ~latency ?faults ();
       pending = Hashtbl.create 256;
       request_handlers = Hashtbl.create 64;
       oneway_handlers = Hashtbl.create 64;
@@ -78,5 +78,12 @@ let crash t addr =
   Hashtbl.remove t.oneway_handlers addr
 
 let messages_sent t = Network.messages_sent t.net
+
+let messages_dropped t = Network.messages_dropped t.net
+
+let drop_stats t = Network.drop_stats t.net
+
+let set_trace t f =
+  Network.set_trace t.net (fun ~src ~dst _msg -> f ~src ~dst)
 
 let outstanding_calls t = Hashtbl.length t.pending

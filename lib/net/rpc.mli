@@ -11,7 +11,10 @@
 type ('req, 'resp) t
 
 val create :
-  Sim.Engine.t -> Sim.Rng.t -> latency:Latency.t -> unit -> ('req, 'resp) t
+  Sim.Engine.t -> Sim.Rng.t -> latency:Latency.t -> ?faults:Faults.t ->
+  unit -> ('req, 'resp) t
+(** [faults], when given, injects deterministic link faults into the
+    underlying network (see {!Faults}). *)
 
 val engine : _ t -> Sim.Engine.t
 
@@ -40,6 +43,14 @@ val crash : _ t -> Address.t -> unit
     replies from the node are lost. *)
 
 val messages_sent : _ t -> int
+
+val messages_dropped : _ t -> int
+
+val drop_stats : _ t -> Network.drop_stats
+
+val set_trace : _ t -> (src:Address.t -> dst:Address.t -> unit) -> unit
+(** Observe every send on the underlying network (payloads elided — the
+    chaos trace hash covers timing and endpoints only). *)
 
 val outstanding_calls : _ t -> int
 (** Calls whose replies have not yet been delivered (for quiescence

@@ -4,6 +4,7 @@ type options = {
   latency : Net.Latency.t;
   partitioner : [ `Hash | `Prefix ];
   seed : int;
+  faults : Net.Faults.t option;
 }
 
 let default_options =
@@ -11,13 +12,15 @@ let default_options =
     config = Config.default;
     latency = Net.Latency.uniform ~base:80 ~jitter:40;
     partitioner = `Prefix;
-    seed = 42 }
+    seed = 42;
+    faults = None }
 
 type t = {
   sim : Sim.Engine.t;
   servers : Server.t array;
   metrics : Sim.Metrics.t;
   partition_of : string -> int;
+  rpc : Message.rpc;
 }
 
 let create ?registry options =
@@ -29,7 +32,8 @@ let create ?registry options =
   let rng = Sim.Rng.create options.seed in
   let metrics = Sim.Metrics.create () in
   let rpc : Message.rpc =
-    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency ()
+    Net.Rpc.create sim (Sim.Rng.split rng) ~latency:options.latency
+      ?faults:options.faults ()
   in
   let n = options.n_servers in
   let part =
@@ -44,8 +48,10 @@ let create ?registry options =
           ~partition_of ~addr_of_partition:Net.Address.of_int ~registry
           ~config:options.config ~metrics ~seed:options.seed ())
   in
-  { sim; servers; metrics; partition_of }
+  { sim; servers; metrics; partition_of; rpc }
 
+let set_trace t f = Net.Rpc.set_trace t.rpc f
+let drop_stats t = Net.Rpc.drop_stats t.rpc
 let sim t = t.sim
 let metrics t = t.metrics
 let n_servers t = Array.length t.servers

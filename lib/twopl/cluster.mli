@@ -6,6 +6,10 @@ type options = {
   latency : Net.Latency.t;
   partitioner : [ `Hash | `Prefix ];
   seed : int;
+  faults : Net.Faults.t option;
+      (** fault oracle for the RPC plane; 2PC cannot survive message
+          loss, so pair it with [Net.Faults.Reliable] transport.
+          [None] = fault-free. *)
 }
 
 val default_options : options
@@ -13,6 +17,11 @@ val default_options : options
 type t
 
 val create : ?registry:Calvin.Ctxn.registry -> options -> t
+
+val set_trace : t -> (src:Net.Address.t -> dst:Net.Address.t -> unit) -> unit
+(** Observe every send (chaos trace hashing). *)
+
+val drop_stats : t -> Net.Network.drop_stats
 val sim : t -> Sim.Engine.t
 val metrics : t -> Sim.Metrics.t
 val n_servers : t -> int

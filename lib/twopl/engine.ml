@@ -12,7 +12,8 @@ let options_of ?seed (params : Kernel.Params.t) =
   { base with
     Cluster.n_servers = params.n_servers;
     partitioner = `Prefix;
-    seed = (match seed with Some s -> s | None -> base.Cluster.seed) }
+    seed = (match seed with Some s -> s | None -> base.Cluster.seed);
+    faults = params.faults }
 
 let create ?seed params =
   let funreg = Functor_cc.Registry.with_builtins () in
@@ -22,6 +23,8 @@ let create ?seed params =
     funreg;
     seq = ref 0 }
 
+let set_trace cl f = Cluster.set_trace cl.c f
+let drop_stats cl = Cluster.drop_stats cl.c
 let register cl name h = Functor_cc.Registry.register cl.funreg name h
 let load cl key v = Cluster.load cl.c ~key v
 let start (_ : cluster) = ()

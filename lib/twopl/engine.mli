@@ -9,3 +9,9 @@
 include Kernel.Intf.ENGINE
 
 val options_of : ?seed:int -> Kernel.Params.t -> Cluster.options
+
+val set_trace :
+  cluster -> (src:Net.Address.t -> dst:Net.Address.t -> unit) -> unit
+(** Observe every send on the cluster's RPC plane (chaos tracing). *)
+
+val drop_stats : cluster -> Net.Network.drop_stats

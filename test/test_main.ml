@@ -16,4 +16,5 @@ let () =
       ("twopl", Test_twopl.suite);
       ("cross-engine", Test_cross_engine.suite);
       ("gc", Test_gc.suite);
-      ("components", Test_components.suite) ]
+      ("components", Test_components.suite);
+      ("chaos", Test_chaos.suite) ]

@@ -74,6 +74,37 @@ let test_drop_unregistered () =
   Sim.Engine.run e;
   Alcotest.(check int) "dropped" 1 (Net.Network.messages_dropped net)
 
+(* Each drop cause lands under its own counter: injected edicts,
+   partition windows, crashed endpoints, and unregistered addresses. *)
+let test_drop_accounting () =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Rng.create 11 in
+  let faults = Net.Faults.create ~seed:7 () in
+  let net : int Net.Network.t =
+    Net.Network.create e rng ~latency:(Net.Latency.constant 10) ~faults ()
+  in
+  let got = ref 0 in
+  List.iter
+    (fun i -> Net.Network.register net (addr i) (fun ~src:_ _ -> incr got))
+    [ 1; 2; 3 ];
+  Net.Faults.install faults
+    [ Net.Faults.edict ~dst:(addr 1) Net.Faults.Drop ~p:1.0 ~from_us:0
+        ~until_us:1_000 ];
+  Net.Faults.partition faults ~group:[ addr 2 ] ~from_us:0 ~until_us:1_000;
+  Net.Faults.mark_crashed faults (addr 3);
+  Net.Network.send net ~src:(addr 0) ~dst:(addr 1) 1;
+  Net.Network.send net ~src:(addr 0) ~dst:(addr 2) 2;
+  Net.Network.send net ~src:(addr 0) ~dst:(addr 3) 3;
+  Net.Network.send net ~src:(addr 0) ~dst:(addr 9) 4;
+  Sim.Engine.run e;
+  let d = Net.Network.drop_stats net in
+  Alcotest.(check int) "injected" 1 d.Net.Network.injected;
+  Alcotest.(check int) "partitioned" 1 d.Net.Network.partitioned;
+  Alcotest.(check int) "crashed" 1 d.Net.Network.crashed;
+  Alcotest.(check int) "unregistered" 1 d.Net.Network.unregistered;
+  Alcotest.(check int) "total" 4 (Net.Network.messages_dropped net);
+  Alcotest.(check int) "nothing delivered" 0 !got
+
 let test_unregister_models_crash () =
   let e, net = mk_net () in
   let got = ref 0 in
@@ -202,6 +233,7 @@ let suite =
     Alcotest.test_case "delivery" `Quick test_delivery;
     Alcotest.test_case "fifo per link" `Quick test_fifo_per_link;
     Alcotest.test_case "drop unregistered" `Quick test_drop_unregistered;
+    Alcotest.test_case "drop accounting" `Quick test_drop_accounting;
     Alcotest.test_case "unregister crash" `Quick test_unregister_models_crash;
     Alcotest.test_case "rpc roundtrip" `Quick test_rpc_roundtrip;
     Alcotest.test_case "rpc deferred reply" `Quick test_rpc_deferred_reply;
