@@ -16,6 +16,8 @@ bench:
 # bench binary and BENCH_*.json output can't silently rot.
 bench-smoke:
 	dune exec bench/main.exe -- --json fig6 micro
+	dune exec bin/alohadb_cli.exe -- trace --engine aloha --sample 16 \
+	  --out TRACE_aloha.json --telemetry TELEMETRY.json
 
 # Compare the micro suite against the committed baseline; fails on >30%
 # ns/op regressions (see ci/check_bench_regression.py for how to update).

@@ -95,9 +95,12 @@ let run_cmd =
     in
     Format.printf "%a@." Harness.Driver.pp_result result;
     List.iter
-      (fun (stage, us) ->
-        Format.printf "  %-22s %8.2f ms@." stage (us /. 1000.0))
-      result.Harness.Driver.stages
+      (fun (stage, (st : Kernel.Result.stage_stat)) ->
+        Format.printf "  %-22s %8.2f ms  p99 %6.2f ms  p999 %6.2f ms@." stage
+          (st.Kernel.Result.mean_us /. 1000.0)
+          (float_of_int st.p99_us /. 1000.0)
+          (float_of_int st.p999_us /. 1000.0))
+      result.Harness.Driver.stage_stats
   in
   let doc = "Run one experiment point and print its metrics." in
   Cmd.v (Cmd.info "run" ~doc)
@@ -216,10 +219,197 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ engine $ seed $ count $ servers $ verbose)
 
+
+(* ---- traced runs (trace / stats subcommands) ---------------------------- *)
+
+(* Run one small YCSB point with lifecycle tracing enabled and hand back
+   the observability handle alongside the result.  ALOHA is driven
+   natively (its cluster type is transparent) so a trickle of read-only
+   requests can be injected mid-measurement — the kernel client loop
+   exercises only the read-write path, and without those the read_served
+   stage would never appear in the trace. *)
+let traced_run ~sys_name ~engine ~n ~ci ~sample ~epoch_us ~warmup_us
+    ~measure_us ~seed =
+  let ctl = Obs.Ctl.create ~sample () in
+  let arrival =
+    let clients = if sys_name = "aloha" then 400 else 100 in
+    Harness.Arrivals.Closed { clients_per_fe = clients }
+  in
+  match sys_name with
+  | "aloha" ->
+      let params = Kernel.Params.make ~epoch_us ~obs:ctl ~n_servers:n () in
+      let c = Alohadb.Engine.create ~seed params in
+      let cfg =
+        Workload.Ycsb.cfg_of_contention_index ~keys_per_partition:1_000 ci
+      in
+      Workload.Ycsb.Workload.register cfg
+        ~register:(Alohadb.Engine.register c);
+      Workload.Ycsb.Workload.load cfg ~n_servers:n
+        ~put:(Alohadb.Engine.load c);
+      Alohadb.Engine.start c;
+      let g = Workload.Ycsb.generator cfg ~n_partitions:n ~seed in
+      let gen ~fe = Workload.Ycsb.gen g ~fe in
+      let sim = Alohadb.Engine.sim c in
+      let step = max 1 (measure_us / 16) in
+      for i = 1 to 12 do
+        Sim.Engine.after sim
+          (warmup_us + (i * step))
+          (fun () ->
+            let keys = [ Workload.Ycsb.key ~partition:(i mod n) 0 ] in
+            Alohadb.Cluster.submit c ~fe:(i mod n)
+              (Alohadb.Txn.Read_only { keys })
+              (fun _ -> ()))
+      done;
+      let result =
+        Harness.Driver.run_engine
+          (module Alohadb.Engine)
+          ~cluster:c ~gen ~arrival ~obs:ctl ~warmup_us ~measure_us ~seed ()
+      in
+      (result, ctl, Some (Alohadb.Engine.drop_stats c))
+  | _ ->
+      let built =
+        Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ~obs:ctl ~seed ()
+      in
+      let result =
+        Harness.Driver.run built ~arrival ~obs:ctl ~warmup_us ~measure_us
+          ~seed ()
+      in
+      (result, ctl, None)
+
+let traced_args =
+  let engine =
+    let doc = "Engine to trace: aloha, calvin, or twopl." in
+    Cmdliner.Arg.(
+      value
+      & opt (enum
+               (List.map
+                  (fun (name, e) -> (name, (name, e)))
+                  Harness.Setup.engines))
+          ("aloha", List.assoc "aloha" Harness.Setup.engines)
+      & info [ "engine"; "e" ] ~doc)
+  in
+  let servers =
+    Arg.(value & opt int 4 & info [ "servers"; "n" ] ~doc:"Cluster size.")
+  in
+  let ci =
+    Arg.(value & opt float 0.01
+         & info [ "ci" ] ~doc:"YCSB contention index (1/hot-keys).")
+  in
+  let sample =
+    Arg.(value & opt int 1
+         & info [ "sample" ]
+             ~doc:"Trace 1-in-N transactions (1 = trace everything).")
+  in
+  let epoch_ms =
+    Arg.(value & opt int 10
+         & info [ "epoch-ms" ] ~doc:"Epoch / sequencer batch duration.")
+  in
+  let warmup_ms =
+    Arg.(value & opt int 30 & info [ "warmup-ms" ] ~doc:"Warm-up window.")
+  in
+  let measure_ms =
+    Arg.(value & opt int 60 & info [ "measure-ms" ] ~doc:"Measured window.")
+  in
+  let seed = Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Workload seed.") in
+  (engine, servers, ci, sample, epoch_ms, warmup_ms, measure_ms, seed)
+
+let trace_cmd =
+  let engine, servers, ci, sample, epoch_ms, warmup_ms, measure_ms, seed =
+    traced_args
+  in
+  let out =
+    Arg.(value & opt string "TRACE.json"
+         & info [ "out"; "o" ]
+             ~doc:"Output path for the Chrome trace_events JSON.")
+  in
+  let telemetry =
+    Arg.(value & opt string ""
+         & info [ "telemetry" ]
+             ~doc:"Also write a TELEMETRY.json run summary to this path.")
+  in
+  let run (sys_name, engine) n ci sample epoch_ms warmup_ms measure_ms seed
+      out telemetry =
+    let result, ctl, drops =
+      traced_run ~sys_name ~engine ~n ~ci ~sample ~epoch_us:(epoch_ms * 1000)
+        ~warmup_us:(warmup_ms * 1000) ~measure_us:(measure_ms * 1000) ~seed
+    in
+    Obs.Export.write_chrome_trace ~path:out ~engine:sys_name
+      ~trace:(Obs.Ctl.trace ctl)
+      ~gauges:(Some (Obs.Ctl.gauges ctl))
+      ();
+    if telemetry <> "" then
+      Harness.Report.write_telemetry ~path:telemetry ~engine:sys_name
+        ~workload:"ycsb" ~result ?drops ~ctl ();
+    let tr = Obs.Ctl.trace ctl in
+    Format.printf
+      "wrote %s: %d events in ring (%d emitted, %d dropped, sampling 1/%d), \
+       %d committed@."
+      out (Obs.Trace.length tr) (Obs.Trace.total tr) (Obs.Trace.dropped tr)
+      sample result.Harness.Driver.committed
+  in
+  let doc =
+    "Run a small traced YCSB experiment and export a Chrome trace_events      JSON file (load it in chrome://tracing or ui.perfetto.dev)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ engine $ servers $ ci $ sample $ epoch_ms $ warmup_ms
+          $ measure_ms $ seed $ out $ telemetry)
+
+let stats_cmd =
+  let engine, servers, ci, sample, epoch_ms, warmup_ms, measure_ms, seed =
+    traced_args
+  in
+  let run (sys_name, engine) n ci sample epoch_ms warmup_ms measure_ms seed =
+    let result, ctl, _ =
+      traced_run ~sys_name ~engine ~n ~ci ~sample ~epoch_us:(epoch_ms * 1000)
+        ~warmup_us:(warmup_ms * 1000) ~measure_us:(measure_ms * 1000) ~seed
+    in
+    Format.printf "%a@." Harness.Driver.pp_result result;
+    List.iter
+      (fun (stage, (st : Kernel.Result.stage_stat)) ->
+        Format.printf
+          "  %-22s mean %8.2f ms  p50 %6.2f  p95 %6.2f  p99 %6.2f  p999 %6.2f ms@."
+          stage
+          (st.Kernel.Result.mean_us /. 1000.0)
+          (float_of_int st.p50_us /. 1000.0)
+          (float_of_int st.p95_us /. 1000.0)
+          (float_of_int st.p99_us /. 1000.0)
+          (float_of_int st.p999_us /. 1000.0))
+      result.Harness.Driver.stage_stats;
+    let tr = Obs.Ctl.trace ctl in
+    let rollup = Obs.Export.epoch_rollup tr in
+    if rollup <> [] then Format.printf "%a@." Obs.Export.pp_rollup rollup;
+    let series = Obs.Gauges.series (Obs.Ctl.gauges ctl) in
+    if series <> [] then begin
+      Format.printf "gauges (samples / last / max):@.";
+      List.iter
+        (fun (name, samples) ->
+          let n = List.length samples in
+          let last =
+            match List.rev samples with [] -> 0.0 | (_, v) :: _ -> v
+          in
+          let hi =
+            List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 samples
+          in
+          Format.printf "  %-28s %5d  %12.1f  %12.1f@." name n last hi)
+        series
+    end;
+    Format.printf "trace: %d events (%d emitted, %d dropped), faults: %d drops / %d \
+       delays@."
+      (Obs.Trace.length tr) (Obs.Trace.total tr) (Obs.Trace.dropped tr)
+      (Obs.Ctl.fault_drops ctl) (Obs.Ctl.fault_delays ctl)
+  in
+  let doc =
+    "Run a small traced YCSB experiment and print its per-epoch rollup,      stage tail latencies and gauge summaries."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ engine $ servers $ ci $ sample $ epoch_ms $ warmup_ms
+          $ measure_ms $ seed)
+
 let () =
   let doc =
     "ALOHA-DB: scalable transaction processing using functors (ICDCS'18 \
      reproduction)"
   in
   let info = Cmd.info "alohadb_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; table1_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group info
+       [ run_cmd; figure_cmd; table1_cmd; chaos_cmd; trace_cmd; stats_cmd ]))

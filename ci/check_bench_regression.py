@@ -2,7 +2,7 @@
 """Fail CI when a micro-benchmark regresses past the threshold.
 
 Usage:
-    python3 ci/check_bench_regression.py BENCH_micro.json bench/baseline_micro.json
+    python3 ci/check_bench_regression.py CURRENT_JSON... BASELINE_JSON
 
 Compares ns/op per benchmark name against the committed baseline and
 exits non-zero if any benchmark is more than THRESHOLD slower (default
@@ -10,6 +10,11 @@ exits non-zero if any benchmark is more than THRESHOLD slower (default
 A benchmark present in the baseline but missing from the current run is
 also an error: coverage must not silently shrink.  New benchmarks are
 reported but do not fail the check until they are added to the baseline.
+
+More than one CURRENT_JSON may be given (e.g. a glob over the bench
+output directory): files whose "suite" field is not "micro" — telemetry
+summaries, Chrome traces, macro results — are skipped with a note, so
+new kinds of run artifacts never break the gate.
 
 Only the Python standard library is used.
 """
@@ -20,11 +25,14 @@ import sys
 
 
 def load(path):
+    """Parse a micro-suite document; return None for other JSON files."""
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as exc:
         sys.exit(f"error: cannot read {path}: {exc}")
+    if not isinstance(doc, dict) or doc.get("suite") != "micro":
+        return None
     try:
         return {r["name"]: float(r["ns_per_op"]) for r in doc["results"]}
     except (KeyError, TypeError) as exc:
@@ -32,13 +40,26 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) != 3:
-        sys.exit(f"usage: {argv[0]} CURRENT_JSON BASELINE_JSON")
-    current_path, baseline_path = argv[1], argv[2]
+    if len(argv) < 3:
+        sys.exit(f"usage: {argv[0]} CURRENT_JSON... BASELINE_JSON")
+    current_paths, baseline_path = argv[1:-1], argv[-1]
     threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.30"))
 
-    current = load(current_path)
+    current, current_path = None, None
+    for path in current_paths:
+        parsed = load(path)
+        if parsed is None:
+            print(f"note: {path} is not a micro-suite document, skipping")
+        elif current is not None:
+            sys.exit(f"error: more than one micro-suite file given "
+                     f"({current_path}, {path})")
+        else:
+            current, current_path = parsed, path
+    if current is None:
+        sys.exit("error: no micro-suite document among the current files")
     baseline = load(baseline_path)
+    if baseline is None:
+        sys.exit(f"error: {baseline_path} is not a micro-suite document")
 
     regressions = []
     missing = sorted(set(baseline) - set(current))

@@ -7,6 +7,7 @@ type options = {
   seed : int;
   clock_skew_us : int;
   faults : Net.Faults.t option;
+  obs : Obs.Ctl.t option;
 }
 
 let default_options =
@@ -17,7 +18,8 @@ let default_options =
     partitioner = `Hash;
     seed = 42;
     clock_skew_us = 100;
-    faults = None }
+    faults = None;
+    obs = None }
 
 type t = {
   sim : Sim.Engine.t;
@@ -78,7 +80,7 @@ let create ?registry options =
         Server.create ~sim ~data ~control ~addr:(Net.Address.of_int i)
           ~node_id:i ~em:em_addr ~clock:(server_clock ()) ~partition_of
           ~addr_of_partition ~my_partition:i ~registry
-          ~config:options.config ~metrics ())
+          ~config:options.config ~metrics ?obs:options.obs ())
   in
   let em =
     Epoch.Manager.create ~rpc:control ~addr:em_addr
@@ -86,7 +88,51 @@ let create ?registry options =
       ~clock:(Clocksync.Node_clock.perfect sim)
       ~config:options.epoch ~metrics ()
   in
-  { sim; servers; em; metrics; registry; partition_of; data; control }
+  let t = { sim; servers; em; metrics; registry; partition_of; data; control } in
+  (match options.obs with
+  | None -> ()
+  | Some ctl ->
+      (* Fault correlation: every chaos verdict on either plane opens the
+         tagging window and leaves a marker event. *)
+      let hook ~now ~dst ~kind =
+        Obs.Ctl.note_fault ctl ~now ~node:(Net.Address.to_int dst) ~kind
+      in
+      Net.Rpc.set_fault_hook data hook;
+      Net.Rpc.set_fault_hook control hook;
+      (* Gauge probes: cluster-wide sums published before each snapshot,
+         plus the cumulative network drop counter (the sampler records its
+         level; consumers diff consecutive points for deltas). *)
+      let g = Obs.Ctl.gauges ctl in
+      Obs.Gauges.bind_metrics g metrics;
+      Obs.Gauges.add_probe g (fun () ->
+          let depth = ref 0
+          and inflight = ref 0
+          and lag = ref 0
+          and wal_b = ref 0 in
+          Array.iter
+            (fun s ->
+              depth := !depth + Server.compute_queue_depth s;
+              inflight := !inflight + Server.inflight_functors s;
+              let l = Server.value_watermark_lag_us s in
+              if l > !lag then lag := l;
+              wal_b := !wal_b + Server.wal_pending_bytes s)
+            servers;
+          Sim.Metrics.set_gauge metrics "gauge.compute_queue_depth"
+            (float_of_int !depth);
+          Sim.Metrics.set_gauge metrics "gauge.inflight_functors"
+            (float_of_int !inflight);
+          Sim.Metrics.set_gauge metrics "gauge.watermark_lag_us"
+            (float_of_int !lag);
+          Sim.Metrics.set_gauge metrics "gauge.wal_pending_bytes"
+            (float_of_int !wal_b);
+          let d = Net.Rpc.drop_stats data
+          and c = Net.Rpc.drop_stats control in
+          Sim.Metrics.set_gauge metrics "gauge.net_drops"
+            (float_of_int
+               (d.Net.Network.injected + d.partitioned + d.crashed
+              + d.unregistered + c.Net.Network.injected + c.partitioned
+              + c.crashed + c.unregistered))));
+  t
 
 let start t = Epoch.Manager.start t.em
 

@@ -21,6 +21,12 @@ type options = {
   faults : Net.Faults.t option;
       (** fault-injection oracle shared by the data and control planes
           (one physical network); [None] = fault-free *)
+  obs : Obs.Ctl.t option;
+      (** observability handle: wires lifecycle tracing into every
+          server, registers cluster-wide gauge probes (compute-queue
+          depth, in-flight functors, watermark lag, WAL pending bytes,
+          network drops) and connects the network fault hook for
+          chaos-correlation tags; [None] = untraced *)
 }
 
 val default_options : options

@@ -13,6 +13,7 @@ let options_of ?seed (params : Kernel.Params.t) =
       | Some duration_us -> { base.Cluster.epoch with Epoch.Manager.duration_us }
       | None -> base.Cluster.epoch);
     faults = params.faults;
+    obs = params.obs;
     config =
       (match params.faults with
       | None -> base.Cluster.config

@@ -42,6 +42,7 @@ type t = {
   my_partition : int;
   config : Config.t;
   metrics : Sim.Metrics.t;
+  obs : Obs.Ctl.t option;
   (* Hot-path metric handles, resolved once at creation (see DESIGN.md,
      "Hot paths and how to measure them"). *)
   m_noauth_starts : int ref;
@@ -96,6 +97,17 @@ let held_requests t = Queue.length t.held
 let be_down t = t.be_down
 
 let now t = Sim.Engine.now t.sim
+
+(* Lifecycle trace emit: one option test when tracing is off.  [ts]
+   defaults to the current simulated time; Submit passes the original
+   submission time explicitly (the transaction's id does not exist until
+   its timestamp is acquired, so the event is emitted retroactively). *)
+let emit t ~txn ~stage ?(ts = -1) ?arg () =
+  match t.obs with
+  | None -> ()
+  | Some ctl ->
+      let ts = if ts < 0 then now t else ts in
+      Obs.Ctl.emit ctl ~txn ~stage ~node:t.node_id ~ts ?arg ()
 
 (* Data-plane call with periodic retransmission (config.install_retry_us).
    The first reply wins; the BE side answers duplicated requests
@@ -292,6 +304,10 @@ let maybe_complete t track =
     Hashtbl.remove t.tracks (Ts.to_int track.ts);
     let completed_at = now t in
     record_commit_metrics t track completed_at;
+    emit t ~txn:(Ts.to_int track.ts)
+      ~stage:
+        (if track.any_aborted then Obs.Trace.Aborted else Obs.Trace.Committed)
+      ~arg:track.epoch ();
     if track.any_aborted then begin
       incr t.m_aborted_compute;
       match track.ack with
@@ -314,6 +330,8 @@ let finish_write_phase t track =
   Epoch.Participant.txn_finished t.part ~epoch:track.epoch;
   track.install_done_at <- now t;
   incr t.m_installed;
+  emit t ~txn:(Ts.to_int track.ts) ~stage:Obs.Trace.Functor_write
+    ~arg:track.epoch ();
   (match track.ack with
   | Txn.Ack_on_install -> track.reply (Txn.Committed { ts = track.ts })
   | Txn.Ack_on_computed -> ());
@@ -325,6 +343,8 @@ let abort_write_phase t track keys_by_dst =
   incr t.m_aborted_install;
   let targets = track.acked_ok in
   let expected = List.length targets in
+  emit t ~txn:(Ts.to_int track.ts) ~stage:Obs.Trace.Aborted ~arg:track.epoch
+    ();
   if expected = 0 then begin
     Hashtbl.remove t.tracks (Ts.to_int track.ts);
     Epoch.Participant.txn_finished t.part ~epoch:track.epoch;
@@ -362,20 +382,24 @@ let rec submit t req reply =
 
 and submit_rw t rw reply =
   incr t.m_submitted_rw;
+  let submitted_at = now t in
   match acquire t with
   | None ->
       hold t (fun () ->
           (* Re-enter without double-counting the submission. *)
-          retry_rw t rw reply)
-  | Some (w, ts) -> start_rw t rw reply w ts
+          retry_rw t rw reply ~submitted_at)
+  | Some (w, ts) -> start_rw t rw reply w ts ~submitted_at
 
-and retry_rw t rw reply =
+and retry_rw t rw reply ~submitted_at =
   match acquire t with
-  | None -> hold t (fun () -> retry_rw t rw reply)
-  | Some (w, ts) -> start_rw t rw reply w ts
+  | None -> hold t (fun () -> retry_rw t rw reply ~submitted_at)
+  | Some (w, ts) -> start_rw t rw reply w ts ~submitted_at
 
-and start_rw t (writes, precondition_keys, ack) reply w ts =
+and start_rw t (writes, precondition_keys, ack) reply w ts ~submitted_at =
   let issued_at = now t in
+  emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Submit ~ts:submitted_at ();
+  emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Epoch_assign
+    ~arg:w.Epoch.Participant.epoch ();
   Epoch.Participant.txn_started t.part ~epoch:w.Epoch.Participant.epoch;
   let groups = groups_of_writes t writes in
   let preconditions = List.map Key.intern precondition_keys in
@@ -439,10 +463,15 @@ and delay_ro t keys reply w ts =
   (* §III-B: a latest-version read gets a timestamp in the current epoch
      and is served as a historical read once that epoch closes. *)
   let issued_at = now t in
+  emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Submit ();
+  emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Epoch_assign
+    ~arg:w.Epoch.Participant.epoch ();
   let run () =
     run_read t keys (Ts.to_int ts) (fun result ->
         Sim.Stats.Histogram.add t.h_lat_ro (now t - issued_at);
         incr t.m_ro_completed;
+        emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Read_served
+          ~arg:w.Epoch.Participant.epoch ();
         reply result)
   in
   t.delayed_reads <- (w.Epoch.Participant.epoch, run) :: t.delayed_reads
@@ -585,6 +614,7 @@ let on_batch_done t ~src ~txn_id ~max_retrieved_at ~aborted =
   | Some track ->
       if not (List.exists (Net.Address.equal src) track.done_srcs) then begin
         track.done_srcs <- src :: track.done_srcs;
+        emit t ~txn:txn_id ~stage:Obs.Trace.Batch_ack ~arg:track.epoch ();
         if aborted then track.any_aborted <- true;
         if max_retrieved_at > track.max_retrieved then
           track.max_retrieved <- max_retrieved_at;
@@ -668,7 +698,10 @@ let spawn_engine t =
           end);
       notify_final =
         (fun ~key:_ ~version:_ ~pending ~final ->
-          if live () then on_functor_final t ~pending ~final);
+          if live () then begin
+            emit t ~txn:pending.Funct.txn_id ~stage:Obs.Trace.Compute_done ();
+            on_functor_final t ~pending ~final
+          end);
       exec =
         (fun ~cost k ->
           if live () then Sim.Worker_pool.submit t.pool ~cost k);
@@ -680,14 +713,36 @@ let spawn_engine t =
   in
   me := engine;
   t.engine <- engine;
+  (* The dispatch observer looks the functor's transaction id up in the
+     table; the probe is only paid on traced runs. *)
+  let on_dispatch =
+    match t.obs with
+    | None -> None
+    | Some _ ->
+        Some
+          (fun ~key ~version ->
+            match
+              Mvstore.Table.find_le
+                (Functor_cc.Compute_engine.table engine)
+                ~key ~version
+            with
+            | Some (v, record) when v = version -> (
+                match record.Funct.state with
+                | Funct.Pending p ->
+                    emit t ~txn:p.Funct.txn_id ~stage:Obs.Trace.Compute_start
+                      ()
+                | Funct.Final _ -> ())
+            | Some _ | None -> ())
+  in
   t.processor <-
     Functor_cc.Processor.create ~engine ~pool:t.pool
-      ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics ()
+      ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics
+      ?on_dispatch ()
 
 (* ---- construction ------------------------------------------------------ *)
 
 let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
-    ~addr_of_partition ~my_partition ~registry ~config ~metrics () =
+    ~addr_of_partition ~my_partition ~registry ~config ~metrics ?obs () =
   let pool = Sim.Worker_pool.create sim ~workers:config.Config.cores in
   let part =
     Epoch.Participant.create ~rpc:control ~addr ~em ~clock
@@ -714,7 +769,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
   let h = Sim.Metrics.histogram metrics in
   let t =
     { sim; data; address = addr; node_id; clock; partition_of;
-      addr_of_partition; my_partition; config; metrics;
+      addr_of_partition; my_partition; config; metrics; obs;
       m_noauth_starts = c "aloha.noauth_starts";
       m_held = c "aloha.held";
       m_submitted_rw = c "aloha.submitted_rw";
@@ -754,6 +809,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
   Epoch.Participant.set_hooks part
     ~on_open:(fun ~epoch:_ ~lo:_ ~hi:_ -> drain_held t)
     ~on_closed:(fun ~epoch ->
+      emit t ~txn:(-1) ~stage:Obs.Trace.Epoch_close ~arg:epoch ();
       if epoch > t.last_closed_epoch then t.last_closed_epoch <- epoch;
       (* The backend part of epoch close (log the close, release the
          processor) is skipped while the backend is down; the restart
@@ -790,7 +846,9 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
               if t.be_down then incr t.m_be_dropped
               else
                 Functor_cc.Compute_engine.get t.engine ~key ~version
-                  (fun v -> reply (Message.Get_resp v)))
+                  (fun v ->
+                    emit t ~txn:version ~stage:Obs.Trace.Read_served ();
+                    reply (Message.Get_resp v)))
       | Message.One _ -> ());
   Net.Rpc.serve_oneway data addr (fun ~src wire ->
       match wire with
@@ -828,6 +886,27 @@ let load_initial t ~key value =
   Functor_cc.Compute_engine.load_initial t.engine ~key value
 
 let wal t = t.wal
+
+(* ---- gauge probes (observability) -------------------------------------- *)
+
+let compute_queue_depth t =
+  Functor_cc.Processor.buffered t.processor
+  + Sim.Worker_pool.queue_length t.pool
+
+let inflight_functors t = Functor_cc.Compute_engine.pending_count t.engine
+
+(* How far the newest final value lags behind now: the age (µs) of the
+   youngest version every key of this partition is final up to.  0 before
+   any functor finalises. *)
+let value_watermark_lag_us t =
+  let v = Recovery.max_final_version t.engine in
+  if v <= 0 then 0
+  else
+    let lag = now t - Ts.time_us (Ts.of_int v) in
+    if lag > 0 then lag else 0
+
+let wal_pending_bytes t =
+  match t.wal with Some wal -> Wal.pending_bytes wal | None -> 0
 
 (* Take a checkpoint now.  Meaningful when no functor is pending (e.g.
    quiesced between epochs): everything below the snapshot becomes

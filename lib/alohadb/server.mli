@@ -32,9 +32,11 @@ val create :
   registry:Functor_cc.Registry.t ->
   config:Config.t ->
   metrics:Sim.Metrics.t ->
+  ?obs:Obs.Ctl.t ->
   unit -> t
 (** Wires up all handlers; the server is passive until the EM grants the
-    first epoch. *)
+    first epoch.  [obs] turns on lifecycle tracing for every transaction
+    this server coordinates or stores. *)
 
 val submit : t -> Txn.request -> (Txn.result -> unit) -> unit
 (** Client entry point (clients talk to their frontend directly, as the
@@ -63,6 +65,21 @@ val held_requests : t -> int
 
 val wal : t -> Wal.t option
 (** The partition's write-ahead log when [config.durability] is on. *)
+
+val compute_queue_depth : t -> int
+(** Functor items awaiting dispatch or CPU (buffered in the processor
+    plus queued at the worker pool) — gauge probe. *)
+
+val inflight_functors : t -> int
+(** Installed functors not yet final on this partition — gauge probe. *)
+
+val value_watermark_lag_us : t -> int
+(** Age of the newest final version on this partition (0 before any
+    functor finalises) — gauge probe. *)
+
+val wal_pending_bytes : t -> int
+(** Nominal unflushed WAL bytes (0 when durability is off) — gauge
+    probe. *)
 
 val checkpoint_now : t -> unit
 (** Snapshot the partition's final state into the WAL and truncate the

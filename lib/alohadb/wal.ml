@@ -75,6 +75,16 @@ let durable_count t = List.length t.flushed
 
 let pending_count t = List.length t.buffered
 
+(* Nominal on-device entry sizes: a functor install carries the spec
+   (key, args, txn identity); aborts and epoch markers are headers. *)
+let entry_bytes = function
+  | Log_install _ -> 64
+  | Log_abort _ -> 24
+  | Log_epoch_closed _ -> 16
+
+let pending_bytes t =
+  List.fold_left (fun acc e -> acc + entry_bytes e) 0 t.buffered
+
 let entry_version = function
   | Log_install { version; _ } | Log_abort { version; _ } -> Some version
   | Log_epoch_closed _ -> None

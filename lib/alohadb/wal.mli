@@ -51,6 +51,10 @@ val durable_count : t -> int
 val pending_count : t -> int
 (** Buffered entries not yet flushed (lost on crash). *)
 
+val pending_bytes : t -> int
+(** Nominal size of the unflushed tail (gauge for the observability
+    layer; sizes are modelled, not serialized). *)
+
 val checkpoint :
   t -> snapshot:(Mvstore.Key.t * int * Message.fspec) list ->
   retain_above:int -> unit

@@ -13,6 +13,9 @@ type options = {
       (** fault oracle for the shared RPC plane; Calvin's sequencer
           barrier tolerates no loss, so pair it with
           [Net.Faults.Reliable] transport.  [None] = fault-free. *)
+  obs : Obs.Ctl.t option;
+      (** observability handle: lifecycle tracing on every server plus
+          lock-queue / in-flight gauges; [None] = untraced *)
 }
 
 val default_options : options

@@ -34,6 +34,7 @@ let options_of ?seed (params : Kernel.Params.t) =
     partitioner = `Prefix;
     seed = (match seed with Some s -> s | None -> base.Cluster.seed);
     faults = params.faults;
+    obs = params.obs;
     config =
       (match params.epoch_us with
       | Some epoch_us -> { Config.default with Config.epoch_us }

@@ -27,6 +27,7 @@ type t = {
   registry : Ctxn.registry;
   config : Config.t;
   metrics : Sim.Metrics.t;
+  obs : Obs.Ctl.t option;
   (* Hot-path metric handles, resolved once at creation. *)
   m_submitted : int ref;
   m_committed : int ref;
@@ -56,12 +57,21 @@ type t = {
 
 let read_local t key = Hashtbl.find_opt t.store key
 
+(* Lifecycle trace emit: one option test when tracing is off. *)
+let emit t ~txn ~stage ?(ts = -1) ?arg () =
+  match t.obs with
+  | None -> ()
+  | Some ctl ->
+      let ts = if ts < 0 then Sim.Engine.now t.sim else ts in
+      Obs.Ctl.emit ctl ~txn ~stage ~node:t.node_id ~ts ?arg ()
+
 let load_initial t ~key value =
   if t.partition_of key <> t.node_id then
     invalid_arg "Calvin.Server.load_initial: key not owned";
   Hashtbl.replace t.store key value
 
 let lock_queue_depth t = Sim.Worker_pool.queue_length t.lm_pool
+let inflight_count t = Hashtbl.length t.inflight
 
 let local_keys t keys = List.filter (fun k -> t.partition_of k = t.node_id) keys
 
@@ -89,6 +99,7 @@ let maybe_execute t (fl : inflight) =
   then begin
     fl.exec_started <- true;
     let exec_start = Sim.Engine.now t.sim in
+    emit t ~txn:fl.routed.Message.uid ~stage:Obs.Trace.Exec_start ();
     Sim.Stats.Histogram.add t.h_stage_lockread (exec_start - fl.sched_start);
     let txn = fl.routed.Message.txn in
     let local_writes_estimate =
@@ -110,6 +121,7 @@ let maybe_execute t (fl : inflight) =
               writes);
         Sim.Stats.Histogram.add t.h_stage_proc
           (Sim.Engine.now t.sim - exec_start);
+        emit t ~txn:fl.routed.Message.uid ~stage:Obs.Trace.Exec_done ();
         Hashtbl.remove t.inflight fl.routed.Message.uid;
         release_locks t fl)
   end
@@ -121,6 +133,7 @@ let on_locks_ready t uid =
   match Hashtbl.find_opt t.inflight uid with
   | None -> ()
   | Some fl ->
+      emit t ~txn:uid ~stage:Obs.Trace.Locks_acquired ();
       let txn = fl.routed.Message.txn in
       let locals = local_keys t txn.Ctxn.read_set in
       let cost =
@@ -176,6 +189,7 @@ let admit_txn t (routed : Message.routed) =
   in
   Sim.Worker_pool.submit t.lm_pool ~cost (fun () ->
       fl.sched_start <- Sim.Engine.now t.sim;
+      emit t ~txn:routed.Message.uid ~stage:Obs.Trace.Scheduled ();
       Sim.Stats.Histogram.add t.h_stage_seq
         (fl.sched_start - routed.Message.submitted_at);
       Lock_manager.request t.lm ~uid:routed.Message.uid ~keys:lock_keys)
@@ -225,6 +239,12 @@ let ship_epoch t =
           origin = t.node_id; submitted_at; txn })
       txns
   in
+  List.iter
+    (fun (r : Message.routed) ->
+      emit t ~txn:r.Message.uid ~stage:Obs.Trace.Submit
+        ~ts:r.Message.submitted_at ();
+      emit t ~txn:r.Message.uid ~stage:Obs.Trace.Sequenced ~arg:epoch ())
+    routed;
   (* Participant sets are computed once per transaction and reused for
      completion tracking and per-destination routing (previously they were
      recomputed for every destination server). *)
@@ -267,6 +287,7 @@ let on_done t ~uid =
       if d.awaiting = 0 then begin
         Hashtbl.remove t.dones uid;
         incr t.m_committed;
+        emit t ~txn:uid ~stage:Obs.Trace.Committed ();
         Sim.Stats.Histogram.add t.h_lat_total
           (Sim.Engine.now t.sim - d.submitted_at);
         match d.on_complete with Some k -> k () | None -> ()
@@ -292,13 +313,13 @@ let on_reads t ~uid ~values =
       buffered := values :: !buffered
 
 let create ~sim ~rpc ~addr ~node_id ~n_servers ~partition_of
-    ~addr_of_partition ~registry ~config ~metrics () =
+    ~addr_of_partition ~registry ~config ~metrics ?obs () =
   let executors = max 1 (config.Config.cores - 2) in
   let c = Sim.Metrics.counter metrics in
   let h = Sim.Metrics.histogram metrics in
   let t =
     { sim; rpc; address = addr; node_id; n_servers; partition_of;
-      addr_of_partition; registry; config; metrics;
+      addr_of_partition; registry; config; metrics; obs;
       m_submitted = c "calvin.submitted";
       m_committed = c "calvin.committed";
       m_missing_proc = c "calvin.missing_proc";

@@ -32,7 +32,10 @@ val create :
   registry:Ctxn.registry ->
   config:Config.t ->
   metrics:Sim.Metrics.t ->
+  ?obs:Obs.Ctl.t ->
   unit -> t
+(** [obs] turns on lifecycle tracing (submit / sequenced / scheduled /
+    locks / exec / committed) for transactions this server touches. *)
 
 val start : t -> unit
 (** Start the sequencer's epoch timer. *)
@@ -48,3 +51,6 @@ val read_local : t -> string -> Functor_cc.Value.t option
 
 val lock_queue_depth : t -> int
 (** Jobs waiting on the lock-manager thread (saturation diagnostics). *)
+
+val inflight_count : t -> int
+(** Admitted transactions not yet executed locally — gauge probe. *)

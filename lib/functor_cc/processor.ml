@@ -7,12 +7,13 @@ type t = {
   m_dispatched : int ref;
   buffers : (int, item list ref) Hashtbl.t;  (* epoch -> reverse order *)
   mutable dispatched : int;
+  on_dispatch : (key:Mvstore.Key.t -> version:int -> unit) option;
 }
 
-let create ~engine ~pool ~dispatch_cost_us ~metrics () =
+let create ~engine ~pool ~dispatch_cost_us ~metrics ?on_dispatch () =
   { engine; pool; dispatch_cost_us;
     m_dispatched = Sim.Metrics.counter metrics "proc.dispatched";
-    buffers = Hashtbl.create 8; dispatched = 0 }
+    buffers = Hashtbl.create 8; dispatched = 0; on_dispatch }
 
 let buffer t ~epoch ~key ~version =
   let items =
@@ -28,6 +29,9 @@ let buffer t ~epoch ~key ~version =
 let dispatch t { key; version } =
   t.dispatched <- t.dispatched + 1;
   incr t.m_dispatched;
+  (match t.on_dispatch with
+  | Some f -> f ~key ~version
+  | None -> ());
   Sim.Worker_pool.submit t.pool ~cost:t.dispatch_cost_us (fun () ->
       Compute_engine.compute_key t.engine ~key ~version)
 

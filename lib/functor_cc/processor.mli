@@ -16,7 +16,10 @@ val create :
   pool:Sim.Worker_pool.t ->
   dispatch_cost_us:int ->
   metrics:Sim.Metrics.t ->
+  ?on_dispatch:(key:Mvstore.Key.t -> version:int -> unit) ->
   unit -> t
+(** [on_dispatch] observes each item as it leaves the buffer for the
+    worker pool (lifecycle tracing); absent on untraced runs. *)
 
 val buffer : t -> epoch:int -> key:Mvstore.Key.t -> version:int -> unit
 (** Record metadata for a functor installed in the given (open) epoch. *)

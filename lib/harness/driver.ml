@@ -7,14 +7,16 @@ type result = Kernel.Result.t = {
   lat_p50_us : int;
   lat_p95_us : int;
   lat_p99_us : int;
+  lat_p999_us : int;
   stages : (string * float) list;
+  stage_stats : (string * Kernel.Result.stage_stat) list;
 }
 
 let pp_result = Kernel.Result.pp
 
-let run (Setup.Built ((module E), cluster, gen)) ~arrival ?warmup_us
+let run (Setup.Built ((module E), cluster, gen)) ~arrival ?obs ?warmup_us
     ?measure_us ?seed () =
-  Kernel.Run.run (module E) ~cluster ~gen ~arrival ?warmup_us ?measure_us
-    ?seed ()
+  Kernel.Run.run (module E) ~cluster ~gen ~arrival ?obs ?warmup_us
+    ?measure_us ?seed ()
 
 let run_engine = Kernel.Run.run

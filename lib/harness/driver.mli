@@ -15,7 +15,9 @@ type result = Kernel.Result.t = {
   lat_p50_us : int;
   lat_p95_us : int;
   lat_p99_us : int;
+  lat_p999_us : int;
   stages : (string * float) list;
+  stage_stats : (string * Kernel.Result.stage_stat) list;
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -23,6 +25,7 @@ val pp_result : Format.formatter -> result -> unit
 val run :
   Setup.built ->
   arrival:Arrivals.t ->
+  ?obs:Obs.Ctl.t ->
   ?warmup_us:int ->
   ?measure_us:int ->
   ?seed:int ->
@@ -37,6 +40,7 @@ val run_engine :
   gen:(fe:int -> Kernel.Txn.t) ->
   arrival:Arrivals.t ->
   ?on_reply:(fe:int -> Kernel.Txn.reply -> unit) ->
+  ?obs:Obs.Ctl.t ->
   ?warmup_us:int ->
   ?measure_us:int ->
   ?seed:int ->

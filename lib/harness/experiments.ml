@@ -225,16 +225,19 @@ let print_stages fig name r =
   let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Driver.stages in
   let total = if total <= 0.0 then 1.0 else total in
   List.iter
-    (fun (stage, v) ->
+    (fun (stage, (st : Kernel.Result.stage_stat)) ->
       row fig
         [ name; Printf.sprintf "%-20s" stage;
-          Printf.sprintf "%5.1f%%" (100.0 *. v /. total);
-          Printf.sprintf "(%.2f ms)" (v /. 1000.0) ])
-    r.Driver.stages
+          Printf.sprintf "%5.1f%%"
+            (100.0 *. st.Kernel.Result.mean_us /. total);
+          Printf.sprintf "(%.2f ms)" (st.mean_us /. 1000.0);
+          Printf.sprintf "p99 %.2f ms" (float_of_int st.p99_us /. 1000.0);
+          Printf.sprintf "p999 %.2f ms" (float_of_int st.p999_us /. 1000.0) ])
+    r.Driver.stage_stats
 
 let fig10 scale =
   let n = 8 in
-  row "fig10" [ "system/ci"; "stage"; "share"; "mean" ];
+  row "fig10" [ "system/ci"; "stage"; "share"; "mean"; "p99"; "p999" ];
   List.iter
     (fun ci ->
       (* Light load: ~5 % of a saturated server. *)

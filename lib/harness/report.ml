@@ -97,3 +97,78 @@ let write_macro ~scale path =
        (String.concat "," (List.rev_map point_json !macro_points))
        (String.concat "," (List.rev_map row_json !raw_rows))
        (String.concat "," (List.rev_map time_json !fig_times)))
+
+(* ---- run telemetry (TELEMETRY.json) -------------------------------------- *)
+
+(* One run's observability summary: headline result numbers, per-stage
+   latency percentiles, final gauge values with sample counts, trace-ring
+   occupancy, and fault-correlation counters.  Small and flat on purpose —
+   the Chrome trace carries the event-level detail; this file is for the
+   regression dashboard and quick CI diffing. *)
+
+let jint = string_of_int
+
+let stage_stat_json (name, (st : Kernel.Result.stage_stat)) =
+  Printf.sprintf
+    "{\"stage\":%s,\"mean_us\":%s,\"p50_us\":%s,\"p95_us\":%s,\"p99_us\":%s,\"p999_us\":%s}"
+    (jstr name) (jfloat st.Kernel.Result.mean_us) (jint st.p50_us)
+    (jint st.p95_us) (jint st.p99_us) (jint st.p999_us)
+
+let gauge_series_json (g : Obs.Gauges.t) =
+  let series = Obs.Gauges.series g in
+  let one (name, samples) =
+    let n = List.length samples in
+    let last =
+      match List.rev samples with [] -> 0.0 | (_, v) :: _ -> v
+    in
+    let hi =
+      List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 samples
+    in
+    Printf.sprintf "{\"name\":%s,\"samples\":%s,\"last\":%s,\"max\":%s}"
+      (jstr name) (jint n) (jfloat last) (jfloat hi)
+  in
+  String.concat "," (List.map one series)
+
+let write_telemetry ~path ~engine ~workload ~(result : Kernel.Result.t)
+    ?(drops : Net.Network.drop_stats option) ?(ctl : Obs.Ctl.t option) () =
+  let trace_json =
+    match ctl with
+    | None -> "null"
+    | Some ctl ->
+        let tr = Obs.Ctl.trace ctl in
+        Printf.sprintf
+          "{\"sample_rate\":%s,\"capacity\":%s,\"events\":%s,\"total\":%s,\"dropped\":%s,\"fault_drops\":%s,\"fault_delays\":%s}"
+          (jint (Obs.Trace.sample_rate tr))
+          (jint (Obs.Trace.capacity tr))
+          (jint (Obs.Trace.length tr))
+          (jint (Obs.Trace.total tr))
+          (jint (Obs.Trace.dropped tr))
+          (jint (Obs.Ctl.fault_drops ctl))
+          (jint (Obs.Ctl.fault_delays ctl))
+  in
+  let gauges_json =
+    match ctl with
+    | None -> ""
+    | Some ctl -> gauge_series_json (Obs.Ctl.gauges ctl)
+  in
+  let drops_json =
+    match drops with
+    | None -> "null"
+    | Some d ->
+        Printf.sprintf
+          "{\"injected\":%s,\"partitioned\":%s,\"crashed\":%s,\"unregistered\":%s}"
+          (jint d.Net.Network.injected) (jint d.partitioned) (jint d.crashed)
+          (jint d.unregistered)
+  in
+  write path
+    (Printf.sprintf
+       "{\"suite\":\"telemetry\",\"engine\":%s,\"workload\":%s,\"tps\":%s,\"committed\":%s,\"aborted\":%s,\"lat_mean_us\":%s,\"lat_p50_us\":%s,\"lat_p95_us\":%s,\"lat_p99_us\":%s,\"lat_p999_us\":%s,\"stages\":[%s],\"gauges\":[%s],\"trace\":%s,\"net_drops\":%s}"
+       (jstr engine) (jstr workload)
+       (jfloat result.Kernel.Result.throughput_tps)
+       (jint result.committed)
+       (jint (Kernel.Result.abort_count result))
+       (jfloat result.lat_mean_us) (jint result.lat_p50_us)
+       (jint result.lat_p95_us) (jint result.lat_p99_us)
+       (jint result.lat_p999_us)
+       (String.concat "," (List.map stage_stat_json result.stage_stats))
+       gauges_json trace_json drops_json)

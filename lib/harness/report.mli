@@ -25,3 +25,18 @@ val record_micro : name:string -> ns_per_op:float -> unit
 
 val write_micro : string -> unit
 val write_macro : scale:string -> string -> unit
+
+val write_telemetry :
+  path:string ->
+  engine:string ->
+  workload:string ->
+  result:Kernel.Result.t ->
+  ?drops:Net.Network.drop_stats ->
+  ?ctl:Obs.Ctl.t ->
+  unit ->
+  unit
+(** Write one run's observability summary (TELEMETRY.json): headline
+    result numbers including p999, per-stage latency percentiles, gauge
+    series summaries, trace-ring occupancy / sampling stats, and fault
+    counters.  Unlike the record_* API this is unconditional — it does not
+    consult {!recording}. *)

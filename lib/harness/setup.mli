@@ -26,11 +26,14 @@ val build :
   'k ->
   n:int ->
   ?epoch_us:int ->
+  ?obs:Obs.Ctl.t ->
   ?seed:int ->
   unit ->
   built
 (** [build engine workload cfg ~n] — create, register, load, start.
-    [seed] (default 17) seeds the workload generator. *)
+    [seed] (default 17) seeds the workload generator.  [obs] threads an
+    observability handle into the engine's cluster (pass the same handle
+    to {!Driver.run}). *)
 
 (* -- convenience wrappers over the bundled workloads -- *)
 
@@ -40,6 +43,7 @@ val tpcc :
   warehouses_per_host:int ->
   kind:[ `NewOrder | `Payment ] ->
   ?epoch_us:int ->
+  ?obs:Obs.Ctl.t ->
   ?seed:int ->
   unit ->
   built
@@ -49,6 +53,7 @@ val stpcc :
   n:int ->
   districts_per_host:int ->
   ?epoch_us:int ->
+  ?obs:Obs.Ctl.t ->
   ?seed:int ->
   unit ->
   built
@@ -59,6 +64,7 @@ val ycsb :
   ci:float ->
   ?keys_per_partition:int ->
   ?epoch_us:int ->
+  ?obs:Obs.Ctl.t ->
   ?seed:int ->
   unit ->
   built

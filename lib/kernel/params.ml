@@ -6,6 +6,11 @@ type t = {
       (* fault-injection oracle threaded into the cluster's network(s);
          None = fault-free.  Engines may also harden their configuration
          (retries, durability) when faults are present. *)
+  obs : Obs.Ctl.t option;
+      (* observability handle: lifecycle tracing + gauge sampling.
+         None (the default) compiles the hot paths down to a single
+         option test per emit site. *)
 }
 
-let make ?epoch_us ?faults ~n_servers () = { n_servers; epoch_us; faults }
+let make ?epoch_us ?faults ?obs ~n_servers () =
+  { n_servers; epoch_us; faults; obs }

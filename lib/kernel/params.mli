@@ -15,6 +15,12 @@ type t = {
           [None] (the default) is fault-free.  Engines that can survive
           faults additionally harden their configuration (retries, WAL
           durability) when this is set. *)
+  obs : Obs.Ctl.t option;
+      (** observability handle (lifecycle tracing, gauge sampling, fault
+          correlation); [None] (the default) keeps every hot path down to
+          one option test per emit site. *)
 }
 
-val make : ?epoch_us:int -> ?faults:Net.Faults.t -> n_servers:int -> unit -> t
+val make :
+  ?epoch_us:int -> ?faults:Net.Faults.t -> ?obs:Obs.Ctl.t ->
+  n_servers:int -> unit -> t

@@ -1,3 +1,11 @@
+type stage_stat = {
+  mean_us : float;
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+  p999_us : int;
+}
+
 type t = {
   committed : int;
   aborts : (string * int) list;
@@ -7,7 +15,9 @@ type t = {
   lat_p50_us : int;
   lat_p95_us : int;
   lat_p99_us : int;
+  lat_p999_us : int;
   stages : (string * float) list;
+  stage_stats : (string * stage_stat) list;
 }
 
 let abort_count r = List.fold_left (fun acc (_, n) -> acc + n) 0 r.aborts
@@ -16,33 +26,39 @@ let counter r label = try List.assoc label r.counters with Not_found -> 0
 
 let pp fmt r =
   Format.fprintf fmt
-    "%.0f txn/s (n=%d, aborts=%d), lat mean=%.2f ms p50=%.2f p95=%.2f p99=%.2f"
+    "%.0f txn/s (n=%d, aborts=%d), lat mean=%.2f ms p50=%.2f p95=%.2f \
+     p99=%.2f p999=%.2f"
     r.throughput_tps r.committed (abort_count r)
     (r.lat_mean_us /. 1000.0)
     (float_of_int r.lat_p50_us /. 1000.0)
     (float_of_int r.lat_p95_us /. 1000.0)
     (float_of_int r.lat_p99_us /. 1000.0)
+    (float_of_int r.lat_p999_us /. 1000.0)
+
+let empty_stat = { mean_us = 0.0; p50_us = 0; p95_us = 0; p99_us = 0;
+                   p999_us = 0 }
 
 let hist_stats metrics name =
   match Sim.Metrics.latency metrics name with
-  | None -> (0.0, 0, 0, 0)
+  | None -> empty_stat
   | Some h ->
-      if Sim.Stats.Histogram.count h = 0 then (0.0, 0, 0, 0)
+      if Sim.Stats.Histogram.count h = 0 then empty_stat
       else
-        ( Sim.Stats.Histogram.mean h,
-          Sim.Stats.Histogram.percentile h 50.0,
-          Sim.Stats.Histogram.percentile h 95.0,
-          Sim.Stats.Histogram.percentile h 99.0 )
-
-let stage_mean metrics name =
-  match Sim.Metrics.latency metrics name with
-  | None -> 0.0
-  | Some h -> Sim.Stats.Histogram.mean h
+        { mean_us = Sim.Stats.Histogram.mean h;
+          p50_us = Sim.Stats.Histogram.percentile h 50.0;
+          p95_us = Sim.Stats.Histogram.percentile h 95.0;
+          p99_us = Sim.Stats.Histogram.percentile h 99.0;
+          p999_us = Sim.Stats.Histogram.percentile h 99.9 }
 
 let extract ~metrics ~measure_us ~committed_key ~latency_key ~abort_keys
     ~counter_keys ~stage_keys =
   let committed = Sim.Metrics.get metrics committed_key in
-  let mean, p50, p95, p99 = hist_stats metrics latency_key in
+  let lat = hist_stats metrics latency_key in
+  let stage_stats =
+    List.map
+      (fun (label, key) -> (label, hist_stats metrics key))
+      stage_keys
+  in
   { committed;
     aborts =
       List.map
@@ -53,11 +69,10 @@ let extract ~metrics ~measure_us ~committed_key ~latency_key ~abort_keys
         (fun (label, key) -> (label, Sim.Metrics.get metrics key))
         counter_keys;
     throughput_tps = float_of_int committed *. 1e6 /. float_of_int measure_us;
-    lat_mean_us = mean;
-    lat_p50_us = p50;
-    lat_p95_us = p95;
-    lat_p99_us = p99;
-    stages =
-      List.map
-        (fun (label, key) -> (label, stage_mean metrics key))
-        stage_keys }
+    lat_mean_us = lat.mean_us;
+    lat_p50_us = lat.p50_us;
+    lat_p95_us = lat.p95_us;
+    lat_p99_us = lat.p99_us;
+    lat_p999_us = lat.p999_us;
+    stages = List.map (fun (label, s) -> (label, s.mean_us)) stage_stats;
+    stage_stats }

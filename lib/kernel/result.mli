@@ -5,6 +5,14 @@
     with different abort taxonomies (ALOHA's install/compute split,
     2PL's give-ups) report faithfully through one type. *)
 
+type stage_stat = {
+  mean_us : float;
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+  p999_us : int;
+}
+
 type t = {
   committed : int;
   aborts : (string * int) list;  (** per-abort-class counts, by label *)
@@ -15,9 +23,13 @@ type t = {
   lat_p50_us : int;
   lat_p95_us : int;
   lat_p99_us : int;
+  lat_p999_us : int;
   stages : (string * float) list;
       (** (stage name, mean µs); ALOHA: install / wait / processing;
-          Calvin: sequencing / lock+read / processing *)
+          Calvin: sequencing / lock+read / processing.  Kept as the
+          simple mean view; {!field-stage_stats} has the full breakdown. *)
+  stage_stats : (string * stage_stat) list;
+      (** per-stage latency breakdown including tail percentiles *)
 }
 
 val abort_count : t -> int

@@ -13,6 +13,7 @@ val run :
   gen:(fe:int -> Txn.t) ->
   arrival:Arrivals.t ->
   ?on_reply:(fe:int -> Txn.reply -> unit) ->
+  ?obs:Obs.Ctl.t ->
   ?warmup_us:int ->
   ?measure_us:int ->
   ?seed:int ->
@@ -20,7 +21,10 @@ val run :
   Result.t
 (** The cluster must already be created, loaded and started.
     [on_reply] observes every completion (chaos invariant checking:
-    counting replies proves no submission was lost). *)
+    counting replies proves no submission was lost).  [obs], when given,
+    arms its gauge sampler over the whole run and discards trace/gauge
+    data accumulated during warm-up at the measurement boundary — pass
+    the same handle the cluster was built with. *)
 
 module Make (E : Intf.ENGINE) : sig
   val run :
@@ -28,6 +32,7 @@ module Make (E : Intf.ENGINE) : sig
     gen:(fe:int -> Txn.t) ->
     arrival:Arrivals.t ->
     ?on_reply:(fe:int -> Txn.reply -> unit) ->
+    ?obs:Obs.Ctl.t ->
     ?warmup_us:int ->
     ?measure_us:int ->
     ?seed:int ->

@@ -43,6 +43,8 @@ type 'msg t = {
   mutable d_crashed : int;
   mutable d_unregistered : int;
   mutable trace : (src:Address.t -> dst:Address.t -> 'msg -> unit) option;
+  mutable fault_hook :
+    (now:int -> dst:Address.t -> kind:[ `Drop | `Delay ] -> unit) option;
 }
 
 let create engine rng ~latency ?(fifo = true) ?faults () =
@@ -51,7 +53,7 @@ let create engine rng ~latency ?(fifo = true) ?faults () =
     links = Hashtbl.create 256;
     sent = 0;
     d_injected = 0; d_partitioned = 0; d_crashed = 0; d_unregistered = 0;
-    trace = None }
+    trace = None; fault_hook = None }
 
 let engine t = t.engine
 
@@ -60,6 +62,13 @@ let register t addr handler = Hashtbl.replace t.handlers addr handler
 let unregister t addr = Hashtbl.remove t.handlers addr
 
 let set_trace t f = t.trace <- Some f
+
+let set_fault_hook t f = t.fault_hook <- Some f
+
+let note_fault t ~dst ~kind =
+  match t.fault_hook with
+  | None -> ()
+  | Some f -> f ~now:(Sim.Engine.now t.engine) ~dst ~kind
 
 let link_of t ~src ~dst =
   let id = (Address.to_int src lsl 16) lor Address.to_int dst in
@@ -140,10 +149,18 @@ let send t ~src ~dst msg =
   | None -> deliver t ~src ~dst ~earliest:(now + lat) ~reorder:false msg
   | Some f -> (
       match Faults.decide f ~now ~src ~dst with
-      | Faults.Drop_injected -> t.d_injected <- t.d_injected + 1
-      | Faults.Drop_partitioned -> t.d_partitioned <- t.d_partitioned + 1
-      | Faults.Drop_crashed -> t.d_crashed <- t.d_crashed + 1
+      | Faults.Drop_injected ->
+          t.d_injected <- t.d_injected + 1;
+          note_fault t ~dst ~kind:`Drop
+      | Faults.Drop_partitioned ->
+          t.d_partitioned <- t.d_partitioned + 1;
+          note_fault t ~dst ~kind:`Drop
+      | Faults.Drop_crashed ->
+          t.d_crashed <- t.d_crashed + 1;
+          note_fault t ~dst ~kind:`Drop
       | Faults.Deliver { extra_delay_us; copies; reorder } ->
+          if extra_delay_us > 0 || copies > 1 || reorder then
+            note_fault t ~dst ~kind:`Delay;
           let earliest = now + lat + extra_delay_us in
           for _ = 1 to copies do
             deliver t ~src ~dst ~earliest ~reorder msg

@@ -53,3 +53,11 @@ val set_trace : 'msg t -> (src:Address.t -> dst:Address.t -> 'msg -> unit) -> un
 (** Observe every send (for tests, debugging, and chaos trace hashing).
     The hook fires at send time, before the fault oracle — so a trace
     covers attempted sends and is independent of delivery outcome. *)
+
+val set_fault_hook :
+  'msg t ->
+  (now:int -> dst:Address.t -> kind:[ `Drop | `Delay ] -> unit) -> unit
+(** Observe every fault verdict that perturbs a message: [`Drop] for any
+    dropped send, [`Delay] for a delivery with added delay, duplication or
+    reordering.  Used by the observability layer to correlate lifecycle
+    spans with injected chaos. *)

@@ -86,4 +86,6 @@ let drop_stats t = Network.drop_stats t.net
 let set_trace t f =
   Network.set_trace t.net (fun ~src ~dst _msg -> f ~src ~dst)
 
+let set_fault_hook t f = Network.set_fault_hook t.net f
+
 let outstanding_calls t = Hashtbl.length t.pending

@@ -52,6 +52,11 @@ val set_trace : _ t -> (src:Address.t -> dst:Address.t -> unit) -> unit
 (** Observe every send on the underlying network (payloads elided — the
     chaos trace hash covers timing and endpoints only). *)
 
+val set_fault_hook :
+  _ t -> (now:int -> dst:Address.t -> kind:[ `Drop | `Delay ] -> unit) -> unit
+(** Observe fault verdicts on the underlying network (see
+    {!Network.set_fault_hook}). *)
+
 val outstanding_calls : _ t -> int
 (** Calls whose replies have not yet been delivered (for quiescence
     checks in tests). *)

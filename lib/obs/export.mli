@@ -1,0 +1,33 @@
+(** Exporters for recorded observability data.
+
+    The Chrome trace_events format is the JSON array consumed by
+    [chrome://tracing] and Perfetto ([ui.perfetto.dev]): each lifecycle
+    event becomes an instant ("i") event, each sampled transaction a
+    complete ("X") span from its first to its last stage, each gauge
+    series a counter ("C") track, with one process per simulated node and
+    one thread per transaction shard. *)
+
+val chrome_trace :
+  ?engine:string -> ?shards:int -> trace:Trace.t -> gauges:Gauges.t option ->
+  unit -> string
+(** Render a full Chrome trace_events JSON document.  [shards] (default
+    64) is the number of tid lanes transactions are folded onto. *)
+
+val write_chrome_trace :
+  path:string -> ?engine:string -> ?shards:int -> trace:Trace.t ->
+  gauges:Gauges.t option -> unit -> unit
+
+type rollup_row = {
+  epoch : int;
+  assigned : int;        (** txns assigned to this epoch *)
+  functor_writes : int;  (** functor install events observed *)
+  batch_acks : int;
+  close_ts : int;        (** sim time the epoch closed, -1 if unseen *)
+}
+
+val epoch_rollup : Trace.t -> rollup_row list
+(** Aggregate per-epoch counts from the ring buffer, sorted by epoch.
+    Only epochs that appear in at least one event are listed. *)
+
+val pp_rollup : Format.formatter -> rollup_row list -> unit
+(** Render the rollup as an aligned text table. *)

@@ -2,12 +2,14 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, Stats.Histogram.t) Hashtbl.t;
   summaries : (string, Stats.Summary.t) Hashtbl.t;
+  gauge_tbl : (string, float ref) Hashtbl.t;
 }
 
 let create () =
   { counters = Hashtbl.create 64;
     histograms = Hashtbl.create 16;
-    summaries = Hashtbl.create 16 }
+    summaries = Hashtbl.create 16;
+    gauge_tbl = Hashtbl.create 16 }
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -50,11 +52,29 @@ let record_value t name v = Stats.Summary.add (summary t name) v
 
 let value t name = Hashtbl.find_opt t.summaries name
 
+let gauge t name =
+  match Hashtbl.find_opt t.gauge_tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t.gauge_tbl name r;
+      r
+
+let set_gauge t name v = gauge t name := v
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.gauge_tbl name with Some r -> !r | None -> 0.0
+
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let gauges t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.gauge_tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset t =
   Hashtbl.iter (fun _ r -> r := 0) t.counters;
   Hashtbl.iter (fun _ h -> Stats.Histogram.clear h) t.histograms;
-  Hashtbl.iter (fun _ s -> Stats.Summary.clear s) t.summaries
+  Hashtbl.iter (fun _ s -> Stats.Summary.clear s) t.summaries;
+  Hashtbl.iter (fun _ r -> r := 0.0) t.gauge_tbl

@@ -34,9 +34,23 @@ val record_value : t -> string -> float -> unit
 
 val value : t -> string -> Stats.Summary.t option
 
+val set_gauge : t -> string -> float -> unit
+(** Publish the current value of a named gauge (last write wins; a gauge
+    is an instantaneous level, not an accumulator). *)
+
+val gauge : t -> string -> float ref
+(** Static handle to a named gauge, same contract as {!counter}: zeroed
+    in place by {!reset}, never replaced. *)
+
+val gauge_value : t -> string -> float
+(** 0.0 when the gauge was never set. *)
+
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val gauges : t -> (string * float) list
+(** All gauges with their latest values, sorted by name. *)
+
 val reset : t -> unit
-(** Zero every counter / histogram / summary (names are kept). Used to
-    discard the warm-up window. *)
+(** Zero every counter / histogram / summary / gauge (names are kept).
+    Used to discard the warm-up window. *)

@@ -134,18 +134,25 @@ module Histogram = struct
         let raw = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
         if raw < 1 then 1 else raw
       in
-      let rec scan i seen =
-        if i >= nbuckets then t.max
-        else begin
-          let seen = seen + t.counts.(i) in
-          if seen >= target then
-            (* Clamp to the recorded extremes for exactness at the tails. *)
-            let v = value_of_bucket i in
-            if v < t.min then t.min else if v > t.max then t.max else v
-          else scan (i + 1) seen
-        end
-      in
-      scan 0 0
+      (* The topmost sample is known exactly; answering p=100 (or any
+         query whose rank reaches the last sample) from the bucket lower
+         bound would under-report the max. *)
+      if target >= t.count then t.max
+      else begin
+        let rec scan i seen =
+          if i >= nbuckets then t.max
+          else begin
+            let seen = seen + t.counts.(i) in
+            if seen >= target then
+              (* Clamp to the recorded extremes for exactness at the
+                 tails. *)
+              let v = value_of_bucket i in
+              if v < t.min then t.min else if v > t.max then t.max else v
+            else scan (i + 1) seen
+          end
+        in
+        scan 0 0
+      end
     end
 
   let merge_into ~dst ~src =

@@ -5,6 +5,7 @@ type options = {
   partitioner : [ `Hash | `Prefix ];
   seed : int;
   faults : Net.Faults.t option;
+  obs : Obs.Ctl.t option;
 }
 
 let default_options =
@@ -13,7 +14,8 @@ let default_options =
     latency = Net.Latency.uniform ~base:80 ~jitter:40;
     partitioner = `Prefix;
     seed = 42;
-    faults = None }
+    faults = None;
+    obs = None }
 
 type t = {
   sim : Sim.Engine.t;
@@ -46,8 +48,32 @@ let create ?registry options =
     Array.init n (fun i ->
         Server.create ~sim ~rpc ~addr:(Net.Address.of_int i) ~node_id:i
           ~partition_of ~addr_of_partition:Net.Address.of_int ~registry
-          ~config:options.config ~metrics ~seed:options.seed ())
+          ~config:options.config ~metrics ?obs:options.obs
+          ~seed:options.seed ())
   in
+  (match options.obs with
+  | None -> ()
+  | Some ctl ->
+      Net.Rpc.set_fault_hook rpc (fun ~now ~dst ~kind ->
+          Obs.Ctl.note_fault ctl ~now ~node:(Net.Address.to_int dst) ~kind);
+      let g = Obs.Ctl.gauges ctl in
+      Obs.Gauges.bind_metrics g metrics;
+      Obs.Gauges.add_probe g (fun () ->
+          let waits = ref 0 and prepared = ref 0 in
+          Array.iter
+            (fun s ->
+              waits := !waits + Server.lock_waits s;
+              prepared := !prepared + Server.prepared_count s)
+            servers;
+          Sim.Metrics.set_gauge metrics "gauge.lock_waits"
+            (float_of_int !waits);
+          Sim.Metrics.set_gauge metrics "gauge.prepared_txns"
+            (float_of_int !prepared);
+          let d = Net.Rpc.drop_stats rpc in
+          Sim.Metrics.set_gauge metrics "gauge.net_drops"
+            (float_of_int
+               (d.Net.Network.injected + d.partitioned + d.crashed
+              + d.unregistered))));
   { sim; servers; metrics; partition_of; rpc }
 
 let set_trace t f = Net.Rpc.set_trace t.rpc f

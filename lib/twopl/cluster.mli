@@ -10,6 +10,9 @@ type options = {
       (** fault oracle for the RPC plane; 2PC cannot survive message
           loss, so pair it with [Net.Faults.Reliable] transport.
           [None] = fault-free. *)
+  obs : Obs.Ctl.t option;
+      (** observability handle: lifecycle tracing on every server plus
+          lock-wait / prepared gauges; [None] = untraced *)
 }
 
 val default_options : options

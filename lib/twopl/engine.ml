@@ -13,7 +13,8 @@ let options_of ?seed (params : Kernel.Params.t) =
     Cluster.n_servers = params.n_servers;
     partitioner = `Prefix;
     seed = (match seed with Some s -> s | None -> base.Cluster.seed);
-    faults = params.faults }
+    faults = params.faults;
+    obs = params.obs }
 
 let create ?seed params =
   let funreg = Functor_cc.Registry.with_builtins () in

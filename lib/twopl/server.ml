@@ -18,6 +18,7 @@ type t = {
   registry : Calvin.Ctxn.registry;
   config : Config.t;
   metrics : Sim.Metrics.t;
+  obs : Obs.Ctl.t option;
   (* Hot-path metric handles, resolved once at creation. *)
   m_submitted : int ref;
   m_committed : int ref;
@@ -37,10 +38,21 @@ type t = {
 
 let read_local t key = Hashtbl.find_opt t.store key
 
+(* Lifecycle trace emit: one option test when tracing is off. *)
+let emit t ~txn ~stage ?arg () =
+  match t.obs with
+  | None -> ()
+  | Some ctl ->
+      Obs.Ctl.emit ctl ~txn ~stage ~node:t.node_id ~ts:(Sim.Engine.now t.sim)
+        ?arg ()
+
 let load_initial t ~key value =
   if t.partition_of key <> t.node_id then
     invalid_arg "Twopl.Server.load_initial: key not owned";
   Hashtbl.replace t.store key value
+
+let lock_waits t = Hashtbl.length t.waits
+let prepared_count t = Hashtbl.length t.prepared
 
 (* ---- participant side -------------------------------------------------- *)
 
@@ -84,6 +96,7 @@ let do_lock_and_read t ~uid ~reads ~writes reply =
               Hashtbl.remove t.waits uid;
               LM.release t.lm ~uid;
               incr t.m_lock_timeouts;
+              emit t ~txn:uid ~stage:Obs.Trace.Lock_timeout ();
               w.reply Message.Lock_timeout
             end))
 
@@ -132,6 +145,7 @@ let participants_of t (txn : Calvin.Ctxn.t) =
 let rec attempt t txn ~tries ~submitted_at k =
   let uid = t.next_txn in
   t.next_txn <- t.next_txn + 1024;  (* keep the node id in the low bits *)
+  emit t ~txn:uid ~stage:Obs.Trace.Submit ~arg:tries ();
   let parts = participants_of t txn in
   let reads_by = group_keys t txn.Calvin.Ctxn.read_set in
   let writes_by = group_keys t txn.Calvin.Ctxn.write_set in
@@ -149,6 +163,7 @@ let rec attempt t txn ~tries ~submitted_at k =
     let continue () =
       if tries < t.config.Config.max_retries then begin
         incr t.m_restarts;
+        emit t ~txn:uid ~stage:Obs.Trace.Restarted ~arg:tries ();
         let backoff =
           t.config.Config.retry_backoff_us
           + Sim.Rng.int t.rng (t.config.Config.retry_backoff_us * (tries + 1))
@@ -158,6 +173,7 @@ let rec attempt t txn ~tries ~submitted_at k =
       end
       else begin
         incr t.m_given_up;
+        emit t ~txn:uid ~stage:Obs.Trace.Aborted ~arg:tries ();
         k ()
       end
     in
@@ -193,6 +209,7 @@ let rec attempt t txn ~tries ~submitted_at k =
                   (fun _ ->
                     decr prepared;
                     if !prepared = 0 then begin
+                      emit t ~txn:uid ~stage:Obs.Trace.Prepared ();
                       (* Phase 2. *)
                       let committed = ref (List.length parts) in
                       List.iter
@@ -204,6 +221,7 @@ let rec attempt t txn ~tries ~submitted_at k =
                               decr committed;
                               if !committed = 0 then begin
                                 incr t.m_committed;
+                                emit t ~txn:uid ~stage:Obs.Trace.Committed ();
                                 Sim.Stats.Histogram.add t.h_lat_total
                                   (Sim.Engine.now t.sim - submitted_at);
                                 k ()
@@ -226,7 +244,11 @@ let rec attempt t txn ~tries ~submitted_at k =
           | Message.Lock_timeout -> failed := true
           | Message.Prepared | Message.Done -> failed := true);
           if !awaiting = 0 then
-            if !failed then finish_abort () else proceed_commit ()))
+            if !failed then finish_abort ()
+            else begin
+              emit t ~txn:uid ~stage:Obs.Trace.Locks_acquired ();
+              proceed_commit ()
+            end))
     parts
 
 let submit ?(k = fun () -> ()) t txn =
@@ -236,11 +258,11 @@ let submit ?(k = fun () -> ()) t txn =
 (* ---- construction -------------------------------------------------------- *)
 
 let create ~sim ~rpc ~addr ~node_id ~partition_of ~addr_of_partition
-    ~registry ~config ~metrics ~seed () =
+    ~registry ~config ~metrics ?obs ~seed () =
   let c = Sim.Metrics.counter metrics in
   let t =
     { sim; rpc; address = addr; node_id; partition_of; addr_of_partition;
-      registry; config; metrics;
+      registry; config; metrics; obs;
       m_submitted = c "twopl.submitted";
       m_committed = c "twopl.committed";
       m_restarts = c "twopl.restarts";

@@ -22,9 +22,12 @@ val create :
   registry:Calvin.Ctxn.registry ->
   config:Config.t ->
   metrics:Sim.Metrics.t ->
+  ?obs:Obs.Ctl.t ->
   seed:int ->
   unit -> t
-(** Transactions reuse Calvin's one-shot stored-procedure model. *)
+(** Transactions reuse Calvin's one-shot stored-procedure model.  [obs]
+    turns on lifecycle tracing (submit / locks / prepared / committed /
+    restarted / timeouts). *)
 
 val submit : ?k:(unit -> unit) -> t -> Calvin.Ctxn.t -> unit
 (** Run a transaction to completion (retrying on lock timeouts); [k]
@@ -33,3 +36,9 @@ val submit : ?k:(unit -> unit) -> t -> Calvin.Ctxn.t -> unit
 val load_initial : t -> key:string -> Functor_cc.Value.t -> unit
 
 val read_local : t -> string -> Functor_cc.Value.t option
+
+val lock_waits : t -> int
+(** Lock requests still waiting (or timing out) locally — gauge probe. *)
+
+val prepared_count : t -> int
+(** Staged-but-uncommitted 2PC participants — gauge probe. *)

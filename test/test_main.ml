@@ -17,4 +17,5 @@ let () =
       ("cross-engine", Test_cross_engine.suite);
       ("gc", Test_gc.suite);
       ("components", Test_components.suite);
+      ("obs", Test_obs.suite);
       ("chaos", Test_chaos.suite) ]

@@ -214,6 +214,63 @@ let test_histogram_empty_and_negative () =
     (Invalid_argument "Histogram.add: negative sample") (fun () ->
       Sim.Stats.Histogram.add h (-1))
 
+let test_histogram_percentile_edges () =
+  (* Single sample: every percentile is that sample. *)
+  let h = Sim.Stats.Histogram.create () in
+  Sim.Stats.Histogram.add h 42;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "single sample p%.1f" p)
+        42
+        (Sim.Stats.Histogram.percentile h p))
+    [ 0.1; 50.0; 99.9; 100.0 ];
+  (* All samples in one bucket: percentiles clamp to the recorded range. *)
+  let h = Sim.Stats.Histogram.create () in
+  for _ = 1 to 100 do
+    Sim.Stats.Histogram.add h 1_000
+  done;
+  Alcotest.(check int) "same-bucket p50" 1_000
+    (Sim.Stats.Histogram.percentile h 50.0);
+  Alcotest.(check int) "same-bucket p100" 1_000
+    (Sim.Stats.Histogram.percentile h 100.0);
+  (* p=100 must equal the exact max even when the top bucket is shared. *)
+  let h = Sim.Stats.Histogram.create () in
+  for i = 1 to 1_000 do
+    Sim.Stats.Histogram.add h i
+  done;
+  Alcotest.(check int) "p100 is max" 1_000
+    (Sim.Stats.Histogram.percentile h 100.0);
+  Alcotest.check_raises "p0 rejected"
+    (Invalid_argument "Histogram.percentile") (fun () ->
+      ignore (Sim.Stats.Histogram.percentile h 0.0));
+  Alcotest.check_raises "p>100 rejected"
+    (Invalid_argument "Histogram.percentile") (fun () ->
+      ignore (Sim.Stats.Histogram.percentile h 100.5))
+
+let test_metrics_gauges () =
+  let m = Sim.Metrics.create () in
+  Alcotest.(check (float 0.0)) "unset gauge" 0.0
+    (Sim.Metrics.gauge_value m "g");
+  Sim.Metrics.set_gauge m "g" 3.5;
+  Sim.Metrics.set_gauge m "g" 4.5;
+  Alcotest.(check (float 0.0)) "last write wins" 4.5
+    (Sim.Metrics.gauge_value m "g");
+  let h = Sim.Metrics.gauge m "g" in
+  h := 9.0;
+  Alcotest.(check (float 0.0)) "handle aliases table" 9.0
+    (Sim.Metrics.gauge_value m "g");
+  Sim.Metrics.set_gauge m "a" 1.0;
+  Alcotest.(check bool) "sorted listing" true
+    (Sim.Metrics.gauges m = [ ("a", 1.0); ("g", 9.0) ]);
+  Sim.Metrics.reset m;
+  Alcotest.(check (float 0.0)) "reset zeroes" 0.0
+    (Sim.Metrics.gauge_value m "g");
+  Alcotest.(check (float 0.0)) "handles survive reset" 0.0 !h;
+  h := 2.0;
+  Alcotest.(check (float 0.0)) "handle still live" 2.0
+    (Sim.Metrics.gauge_value m "g")
+
 let test_bits () =
   Alcotest.(check int) "clz 1" 62 (Sim.Bits.count_leading_zeros 1);
   Alcotest.(check int) "clz 0" 63 (Sim.Bits.count_leading_zeros 0);
@@ -296,6 +353,9 @@ let suite =
       test_histogram_percentiles;
     Alcotest.test_case "histogram edge cases" `Quick
       test_histogram_empty_and_negative;
+    Alcotest.test_case "histogram percentile edges" `Quick
+      test_histogram_percentile_edges;
+    Alcotest.test_case "metrics gauges" `Quick test_metrics_gauges;
     Alcotest.test_case "bits" `Quick test_bits;
     Alcotest.test_case "metrics" `Quick test_metrics;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
