@@ -8,9 +8,13 @@ build:
 test:
 	dune runtest
 
-# Full benchmark sweep (all figures at quick scale + micro suite).
+# Full benchmark sweep (all figures at quick scale + micro suite).  Each
+# ALOHA series prints the compute mode it used ([fig9]/[fig10] lines and
+# the pool/planned micro names); lock-based engines have no compute phase.
 bench:
 	dune exec bench/main.exe -- --json all
+	@echo "compute-mode attribution: see '[fig9] ALOHA(...)' / '[fig10]' lines above;"
+	@echo "  micro series 'functor_cc epoch 64x128 pool|planned' name their mode."
 
 # CI smoke: one macro figure + the micro suite, with JSON emission, so the
 # bench binary and BENCH_*.json output can't silently rot.
@@ -31,9 +35,13 @@ bench-guard:
 chaos:
 	dune exec bin/alohadb_cli.exe -- chaos --engine all --seed 1 --count 25
 
-# CI smoke: fewer seeds so the job stays fast.
+# CI smoke: fewer seeds so the job stays fast.  The second lane reruns
+# ALOHA with the planned compute mode so the planner path stays under
+# fault injection too.
 chaos-smoke:
 	dune exec bin/alohadb_cli.exe -- chaos --engine all --seed 1 --count 8
+	dune exec bin/alohadb_cli.exe -- chaos --engine aloha --seed 1 --count 2 \
+	  --compute planned
 
 # Check dune-file formatting without promoting (ocamlformat is not a
 # dependency; OCaml sources are exempt via dune-project).

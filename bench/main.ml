@@ -82,8 +82,79 @@ let micro () =
     Test.make ~name:"sim.rng bounded int"
       (Staged.stage (fun () -> ignore (Sim.Rng.int rng 1_000_000)))
   in
+  (* One closed epoch of 64 keys x 128 pending ADD versions (a
+     commutative-heavy epoch: hot counters absorb dozens of blind ADDs
+     per epoch), evaluated to completion under each compute mode.
+     [exec] routes through the worker pool, so every dispatch job runs
+     before any evaluation finalises — the worst case for the pool
+     mode's watermark-to-version rescan (quadratic in chain depth) and
+     exactly the regime the planner's prepared handles avoid. *)
+  let run_epoch ~planned =
+    let sim = Sim.Engine.create () in
+    let pool = Sim.Worker_pool.create sim ~workers:4 in
+    let registry = Functor_cc.Registry.with_builtins () in
+    let metrics = Sim.Metrics.create () in
+    let callbacks =
+      { Functor_cc.Compute_engine.is_local = (fun _ -> true);
+        remote_get = (fun ~key:_ ~version:_ k -> k None);
+        send_push = (fun ~dst_key:_ ~version:_ ~src_key:_ _ -> ());
+        send_dep_write = (fun ~key:_ ~version:_ _ -> ());
+        notify_final = (fun ~key:_ ~version:_ ~pending:_ ~final:_ -> ());
+        exec = (fun ~cost k -> Sim.Worker_pool.submit pool ~cost k);
+        now = (fun () -> Sim.Engine.now sim) }
+    in
+    let e =
+      Functor_cc.Compute_engine.create ~registry ~callbacks
+        ~compute_cost_us:1 ~metrics ()
+    in
+    let proc =
+      Functor_cc.Processor.create ~engine:e ~pool ~dispatch_cost_us:1
+        ~metrics ()
+    in
+    let keys =
+      Array.init 64 (fun i -> Mvstore.Key.intern (Printf.sprintf "bk%d" i))
+    in
+    Array.iter
+      (fun key ->
+        Functor_cc.Compute_engine.load_initial e ~key
+          (Functor_cc.Value.int 0))
+      keys;
+    for v = 1 to 128 do
+      Array.iter
+        (fun key ->
+          ignore
+            (Functor_cc.Compute_engine.install e ~key ~version:v ~lo:0
+               ~hi:max_int
+               (Functor_cc.Funct.mk_pending ~ftype:Functor_cc.Ftype.Add
+                  ~farg:(Functor_cc.Funct.farg_args
+                           [ Functor_cc.Value.int 1 ])
+                  ~txn_id:v ~coordinator:0));
+          Functor_cc.Processor.buffer proc ~epoch:1 ~key ~version:v)
+        keys
+    done;
+    if planned then begin
+      let planner =
+        Functor_cc.Planner.create ~engine:e ~pool ~dispatch_cost_us:1
+          ~metrics ()
+      in
+      let items = Functor_cc.Processor.drain proc ~upto_epoch:1 in
+      ignore (Functor_cc.Planner.run planner ~items)
+    end
+    else Functor_cc.Processor.release proc ~upto_epoch:1;
+    Sim.Engine.run sim;
+    assert (Functor_cc.Compute_engine.watermark e ~key:keys.(0) = 128)
+  in
+  let epoch_pool =
+    Test.make ~name:"functor_cc epoch 64x128 pool"
+      (Staged.stage (fun () -> run_epoch ~planned:false))
+  in
+  let epoch_planned =
+    Test.make ~name:"functor_cc epoch 64x128 planned"
+      (Staged.stage (fun () -> run_epoch ~planned:true))
+  in
   let tests =
-    [ chain_insert; ts_gen; zipf; lock_manager; functor_compute; rng_bench ]
+    [ chain_insert; ts_gen; zipf; lock_manager; functor_compute;
+      epoch_pool; epoch_planned; rng_bench ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in

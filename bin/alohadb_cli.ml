@@ -63,8 +63,18 @@ let run_cmd =
     Arg.(value & opt int 100 & info [ "measure-ms" ] ~doc:"Measured window.")
   in
   let seed = Arg.(value & opt int 17 & info [ "seed" ] ~doc:"Workload seed.") in
+  let compute =
+    let modes =
+      Arg.enum
+        [ ("ondemand", "ondemand"); ("pool", "pool"); ("planned", "planned") ]
+    in
+    Arg.(value & opt (some modes) None
+         & info [ "compute" ]
+             ~doc:"Compute-phase mode (ALOHA only): ondemand, pool, or \
+                   planned.  Omitted = engine default.")
+  in
   let run (sys_name, engine) workload n per_host ci clients rate epoch_ms
-      warmup_ms measure_ms seed =
+      warmup_ms measure_ms seed compute =
     let epoch_us = epoch_ms * 1000 in
     let warmup_us = warmup_ms * 1000 in
     let measure_us = measure_ms * 1000 in
@@ -81,18 +91,21 @@ let run_cmd =
       match workload with
       | `Tpcc ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
-            ~kind:`NewOrder ~epoch_us ~seed ()
+            ~kind:`NewOrder ~epoch_us ?compute ~seed ()
       | `Tpcc_payment ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
-            ~kind:`Payment ~epoch_us ~seed ()
+            ~kind:`Payment ~epoch_us ?compute ~seed ()
       | `Stpcc ->
           Harness.Setup.stpcc ~engine ~n ~districts_per_host:per_host
-            ~epoch_us ~seed ()
-      | `Ycsb -> Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ~seed ()
+            ~epoch_us ?compute ~seed ()
+      | `Ycsb -> Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ?compute ~seed ()
     in
     let result =
       Harness.Driver.run built ~arrival ~warmup_us ~measure_us ()
     in
+    (match compute with
+    | Some mode -> Format.printf "compute mode: %s@." mode
+    | None -> ());
     Format.printf "%a@." Harness.Driver.pp_result result;
     List.iter
       (fun (stage, (st : Kernel.Result.stage_stat)) ->
@@ -105,7 +118,7 @@ let run_cmd =
   let doc = "Run one experiment point and print its metrics." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ system $ workload $ servers $ per_host $ ci $ clients
-          $ rate $ epoch_ms $ warmup_ms $ measure_ms $ seed)
+          $ rate $ epoch_ms $ warmup_ms $ measure_ms $ seed $ compute)
 
 let figure_cmd =
   let target =
@@ -169,7 +182,17 @@ let chaos_cmd =
     Arg.(value & flag
          & info [ "verbose"; "v" ] ~doc:"Print each schedule's events.")
   in
-  let run engine seed count servers verbose =
+  let compute =
+    let modes =
+      Arg.enum
+        [ ("ondemand", "ondemand"); ("pool", "pool"); ("planned", "planned") ]
+    in
+    Arg.(value & opt (some modes) None
+         & info [ "compute" ]
+             ~doc:"Compute-phase mode for engines that have one (ALOHA: \
+                   ondemand, pool, or planned).  Omitted = engine default.")
+  in
+  let run engine seed count servers verbose compute =
     let names =
       if engine = "all" then List.map fst Chaos.Driver.targets else [ engine ]
     in
@@ -189,16 +212,27 @@ let chaos_cmd =
       if verbose then Format.printf "%a@." Chaos.Schedule.pp schedule;
       List.iter
         (fun (name, target) ->
-          let r = Chaos.Driver.run_schedule target ~schedule in
+          let r = Chaos.Driver.run_schedule ?compute target ~schedule in
           let ok = Chaos.Driver.passed r in
           if not ok then incr failures;
           (* One machine-readable line per (engine, seed): the chaos-smoke
-             CI job greps these out and archives the failing ones. *)
+             CI job greps these out and archives the failing ones.  The
+             drops object carries the categorized Net.Network.drop_stats
+             so CI artifacts have full drop accounting without rerunning. *)
+          let d = r.Chaos.Driver.drop_detail in
           Format.printf
-            "{\"engine\":\"%s\",\"seed\":%d,\"trace_hash\":\"%s\",\
-             \"trace_events\":%d,\"committed\":%d,\"drops\":%d,\"ok\":%b}@."
-            name s r.Chaos.Driver.trace_hash r.Chaos.Driver.trace_events
-            r.Chaos.Driver.committed r.Chaos.Driver.drops ok;
+            "{\"engine\":\"%s\",\"seed\":%d,\"compute\":\"%s\",\
+             \"trace_hash\":\"%s\",\"trace_events\":%d,\"committed\":%d,\
+             \"drops\":{\"injected\":%d,\"partitioned\":%d,\"crashed\":%d,\
+             \"unregistered\":%d,\"total\":%d},\"ok\":%b}@."
+            name s
+            (match r.Chaos.Driver.compute with
+            | Some m -> m
+            | None -> "default")
+            r.Chaos.Driver.trace_hash r.Chaos.Driver.trace_events
+            r.Chaos.Driver.committed d.Net.Network.injected
+            d.Net.Network.partitioned d.Net.Network.crashed
+            d.Net.Network.unregistered r.Chaos.Driver.drops ok;
           if not ok then
             List.iter
               (fun v -> Format.printf "  violation: %s@." v)
@@ -217,7 +251,7 @@ let chaos_cmd =
      with its seed."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ engine $ seed $ count $ servers $ verbose)
+    Term.(const run $ engine $ seed $ count $ servers $ verbose $ compute)
 
 
 (* ---- traced runs (trace / stats subcommands) ---------------------------- *)

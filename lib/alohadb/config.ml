@@ -1,5 +1,19 @@
+type compute_mode = Ondemand | Pool | Planned
+
+let compute_mode_of_string = function
+  | "ondemand" -> Some Ondemand
+  | "pool" -> Some Pool
+  | "planned" -> Some Planned
+  | _ -> None
+
+let compute_mode_to_string = function
+  | Ondemand -> "ondemand"
+  | Pool -> "pool"
+  | Planned -> "planned"
+
 type t = {
   cores : int;
+  compute_mode : compute_mode;
   straggler_opt : bool;
   push_opt : bool;
   durability : bool;
@@ -17,6 +31,7 @@ type t = {
 
 let default =
   { cores = 8;
+    compute_mode = Pool;
     straggler_opt = true;
     push_opt = true;
     durability = false;

@@ -6,8 +6,27 @@
     m4.4xlarge instances — but every experiment can override them; they
     are inputs of the model, not hidden constants. *)
 
+type compute_mode =
+  | Ondemand
+      (** demand-driven: epoch close issues one [Compute_engine.get] per
+          buffered functor, so evaluation happens lazily along read
+          chains *)
+  | Pool
+      (** processor pool (Algorithm 1's dispatcher): one [compute_key]
+          rescan job per buffered item *)
+  | Planned
+      (** per-epoch dependency-graph planner: at epoch close a plan maps
+          the epoch's functors to prepared node handles, stratifies the
+          read→write edge graph and evaluates nodes directly, pushing
+          read-set values instead of round-tripping *)
+
+val compute_mode_of_string : string -> compute_mode option
+val compute_mode_to_string : compute_mode -> string
+
 type t = {
   cores : int;  (** worker pool width (the paper's 8-core VMs) *)
+  compute_mode : compute_mode;
+      (** how the BE evaluates an epoch's functors after epoch close *)
   straggler_opt : bool;  (** §III-C unauthorized starts *)
   push_opt : bool;  (** §IV-B recipient-set pushes *)
   durability : bool;

@@ -15,17 +15,30 @@ let options_of ?seed (params : Kernel.Params.t) =
     faults = params.faults;
     obs = params.obs;
     config =
-      (match params.faults with
-      | None -> base.Cluster.config
-      | Some _ ->
-          (* Under fault injection the protocol's liveness relies on
-             durable logging, frontend install/abort retries and
-             flush-gated acks; a lossy network with none of these would
-             wedge the epoch pipeline. *)
-          { base.Cluster.config with
-            Config.durability = true;
-            install_retry_us = 10_000;
-            ack_after_flush = true }) }
+      (let cfg =
+         match params.faults with
+         | None -> base.Cluster.config
+         | Some _ ->
+             (* Under fault injection the protocol's liveness relies on
+                durable logging, frontend install/abort retries and
+                flush-gated acks; a lossy network with none of these would
+                wedge the epoch pipeline. *)
+             { base.Cluster.config with
+               Config.durability = true;
+               install_retry_us = 10_000;
+               ack_after_flush = true }
+       in
+       match params.compute with
+       | None -> cfg
+       | Some s -> (
+           match Config.compute_mode_of_string s with
+           | Some compute_mode -> { cfg with Config.compute_mode }
+           | None ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Alohadb.Engine: unknown compute mode %S \
+                     (expected ondemand|pool|planned)"
+                    s))) }
 
 let create ?seed params =
   Cluster.create
@@ -78,9 +91,20 @@ let latency_key = "aloha.lat_total_us"
 let abort_keys =
   [ ("install", "aloha.aborted_install"); ("compute", "aloha.aborted_compute") ]
 
-let counter_keys = []
+let counter_keys =
+  (* Planner accounting: all-zero outside the planned compute mode. *)
+  [ ("plans", "plan.plans");
+    ("plan nodes", "plan.nodes");
+    ("plan edges", "plan.edges");
+    ("plan subs sent", "plan.subs_sent") ]
 
 let stage_keys =
   [ ("functor installing", "aloha.lat_install_us");
     ("wait for processing", "aloha.lat_wait_us");
-    ("processing", "aloha.lat_proc_us") ]
+    ("processing", "aloha.lat_proc_us");
+    (* Planner stages: no samples outside the planned mode, so
+       Result.extract drops them from pool/ondemand breakdowns.  The
+       unitless plan.strata / plan.critical_path series stay out of the
+       latency breakdown and are read straight from the metrics. *)
+    ("plan build", "plan.build_us");
+    ("plan evaluate", "plan.evaluate_us") ]

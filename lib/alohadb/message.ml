@@ -42,6 +42,18 @@ type oneway =
       aborted : bool;
     }
   | Batch_done_ack of { txn_id : int }
+  | Plan_sub of {
+      key : Mvstore.Key.t;
+      version : int;
+      dst_key : Mvstore.Key.t;
+      dst_version : int;
+    }
+  | Plan_push of {
+      key : Mvstore.Key.t;
+      version : int;
+      src_key : Mvstore.Key.t;
+      value : Functor_cc.Value.t option;
+    }
 
 type wire =
   | Req of req

@@ -52,6 +52,26 @@ type oneway =
       (** coordinator's receipt for a [Batch_done]; stops the backend's
           resend loop (the notification is one-way, so under a lossy
           network it is repeated until acknowledged) *)
+  | Plan_sub of {
+      key : Mvstore.Key.t;
+      version : int;
+      dst_key : Mvstore.Key.t;
+      dst_version : int;
+    }
+      (** planned compute mode: the sender's plan has a functor at
+          ([dst_key], [dst_version]) reading [key]@[version]; evaluate the
+          producer and push the value back (a {!Plan_push}).  Lossy
+          networks may drop either leg — the consumer's gather still
+          races its own remote read, so the subscription is an
+          optimisation, never a liveness requirement *)
+  | Plan_push of {
+      key : Mvstore.Key.t;
+      version : int;
+      src_key : Mvstore.Key.t;
+      value : Functor_cc.Value.t option;
+    }
+      (** reply to a {!Plan_sub}: lands in the same per-record push buffer
+          as the §IV-B recipient-set [Push] *)
 
 type wire =
   | Req of req

@@ -68,6 +68,7 @@ type t = {
   registry : Functor_cc.Registry.t;
   mutable engine : Functor_cc.Compute_engine.t;
   mutable processor : Functor_cc.Processor.t;
+  mutable planner : Functor_cc.Planner.t;
   tracks : (int, track) Hashtbl.t;
   batches : (int, batch) Hashtbl.t;
   install_verdicts : (int, bool) Hashtbl.t;
@@ -737,7 +738,40 @@ let spawn_engine t =
   t.processor <-
     Functor_cc.Processor.create ~engine ~pool:t.pool
       ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics
-      ?on_dispatch ()
+      ?on_dispatch ();
+  t.planner <-
+    Functor_cc.Planner.create ~engine ~pool:t.pool
+      ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics
+      ~is_local:(fun key -> t.partition_of key = t.my_partition)
+      ~send_plan_sub:(fun ~key ~version ~dst_key ~dst_version ->
+        if live () then
+          Net.Rpc.send t.data ~src:t.address
+            ~dst:(t.addr_of_partition (t.partition_of key))
+            (Message.One
+               (Message.Plan_sub { key; version; dst_key; dst_version })))
+      ~now:(fun () -> Sim.Engine.now t.sim)
+      ?on_dispatch
+      ~on_evaluated:(fun ~elapsed_us ->
+        if live () then
+          emit t ~txn:(-1) ~stage:Obs.Trace.Plan_evaluate ~arg:elapsed_us ())
+      ()
+
+(* Epoch-close (and restart) release of buffered functor metadata, routed
+   by the configured compute mode.  All three modes submit the same
+   dispatch-job sequence to the pool — one job per buffered item, install
+   order, [cost_dispatch_us] each — so the simulated timeline does not
+   depend on the mode; only the per-job evaluation strategy does. *)
+let release_closed t ~upto_epoch =
+  match t.config.Config.compute_mode with
+  | Config.Pool -> Functor_cc.Processor.release t.processor ~upto_epoch
+  | Config.Ondemand ->
+      Functor_cc.Processor.release_ondemand t.processor ~upto_epoch
+  | Config.Planned ->
+      let items = Functor_cc.Processor.drain t.processor ~upto_epoch in
+      let stats = Functor_cc.Planner.run t.planner ~items in
+      if stats.Functor_cc.Planner.nodes > 0 then
+        emit t ~txn:(-1) ~stage:Obs.Trace.Plan_build
+          ~arg:stats.Functor_cc.Planner.nodes ()
 
 (* ---- construction ------------------------------------------------------ *)
 
@@ -792,6 +826,9 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       processor =
         Functor_cc.Processor.create ~engine:bootstrap_engine ~pool
           ~dispatch_cost_us:0 ~metrics ();
+      planner =
+        Functor_cc.Planner.create ~engine:bootstrap_engine ~pool
+          ~dispatch_cost_us:0 ~metrics ();
       tracks = Hashtbl.create 1024;
       batches = Hashtbl.create 1024;
       install_verdicts = Hashtbl.create 1024;
@@ -818,7 +855,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
         (match t.wal with
         | Some wal -> Wal.append wal (Wal.Log_epoch_closed epoch)
         | None -> ());
-        Functor_cc.Processor.release t.processor ~upto_epoch:epoch
+        release_closed t ~upto_epoch:epoch
       end;
       let ready, waiting =
         List.partition (fun (e, _) -> e <= epoch) t.delayed_reads
@@ -876,6 +913,29 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
             (Message.One (Message.Batch_done_ack { txn_id }))
       | Message.One (Message.Batch_done_ack { txn_id }) ->
           Hashtbl.remove t.pending_dones txn_id
+      | Message.One (Message.Plan_sub { key; version; dst_key; dst_version })
+        ->
+          (* A remote plan wants this key's value pushed to one of its
+             nodes: evaluate (on demand, through the engine's at-most-once
+             discipline) and push the value back.  Charged like a Get. *)
+          Sim.Worker_pool.submit pool ~cost:config.Config.cost_get_us
+            (fun () ->
+              if t.be_down then incr t.m_be_dropped
+              else
+                Functor_cc.Compute_engine.get t.engine ~key ~version
+                  (fun value ->
+                    Net.Rpc.send t.data ~src:t.address ~dst:src
+                      (Message.One
+                         (Message.Plan_push
+                            { key = dst_key; version = dst_version;
+                              src_key = key; value }))))
+      | Message.One (Message.Plan_push { key; version; src_key; value }) ->
+          Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
+            (fun () ->
+              if t.be_down then incr t.m_be_dropped
+              else
+                Functor_cc.Compute_engine.deliver_push t.engine ~key ~version
+                  ~src_key value)
       | Message.Req _ -> ());
   t
 
@@ -997,7 +1057,6 @@ let restart_be t =
                 batch_aborted = false }
               ~txn_id ~functors:0)
         finals;
-      Functor_cc.Processor.release t.processor
-        ~upto_epoch:t.last_closed_epoch
+      release_closed t ~upto_epoch:t.last_closed_epoch
   | None -> ());
   t.be_down <- false

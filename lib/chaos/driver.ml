@@ -191,7 +191,7 @@ type run_out = {
 }
 
 let exec (type c) (module T : TARGET with type cluster = c)
-    ~(schedule : Schedule.t) ~faulted =
+    ?compute ~(schedule : Schedule.t) ~faulted () =
   let n = schedule.Schedule.n_servers in
   let w = make_workload ~seed:schedule.Schedule.seed ~n_servers:n in
   let faults =
@@ -200,7 +200,7 @@ let exec (type c) (module T : TARGET with type cluster = c)
   let params =
     Kernel.Params.make
       ?faults:(if faulted then Some faults else None)
-      ~n_servers:n ()
+      ?compute ~n_servers:n ()
   in
   let cluster = T.create ~seed:schedule.Schedule.seed params in
   List.iter (fun k -> T.load cluster k (Functor_cc.Value.int 0)) w.keys;
@@ -282,10 +282,12 @@ let exec (type c) (module T : TARGET with type cluster = c)
 type report = {
   seed : int;
   engine : string;
+  compute : string option;
   trace_hash : string;
   trace_events : int;
   committed : int;
   drops : int;
+  drop_detail : Net.Network.drop_stats;
   violations : string list;
 }
 
@@ -304,10 +306,10 @@ let check_state ~label ~(expected : int array) ~(actual : int array)
     keys;
   !acc
 
-let run_schedule (Target (module T)) ~(schedule : Schedule.t) =
-  let w, faulted = exec (module T) ~schedule ~faulted:true in
-  let _, replay = exec (module T) ~schedule ~faulted:true in
-  let _, reference = exec (module T) ~schedule ~faulted:false in
+let run_schedule ?compute (Target (module T)) ~(schedule : Schedule.t) =
+  let w, faulted = exec (module T) ?compute ~schedule ~faulted:true () in
+  let _, replay = exec (module T) ?compute ~schedule ~faulted:true () in
+  let _, reference = exec (module T) ?compute ~schedule ~faulted:false () in
   let submitted = List.length w.batch in
   let v = ref [] in
   (* Determinism: the replay's trace must be byte-identical. *)
@@ -371,6 +373,7 @@ let run_schedule (Target (module T)) ~(schedule : Schedule.t) =
   end;
   { seed = schedule.Schedule.seed;
     engine = T.name;
+    compute;
     trace_hash = Trace.to_hex faulted.trace;
     trace_events = Trace.events faulted.trace;
     committed = faulted.result.Kernel.Result.committed;
@@ -379,11 +382,12 @@ let run_schedule (Target (module T)) ~(schedule : Schedule.t) =
       + faulted.drops.Net.Network.partitioned
       + faulted.drops.Net.Network.crashed
       + faulted.drops.Net.Network.unregistered;
+    drop_detail = faulted.drops;
     violations = List.rev !v }
 
-let run_seed t ~seed ~n_servers =
-  run_schedule t ~schedule:(Schedule.generate ~seed ~n_servers)
+let run_seed ?compute t ~seed ~n_servers =
+  run_schedule ?compute t ~schedule:(Schedule.generate ~seed ~n_servers)
 
-let trace_hash_of (Target (module T)) ~(schedule : Schedule.t) =
-  let _, out = exec (module T) ~schedule ~faulted:true in
+let trace_hash_of ?compute (Target (module T)) ~(schedule : Schedule.t) =
+  let _, out = exec (module T) ?compute ~schedule ~faulted:true () in
   Trace.to_hex out.trace

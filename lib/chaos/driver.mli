@@ -50,19 +50,26 @@ val target_of_name : string -> packed option
 type report = {
   seed : int;
   engine : string;
+  compute : string option;
+      (** compute-phase mode the runs used (engine-specific; [None] =
+          engine default) *)
   trace_hash : string;
   trace_events : int;
   committed : int;
   drops : int;  (** total messages lost to injected faults *)
+  drop_detail : Net.Network.drop_stats;
+      (** the same drops broken out by cause, for CI artifacts *)
   violations : string list;  (** empty = all invariants held *)
 }
 
 val passed : report -> bool
 
-val run_schedule : packed -> schedule:Schedule.t -> report
+val run_schedule : ?compute:string -> packed -> schedule:Schedule.t -> report
+(** [compute] selects an engine-specific compute mode (ALOHA:
+    "ondemand" / "pool" / "planned") for all three runs of the schedule. *)
 
-val run_seed : packed -> seed:int -> n_servers:int -> report
+val run_seed : ?compute:string -> packed -> seed:int -> n_servers:int -> report
 (** [run_schedule] on [Schedule.generate ~seed ~n_servers]. *)
 
-val trace_hash_of : packed -> schedule:Schedule.t -> string
+val trace_hash_of : ?compute:string -> packed -> schedule:Schedule.t -> string
 (** One faulted run, digest only (replay verification in tests). *)

@@ -360,6 +360,50 @@ and compute_key t ~key ~version =
         (fun (ver, record, p) -> ensure_computing t ~chain ~key ~ver record p)
         (List.rev !pending)
 
+(* ---- planner support: prepared node handles -------------------------- *)
+
+(* A prepared node binds a still-pending record to its chain once, at plan
+   construction, so plan evaluation can call [ensure_computing] directly —
+   no table probe, no watermark rescan (the O(chain) walk of
+   [compute_key]) per evaluation. *)
+type prepared = {
+  p_key : Key.t;
+  p_version : int;
+  p_chain : Funct.t Mvstore.Chain.t;
+  p_record : Funct.t;
+  p_pending : Funct.pending;
+}
+
+let prepare_in ~chain ~key ~version =
+  match Mvstore.Chain.find_exact chain ~version with
+  | None -> None
+  | Some record -> (
+      match record.Funct.state with
+      | Funct.Final _ -> None
+      | Funct.Pending p ->
+          Some
+            { p_key = key; p_version = version; p_chain = chain;
+              p_record = record; p_pending = p })
+
+let prepare t ~key ~version =
+  match Mvstore.Table.chain t.table key with
+  | None -> None
+  | Some chain -> prepare_in ~chain ~key ~version
+
+let compute_prepared t pr =
+  (* The record may have turned final since the plan was built (an
+     on-demand read raced us, or a dependent write resolved it);
+     [ensure_computing] re-checks status, so this stays at-most-once. *)
+  match pr.p_record.Funct.state with
+  | Funct.Final _ -> ()
+  | Funct.Pending p ->
+      ensure_computing t ~chain:pr.p_chain ~key:pr.p_key ~ver:pr.p_version
+        pr.p_record p
+
+let prepared_key pr = pr.p_key
+let prepared_version pr = pr.p_version
+let prepared_pending pr = pr.p_pending
+
 (* ---- deliveries from the network ------------------------------------ *)
 
 let deliver_push t ~key ~version ~src_key value =

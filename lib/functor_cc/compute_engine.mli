@@ -75,6 +75,34 @@ val get :
 
 val compute_key : t -> key:Mvstore.Key.t -> version:int -> unit
 
+(** {2 Planner support}
+
+    A {!prepared} handle binds a still-pending record to its chain once,
+    at plan-construction time, so the planner can evaluate it later with
+    zero table probes and no watermark rescan.  Handles are only valid
+    for the engine instance that produced them. *)
+
+type prepared
+
+val prepare : t -> key:Mvstore.Key.t -> version:int -> prepared option
+(** [None] when the (key, version) record is absent or already final. *)
+
+val prepare_in :
+  chain:Funct.t Mvstore.Chain.t -> key:Mvstore.Key.t -> version:int ->
+  prepared option
+(** Like {!prepare} with the key's chain already in hand — bulk callers
+    (the planner) probe the table once per distinct key, not once per
+    item.  [chain] must be [key]'s chain in the owning engine's table. *)
+
+val compute_prepared : t -> prepared -> unit
+(** Evaluate a prepared node via [ensure_computing].  Idempotent: if the
+    record turned final (or started computing) since the plan was built,
+    this is a no-op — at-most-once is preserved either way. *)
+
+val prepared_key : prepared -> Mvstore.Key.t
+val prepared_version : prepared -> int
+val prepared_pending : prepared -> Funct.pending
+
 val deliver_push :
   t -> key:Mvstore.Key.t -> version:int -> src_key:Mvstore.Key.t ->
   Value.t option -> unit

@@ -1,0 +1,79 @@
+(** Per-epoch dependency-graph planner for the functor-computing phase
+    (the [planned] compute mode).
+
+    At epoch close the planner takes the epoch's buffered (key, version)
+    items, binds each still-pending record to a {!Compute_engine.prepared}
+    handle, and builds a dependency graph over the plan:
+
+    - {e intra-key edges}: a functor depends on the plan's next-lower
+      version of its own key (built-ins implicitly read their own key at
+      version - 1; for user functors the edge is conservative — their
+      records can finalise out of version order, but the key's watermark
+      publishes in version order, so the edge keeps strata an upper
+      bound on the evaluation waves);
+    - {e read→write edges}: a user functor reading key [k] at version
+      [v - 1] depends on the plan node writing [k] at the largest version
+      <= [v - 1], when that producer is local and in the plan.
+
+    Reads are always of strictly lower versions, so edges strictly
+    increase version and the graph is a DAG.  The planner stratifies it
+    (Kahn levels) purely for statistics — strata count and critical-path
+    length — and then dispatches one worker-pool job per node {e in the
+    original install order}, each evaluating its node directly through
+    {!Compute_engine.compute_prepared}: no table probe and no
+    watermark-to-version chain rescan per evaluation, which is where the
+    planned mode's constant-factor win over the [pool] processor comes
+    from.
+
+    For read-set keys owned by another partition (and not already covered
+    by a §IV-B pushed read), the planner emits a {e plan subscription}
+    through [send_plan_sub]: the owner evaluates the producing functor and
+    pushes the value back, landing in the same per-record push buffer the
+    §IV-B optimisation uses.  The consumer's gather still races its own
+    remote read against the push, so a lost subscription or push costs a
+    round trip but can never wedge the plan.
+
+    On-demand reads may beat the planner to any node; the engine's
+    at-most-once discipline ([Installed] → [Computing]) makes the race
+    benign in either direction. *)
+
+type t
+
+type stats = {
+  nodes : int;  (** prepared (still-pending) functors in the plan *)
+  edges : int;  (** dependency edges (intra-key + read→write) *)
+  strata : int;  (** Kahn levels: independent waves of evaluation *)
+  critical_path : int;
+      (** edges on the longest dependency chain ([strata - 1] for a
+          non-empty plan) *)
+  subs_sent : int;  (** cross-partition plan subscriptions issued *)
+}
+
+val create :
+  engine:Compute_engine.t ->
+  pool:Sim.Worker_pool.t ->
+  dispatch_cost_us:int ->
+  metrics:Sim.Metrics.t ->
+  ?is_local:(Mvstore.Key.t -> bool) ->
+  ?send_plan_sub:
+    (key:Mvstore.Key.t -> version:int -> dst_key:Mvstore.Key.t ->
+     dst_version:int -> unit) ->
+  ?now:(unit -> int) ->
+  ?on_dispatch:(key:Mvstore.Key.t -> version:int -> unit) ->
+  ?on_evaluated:(elapsed_us:int -> unit) ->
+  unit -> t
+(** [is_local] defaults to treating every key as local (single-partition
+    and unit-test setups); [send_plan_sub] defaults to a no-op, in which
+    case remote read-set values arrive through gather's ordinary
+    push/remote-read race.  [now] (simulated time) feeds the
+    plan-evaluation histogram; [on_dispatch] observes each node leaving
+    the plan for the pool (lifecycle tracing); [on_evaluated] fires once
+    when the last node of a plan finalises. *)
+
+val run : t -> items:Processor.item list -> stats
+(** Build and dispatch one plan over [items] (an epoch's drained buffer,
+    in install order).  Already-final items are skipped.  Records
+    [plan.*] metrics; returns the plan's statistics. *)
+
+val plans : t -> int
+(** Number of non-empty plans built since creation. *)

@@ -26,28 +26,54 @@ let buffer t ~epoch ~key ~version =
   in
   items := { key; version } :: !items
 
-let dispatch t { key; version } =
+let dispatch_with t job { key; version } =
   t.dispatched <- t.dispatched + 1;
   incr t.m_dispatched;
   (match t.on_dispatch with
   | Some f -> f ~key ~version
   | None -> ());
   Sim.Worker_pool.submit t.pool ~cost:t.dispatch_cost_us (fun () ->
-      Compute_engine.compute_key t.engine ~key ~version)
+      job ~key ~version)
 
-let release t ~upto_epoch =
-  let ready =
-    Hashtbl.fold
-      (fun epoch items acc ->
-        if epoch <= upto_epoch then (epoch, items) :: acc else acc)
-      t.buffers []
-    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  in
+let dispatch t item =
+  dispatch_with t
+    (fun ~key ~version -> Compute_engine.compute_key t.engine ~key ~version)
+    item
+
+(* Demand-driven variant: the dispatch job issues a Get at the item's own
+   version, so evaluation unfolds lazily down the read chain instead of
+   scanning the whole key from the watermark.  The value itself is
+   discarded — only the computation side effect matters. *)
+let dispatch_ondemand t item =
+  dispatch_with t
+    (fun ~key ~version ->
+      Compute_engine.get t.engine ~key ~version (fun _ -> ()))
+    item
+
+let ready_epochs t ~upto_epoch =
+  Hashtbl.fold
+    (fun epoch items acc ->
+      if epoch <= upto_epoch then (epoch, items) :: acc else acc)
+    t.buffers []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let release_with t ~upto_epoch dispatch_one =
   List.iter
     (fun (epoch, items) ->
       Hashtbl.remove t.buffers epoch;
-      List.iter (dispatch t) (List.rev !items))
-    ready
+      List.iter dispatch_one (List.rev !items))
+    (ready_epochs t ~upto_epoch)
+
+let release t ~upto_epoch = release_with t ~upto_epoch (dispatch t)
+let release_ondemand t ~upto_epoch =
+  release_with t ~upto_epoch (dispatch_ondemand t)
+
+let drain t ~upto_epoch =
+  List.concat_map
+    (fun (epoch, items) ->
+      Hashtbl.remove t.buffers epoch;
+      List.rev !items)
+    (ready_epochs t ~upto_epoch)
 
 let buffered t =
   Hashtbl.fold (fun _ items acc -> acc + List.length !items) t.buffers 0

@@ -11,6 +11,8 @@
 
 type t
 
+type item = { key : Mvstore.Key.t; version : int }
+
 val create :
   engine:Compute_engine.t ->
   pool:Sim.Worker_pool.t ->
@@ -27,6 +29,16 @@ val buffer : t -> epoch:int -> key:Mvstore.Key.t -> version:int -> unit
 val release : t -> upto_epoch:int -> unit
 (** Epochs <= [upto_epoch] closed: enqueue their buffered items for
     asynchronous processing. *)
+
+val release_ondemand : t -> upto_epoch:int -> unit
+(** Like {!release}, but each dispatch job issues a [Get] at the item's
+    own version instead of a watermark-to-version rescan: evaluation is
+    demand-driven down the read chain (the [ondemand] compute mode). *)
+
+val drain : t -> upto_epoch:int -> item list
+(** Remove and return the buffered items of epochs <= [upto_epoch], in
+    release order (epochs ascending, items in install order within an
+    epoch) without dispatching them — the planner's entry point. *)
 
 val buffered : t -> int
 (** Items awaiting release (test helper). *)

@@ -101,20 +101,22 @@ type workload =
   | STPCC of { per_host : int }
   | YCSB of { ci : float }
 
-let run_point ?epoch_us ~engine ~n ~workload ~arrival scale =
+let run_point ?epoch_us ?compute ~engine ~n ~workload ~arrival scale =
   let built =
     match workload with
     | TPCC { per_host; kind } ->
-        Setup.tpcc ~engine ~n ~warehouses_per_host:per_host ~kind ?epoch_us ()
+        Setup.tpcc ~engine ~n ~warehouses_per_host:per_host ~kind ?epoch_us
+          ?compute ()
     | STPCC { per_host } ->
-        Setup.stpcc ~engine ~n ~districts_per_host:per_host ?epoch_us ()
-    | YCSB { ci } -> Setup.ycsb ~engine ~n ~ci ?epoch_us ()
+        Setup.stpcc ~engine ~n ~districts_per_host:per_host ?epoch_us
+          ?compute ()
+    | YCSB { ci } -> Setup.ycsb ~engine ~n ~ci ?epoch_us ?compute ()
   in
   Driver.run built ~arrival ~warmup_us:scale.warmup_us
     ~measure_us:scale.measure_us ()
 
-let peak ~engine ~n ~workload scale =
-  run_point ~engine ~n ~workload
+let peak ?compute ~engine ~n ~workload scale =
+  run_point ?compute ~engine ~n ~workload
     ~arrival:(Arrivals.Closed { clients_per_fe = clients_for scale engine })
     scale
 
@@ -206,18 +208,28 @@ let fig9 scale =
   let n = 8 in
   row "fig9" [ "system"; "ci"; "throughput" ];
   (* All three engines, including the conventional 2PL/2PC baseline the
-     introduction argues against. *)
+     introduction argues against.  ALOHA runs once per compute mode: the
+     three modes dispatch identical job sequences to the simulated pool,
+     so their throughput must agree exactly — any divergence is a bug in
+     the planner (checked by the cross-mode equivalence test). *)
   List.iter
-    (fun (name, engine) ->
+    (fun (name, engine, compute) ->
+      (match compute with
+      | Some mode ->
+          Printf.printf "[fig9] %s: compute mode = %s\n%!" name mode
+      | None -> ());
       List.iter
         (fun ci ->
-          let r = peak ~engine ~n ~workload:(YCSB { ci }) scale in
+          let r = peak ?compute ~engine ~n ~workload:(YCSB { ci }) scale in
           row_tps "fig9"
             ~series:(Printf.sprintf "%-6s" name)
             ~point:(Printf.sprintf "ci=%-7g" ci)
             r)
         scale.fig9_cis)
-    [ ("ALOHA", aloha); ("Calvin", calvin); ("2PL", twopl) ]
+    [ ("ALOHA(pool)", aloha, Some "pool");
+      ("ALOHA(ondemand)", aloha, Some "ondemand");
+      ("ALOHA(planned)", aloha, Some "planned");
+      ("Calvin", calvin, None); ("2PL", twopl, None) ]
 
 (* ---- Figure 10: latency breakdown --------------------------------------- *)
 
@@ -248,6 +260,16 @@ let fig10 scale =
       in
       print_stages "fig10" (Printf.sprintf "ALOHA ci=%g" ci) r)
     [ 1e-4; 0.1 ];
+  (* Same breakdown under the planner: identical end-to-end stages plus
+     the plan build/evaluate rows (zero in the other modes). *)
+  (let ci = 0.1 in
+   Printf.printf "[fig10] ALOHA(planned): compute mode = planned\n%!";
+   let r =
+     run_point ~engine:aloha ~n ~workload:(YCSB { ci }) ~compute:"planned"
+       ~arrival:(Arrivals.Open_poisson { rate_per_fe = 5_000.0 })
+       scale
+   in
+   print_stages "fig10" (Printf.sprintf "ALOHA(planned) ci=%g" ci) r);
   List.iter
     (fun ci ->
       let rate = if ci >= 0.1 then 150.0 else 500.0 in

@@ -4,7 +4,8 @@
     creates the engine's cluster, registers the workload's handlers,
     loads the initial data, starts the cluster, and pairs it with the
     workload's request generator.  The result is a {!built} existential
-    ready for {!Driver.run}. *)
+    ready for {!Driver.run}.  [compute] selects an engine-specific
+    compute-phase mode (ALOHA: "ondemand" / "pool" / "planned"). *)
 
 type built =
   | Built :
@@ -27,6 +28,7 @@ val build :
   n:int ->
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
+  ?compute:string ->
   ?seed:int ->
   unit ->
   built
@@ -44,6 +46,7 @@ val tpcc :
   kind:[ `NewOrder | `Payment ] ->
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
+  ?compute:string ->
   ?seed:int ->
   unit ->
   built
@@ -54,6 +57,7 @@ val stpcc :
   districts_per_host:int ->
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
+  ?compute:string ->
   ?seed:int ->
   unit ->
   built
@@ -65,6 +69,7 @@ val ycsb :
   ?keys_per_partition:int ->
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
+  ?compute:string ->
   ?seed:int ->
   unit ->
   built

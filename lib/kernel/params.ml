@@ -10,7 +10,11 @@ type t = {
       (* observability handle: lifecycle tracing + gauge sampling.
          None (the default) compiles the hot paths down to a single
          option test per emit site. *)
+  compute : string option;
+      (* engine-specific compute-phase selector (e.g. ALOHA's
+         "ondemand" / "pool" / "planned"); engines without a compute
+         phase ignore it. *)
 }
 
-let make ?epoch_us ?faults ?obs ~n_servers () =
-  { n_servers; epoch_us; faults; obs }
+let make ?epoch_us ?faults ?obs ?compute ~n_servers () =
+  { n_servers; epoch_us; faults; obs; compute }

@@ -19,8 +19,13 @@ type t = {
       (** observability handle (lifecycle tracing, gauge sampling, fault
           correlation); [None] (the default) keeps every hot path down to
           one option test per emit site. *)
+  compute : string option;
+      (** engine-specific compute-phase selector (ALOHA accepts
+          "ondemand" / "pool" / "planned"); engines without a compute
+          phase ignore it *)
 }
 
 val make :
   ?epoch_us:int -> ?faults:Net.Faults.t -> ?obs:Obs.Ctl.t ->
+  ?compute:string ->
   n_servers:int -> unit -> t

@@ -54,9 +54,16 @@ let extract ~metrics ~measure_us ~committed_key ~latency_key ~abort_keys
     ~counter_keys ~stage_keys =
   let committed = Sim.Metrics.get metrics committed_key in
   let lat = hist_stats metrics latency_key in
+  (* Stages with no samples (e.g. planner stages outside the planned
+     compute mode) would show as 0 µs rows in every breakdown; drop them
+     so the stage list reflects what the run actually exercised. *)
   let stage_stats =
-    List.map
-      (fun (label, key) -> (label, hist_stats metrics key))
+    List.filter_map
+      (fun (label, key) ->
+        match Sim.Metrics.latency metrics key with
+        | Some h when Sim.Stats.Histogram.count h > 0 ->
+            Some (label, hist_stats metrics key)
+        | _ -> None)
       stage_keys
   in
   { committed;

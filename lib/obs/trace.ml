@@ -19,6 +19,8 @@ type stage =
   | Restarted
   | Fault_drop
   | Fault_delay
+  | Plan_build
+  | Plan_evaluate
 
 let stage_name = function
   | Submit -> "submit"
@@ -41,6 +43,8 @@ let stage_name = function
   | Restarted -> "restarted"
   | Fault_drop -> "fault_drop"
   | Fault_delay -> "fault_delay"
+  | Plan_build -> "plan_build"
+  | Plan_evaluate -> "plan_evaluate"
 
 let stage_to_int = function
   | Submit -> 0
@@ -63,6 +67,8 @@ let stage_to_int = function
   | Restarted -> 17
   | Fault_drop -> 18
   | Fault_delay -> 19
+  | Plan_build -> 20
+  | Plan_evaluate -> 21
 
 let stage_of_int = function
   | 0 -> Submit
@@ -85,6 +91,8 @@ let stage_of_int = function
   | 17 -> Restarted
   | 18 -> Fault_drop
   | 19 -> Fault_delay
+  | 20 -> Plan_build
+  | 21 -> Plan_evaluate
   | n -> invalid_arg (Printf.sprintf "Trace.stage_of_int: %d" n)
 
 (* Struct-of-arrays ring buffer: one slot is six ints across parallel

@@ -33,8 +33,8 @@ let txn_keys (k1, k2) =
 (* One scripted submission per batch entry, alternating frontends.  The
    warmup window ends before the first arrival, so the committed counter
    covers the whole history. *)
-let run_engine (Kernel.Intf.Pack (module E)) =
-  let c = E.create (Kernel.Params.make ~n_servers:n ()) in
+let run_engine ?compute (Kernel.Intf.Pack (module E)) =
+  let c = E.create (Kernel.Params.make ?compute ~n_servers:n ()) in
   List.iter (fun k -> E.load c k (Value.int 0)) keys;
   E.start c;
   let remaining = ref batch in
@@ -58,10 +58,13 @@ let run_engine (Kernel.Intf.Pack (module E)) =
     (E.name ^ " committed all")
     (List.length batch) r.Kernel.Result.committed;
   Alcotest.(check int) (E.name ^ " aborted none") 0 (Kernel.Result.abort_count r);
-  List.map
-    (fun k ->
-      match E.read_committed c k with Some v -> Value.to_int v | None -> 0)
-    keys
+  let totals =
+    List.map
+      (fun k ->
+        match E.read_committed c k with Some v -> Value.to_int v | None -> 0)
+      keys
+  in
+  (totals, r)
 
 let engines =
   [ Kernel.Intf.Pack (module Alohadb.Engine);
@@ -73,8 +76,31 @@ let test_three_engines_agree () =
   List.iter
     (fun (Kernel.Intf.Pack (module E) as engine) ->
       Alcotest.(check (list int))
-        (E.name ^ " = oracle") expected (run_engine engine))
+        (E.name ^ " = oracle") expected (fst (run_engine engine)))
     engines
+
+(* Compute-mode equivalence: the same scripted history through ALOHA's
+   three functor-computing strategies must be indistinguishable in the
+   simulation — identical committed state AND identical throughput.  All
+   three modes submit one dispatch job per buffered item at the same
+   simulated cost; only the host-side work per job differs, so any tps
+   divergence means a mode leaked real work into simulated time. *)
+let test_compute_modes_agree () =
+  let expected = Array.to_list (expected_totals ()) in
+  let aloha = Kernel.Intf.Pack (module Alohadb.Engine) in
+  let runs =
+    List.map
+      (fun mode -> (mode, run_engine ~compute:mode aloha))
+      [ "ondemand"; "pool"; "planned" ]
+  in
+  let _, (_, r0) = List.hd runs in
+  List.iter
+    (fun (mode, (totals, r)) ->
+      Alcotest.(check (list int)) (mode ^ " totals = oracle") expected totals;
+      Alcotest.(check (float 0.0))
+        (mode ^ " tps matches ondemand")
+        r0.Kernel.Result.throughput_tps r.Kernel.Result.throughput_tps)
+    runs
 
 (* ---- model-based lock manager check -------------------------------------- *)
 
@@ -139,4 +165,5 @@ let prop_lock_manager_safety =
 
 let suite =
   [ Alcotest.test_case "three engines agree" `Slow test_three_engines_agree;
+    Alcotest.test_case "compute modes agree" `Slow test_compute_modes_agree;
     QCheck_alcotest.to_alcotest prop_lock_manager_safety ]

@@ -415,6 +415,176 @@ let prop_watermark_complete =
       watermark h ~key:"k" = top
       && Engine.pending_count h.engine = 0)
 
+(* qcheck (planner): random single-epoch plans through the per-epoch
+   dependency-graph planner, evaluated over a real worker pool so all
+   dispatch jobs run before any evaluation finalises.  Checks: the
+   finalisation order respects both intra-key and read→write edges, and
+   every pending functor evaluates exactly once. *)
+let prop_planner_epoch =
+  let n_keys = 6 in
+  let op_gen =
+    QCheck2.Gen.(
+      pair
+        (int_range 0 (n_keys - 1))
+        (oneof
+           [ map (fun d -> `Add d) (int_range 1 9);
+             map (fun rks -> `Sum rks)
+               (list_size (int_range 1 3) (int_range 0 (n_keys - 1))) ]))
+  in
+  let print (ops, seed) =
+    Printf.sprintf "seed=%d ops=[%s]" seed
+      (String.concat "; "
+         (List.map
+            (fun (k, op) ->
+              match op with
+              | `Add d -> Printf.sprintf "p%d+=%d" k d
+              | `Sum rks ->
+                  Printf.sprintf "p%d=sum(%s)" k
+                    (String.concat "," (List.map string_of_int rks)))
+            ops))
+  in
+  QCheck2.Test.make ~name:"planner: edge order + exactly-once" ~count:100
+    ~print
+    QCheck2.Gen.(pair (list_size (int_range 1 40) op_gen) (int_bound 10_000))
+    (fun (ops, shuffle_seed) ->
+      let sim = Sim.Engine.create () in
+      let pool = Sim.Worker_pool.create sim ~workers:3 in
+      let registry = Registry.with_builtins () in
+      Registry.register registry "sum" (fun ctx ->
+          let total =
+            List.fold_left
+              (fun acc (_, v) ->
+                acc + match v with Some v -> Value.to_int v | None -> 0)
+              0 ctx.Registry.reads
+          in
+          Registry.Commit (Value.int total));
+      let order = ref [] in
+      let engine_ref = ref None in
+      let callbacks =
+        { Engine.is_local = (fun _ -> true);
+          remote_get = (fun ~key:_ ~version:_ k -> k None);
+          send_push =
+            (fun ~dst_key ~version ~src_key v ->
+              match !engine_ref with
+              | Some e -> Engine.deliver_push e ~key:dst_key ~version ~src_key v
+              | None -> ());
+          send_dep_write = (fun ~key:_ ~version:_ _ -> ());
+          notify_final =
+            (fun ~key ~version ~pending:_ ~final:_ ->
+              order := (Mvstore.Key.name key, version) :: !order);
+          exec = (fun ~cost k -> Sim.Worker_pool.submit pool ~cost k);
+          now = (fun () -> Sim.Engine.now sim) }
+      in
+      let e =
+        Engine.create ~registry ~callbacks ~compute_cost_us:1
+          ~metrics:(Sim.Metrics.create ()) ()
+      in
+      engine_ref := Some e;
+      for i = 0 to n_keys - 1 do
+        Engine.load_initial e ~key:(ik (Printf.sprintf "p%d" i)) (Value.int 0)
+      done;
+      (* Epoch items: globally unique versions in op order, then a
+         deterministic shuffle so plans also see out-of-version-order
+         installs (the planner's bucket-sort path). *)
+      let indexed = Array.of_list (List.mapi (fun i op -> (i + 1, op)) ops) in
+      let st = ref ((2 * shuffle_seed) + 1) in
+      let rand n =
+        st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+        !st mod n
+      in
+      for i = Array.length indexed - 1 downto 1 do
+        let j = rand (i + 1) in
+        let tmp = indexed.(i) in
+        indexed.(i) <- indexed.(j);
+        indexed.(j) <- tmp
+      done;
+      let items =
+        Array.to_list
+          (Array.map
+             (fun (version, (ki, op)) ->
+               let key = ik (Printf.sprintf "p%d" ki) in
+               let funct =
+                 match op with
+                 | `Add d ->
+                     Funct.mk_pending ~ftype:Ftype.Add
+                       ~farg:(Funct.farg_args [ Value.int d ])
+                       ~txn_id:version ~coordinator:0
+                 | `Sum rks ->
+                     let read_set =
+                       List.sort_uniq compare
+                         (List.map (fun r -> ik (Printf.sprintf "p%d" r)) rks)
+                     in
+                     Funct.mk_pending ~ftype:(Ftype.User "sum")
+                       ~farg:{ Funct.farg_empty with read_set }
+                       ~txn_id:version ~coordinator:0
+               in
+               (match
+                  Engine.install e ~key ~version ~lo:0 ~hi:max_int funct
+                with
+               | Ok () -> ()
+               | Error _ -> Alcotest.fail "install failed");
+               { Functor_cc.Processor.key; version })
+             indexed)
+      in
+      let planner =
+        Functor_cc.Planner.create ~engine:e ~pool ~dispatch_cost_us:1
+          ~metrics:(Sim.Metrics.create ()) ()
+      in
+      let stats = Functor_cc.Planner.run planner ~items in
+      Sim.Engine.run sim;
+      let n_ops = List.length ops in
+      let final_order = List.rev !order in
+      (* exactly-once: every item finalised, none twice, nothing pending *)
+      let distinct = List.sort_uniq compare final_order in
+      let pos =
+        let h = Hashtbl.create 64 in
+        List.iteri (fun i kv -> Hashtbl.replace h kv i) final_order;
+        h
+      in
+      let pos_of kv = Hashtbl.find pos kv in
+      (* every dependency edge implied by the epoch is respected in the
+         finalisation order *)
+      let producer key_name ~below =
+        Array.fold_left
+          (fun best (version, (ki, _)) ->
+            if
+              version <= below
+              && String.equal (Printf.sprintf "p%d" ki) key_name
+              && (match best with Some b -> version > b | None -> true)
+            then Some version
+            else best)
+          None indexed
+      in
+      (* Execution-order edges the engine actually enforces: built-ins
+         implicitly read their own key at version - 1 (intra-key edge);
+         user functors finalise after the producers of their read-set
+         keys, but not after lower versions of their own key (the
+         watermark, not the record, waits for those). *)
+      let edges_ok =
+        Array.for_all
+          (fun (version, (ki, op)) ->
+            let kname = Printf.sprintf "p%d" ki in
+            let after_producer rk_name =
+              match producer rk_name ~below:(version - 1) with
+              | None -> true
+              | Some pv -> pos_of (rk_name, pv) < pos_of (kname, version)
+            in
+            match op with
+            | `Add _ -> after_producer kname
+            | `Sum rks ->
+                List.for_all
+                  (fun r -> after_producer (Printf.sprintf "p%d" r))
+                  rks)
+          indexed
+      in
+      stats.Functor_cc.Planner.nodes = n_ops
+      && stats.Functor_cc.Planner.critical_path
+         = stats.Functor_cc.Planner.strata - 1
+      && List.length final_order = n_ops
+      && List.length distinct = n_ops
+      && Engine.pending_count e = 0
+      && edges_ok)
+
 let suite =
   [ Alcotest.test_case "value accessors" `Quick test_value_accessors;
     Alcotest.test_case "value equal/compare" `Quick test_value_equal_compare;
@@ -443,4 +613,5 @@ let suite =
     Alcotest.test_case "optimistic validation" `Quick
       test_optimistic_validation;
     QCheck_alcotest.to_alcotest prop_numeric_series;
-    QCheck_alcotest.to_alcotest prop_watermark_complete ]
+    QCheck_alcotest.to_alcotest prop_watermark_complete;
+    QCheck_alcotest.to_alcotest prop_planner_epoch ]

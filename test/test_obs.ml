@@ -7,7 +7,8 @@ let all_stages =
   [ Obs.Trace.Submit; Epoch_assign; Functor_write; Batch_ack; Epoch_close;
     Compute_start; Compute_done; Read_served; Sequenced; Scheduled;
     Locks_acquired; Exec_start; Exec_done; Lock_timeout; Prepared;
-    Committed; Aborted; Restarted; Fault_drop; Fault_delay ]
+    Committed; Aborted; Restarted; Fault_drop; Fault_delay;
+    Plan_build; Plan_evaluate ]
 
 let test_stage_codec () =
   List.iter
