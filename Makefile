@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean bench bench-smoke bench-guard chaos chaos-smoke
+.PHONY: all build test fmt check clean bench bench-smoke bench-guard bench-real real-smoke chaos chaos-smoke
 
 all: build
 
@@ -28,6 +28,25 @@ bench-smoke:
 bench-guard:
 	dune exec bench/main.exe -- --json micro
 	python3 ci/check_bench_regression.py BENCH_micro.json bench/baseline_micro.json
+
+# Wall-clock domain-scaling sweep for --runtime real: writes
+# BENCH_real.json (cpu-add + latency-bound series at 1/2/4/8 domains,
+# host core count recorded).  Numbers are machine-dependent; the checker
+# validates structure, it never compares them across machines.
+bench-real:
+	dune exec bench/main.exe -- --json real
+	python3 ci/check_bench_regression.py --validate-real BENCH_real.json
+
+# CI smoke for the real runtime: pool + domain-determinism suites, the
+# interning hammer, the sim-vs-real equivalence oracle, a 4-domain
+# end-to-end CLI run, and the wall-clock sweep.
+real-smoke:
+	dune exec test/test_main.exe -- test runtime
+	dune exec test/test_main.exe -- test mvstore
+	dune exec test/test_main.exe -- test cross-engine
+	dune exec bin/alohadb_cli.exe -- run --system aloha --workload ycsb \
+	  --compute planned --runtime real --domains 4 --measure-ms 200
+	$(MAKE) bench-real
 
 # Randomized fault schedules against all three engines, 25 seeds each.
 # A failing (engine, seed) pair replays with:

@@ -73,8 +73,23 @@ let run_cmd =
              ~doc:"Compute-phase mode (ALOHA only): ondemand, pool, or \
                    planned.  Omitted = engine default.")
   in
+  let runtime =
+    let modes = Arg.enum [ ("sim", "sim"); ("real", "real") ] in
+    Arg.(value & opt (some modes) None
+         & info [ "runtime" ]
+             ~doc:"Execution backend (ALOHA only): sim (default; \
+                   single-domain simulation) or real (evaluate planned \
+                   functor strata on OCaml 5 worker domains; pair with \
+                   --compute planned).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ]
+             ~doc:"Worker domains for --runtime real (default: engine \
+                   default).")
+  in
   let run (sys_name, engine) workload n per_host ci clients rate epoch_ms
-      warmup_ms measure_ms seed compute =
+      warmup_ms measure_ms seed compute runtime domains =
     let epoch_us = epoch_ms * 1000 in
     let warmup_us = warmup_ms * 1000 in
     let measure_us = measure_ms * 1000 in
@@ -91,22 +106,40 @@ let run_cmd =
       match workload with
       | `Tpcc ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
-            ~kind:`NewOrder ~epoch_us ?compute ~seed ()
+            ~kind:`NewOrder ~epoch_us ?compute ?runtime ?domains ~seed ()
       | `Tpcc_payment ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
-            ~kind:`Payment ~epoch_us ?compute ~seed ()
+            ~kind:`Payment ~epoch_us ?compute ?runtime ?domains ~seed ()
       | `Stpcc ->
           Harness.Setup.stpcc ~engine ~n ~districts_per_host:per_host
-            ~epoch_us ?compute ~seed ()
-      | `Ycsb -> Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ?compute ~seed ()
+            ~epoch_us ?compute ?runtime ?domains ~seed ()
+      | `Ycsb ->
+          Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ?compute ?runtime
+            ?domains ~seed ()
     in
+    let wall_t0 = Unix.gettimeofday () in
     let result =
       Harness.Driver.run built ~arrival ~warmup_us ~measure_us ()
     in
+    let wall_s = Unix.gettimeofday () -. wall_t0 in
+    (* Quiesce: joins the real runtime's worker domains (no-op on sim). *)
+    (let (Harness.Setup.Built ((module E), c, _)) = built in
+     E.stop c);
     (match compute with
     | Some mode -> Format.printf "compute mode: %s@." mode
     | None -> ());
+    (match runtime with
+    | Some mode ->
+        Format.printf "runtime: %s%s@." mode
+          (match domains with
+          | Some d when mode = "real" -> Printf.sprintf " (%d domains)" d
+          | _ -> "")
+    | None -> ());
     Format.printf "%a@." Harness.Driver.pp_result result;
+    (* Wall-clock throughput: the first-class series under --runtime real
+       (simulated tps is unchanged by construction there). *)
+    Format.printf "wall clock: %.3f s (%.0f committed txn/s wall)@." wall_s
+      (float_of_int result.Harness.Driver.committed /. wall_s);
     List.iter
       (fun (stage, (st : Kernel.Result.stage_stat)) ->
         Format.printf "  %-22s %8.2f ms  p99 %6.2f ms  p999 %6.2f ms@." stage
@@ -118,7 +151,8 @@ let run_cmd =
   let doc = "Run one experiment point and print its metrics." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ system $ workload $ servers $ per_host $ ci $ clients
-          $ rate $ epoch_ms $ warmup_ms $ measure_ms $ seed $ compute)
+          $ rate $ epoch_ms $ warmup_ms $ measure_ms $ seed $ compute
+          $ runtime $ domains)
 
 let figure_cmd =
   let target =

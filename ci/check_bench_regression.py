@@ -14,7 +14,24 @@ reported but do not fail the check until they are added to the baseline.
 More than one CURRENT_JSON may be given (e.g. a glob over the bench
 output directory): files whose "suite" field is not "micro" — telemetry
 summaries, Chrome traces, macro results — are skipped with a note, so
-new kinds of run artifacts never break the gate.
+new kinds of run artifacts never break the gate.  A "real"-suite file
+(BENCH_real.json, wall-clock domain scaling) is also skipped, but only
+after its structure validates — a malformed real file fails the run.
+
+    python3 ci/check_bench_regression.py --validate-real BENCH_real.json
+
+validates a real-suite file on its own (the bench-real / real-smoke CI
+lanes use this).
+
+Why the real suite has no numeric gate: BENCH_real.json holds host
+wall-clock times, and those depend on the machine — physical core count
+(a 1-core host cannot speed up the cpu-add series at all), CPU
+frequency scaling, and co-tenant load all move the numbers by far more
+than any honest regression threshold.  Simulated suites are
+deterministic, so micro gets a 30% ns/op gate; real gets a
+well-formedness gate (schema, positive times, the 1-domain baseline
+each speedup is derived from) and the numbers themselves are for humans
+reading the artifact next to its recorded host_cores.
 
 Only the Python standard library is used.
 """
@@ -24,6 +41,64 @@ import os
 import sys
 
 
+def validate_real(path, doc):
+    """Exit with an error if a real-suite document is malformed."""
+    def fail(msg):
+        sys.exit(f"error: {path}: malformed real-suite document: {msg}")
+
+    if not isinstance(doc.get("host_cores"), int) or doc["host_cores"] < 1:
+        fail("host_cores must be a positive integer")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail("series must be a non-empty list")
+    for s in series:
+        if not isinstance(s, dict):
+            fail("series entries must be objects")
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            fail("series name must be a non-empty string")
+        if not isinstance(s.get("workload"), str):
+            fail(f"series {name!r}: workload must be a string")
+        points = s.get("points")
+        if not isinstance(points, list) or not points:
+            fail(f"series {name!r}: points must be a non-empty list")
+        domains_seen = set()
+        for p in points:
+            if not isinstance(p, dict):
+                fail(f"series {name!r}: points must be objects")
+            d = p.get("domains")
+            if not isinstance(d, int) or d < 1:
+                fail(f"series {name!r}: domains must be a positive integer")
+            if d in domains_seen:
+                fail(f"series {name!r}: duplicate point for {d} domains")
+            domains_seen.add(d)
+            for field in ("wall_s", "txn_s"):
+                v = p.get(field)
+                if not isinstance(v, (int, float)) or v <= 0:
+                    fail(f"series {name!r} @ {d} domains: "
+                         f"{field} must be positive")
+            txns = p.get("txns")
+            if not isinstance(txns, int) or txns <= 0:
+                fail(f"series {name!r} @ {d} domains: "
+                     f"txns must be a positive integer")
+        if 1 not in domains_seen:
+            fail(f"series {name!r}: missing the 1-domain baseline point")
+
+
+def report_real(path, doc):
+    print(f"{path}: real suite ok (host_cores={doc['host_cores']})")
+    for s in doc["series"]:
+        pts = sorted(s["points"], key=lambda p: p["domains"])
+        scaling = ", ".join(
+            f"{p['domains']}d={p['txn_s']:.0f}/s"
+            f" ({p['speedup_vs_1']:.2f}x)"
+            if isinstance(p.get("speedup_vs_1"), (int, float))
+            else f"{p['domains']}d={p['txn_s']:.0f}/s"
+            for p in pts
+        )
+        print(f"  {s['name']:16} {scaling}")
+
+
 def load(path):
     """Parse a micro-suite document; return None for other JSON files."""
     try:
@@ -31,6 +106,10 @@ def load(path):
             doc = json.load(f)
     except (OSError, ValueError) as exc:
         sys.exit(f"error: cannot read {path}: {exc}")
+    if isinstance(doc, dict) and doc.get("suite") == "real":
+        # skip, but never silently ship a broken artifact
+        validate_real(path, doc)
+        return None
     if not isinstance(doc, dict) or doc.get("suite") != "micro":
         return None
     try:
@@ -40,6 +119,20 @@ def load(path):
 
 
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--validate-real":
+        if len(argv) != 3:
+            sys.exit(f"usage: {argv[0]} --validate-real BENCH_real.json")
+        path = argv[2]
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot read {path}: {exc}")
+        if not isinstance(doc, dict) or doc.get("suite") != "real":
+            sys.exit(f"error: {path} is not a real-suite document")
+        validate_real(path, doc)
+        report_real(path, doc)
+        return 0
     if len(argv) < 3:
         sys.exit(f"usage: {argv[0]} CURRENT_JSON... BASELINE_JSON")
     current_paths, baseline_path = argv[1:-1], argv[-1]

@@ -28,17 +28,37 @@ let options_of ?seed (params : Kernel.Params.t) =
                install_retry_us = 10_000;
                ack_after_flush = true }
        in
-       match params.compute with
+       let cfg =
+         match params.compute with
+         | None -> cfg
+         | Some s -> (
+             match Config.compute_mode_of_string s with
+             | Some compute_mode -> { cfg with Config.compute_mode }
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf
+                      "Alohadb.Engine: unknown compute mode %S \
+                       (expected ondemand|pool|planned)"
+                      s))
+       in
+       let cfg =
+         match params.runtime with
+         | None -> cfg
+         | Some s -> (
+             match Config.runtime_mode_of_string s with
+             | Some runtime_mode -> { cfg with Config.runtime_mode }
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf
+                      "Alohadb.Engine: unknown runtime %S (expected sim|real)"
+                      s))
+       in
+       match params.domains with
        | None -> cfg
-       | Some s -> (
-           match Config.compute_mode_of_string s with
-           | Some compute_mode -> { cfg with Config.compute_mode }
-           | None ->
-               invalid_arg
-                 (Printf.sprintf
-                    "Alohadb.Engine: unknown compute mode %S \
-                     (expected ondemand|pool|planned)"
-                    s))) }
+       | Some d ->
+           if d < 1 then
+             invalid_arg "Alohadb.Engine: --domains must be >= 1"
+           else { cfg with Config.domains = d }) }
 
 let create ?seed params =
   Cluster.create
@@ -50,7 +70,10 @@ let drop_stats = Cluster.drop_stats
 let register c name h = Functor_cc.Registry.register (Cluster.registry c) name h
 let load c key v = Cluster.load c ~key v
 let start = Cluster.start
-let stop (_ : cluster) = ()
+
+(* Quiesce: under --runtime real this joins the worker-domain pool (the
+   simulated state stays readable); a no-op otherwise.  Idempotent. *)
+let stop = Cluster.shutdown
 let sim = Cluster.sim
 let metrics = Cluster.metrics
 let n_servers = Cluster.n_servers

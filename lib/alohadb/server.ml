@@ -63,6 +63,9 @@ type t = {
   h_lat_ro : Sim.Stats.Histogram.t;
   m_be_dropped : int ref;
   pool : Sim.Worker_pool.t;
+  real_pool : Runtime.Pool.t option;
+      (* worker-domain pool for --runtime real (shared cluster-wide);
+         None under the default sim runtime *)
   ts_source : Clocksync.Ts_source.t;
   part : Epoch.Participant.t;
   registry : Functor_cc.Registry.t;
@@ -740,7 +743,7 @@ let spawn_engine t =
       ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics
       ?on_dispatch ();
   t.planner <-
-    Functor_cc.Planner.create ~engine ~pool:t.pool
+    Functor_cc.Planner.create ~engine ~pool:t.pool ?real:t.real_pool
       ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics
       ~is_local:(fun key -> t.partition_of key = t.my_partition)
       ~send_plan_sub:(fun ~key ~version ~dst_key ~dst_version ->
@@ -751,6 +754,9 @@ let spawn_engine t =
                (Message.Plan_sub { key; version; dst_key; dst_version })))
       ~now:(fun () -> Sim.Engine.now t.sim)
       ?on_dispatch
+      ~on_stratum:(fun ~size ->
+        if live () then
+          emit t ~txn:(-1) ~stage:Obs.Trace.Stratum_dispatch ~arg:size ())
       ~on_evaluated:(fun ~elapsed_us ->
         if live () then
           emit t ~txn:(-1) ~stage:Obs.Trace.Plan_evaluate ~arg:elapsed_us ())
@@ -776,7 +782,8 @@ let release_closed t ~upto_epoch =
 (* ---- construction ------------------------------------------------------ *)
 
 let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
-    ~addr_of_partition ~my_partition ~registry ~config ~metrics ?obs () =
+    ~addr_of_partition ~my_partition ~registry ~config ~metrics ?obs
+    ?real_pool () =
   let pool = Sim.Worker_pool.create sim ~workers:config.Config.cores in
   let part =
     Epoch.Participant.create ~rpc:control ~addr ~em ~clock
@@ -821,7 +828,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       h_lat_proc = h "aloha.lat_proc_us";
       h_lat_ro = h "aloha.lat_ro_us";
       m_be_dropped = c "aloha.be_dropped";
-      pool; ts_source; part; registry;
+      pool; real_pool; ts_source; part; registry;
       engine = bootstrap_engine;
       processor =
         Functor_cc.Processor.create ~engine:bootstrap_engine ~pool

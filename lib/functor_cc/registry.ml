@@ -31,20 +31,32 @@ type outcome =
 
 type handler = ctx -> outcome
 
-type t = { handlers : (string, handler) Hashtbl.t }
+(* Domain safety (--runtime real): registration happens at deployment
+   time, before the cluster starts — the table is read-only once worker
+   domains exist, so [find] stays lock-free (concurrent [Hashtbl]
+   readers are safe when nobody writes).  The mutex makes the
+   registration phase itself safe should two setup paths race, and keeps
+   the duplicate check atomic with the insert. *)
+type t = { handlers : (string, handler) Hashtbl.t; lock : Mutex.t }
 
-let create () = { handlers = Hashtbl.create 32 }
+let create () = { handlers = Hashtbl.create 32; lock = Mutex.create () }
 
 let register t name handler =
-  if Hashtbl.mem t.handlers name then
-    invalid_arg (Printf.sprintf "Registry.register: duplicate handler %S" name);
-  Hashtbl.add t.handlers name handler
+  Mutex.lock t.lock;
+  if Hashtbl.mem t.handlers name then begin
+    Mutex.unlock t.lock;
+    invalid_arg (Printf.sprintf "Registry.register: duplicate handler %S" name)
+  end;
+  Hashtbl.add t.handlers name handler;
+  Mutex.unlock t.lock
 
 let find t name = Hashtbl.find_opt t.handlers name
 
 let names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.handlers []
-  |> List.sort String.compare
+  Mutex.lock t.lock;
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.handlers [] in
+  Mutex.unlock t.lock;
+  List.sort String.compare names
 
 (* "cadd": add arg0 to own key's value, abort when result < arg1 (floor).
    The canonical conditional-transfer handler from Figure 5 (T3). *)

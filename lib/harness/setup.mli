@@ -5,7 +5,9 @@
     loads the initial data, starts the cluster, and pairs it with the
     workload's request generator.  The result is a {!built} existential
     ready for {!Driver.run}.  [compute] selects an engine-specific
-    compute-phase mode (ALOHA: "ondemand" / "pool" / "planned"). *)
+    compute-phase mode (ALOHA: "ondemand" / "pool" / "planned");
+    [runtime] selects the execution backend ("sim" / "real") and
+    [domains] the real runtime's worker-domain count. *)
 
 type built =
   | Built :
@@ -29,6 +31,8 @@ val build :
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
   ?compute:string ->
+  ?runtime:string ->
+  ?domains:int ->
   ?seed:int ->
   unit ->
   built
@@ -47,6 +51,8 @@ val tpcc :
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
   ?compute:string ->
+  ?runtime:string ->
+  ?domains:int ->
   ?seed:int ->
   unit ->
   built
@@ -58,6 +64,8 @@ val stpcc :
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
   ?compute:string ->
+  ?runtime:string ->
+  ?domains:int ->
   ?seed:int ->
   unit ->
   built
@@ -70,6 +78,8 @@ val ycsb :
   ?epoch_us:int ->
   ?obs:Obs.Ctl.t ->
   ?compute:string ->
+  ?runtime:string ->
+  ?domains:int ->
   ?seed:int ->
   unit ->
   built

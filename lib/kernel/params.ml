@@ -14,7 +14,15 @@ type t = {
       (* engine-specific compute-phase selector (e.g. ALOHA's
          "ondemand" / "pool" / "planned"); engines without a compute
          phase ignore it. *)
+  runtime : string option;
+      (* execution backend: "sim" (default; everything on the simulation
+         domain) or "real" (ALOHA evaluates planned functor strata on a
+         pool of OCaml 5 worker domains).  Engines without a real
+         backend ignore it. *)
+  domains : int option;
+      (* worker-domain count for the real runtime; None = engine
+         default.  Ignored under runtime "sim". *)
 }
 
-let make ?epoch_us ?faults ?obs ?compute ~n_servers () =
-  { n_servers; epoch_us; faults; obs; compute }
+let make ?epoch_us ?faults ?obs ?compute ?runtime ?domains ~n_servers () =
+  { n_servers; epoch_us; faults; obs; compute; runtime; domains }

@@ -23,9 +23,17 @@ type t = {
       (** engine-specific compute-phase selector (ALOHA accepts
           "ondemand" / "pool" / "planned"); engines without a compute
           phase ignore it *)
+  runtime : string option;
+      (** execution backend: "sim" (default; single-domain simulation) or
+          "real" (ALOHA evaluates planned functor strata on a pool of
+          OCaml 5 worker domains, for wall-clock measurements); engines
+          without a real backend ignore it *)
+  domains : int option;
+      (** worker-domain count for the real runtime; [None] leaves the
+          engine default.  Ignored under runtime "sim" *)
 }
 
 val make :
   ?epoch_us:int -> ?faults:Net.Faults.t -> ?obs:Obs.Ctl.t ->
-  ?compute:string ->
+  ?compute:string -> ?runtime:string -> ?domains:int ->
   n_servers:int -> unit -> t

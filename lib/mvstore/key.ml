@@ -4,7 +4,18 @@
    sprintf-built strings.  The intern table only grows; sequential
    experiment runs reuse the records (and their ids) for recurring key
    names, which is exactly the behaviour a per-run table would give for a
-   single run, without threading an interner through every constructor. *)
+   single run, without threading an interner through every constructor.
+
+   Domain safety (--runtime real): the table is process-global mutable
+   state, so [intern] takes a mutex.  The whole lookup is inside the
+   critical section — not just the miss path — because a concurrent
+   [Hashtbl.add] can resize the table out from under a lock-free
+   [find_opt].  The lock is uncontended in practice (the real runtime's
+   worker domains never intern: read sets are staged and dependent keys
+   interned on the orchestrating domain), so the cost is a single
+   uncontended lock/unlock — a few tens of nanoseconds on the install
+   path, which the interning regression test hammers from 4 domains to
+   keep honest. *)
 
 type t = {
   id : int;
@@ -13,20 +24,27 @@ type t = {
   mutable memo : int;
       (* One generation-stamped memo slot per key.  Holders of a stamp
          (e.g. a cluster's partitioner) can cache an int per key — the
-         partition id — without a side table. *)
+         partition id — without a side table.  Not synchronized: memoize
+         from the orchestrating domain only (see [memo_int]). *)
 }
 
 let table : (string, t) Hashtbl.t = Hashtbl.create 65_536
 let next_id = ref 0
+let lock = Mutex.create ()
 
 let intern name =
-  match Hashtbl.find_opt table name with
-  | Some k -> k
-  | None ->
-      let k = { id = !next_id; name; memo_stamp = -1; memo = 0 } in
-      incr next_id;
-      Hashtbl.add table name k;
-      k
+  Mutex.lock lock;
+  let k =
+    match Hashtbl.find_opt table name with
+    | Some k -> k
+    | None ->
+        let k = { id = !next_id; name; memo_stamp = -1; memo = 0 } in
+        incr next_id;
+        Hashtbl.add table name k;
+        k
+  in
+  Mutex.unlock lock;
+  k
 
 let id k = k.id
 let name k = k.name
@@ -41,12 +59,17 @@ let new_stamp () =
   incr next_stamp;
   !next_stamp
 
+(* Single-domain by design (cluster assembly and message routing run on
+   the orchestrating domain).  The write order still matters for crash
+   robustness of that assumption: publish the memo value before the
+   stamp, so a racing same-stamp reader can never observe the new stamp
+   with the old value. *)
 let memo_int k ~stamp ~f =
   if k.memo_stamp = stamp then k.memo
   else begin
     let v = f k.name in
-    k.memo_stamp <- stamp;
     k.memo <- v;
+    k.memo_stamp <- stamp;
     v
   end
 

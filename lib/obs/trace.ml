@@ -21,6 +21,7 @@ type stage =
   | Fault_delay
   | Plan_build
   | Plan_evaluate
+  | Stratum_dispatch
 
 let stage_name = function
   | Submit -> "submit"
@@ -45,6 +46,7 @@ let stage_name = function
   | Fault_delay -> "fault_delay"
   | Plan_build -> "plan_build"
   | Plan_evaluate -> "plan_evaluate"
+  | Stratum_dispatch -> "stratum_dispatch"
 
 let stage_to_int = function
   | Submit -> 0
@@ -69,6 +71,7 @@ let stage_to_int = function
   | Fault_delay -> 19
   | Plan_build -> 20
   | Plan_evaluate -> 21
+  | Stratum_dispatch -> 22
 
 let stage_of_int = function
   | 0 -> Submit
@@ -93,11 +96,19 @@ let stage_of_int = function
   | 19 -> Fault_delay
   | 20 -> Plan_build
   | 21 -> Plan_evaluate
+  | 22 -> Stratum_dispatch
   | n -> invalid_arg (Printf.sprintf "Trace.stage_of_int: %d" n)
 
 (* Struct-of-arrays ring buffer: one slot is six ints across parallel
    arrays, written with plain stores.  [next] is the next write slot,
-   [total] counts every emit so wrap-around is accounted for. *)
+   [total] counts every emit so wrap-around is accounted for.
+
+   Domain discipline (--runtime real): plain stores mean the ring is
+   single-writer by contract.  Every emit site runs on the orchestrating
+   domain — the real runtime's workers never trace; stratum activity is
+   recorded by the orchestrator via [Stratum_dispatch] (batch sizes) and
+   the [runtime.pool.*] peak gauges — so no per-event synchronization is
+   needed, keeping the tracing-off fast path a single option test. *)
 type t = {
   cap : int;
   sample : int;

@@ -43,6 +43,9 @@ type stage =
   | Plan_evaluate
       (** the last node of a plan finalised ([arg] = elapsed µs since the
           plan was dispatched) *)
+  | Stratum_dispatch
+      (** real runtime: a planner stratum left for the worker-domain pool
+          ([arg] = batch size) *)
 
 val stage_name : stage -> string
 (** Stable lower-snake-case name, e.g. ["epoch_assign"] — the [name] field

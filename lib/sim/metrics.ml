@@ -1,3 +1,15 @@
+(* Domain discipline (--runtime real): none of this is synchronized —
+   counters are plain [int ref]s behind string-keyed hashtables, and
+   both sides (table resize on first touch, unguarded increments) would
+   race under concurrent domains.  Rather than pay atomics on every
+   simulated event, the real runtime keeps ALL metric mutation on the
+   orchestrating domain: worker domains carry their per-item tallies in
+   the stratum's task slots ([Compute_engine.par_task]) and the
+   orchestrator merges them into these counters after each stratum
+   barrier ([par_commit]) — the domain-local-shards-merged-at-epoch-close
+   variant with the shard inlined into the work item.  Resolve handles
+   ([counter]/[histogram]/[gauge]) and call every recording function
+   from the simulation's domain only. *)
 type t = {
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, Stats.Histogram.t) Hashtbl.t;

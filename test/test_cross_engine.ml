@@ -33,8 +33,10 @@ let txn_keys (k1, k2) =
 (* One scripted submission per batch entry, alternating frontends.  The
    warmup window ends before the first arrival, so the committed counter
    covers the whole history. *)
-let run_engine ?compute (Kernel.Intf.Pack (module E)) =
-  let c = E.create (Kernel.Params.make ?compute ~n_servers:n ()) in
+let run_engine ?compute ?runtime ?domains (Kernel.Intf.Pack (module E)) =
+  let c =
+    E.create (Kernel.Params.make ?compute ?runtime ?domains ~n_servers:n ())
+  in
   List.iter (fun k -> E.load c k (Value.int 0)) keys;
   E.start c;
   let remaining = ref batch in
@@ -64,6 +66,9 @@ let run_engine ?compute (Kernel.Intf.Pack (module E)) =
         match E.read_committed c k with Some v -> Value.to_int v | None -> 0)
       keys
   in
+  (* Joins the real runtime's worker domains when there are any; a no-op
+     for purely simulated runs. *)
+  E.stop c;
   (totals, r)
 
 let engines =
@@ -101,6 +106,29 @@ let test_compute_modes_agree () =
         (mode ^ " tps matches ondemand")
         r0.Kernel.Result.throughput_tps r.Kernel.Result.throughput_tps)
     runs
+
+(* Sim-vs-real equivalence: the same scripted history through ALOHA with
+   functor evaluation on simulated workers (--runtime sim) and on real
+   OCaml 5 domains (--runtime real) must commit the same transactions and
+   leave identical final state, for every compute mode.  Deliberately NOT
+   a throughput check: the real runtime evaluates strata eagerly at epoch
+   close, which shifts simulated completion timing (see DESIGN.md §12) —
+   state equivalence is the invariant, wall clock is the benchmark's job.
+   run_engine already asserts the committed/aborted counts match the
+   script, so a totals match here means identical committed sets. *)
+let test_sim_vs_real_agree () =
+  let expected = Array.to_list (expected_totals ()) in
+  let aloha = Kernel.Intf.Pack (module Alohadb.Engine) in
+  List.iter
+    (fun mode ->
+      let sim_totals, _ = run_engine ~compute:mode aloha in
+      let real_totals, _ =
+        run_engine ~compute:mode ~runtime:"real" ~domains:4 aloha
+      in
+      Alcotest.(check (list int)) (mode ^ " sim = oracle") expected sim_totals;
+      Alcotest.(check (list int))
+        (mode ^ " real(4 domains) = sim") sim_totals real_totals)
+    [ "ondemand"; "pool"; "planned" ]
 
 (* ---- model-based lock manager check -------------------------------------- *)
 
@@ -166,4 +194,6 @@ let prop_lock_manager_safety =
 let suite =
   [ Alcotest.test_case "three engines agree" `Slow test_three_engines_agree;
     Alcotest.test_case "compute modes agree" `Slow test_compute_modes_agree;
+    Alcotest.test_case "sim vs real runtime agree" `Slow
+      test_sim_vs_real_agree;
     QCheck_alcotest.to_alcotest prop_lock_manager_safety ]

@@ -89,6 +89,56 @@ let test_key_interning () =
   ignore (Mvstore.Key.memo_int a ~stamp:s2 ~f);
   Alcotest.(check int) "new stamp recomputes" 2 !calls
 
+(* Regression for the intern mutex (--runtime real): 4 domains hammer the
+   global intern table with a mix of shared names (every domain must get
+   the same record — checked via stable ids) and per-domain fresh names
+   (which force concurrent Hashtbl growth, the resize race that makes a
+   lock-free find_opt unsafe).  Before the mutex this segfaulted or
+   returned duplicate records under parallel load. *)
+let test_intern_four_domain_hammer () =
+  let n_shared = 32 in
+  let iters = 4_000 in
+  let shared = Array.init n_shared (fun i -> Printf.sprintf "hammer:s:%d" i) in
+  let results =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let ids = Array.make n_shared (-1) in
+            let stable = ref true in
+            for it = 0 to iters - 1 do
+              let i = (it + d) mod n_shared in
+              let k = ik shared.(i) in
+              let id = Mvstore.Key.id k in
+              if ids.(i) = -1 then ids.(i) <- id
+              else if ids.(i) <> id then stable := false;
+              (* disjoint per-domain inserts keep the table resizing
+                 while the other domains look names up *)
+              ignore (ik (Printf.sprintf "hammer:p:%d:%d" d it))
+            done;
+            (ids, !stable)))
+  in
+  let out = Array.map Domain.join results in
+  Array.iteri
+    (fun d (_, stable) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d saw stable ids" d)
+        true stable)
+    out;
+  let ids0, _ = out.(0) in
+  Array.iteri
+    (fun d (ids, _) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domain %d agrees with domain 0" d)
+        ids0 ids)
+    out;
+  (* interning is still coherent from the orchestrating domain *)
+  Array.iteri
+    (fun i name ->
+      Alcotest.(check int)
+        (Printf.sprintf "shared %d id persists" i)
+        ids0.(i)
+        (Mvstore.Key.id (ik name)))
+    shared
+
 let test_table_window () =
   let t : int Table.t = Table.create () in
   let k = ik "k" in
@@ -247,6 +297,8 @@ let prop_chain_ops_match_reference =
 
 let suite =
   [ Alcotest.test_case "key interning" `Quick test_key_interning;
+    Alcotest.test_case "intern 4-domain hammer" `Quick
+      test_intern_four_domain_hammer;
     Alcotest.test_case "chain insert/find" `Quick test_chain_insert_find;
     Alcotest.test_case "chain duplicate" `Quick test_chain_duplicate;
     Alcotest.test_case "chain update" `Quick test_chain_update;

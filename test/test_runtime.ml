@@ -1,0 +1,192 @@
+(* The real-parallelism runtime: the domain pool in isolation (barrier
+   semantics, work stealing, shutdown discipline) and the end-to-end
+   guarantee the planner builds on it — evaluating an epoch's strata on
+   1 domain and on 8 domains is observationally identical. *)
+
+module Pool = Runtime.Pool
+module Value = Functor_cc.Value
+module Ftype = Functor_cc.Ftype
+module Funct = Functor_cc.Funct
+module Registry = Functor_cc.Registry
+module Engine = Functor_cc.Compute_engine
+
+let ik = Mvstore.Key.intern
+
+(* ---- pool: submit / run_batch barrier ----------------------------------- *)
+
+(* run_batch must be a full barrier: every task's plain writes are visible
+   to the caller when it returns, and to the tasks of any later batch.  A
+   second batch sums the first batch's writes from worker domains — if the
+   barrier leaked, a worker could observe a zero slot. *)
+let test_batch_barrier () =
+  let p = Pool.create ~domains:4 in
+  Alcotest.(check int) "n_workers" 4 (Pool.n_workers p);
+  let n = 256 in
+  let a = Array.make n 0 in
+  Pool.run_batch p (Array.init n (fun i () -> a.(i) <- i + 1));
+  let expect = n * (n + 1) / 2 in
+  Alcotest.(check int)
+    "all writes visible after barrier" expect (Array.fold_left ( + ) 0 a);
+  let sums = Array.make 8 0 in
+  Pool.run_batch p
+    (Array.init 8 (fun w () -> sums.(w) <- Array.fold_left ( + ) 0 a));
+  Array.iteri
+    (fun w s ->
+      Alcotest.(check int) (Printf.sprintf "batch 2 reader %d" w) expect s)
+    sums;
+  (* a raising task is counted, not fatal: the pool stays usable *)
+  Pool.submit p (fun () -> failwith "boom");
+  Pool.drain p;
+  Alcotest.(check int) "raise counted" 1 (Pool.tasks_raised p);
+  Pool.run_batch p (Array.init 4 (fun i () -> a.(i) <- -a.(i)));
+  Alcotest.(check int) "pool alive after raise" (-1) a.(0);
+  Pool.shutdown p
+
+(* ---- pool: work stealing under skew ------------------------------------- *)
+
+(* Everything lands on worker 0's queue; the tasks block (simulating I/O
+   or an uneven stratum), so the idle workers must steal to finish.  The
+   whole point of per-worker queues + stealing over a single shared queue
+   is that this skew self-levels. *)
+let test_work_stealing () =
+  let p = Pool.create ~domains:4 in
+  let n = 32 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to n do
+    Pool.submit_to p ~worker:0 (fun () ->
+        Unix.sleepf 0.002;
+        Atomic.incr hits)
+  done;
+  Pool.drain p;
+  Alcotest.(check int) "all tasks ran" n (Atomic.get hits);
+  Alcotest.(check int) "completed counter" n (Pool.completed p);
+  Alcotest.(check bool)
+    (Printf.sprintf "stolen > 0 (got %d)" (Pool.stolen p))
+    true
+    (Pool.stolen p > 0);
+  Alcotest.(check bool) "queue_peak saw the skew" true (Pool.queue_peak p > 1);
+  Pool.shutdown p
+
+(* ---- pool: shutdown discipline ------------------------------------------ *)
+
+let test_shutdown () =
+  let p = Pool.create ~domains:2 in
+  let hits = Atomic.make 0 in
+  let n = 200 in
+  for _ = 1 to n do
+    Pool.submit p (fun () -> Atomic.incr hits)
+  done;
+  (* no drain: shutdown itself must let already-submitted work finish *)
+  Pool.shutdown p;
+  Alcotest.(check int) "pending work drained" n (Atomic.get hits);
+  Alcotest.(check int) "completed counter" n (Pool.completed p);
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Runtime.Pool: submit after shutdown") (fun () ->
+      Pool.submit p (fun () -> ()));
+  Alcotest.check_raises "create with 0 domains"
+    (Invalid_argument "Runtime.Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+(* ---- planner on the real pool: 1 domain = 8 domains --------------------- *)
+
+(* 1000 commutative ADDs (50 keys x 20 versions) through the planner with
+   a real pool.  The strata are wide (every key, one version) so every
+   worker evaluates concurrently, and every item must take the parallel
+   path (builtins with intra-key deps never fall back).  The final store
+   state must be byte-identical across domain counts — the determinism
+   half of the sim-vs-real oracle, without a cluster around it. *)
+let n_keys = 50
+let n_versions = 20
+
+let delta i v = ((i * 31) + (v * 7)) mod 11 + 1
+
+let expected_total i =
+  let s = ref 0 in
+  for v = 1 to n_versions do
+    s := !s + delta i v
+  done;
+  !s
+
+let run_adds ~domains =
+  let sim = Sim.Engine.create () in
+  let pool = Sim.Worker_pool.create sim ~workers:3 in
+  let registry = Registry.with_builtins () in
+  let finals : (string * int, Funct.final) Hashtbl.t = Hashtbl.create 1024 in
+  let callbacks =
+    { Engine.is_local = (fun _ -> true);
+      remote_get = (fun ~key:_ ~version:_ k -> k None);
+      send_push = (fun ~dst_key:_ ~version:_ ~src_key:_ _ -> ());
+      send_dep_write = (fun ~key:_ ~version:_ _ -> ());
+      notify_final =
+        (fun ~key ~version ~pending:_ ~final ->
+          Hashtbl.replace finals (Mvstore.Key.name key, version) final);
+      exec = (fun ~cost k -> Sim.Worker_pool.submit pool ~cost k);
+      now = (fun () -> Sim.Engine.now sim) }
+  in
+  let metrics = Sim.Metrics.create () in
+  let e =
+    Engine.create ~registry ~callbacks ~compute_cost_us:1 ~metrics ()
+  in
+  for i = 0 to n_keys - 1 do
+    Engine.load_initial e ~key:(ik (Printf.sprintf "rt:%d" i)) (Value.int 0)
+  done;
+  let items = ref [] in
+  for v = n_versions downto 1 do
+    for i = n_keys - 1 downto 0 do
+      let key = ik (Printf.sprintf "rt:%d" i) in
+      let funct =
+        Funct.mk_pending ~ftype:Ftype.Add
+          ~farg:(Funct.farg_args [ Value.int (delta i v) ])
+          ~txn_id:((v * n_keys) + i)
+          ~coordinator:0
+      in
+      (match Engine.install e ~key ~version:v ~lo:0 ~hi:max_int funct with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "install failed");
+      items := { Functor_cc.Processor.key; version = v } :: !items
+    done
+  done;
+  let rpool = Pool.create ~domains in
+  let stratum_sizes = ref [] in
+  let planner =
+    Functor_cc.Planner.create ~engine:e ~pool ~real:rpool ~dispatch_cost_us:1
+      ~metrics
+      ~on_stratum:(fun ~size -> stratum_sizes := size :: !stratum_sizes)
+      ()
+  in
+  let stats = Functor_cc.Planner.run planner ~items:!items in
+  Sim.Engine.run sim;
+  Pool.shutdown rpool;
+  Alcotest.(check int)
+    "planned every item" (n_keys * n_versions)
+    stats.Functor_cc.Planner.nodes;
+  Alcotest.(check int)
+    "every item took the parallel path" (n_keys * n_versions)
+    (Sim.Metrics.get metrics "plan.real_evaluated");
+  Alcotest.(check int) "no fallbacks" 0
+    (Sim.Metrics.get metrics "plan.real_fallback");
+  Alcotest.(check int) "one callback per stratum"
+    (Sim.Metrics.get metrics "plan.real_strata")
+    (List.length !stratum_sizes);
+  Alcotest.(check int) "stratum sizes cover the epoch" (n_keys * n_versions)
+    (List.fold_left ( + ) 0 !stratum_sizes);
+  List.init n_keys (fun i ->
+      match Hashtbl.find_opt finals (Printf.sprintf "rt:%d" i, n_versions) with
+      | Some (Funct.Committed v) -> Value.to_int v
+      | Some _ -> Alcotest.fail "top version aborted/deleted"
+      | None -> Alcotest.fail "top version never finalised")
+
+let test_domain_count_determinism () =
+  let expected = List.init n_keys expected_total in
+  let one = run_adds ~domains:1 in
+  let eight = run_adds ~domains:8 in
+  Alcotest.(check (list int)) "1 domain = oracle" expected one;
+  Alcotest.(check (list int)) "8 domains = 1 domain" one eight
+
+let suite =
+  [ Alcotest.test_case "run_batch barrier" `Quick test_batch_barrier;
+    Alcotest.test_case "work stealing under skew" `Quick test_work_stealing;
+    Alcotest.test_case "shutdown drains pending work" `Quick test_shutdown;
+    Alcotest.test_case "1 vs 8 domains deterministic" `Quick
+      test_domain_count_determinism ]
