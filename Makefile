@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean bench bench-smoke bench-guard bench-real real-smoke chaos chaos-smoke
+.PHONY: all build test fmt check clean bench bench-smoke bench-guard bench-real real-smoke chaos chaos-smoke replication replication-smoke availability
 
 all: build
 
@@ -61,6 +61,33 @@ chaos-smoke:
 	dune exec bin/alohadb_cli.exe -- chaos --engine all --seed 1 --count 8
 	dune exec bin/alohadb_cli.exe -- chaos --engine aloha --seed 1 --count 2 \
 	  --compute planned
+
+# The replication battery: every backend crashed once per run, k = 2,
+# failover expected to mask each loss (invariants: no committed txn
+# lost, converged state, completion).  50 seeds — the PR's acceptance
+# sweep.  A failing seed replays with:
+#   dune exec bin/alohadb_cli.exe -- chaos -e aloha --seed N -k 2 --verbose
+replication:
+	dune exec bin/alohadb_cli.exe -- chaos --engine aloha --seed 1 --count 50 \
+	  --replicas 2
+
+# CI smoke: fewer seeds, both k = 2 and k = 3, plus the dedicated
+# replication test suite (failover scenarios, ack-gating model check,
+# k=2-vs-k=1 behaviour-neutrality differential).
+replication-smoke:
+	dune exec test/test_main.exe -- test replication
+	dune exec bin/alohadb_cli.exe -- chaos --engine aloha --seed 1 --count 8 \
+	  --replicas 2
+	dune exec bin/alohadb_cli.exe -- chaos --engine aloha --seed 1 --count 2 \
+	  --replicas 3
+
+# The availability figure: committed-work-over-time under a permanent
+# primary crash at k = 1/2/3; writes BENCH_availability.json and
+# validates its structure.
+availability:
+	dune exec bench/main.exe -- availability
+	python3 ci/check_bench_regression.py --validate-availability \
+	  BENCH_availability.json
 
 # Check dune-file formatting without promoting (ocamlformat is not a
 # dependency; OCaml sources are exempt via dune-project).

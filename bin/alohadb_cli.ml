@@ -88,8 +88,16 @@ let run_cmd =
              ~doc:"Worker domains for --runtime real (default: engine \
                    default).")
   in
+  let replicas =
+    Arg.(value & opt (some int) None
+         & info [ "replicas"; "k" ]
+             ~doc:"Replication degree per partition (ALOHA only; 1 = \
+                   unreplicated, the default).  k > 1 ships WAL records \
+                   to k-1 followers and survives any single backend \
+                   crash by failover.")
+  in
   let run (sys_name, engine) workload n per_host ci clients rate epoch_ms
-      warmup_ms measure_ms seed compute runtime domains =
+      warmup_ms measure_ms seed compute runtime domains replicas =
     let epoch_us = epoch_ms * 1000 in
     let warmup_us = warmup_ms * 1000 in
     let measure_us = measure_ms * 1000 in
@@ -106,16 +114,18 @@ let run_cmd =
       match workload with
       | `Tpcc ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
-            ~kind:`NewOrder ~epoch_us ?compute ?runtime ?domains ~seed ()
+            ~kind:`NewOrder ~epoch_us ?compute ?runtime ?domains ?replicas
+            ~seed ()
       | `Tpcc_payment ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
-            ~kind:`Payment ~epoch_us ?compute ?runtime ?domains ~seed ()
+            ~kind:`Payment ~epoch_us ?compute ?runtime ?domains ?replicas
+            ~seed ()
       | `Stpcc ->
           Harness.Setup.stpcc ~engine ~n ~districts_per_host:per_host
-            ~epoch_us ?compute ?runtime ?domains ~seed ()
+            ~epoch_us ?compute ?runtime ?domains ?replicas ~seed ()
       | `Ycsb ->
           Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ?compute ?runtime
-            ?domains ~seed ()
+            ?domains ?replicas ~seed ()
     in
     let wall_t0 = Unix.gettimeofday () in
     let result =
@@ -128,6 +138,9 @@ let run_cmd =
     (match compute with
     | Some mode -> Format.printf "compute mode: %s@." mode
     | None -> ());
+    (match replicas with
+    | Some k when k > 1 -> Format.printf "replication: k=%d@." k
+    | _ -> ());
     (match runtime with
     | Some mode ->
         Format.printf "runtime: %s%s@." mode
@@ -152,7 +165,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ system $ workload $ servers $ per_host $ ci $ clients
           $ rate $ epoch_ms $ warmup_ms $ measure_ms $ seed $ compute
-          $ runtime $ domains)
+          $ runtime $ domains $ replicas)
 
 let figure_cmd =
   let target =
@@ -226,7 +239,15 @@ let chaos_cmd =
              ~doc:"Compute-phase mode for engines that have one (ALOHA: \
                    ondemand, pool, or planned).  Omitted = engine default.")
   in
-  let run engine seed count servers verbose compute =
+  let replicas =
+    Arg.(value & opt int 1
+         & info [ "replicas"; "k" ]
+             ~doc:"Replication degree (ALOHA only).  k > 1 switches to \
+                   the replication battery schedule: every backend \
+                   crashed once per run, staggered, with failover \
+                   expected to mask each loss.")
+  in
+  let run engine seed count servers verbose compute replicas =
     let names =
       if engine = "all" then List.map fst Chaos.Driver.targets else [ engine ]
     in
@@ -242,11 +263,17 @@ let chaos_cmd =
     in
     let failures = ref 0 in
     for s = seed to seed + count - 1 do
-      let schedule = Chaos.Schedule.generate ~seed:s ~n_servers:servers in
+      let schedule =
+        if replicas > 1 then
+          Chaos.Schedule.generate_replicated ~seed:s ~n_servers:servers
+        else Chaos.Schedule.generate ~seed:s ~n_servers:servers
+      in
       if verbose then Format.printf "%a@." Chaos.Schedule.pp schedule;
       List.iter
         (fun (name, target) ->
-          let r = Chaos.Driver.run_schedule ?compute target ~schedule in
+          let r =
+            Chaos.Driver.run_schedule ?compute ~replicas target ~schedule
+          in
           let ok = Chaos.Driver.passed r in
           if not ok then incr failures;
           (* One machine-readable line per (engine, seed): the chaos-smoke
@@ -256,15 +283,17 @@ let chaos_cmd =
           let d = r.Chaos.Driver.drop_detail in
           Format.printf
             "{\"engine\":\"%s\",\"seed\":%d,\"compute\":\"%s\",\
-             \"trace_hash\":\"%s\",\"trace_events\":%d,\"committed\":%d,\
+             \"replicas\":%d,\"trace_hash\":\"%s\",\"trace_events\":%d,\
+             \"committed\":%d,\"submitted\":%d,\
              \"drops\":{\"injected\":%d,\"partitioned\":%d,\"crashed\":%d,\
              \"unregistered\":%d,\"total\":%d},\"ok\":%b}@."
             name s
             (match r.Chaos.Driver.compute with
             | Some m -> m
             | None -> "default")
-            r.Chaos.Driver.trace_hash r.Chaos.Driver.trace_events
-            r.Chaos.Driver.committed d.Net.Network.injected
+            r.Chaos.Driver.replicas r.Chaos.Driver.trace_hash
+            r.Chaos.Driver.trace_events r.Chaos.Driver.committed
+            r.Chaos.Driver.submitted d.Net.Network.injected
             d.Net.Network.partitioned d.Net.Network.crashed
             d.Net.Network.unregistered r.Chaos.Driver.drops ok;
           if not ok then
@@ -285,7 +314,8 @@ let chaos_cmd =
      with its seed."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ engine $ seed $ count $ servers $ verbose $ compute)
+    Term.(const run $ engine $ seed $ count $ servers $ verbose $ compute
+          $ replicas)
 
 
 (* ---- traced runs (trace / stats subcommands) ---------------------------- *)

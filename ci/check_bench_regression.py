@@ -23,6 +23,17 @@ after its structure validates — a malformed real file fails the run.
 validates a real-suite file on its own (the bench-real / real-smoke CI
 lanes use this).
 
+    python3 ci/check_bench_regression.py --validate-availability \
+        BENCH_availability.json
+
+validates an availability-suite file (committed-work-over-time series
+under a crash schedule at several replication degrees): schema, a
+series per degree with strictly increasing sample times and a monotone
+non-decreasing committed counter, completed <= submitted, and — the
+point of the figure — every replicated (k > 1) series must reach full
+completion, while the k = 1 baseline may plateau.  Like the real suite
+there is no numeric gate beyond that: the curves are the artifact.
+
 Why the real suite has no numeric gate: BENCH_real.json holds host
 wall-clock times, and those depend on the machine — physical core count
 (a 1-core host cannot speed up the cpu-add series at all), CPU
@@ -85,6 +96,69 @@ def validate_real(path, doc):
             fail(f"series {name!r}: missing the 1-domain baseline point")
 
 
+def validate_availability(path, doc):
+    """Exit with an error if an availability-suite document is malformed."""
+    def fail(msg):
+        sys.exit(f"error: {path}: malformed availability document: {msg}")
+
+    if not isinstance(doc.get("schedule"), str) or not doc["schedule"]:
+        fail("schedule must be a non-empty string")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail("series must be a non-empty list")
+    degrees_seen = set()
+    for s in series:
+        if not isinstance(s, dict):
+            fail("series entries must be objects")
+        k = s.get("replicas")
+        if not isinstance(k, int) or k < 1:
+            fail("replicas must be a positive integer")
+        if k in degrees_seen:
+            fail(f"duplicate series for replicas={k}")
+        degrees_seen.add(k)
+        if not isinstance(s.get("engine"), str) or not s["engine"]:
+            fail(f"k={k}: engine must be a non-empty string")
+        if not isinstance(s.get("seed"), int):
+            fail(f"k={k}: seed must be an integer")
+        submitted, completed = s.get("submitted"), s.get("completed")
+        if not isinstance(submitted, int) or submitted <= 0:
+            fail(f"k={k}: submitted must be a positive integer")
+        if not isinstance(completed, int) or completed < 0:
+            fail(f"k={k}: completed must be a non-negative integer")
+        if completed > submitted:
+            fail(f"k={k}: completed {completed} exceeds submitted {submitted}")
+        if k > 1 and completed != submitted:
+            fail(f"k={k}: a replicated run must complete "
+                 f"({completed}/{submitted}) — failover did not mask the "
+                 f"crash")
+        points = s.get("points")
+        if not isinstance(points, list) or not points:
+            fail(f"k={k}: points must be a non-empty list")
+        prev_t, prev_c = -1, 0
+        for p in points:
+            if not isinstance(p, dict):
+                fail(f"k={k}: points must be objects")
+            t, c = p.get("t_us"), p.get("committed")
+            if not isinstance(t, int) or t <= prev_t:
+                fail(f"k={k}: sample times must be strictly increasing")
+            if not isinstance(c, int) or c < prev_c:
+                fail(f"k={k}: committed counter regressed at t={t}us "
+                     f"({prev_c} -> {c})")
+            prev_t, prev_c = t, c
+        if prev_c != completed:
+            fail(f"k={k}: last sample {prev_c} != completed {completed}")
+
+
+def report_availability(path, doc):
+    print(f"{path}: availability suite ok")
+    for s in doc["series"]:
+        pts = s["points"]
+        rise = next((p["t_us"] for p in pts if p["committed"] > 0), None)
+        when = f"first commit @ {rise}us" if rise is not None else "flatline"
+        print(f"  k={s['replicas']}: {s['completed']}/{s['submitted']} "
+              f"committed, {len(pts)} samples, {when}")
+
+
 def report_real(path, doc):
     print(f"{path}: real suite ok (host_cores={doc['host_cores']})")
     for s in doc["series"]:
@@ -110,6 +184,9 @@ def load(path):
         # skip, but never silently ship a broken artifact
         validate_real(path, doc)
         return None
+    if isinstance(doc, dict) and doc.get("suite") == "availability":
+        validate_availability(path, doc)
+        return None
     if not isinstance(doc, dict) or doc.get("suite") != "micro":
         return None
     try:
@@ -132,6 +209,21 @@ def main(argv):
             sys.exit(f"error: {path} is not a real-suite document")
         validate_real(path, doc)
         report_real(path, doc)
+        return 0
+    if len(argv) >= 2 and argv[1] == "--validate-availability":
+        if len(argv) != 3:
+            sys.exit(f"usage: {argv[0]} --validate-availability "
+                     f"BENCH_availability.json")
+        path = argv[2]
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot read {path}: {exc}")
+        if not isinstance(doc, dict) or doc.get("suite") != "availability":
+            sys.exit(f"error: {path} is not an availability-suite document")
+        validate_availability(path, doc)
+        report_availability(path, doc)
         return 0
     if len(argv) < 3:
         sys.exit(f"usage: {argv[0]} CURRENT_JSON... BASELINE_JSON")

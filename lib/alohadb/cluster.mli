@@ -63,6 +63,25 @@ val server : t -> int -> Server.t
 val registry : t -> Functor_cc.Registry.t
 val partition_of : t -> string -> int
 
+val replicas : t -> int
+(** Effective replication degree: [min (max 1 config.replicas) n].  With
+    [k > 1] each partition's WAL is shipped to the k-1 following nodes
+    (group of partition [p] = nodes [p .. p+k-1 mod n]), a failure
+    monitor promotes a live follower when a primary's backend crashes
+    (detection delay [config.repl_detect_us]), and frontends re-route to
+    the promoted replica.  Replication forces durability on. *)
+
+val primary_server : t -> partition:int -> Server.t
+(** The server currently serving [partition]'s storage — its home server
+    until a failover, the promoted replica after one.  Committed state
+    must be read through this (chaos probes and oracles do). *)
+
+val group_members : t -> partition:int -> int list
+(** Node ids of [partition]'s replication group (just [partition] itself
+    when unreplicated).  A probe of this partition is unreliable while
+    {e any} member is crashed: its primary may be a promoted replica
+    still replaying, or about to become one. *)
+
 val load : t -> key:string -> Functor_cc.Value.t -> unit
 (** Preload a row on its owning partition (version 0). *)
 

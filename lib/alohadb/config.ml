@@ -37,6 +37,10 @@ type t = {
   wal_flush_us : int;
   install_retry_us : int;
   ack_after_flush : bool;
+  replicas : int;
+  repl_detect_us : int;
+  repl_retry_us : int;
+  repl_sync : bool;
   cost_coord_us : int;
   cost_install_base_us : int;
   cost_install_us : int;
@@ -57,6 +61,10 @@ let default =
     wal_flush_us = 500;
     install_retry_us = 0;
     ack_after_flush = false;
+    replicas = 1;
+    repl_detect_us = 3_000;
+    repl_retry_us = 0;
+    repl_sync = false;
     cost_coord_us = 6;
     cost_install_base_us = 3;
     cost_install_us = 1;

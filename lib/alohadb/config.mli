@@ -60,6 +60,25 @@ type t = {
           flushed, so a crash can only lose writes the FE never saw
           acknowledged (and will therefore retry).  Requires
           [durability] *)
+  replicas : int;
+      (** copies of each partition, including the primary; 1 (the
+          default) disables replication entirely and preserves the
+          single-copy behaviour bit for bit.  k > 1 forces [durability]
+          on (WAL shipping is the replication transport) and clamps to
+          the cluster size *)
+  repl_detect_us : int;
+      (** failure-detector delay: how long after a crash/restart the
+          cluster monitor waits before promoting a replica or
+          re-joining a member *)
+  repl_retry_us : int;
+      (** primary's re-ship period for WAL entries a follower has not
+          acked; 0 disables retransmission (fault-free networks) *)
+  repl_sync : bool;
+      (** gate install/abort acks and epoch close on every live
+          follower having acked the covering WAL prefix, so committed
+          transactions survive the loss of any single replica.  Off by
+          default: on a fault-free network asynchronous shipping is
+          behaviour-neutral and costs nothing *)
   cost_coord_us : int;
       (** FE: transform a transaction into functors and fan out installs *)
   cost_install_base_us : int;  (** BE: fixed cost per install message *)

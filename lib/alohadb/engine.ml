@@ -53,12 +53,35 @@ let options_of ?seed (params : Kernel.Params.t) =
                       "Alohadb.Engine: unknown runtime %S (expected sim|real)"
                       s))
        in
-       match params.domains with
+       let cfg =
+         match params.domains with
+         | None -> cfg
+         | Some d ->
+             if d < 1 then
+               invalid_arg "Alohadb.Engine: --domains must be >= 1"
+             else { cfg with Config.domains = d }
+       in
+       match params.replicas with
        | None -> cfg
-       | Some d ->
-           if d < 1 then
-             invalid_arg "Alohadb.Engine: --domains must be >= 1"
-           else { cfg with Config.domains = d }) }
+       | Some k ->
+           if k < 1 then
+             invalid_arg "Alohadb.Engine: --replicas must be >= 1"
+           else if k = 1 then cfg
+           else
+             (* Replicated and faulted: gate install/abort acks and epoch
+                close on group durability (otherwise a crashed primary
+                takes acked-but-unreplicated commits with it), and keep a
+                retransmission loop running so a rejoined follower always
+                catches up.  Fault-free replicated runs stay async — the
+                ship traffic is passive and the timeline is identical to
+                an unreplicated run. *)
+             let cfg = { cfg with Config.replicas = k } in
+             (match params.faults with
+             | None -> cfg
+             | Some _ ->
+                 { cfg with
+                   Config.repl_sync = true;
+                   repl_retry_us = 10_000 })) }
 
 let create ?seed params =
   Cluster.create
@@ -102,7 +125,9 @@ let submit c ~fe txn ~k =
         | Txn.Aborted { stage; _ } -> Kernel.Txn.Aborted stage))
 
 let read_committed c key =
-  let srv = Cluster.server c (Cluster.partition_of c key) in
+  (* Through the routing table: after a failover the partition's state
+     lives on the promoted replica, not the home server. *)
+  let srv = Cluster.primary_server c ~partition:(Cluster.partition_of c key) in
   let result = ref None in
   Functor_cc.Compute_engine.get (Server.engine srv)
     ~key:(Mvstore.Key.intern key) ~version:max_int (fun v -> result := v);

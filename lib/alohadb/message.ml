@@ -37,11 +37,12 @@ type oneway =
     }
   | Batch_done of {
       txn_id : int;
+      partition : int;
       functors : int;
       max_retrieved_at : int;
       aborted : bool;
     }
-  | Batch_done_ack of { txn_id : int }
+  | Batch_done_ack of { txn_id : int; partition : int }
   | Plan_sub of {
       key : Mvstore.Key.t;
       version : int;
@@ -54,6 +55,20 @@ type oneway =
       src_key : Mvstore.Key.t;
       value : Functor_cc.Value.t option;
     }
+  | Wal_ship of { partition : int; term : int; seq : int; entry : ship_entry }
+  | Ship_ack of { partition : int; term : int; seq : int }
+
+and ship_entry =
+  | Ship_install of {
+      key : Mvstore.Key.t;
+      version : int;
+      spec : fspec;
+      txn_id : int;
+      coordinator : int;
+      epoch : int;
+    }
+  | Ship_abort of { key : Mvstore.Key.t; version : int }
+  | Ship_epoch_closed of int
 
 type wire =
   | Req of req

@@ -43,12 +43,16 @@ type oneway =
     }
   | Batch_done of {
       txn_id : int;
+      partition : int;
+          (** which partition's batch finished: after a failover one
+              server can hold batches of several partitions for the same
+              transaction, so [txn_id] alone no longer names a batch *)
       functors : int;  (** how many of the txn's functors this BE held *)
       max_retrieved_at : int;  (** latest processor pick-up time, for the
                                    Figure-10 stage breakdown *)
       aborted : bool;  (** some functor of the txn finalised as ABORTED *)
     }
-  | Batch_done_ack of { txn_id : int }
+  | Batch_done_ack of { txn_id : int; partition : int }
       (** coordinator's receipt for a [Batch_done]; stops the backend's
           resend loop (the notification is one-way, so under a lossy
           network it is repeated until acknowledged) *)
@@ -72,6 +76,29 @@ type oneway =
     }
       (** reply to a {!Plan_sub}: lands in the same per-record push buffer
           as the §IV-B recipient-set [Push] *)
+  | Wal_ship of { partition : int; term : int; seq : int; entry : ship_entry }
+      (** replication: the primary of [partition] ships the [seq]-th
+          entry (1-based) of its durable WAL under routing generation
+          [term].  A follower seeing a higher term discards its copy of
+          the partition's log and rebuilds from seq 1; lower terms are
+          stale primaries and are ignored *)
+  | Ship_ack of { partition : int; term : int; seq : int }
+      (** follower's cumulative receipt: every shipped entry up to and
+          including [seq] is durable in its local WAL *)
+
+and ship_entry =
+  | Ship_install of {
+      key : Mvstore.Key.t;
+      version : int;
+      spec : fspec;
+      txn_id : int;
+      coordinator : int;
+      epoch : int;
+    }
+  | Ship_abort of { key : Mvstore.Key.t; version : int }
+  | Ship_epoch_closed of int
+      (** wire form of a WAL record ([Wal.entry] mirrors this; Wal
+          depends on Message, so the conversions live there) *)
 
 type wire =
   | Req of req

@@ -29,9 +29,9 @@ let max_final_version engine =
     0
     (snapshot_of_engine engine)
 
-let rebuild ~engine ~wal =
+let replay ~engine ~snapshot ~entries =
   let restored = ref 0 in
-  (* 1. checkpoint *)
+  (* 1. checkpoint snapshot *)
   List.iter
     (fun (key, version, spec) ->
       let record = Message.functor_of_fspec spec ~txn_id:0 ~coordinator:0 in
@@ -41,7 +41,7 @@ let rebuild ~engine ~wal =
       with
       | Ok () -> incr restored
       | Error _ -> ())
-    (Wal.snapshot wal);
+    snapshot;
   (* 2. log replay, oldest first (install order) *)
   List.iter
     (fun entry ->
@@ -66,8 +66,11 @@ let rebuild ~engine ~wal =
       | Wal.Log_abort { key; version } ->
           Functor_cc.Compute_engine.abort_version engine ~key ~version
       | Wal.Log_epoch_closed _ -> ())
-    (Wal.durable wal);
+    entries;
   !restored
+
+let rebuild ~engine ~wal =
+  replay ~engine ~snapshot:(Wal.snapshot wal) ~entries:(Wal.durable wal)
 
 let recompute engine =
   let table = Functor_cc.Compute_engine.table engine in

@@ -24,6 +24,17 @@ val max_final_version : Functor_cc.Compute_engine.t -> int
     [retain_above] bound for a checkpoint taken when no functor is
     pending. *)
 
+val replay :
+  engine:Functor_cc.Compute_engine.t ->
+  snapshot:(Mvstore.Key.t * int * Message.fspec) list ->
+  entries:Wal.entry list ->
+  int
+(** Load a checkpoint snapshot and replay a log-entry sequence into a
+    fresh engine — the shared core of {!rebuild} (a restarted backend's
+    own WAL) and replica promotion (the shipped copy of the crashed
+    primary's WAL, with an empty snapshot: checkpoints are disabled
+    under replication).  Returns the number of records restored. *)
+
 val rebuild :
   engine:Functor_cc.Compute_engine.t -> wal:Wal.t -> int
 (** Load the checkpoint and replay the durable log into a fresh engine:

@@ -1,0 +1,174 @@
+(* Replication-group bookkeeping for one partition, as seen by its
+   current primary.
+
+   Pure state machine — no network, no WAL, no simulator — so the
+   ack-gating rule can be model-checked directly (test_replication's
+   property test drives exactly this module).
+
+   The primary's WAL entry sequence (1-based) is the replicated log.
+   Followers send cumulative acks ("everything up to seq s is durable
+   here"); the gating floor is the minimum ack over *live* followers.
+   An epoch barrier is a position in that sequence: when the floor
+   reaches it, the epoch is durable on every live replica and the
+   watermark may advance past it.  With zero live followers the floor
+   degenerates to the local log length — the group keeps serving with
+   the single-copy guarantee, which is all that is left to offer. *)
+
+type member = {
+  id : int;
+  mutable acked : int;   (* cumulative: entries [1..acked] durable there *)
+  mutable live : bool;
+}
+
+type t = {
+  partition : int;
+  term : int;
+  primary : int;
+  members : member array;  (* every replica, primary included *)
+  mutable len : int;  (* entries appended to the primary's log *)
+  mutable barriers : (int * int) list;  (* (epoch, seq), newest first *)
+  mutable durable_epoch : int;
+  mutable seq_waiters : (int * (unit -> unit)) list;  (* newest first *)
+  mutable epoch_waiters : (int * (unit -> unit)) list;  (* newest first *)
+}
+
+let create ~partition ~term ~primary ~members ~len =
+  if not (List.mem primary members) then
+    invalid_arg "Repl.create: primary not in members";
+  { partition; term; primary;
+    members =
+      Array.of_list
+        (List.map (fun id -> { id; acked = 0; live = true }) members);
+    len; barriers = []; durable_epoch = 0; seq_waiters = [];
+    epoch_waiters = [] }
+
+let partition t = t.partition
+let term t = t.term
+let len t = t.len
+
+let follower t m = m.id <> t.primary
+
+let find_member t id =
+  match Array.find_opt (fun m -> m.id = id) t.members with
+  | Some m -> m
+  | None -> invalid_arg "Repl: not a group member"
+
+(* The gating floor: min cumulative ack over live followers, or the
+   whole log when no follower is live (degraded single-copy mode). *)
+let floor_ t =
+  let fl = ref max_int in
+  Array.iter
+    (fun m -> if follower t m && m.live then fl := min !fl m.acked)
+    t.members;
+  if !fl = max_int then t.len else !fl
+
+let durable_epoch t = t.durable_epoch
+let replica_lag t = max 0 (t.len - floor_ t)
+
+let live_followers t =
+  Array.to_list t.members
+  |> List.filter_map (fun m ->
+         if follower t m && m.live then Some m.id else None)
+
+let lagging_followers t ~seq =
+  Array.to_list t.members
+  |> List.filter_map (fun m ->
+         if follower t m && m.live && m.acked < seq then Some (m.id, m.acked)
+         else None)
+
+(* Fire every waiter the current floor satisfies.  Waiters may append or
+   ack reentrantly, so take-then-fire and loop until a fixed point. *)
+let rec fire_ready t =
+  let fl = floor_ t in
+  (* advance the durable epoch to the highest barrier the floor covers *)
+  List.iter
+    (fun (epoch, seq) ->
+      if seq <= fl && epoch > t.durable_epoch then t.durable_epoch <- epoch)
+    t.barriers;
+  let ready_seq, rest_seq =
+    List.partition (fun (seq, _) -> seq <= fl) t.seq_waiters
+  in
+  let ready_epoch, rest_epoch =
+    List.partition (fun (e, _) -> e <= t.durable_epoch) t.epoch_waiters
+  in
+  t.seq_waiters <- rest_seq;
+  t.epoch_waiters <- rest_epoch;
+  if ready_seq <> [] || ready_epoch <> [] then begin
+    (* registration order = reverse of the newest-first lists; within a
+       batch, sequence gates (install acks) before epoch gates (closes) *)
+    List.iter (fun (_, k) -> k ()) (List.rev ready_seq);
+    List.iter (fun (_, k) -> k ()) (List.rev ready_epoch);
+    fire_ready t
+  end
+
+let append t =
+  t.len <- t.len + 1;
+  (* with zero live followers the floor moves with the log *)
+  if live_followers t = [] then fire_ready t;
+  t.len
+
+let ack t ~member ~seq =
+  let m = find_member t member in
+  if follower t m && seq > m.acked then begin
+    (* a follower log is always a prefix of the primary's durable log;
+       an ack beyond our own length is a protocol violation *)
+    if seq > t.len then invalid_arg "Repl.ack: beyond log length";
+    m.acked <- seq;
+    fire_ready t
+  end
+
+let member_down t ~id =
+  let m = find_member t id in
+  if m.live then begin
+    m.live <- false;
+    (* the floor ignores dead followers from now on: it can only rise *)
+    fire_ready t
+  end
+
+let member_rejoin t ~id =
+  let m = find_member t id in
+  (* back with an empty (or about-to-be-wiped) log: the primary re-ships
+     from seq 1 and the floor for *new* gates drops to 0.  Gates already
+     fired stay fired — their epochs are durable on the surviving
+     replicas; the rejoiner catches up from the re-ship. *)
+  m.acked <- 0;
+  m.live <- true
+
+let close_epoch t ~epoch =
+  t.barriers <- (epoch, t.len) :: t.barriers;
+  fire_ready t
+
+let when_seq_acked t ~seq k =
+  if floor_ t >= seq then k ()
+  else t.seq_waiters <- (seq, k) :: t.seq_waiters
+
+let when_epoch_durable t ~epoch k =
+  if t.durable_epoch >= epoch then k ()
+  else t.epoch_waiters <- (epoch, k) :: t.epoch_waiters
+
+let drop_waiters t =
+  let n = List.length t.seq_waiters + List.length t.epoch_waiters in
+  t.seq_waiters <- [];
+  t.epoch_waiters <- [];
+  n
+
+let reset_acks t =
+  Array.iter (fun m -> if follower t m then m.acked <- 0) t.members
+
+let crash t ~durable_len =
+  (* The primary's buffered WAL tail died with the process: truncate the
+     replicated log to the durable prefix, drop barriers registered into
+     the lost tail (their epochs never closed — the grant that would have
+     closed them is re-delivered after recovery), forget follower acks
+     (re-established by re-shipping) and discard pending gates (their
+     replies died with the process).  [durable_epoch] survives: epochs
+     already durable on the group stay durable. *)
+  if durable_len > t.len then invalid_arg "Repl.crash: durable beyond log";
+  t.len <- durable_len;
+  t.barriers <- List.filter (fun (_, seq) -> seq <= durable_len) t.barriers;
+  reset_acks t;
+  t.seq_waiters <- [];
+  t.epoch_waiters <- []
+
+let acked t ~member = (find_member t member).acked
+let is_live t ~member = (find_member t member).live

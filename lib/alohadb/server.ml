@@ -3,21 +3,25 @@ module Value = Functor_cc.Value
 module Funct = Functor_cc.Funct
 module Key = Mvstore.Key
 
-(* Frontend-side per-transaction completion tracking. *)
+(* Frontend-side per-transaction completion tracking.  Install targets
+   and Batch_done sources are tracked by PARTITION, not address: after a
+   failover the promoted replica answers from a different address, and
+   one server may hold batches of several partitions for the same
+   transaction. *)
 type track = {
   ts : Ts.t;
   epoch : int;
   issued_at : int;
   ack : Txn.ack_mode;
   reply : Txn.result -> unit;
-  expected_dones : int;  (* one Batch_done per participant BE *)
+  expected_dones : int;  (* one Batch_done per participant partition *)
   mutable awaiting_installs : int;
   mutable install_failed : bool;
-  mutable acked_ok : Net.Address.t list;
+  mutable acked_ok : int list;  (* partitions whose install ack was ok *)
   mutable install_done_at : int;
-  mutable done_srcs : Net.Address.t list;
-      (* BEs whose Batch_done arrived — a set, so duplicated messages
-         cannot double-count *)
+  mutable done_srcs : int list;
+      (* partitions whose Batch_done arrived — a set, so duplicated
+         messages cannot double-count *)
   mutable any_aborted : bool;
   mutable max_retrieved : int;
 }
@@ -29,6 +33,40 @@ type batch = {
   mutable remaining : int;
   mutable batch_max_retrieved : int;
   mutable batch_aborted : bool;
+}
+
+(* ---- replication state -------------------------------------------------- *)
+
+(* Cluster-level replication context, shared by all servers: the ship
+   plane (a separate RPC instance so replication traffic cannot perturb
+   the data plane's latency stream), the crash-aware routing table, and
+   the static group layout. *)
+type repl_ctx = {
+  plane : Message.rpc;
+  route : Net.Route.t;
+  members_of : int -> Net.Address.t list;
+}
+
+(* Primary-side state for one partition this server currently leads. *)
+type prim = {
+  p_partition : int;
+  p_wal : Wal.t;
+  group : Repl.t;
+  followers : Net.Address.t list;
+  mutable shipped : int;  (* highest WAL seq shipped at least once *)
+  mutable retry_armed : bool;
+}
+
+(* Follower-side state for one partition this server replicates but does
+   not lead.  Shipped entries are logged to a local WAL (acks mean
+   durable-here) and applied to the engine only at promotion. *)
+type flw = {
+  f_partition : int;
+  mutable f_term : int;
+  mutable f_wal : Wal.t;
+  mutable f_applied : int;  (* contiguous prefix logged locally *)
+  f_buf : (int, Message.ship_entry) Hashtbl.t;  (* out-of-order arrivals *)
+  mutable f_ack_pending : bool;
 }
 
 type t = {
@@ -73,14 +111,17 @@ type t = {
   mutable processor : Functor_cc.Processor.t;
   mutable planner : Functor_cc.Planner.t;
   tracks : (int, track) Hashtbl.t;
-  batches : (int, batch) Hashtbl.t;
-  install_verdicts : (int, bool) Hashtbl.t;
-      (* txn_id -> install ack verdict, so retransmitted installs are
-         answered idempotently (volatile: wiped by a crash) *)
-  pending_dones : (int, unit) Hashtbl.t;
-      (* txn_ids whose Batch_done awaits the coordinator's ack; drives
-         the resend loop (volatile: wiped by a crash — recovery rebuilds
-         the batch, and recomputation sends a fresh notification) *)
+  batches : (int * int, batch) Hashtbl.t;
+      (* (txn_id, partition) -> batch: a server that adopted a partition
+         can hold two batches of the same transaction *)
+  install_verdicts : (int * int, bool) Hashtbl.t;
+      (* (txn_id, partition) -> install ack verdict, so retransmitted
+         installs are answered idempotently (volatile: wiped by a crash) *)
+  pending_dones : (int * int, unit) Hashtbl.t;
+      (* (txn_id, partition) pairs whose Batch_done awaits the
+         coordinator's ack; drives the resend loop (volatile: wiped by a
+         crash — recovery rebuilds the batch, and recomputation sends a
+         fresh notification) *)
   held : (unit -> unit) Queue.t;
   wal : Wal.t option;
   mutable be_down : bool;
@@ -90,6 +131,21 @@ type t = {
   mutable delayed_reads : (int * (unit -> unit)) list;
       (* (epoch, run) — latest-version reads waiting for their epoch to
          close (§III-B) *)
+  (* replication (all dormant — and behaviour-neutral — until
+     {!attach_repl}, which the cluster calls only when replicas > 1) *)
+  mutable repl : repl_ctx option;
+  prims : (int, prim) Hashtbl.t;  (* partition -> primary-side state *)
+  flws : (int, flw) Hashtbl.t;  (* partition -> follower-side state *)
+  mutable repl_gated : bool;
+      (* sync mode: the epoch-close gate is installed, so close markers
+         are logged by the gate, not by on_closed *)
+  mutable pending_closes : (int * bool ref * (unit -> unit)) list;
+      (* closes deferred by the replication gate: (epoch, delivered,
+         deliver).  A crash force-delivers them — the EM's grant made the
+         close a cluster-global fact the FE side must honour. *)
+  mutable on_crash : unit -> unit;
+  mutable on_restart : unit -> unit;
+      (* lifecycle hooks for the cluster's failure monitor *)
 }
 
 let addr t = t.address
@@ -118,10 +174,15 @@ let emit t ~txn ~stage ?(ts = -1) ?arg () =
    idempotently.  With retries enabled, a lost request or reply turns into
    latency instead of a wedged transaction — which is what keeps the epoch
    in_flight barrier (and hence atomic commitment) live under message
-   loss. *)
-let call_with_retry t ~dst req k =
+   loss.  The destination is re-resolved from the partition on every
+   attempt: after a failover the retries must chase the promoted
+   replica, not the crashed primary's address. *)
+let call_with_retry t ~partition req k =
   let period = t.config.Config.install_retry_us in
-  if period <= 0 then Net.Rpc.call t.data ~src:t.address ~dst req k
+  if period <= 0 then
+    Net.Rpc.call t.data ~src:t.address
+      ~dst:(t.addr_of_partition partition)
+      req k
   else begin
     let answered = ref false in
     let once resp =
@@ -131,12 +192,114 @@ let call_with_retry t ~dst req k =
       end
     in
     let rec attempt () =
-      Net.Rpc.call t.data ~src:t.address ~dst req once;
+      Net.Rpc.call t.data ~src:t.address
+        ~dst:(t.addr_of_partition partition)
+        req once;
       Sim.Engine.after t.sim period (fun () ->
           if not !answered then attempt ())
     in
     attempt ()
   end
+
+(* ---- partition ownership ----------------------------------------------- *)
+
+(* Which partitions this server currently serves as (primary) storage.
+   Unreplicated: exactly its home partition, forever.  Replicated: the
+   partitions in [prims] — the home partition until a failover takes it
+   away, plus any partition adopted by promotion. *)
+let leads t ~partition =
+  match t.repl with
+  | None -> partition = t.my_partition
+  | Some _ -> Hashtbl.mem t.prims partition
+
+let owns t key = leads t ~partition:(t.partition_of key)
+
+let current_prim t partition = Hashtbl.find_opt t.prims partition
+
+let wal_for t ~partition =
+  match current_prim t partition with
+  | Some prim -> Some prim.p_wal
+  | None -> t.wal
+
+(* Append to the partition's log; on a replicated primary also advance
+   the group's replicated-log length, which is kept equal to the WAL
+   entry count (checkpoints are disabled under replication so positions
+   never shift). *)
+let log_entry t ~partition entry =
+  match current_prim t partition with
+  | Some prim ->
+      Wal.append prim.p_wal entry;
+      ignore (Repl.append prim.group)
+  | None -> (
+      match t.wal with
+      | Some wal -> Wal.append wal entry
+      | None -> ())
+
+(* ---- WAL shipping (primary side) ---------------------------------------- *)
+
+let ship_entry_to t prim ~dst ~seq entry =
+  match t.repl with
+  | None -> ()
+  | Some ctx ->
+      emit t ~txn:(-1) ~stage:Obs.Trace.Wal_ship ~arg:seq ();
+      Net.Rpc.send ctx.plane ~src:t.address ~dst
+        (Message.One
+           (Message.Wal_ship
+              { partition = prim.p_partition;
+                term = Repl.term prim.group;
+                seq;
+                entry = Wal.ship_of_entry entry }))
+
+(* Ship the freshly durable suffix to every follower.  Called from the
+   WAL flush hook, so a follower can never ack an entry the primary
+   itself might still lose in a crash. *)
+let ship_fresh t prim =
+  let upto = Wal.durable_count prim.p_wal in
+  if upto > prim.shipped then begin
+    let range = Wal.durable_range prim.p_wal ~from:prim.shipped ~upto in
+    List.iter
+      (fun dst ->
+        List.iter (fun (seq, e) -> ship_entry_to t prim ~dst ~seq e) range)
+      prim.followers;
+    prim.shipped <- upto
+  end
+
+let reship_member t prim ~member =
+  let upto = Wal.durable_count prim.p_wal in
+  let from = Repl.acked prim.group ~member:(Net.Address.to_int member) in
+  List.iter
+    (fun (seq, e) -> ship_entry_to t prim ~dst:member ~seq e)
+    (Wal.durable_range prim.p_wal ~from ~upto)
+
+(* Periodic retransmission to lagging followers (repl_retry_us), running
+   while any live follower is behind.  Stale timers are disarmed by the
+   identity check: a demotion or re-adoption replaces the prim record. *)
+let rec arm_retry t prim =
+  let period = t.config.Config.repl_retry_us in
+  if period > 0 && not prim.retry_armed then begin
+    prim.retry_armed <- true;
+    Sim.Engine.after t.sim period (fun () ->
+        prim.retry_armed <- false;
+        match current_prim t prim.p_partition with
+        | Some pr when pr == prim && not t.be_down ->
+            let upto = Wal.durable_count prim.p_wal in
+            let lagging = Repl.lagging_followers prim.group ~seq:upto in
+            List.iter
+              (fun (id, _) ->
+                reship_member t prim ~member:(Net.Address.of_int id))
+              lagging;
+            if lagging <> [] || Repl.replica_lag prim.group > 0 then
+              arm_retry t prim
+        | Some _ | None -> ())
+  end
+
+let install_ship_hook t prim =
+  Wal.set_on_flush prim.p_wal (fun () ->
+      match current_prim t prim.p_partition with
+      | Some pr when pr == prim && not t.be_down ->
+          ship_fresh t pr;
+          if Repl.replica_lag pr.group > 0 then arm_retry t pr
+      | Some _ | None -> ())
 
 (* ---- frontend: timestamp acquisition and held requests --------------- *)
 
@@ -162,9 +325,10 @@ let drain_held t =
 
 (* ---- reads ------------------------------------------------------------ *)
 
-(* Execute a historical multi-key read at [version]: local keys go through
-   the local engine (charged to this server's pool), remote keys through
-   Get_req RPCs (charged at the owning BE). *)
+(* Execute a historical multi-key read at [version]: keys of a partition
+   this server leads go through the local engine (charged to this
+   server's pool), others through Get_req RPCs (charged at the owning
+   BE). *)
 let run_read t keys version reply =
   let n = List.length keys in
   if n = 0 then reply (Txn.Values [])
@@ -179,7 +343,7 @@ let run_read t keys version reply =
     List.iteri
       (fun i key ->
         let key = Key.intern key in
-        if t.partition_of key = t.my_partition && not t.be_down then
+        if owns t key && not t.be_down then
           Sim.Worker_pool.submit t.pool ~cost:t.config.cost_get_us (fun () ->
               Functor_cc.Compute_engine.get t.engine ~key ~version
                 (fun v -> deliver i key v))
@@ -187,8 +351,7 @@ let run_read t keys version reply =
           (* Remote partition — or our own backend while it is down, in
              which case the self-addressed request is dropped and retried
              until the restart answers it. *)
-          call_with_retry t
-            ~dst:(t.addr_of_partition (t.partition_of key))
+          call_with_retry t ~partition:(t.partition_of key)
             (Message.Req (Message.Get_req { key; version }))
             (function
               | Message.Get_resp v -> deliver i key v
@@ -343,7 +506,7 @@ let finish_write_phase t track =
 
 (* Second round: roll back the write-only phase on every partition that
    acknowledged it (§IV-C "arbitrary abort", in-epoch case). *)
-let abort_write_phase t track keys_by_dst =
+let abort_write_phase t track keys_by_partition =
   incr t.m_aborted_install;
   let targets = track.acked_ok in
   let expected = List.length targets in
@@ -357,15 +520,13 @@ let abort_write_phase t track keys_by_dst =
   else begin
     let remaining = ref expected in
     List.iter
-      (fun dst ->
+      (fun partition ->
         let keys =
-          match
-            List.find_opt (fun (a, _) -> Net.Address.equal a dst) keys_by_dst
-          with
-          | Some (_, keys) -> keys
+          match List.assoc_opt partition keys_by_partition with
+          | Some keys -> keys
           | None -> []
         in
-        call_with_retry t ~dst
+        call_with_retry t ~partition
           (Message.Req (Message.Abort_txn { ts = Ts.to_int track.ts; keys }))
           (fun _resp ->
             decr remaining;
@@ -418,16 +579,13 @@ and start_rw t (writes, precondition_keys, ack) reply w ts ~submitted_at =
       any_aborted = false; max_retrieved = issued_at }
   in
   Hashtbl.replace t.tracks (Ts.to_int ts) track;
-  let keys_by_dst =
-    List.map
-      (fun (p, entries) -> (t.addr_of_partition p, List.map fst entries))
-      groups
+  let keys_by_partition =
+    List.map (fun (p, entries) -> (p, List.map fst entries)) groups
   in
   (* Coordination (transform + fan-out) costs FE CPU. *)
   Sim.Worker_pool.submit t.pool ~cost:t.config.cost_coord_us (fun () ->
       List.iter
         (fun (partition, entries) ->
-          let dst = t.addr_of_partition partition in
           let install =
             { Message.txn_id = Ts.to_int ts;
               epoch = w.Epoch.Participant.epoch;
@@ -437,16 +595,16 @@ and start_rw t (writes, precondition_keys, ack) reply w ts ~submitted_at =
               writes = entries;
               preconditions = precond_of partition }
           in
-          call_with_retry t ~dst
+          call_with_retry t ~partition
             (Message.Req (Message.Install install))
             (function
               | Message.Install_ack { ok } ->
                   track.awaiting_installs <- track.awaiting_installs - 1;
-                  if ok then track.acked_ok <- dst :: track.acked_ok
+                  if ok then track.acked_ok <- partition :: track.acked_ok
                   else track.install_failed <- true;
                   if track.awaiting_installs = 0 then
                     if track.install_failed then
-                      abort_write_phase t track keys_by_dst
+                      abort_write_phase t track keys_by_partition
                     else finish_write_phase t track
               | Message.Get_resp _ | Message.Abort_ack ->
                   invalid_arg "install: protocol mismatch"))
@@ -482,12 +640,12 @@ and delay_ro t keys reply w ts =
 
 (* ---- backend ----------------------------------------------------------- *)
 
-let send_batch_done t (b : batch) ~txn_id ~functors =
+let send_batch_done t (b : batch) ~txn_id ~partition ~functors =
   let send () =
     Net.Rpc.send t.data ~src:t.address ~dst:b.coordinator
       (Message.One
          (Message.Batch_done
-            { txn_id; functors;
+            { txn_id; partition; functors;
               max_retrieved_at = b.batch_max_retrieved;
               aborted = b.batch_aborted }))
   in
@@ -495,12 +653,13 @@ let send_batch_done t (b : batch) ~txn_id ~functors =
   (* The notification is one-way, so a lossy network can eat it and wedge
      the coordinator; with retries configured it is repeated until the
      coordinator's Batch_done_ack clears it (the coordinator dedupes by
-     source address). *)
+     partition). *)
   let period = t.config.Config.install_retry_us in
   if period > 0 then begin
-    Hashtbl.replace t.pending_dones txn_id ();
+    Hashtbl.replace t.pending_dones (txn_id, partition) ();
     let rec again () =
-      if (not t.be_down) && Hashtbl.mem t.pending_dones txn_id then begin
+      if (not t.be_down) && Hashtbl.mem t.pending_dones (txn_id, partition)
+      then begin
         send ();
         Sim.Engine.after t.sim period again
       end
@@ -509,29 +668,54 @@ let send_batch_done t (b : batch) ~txn_id ~functors =
   end
 
 (* Acknowledge an install (or abort): with [ack_after_flush] a positive
-   ack waits until the WAL entries it covers are durable, so a crash can
-   only lose writes the coordinator never saw acknowledged — and will
-   therefore retransmit after the restart. *)
-let ack_install t ~ok reply =
-  match t.wal with
-  | Some wal when ok && t.config.ack_after_flush ->
-      Wal.after_durable wal (fun () -> reply (Message.Install_ack { ok }))
-  | Some _ | None -> reply (Message.Install_ack { ok })
+   ack waits until the WAL entries it covers are durable; with
+   [repl_sync] it additionally waits until every live follower of the
+   partition's group has acked the covering log prefix — so a committed
+   transaction survives the loss of any single replica.  The replication
+   sequence is captured NOW (right after this request's appends), not
+   when the flush fires, so unrelated later traffic cannot inflate the
+   gate. *)
+let ack_install t ~partition ~ok reply =
+  let finish () = reply (Message.Install_ack { ok }) in
+  let after_repl =
+    match current_prim t partition with
+    | Some prim when ok && t.config.Config.repl_sync ->
+        let seq = Repl.len prim.group in
+        fun () -> Repl.when_seq_acked prim.group ~seq finish
+    | Some _ | None -> finish
+  in
+  match wal_for t ~partition with
+  | Some wal
+    when ok && (t.config.ack_after_flush || t.config.Config.repl_sync) ->
+      Wal.after_durable wal after_repl
+  | Some _ | None -> after_repl ()
 
-let ack_abort t reply =
-  match t.wal with
-  | Some wal when t.config.ack_after_flush ->
-      Wal.after_durable wal (fun () -> reply Message.Abort_ack)
-  | Some _ | None -> reply Message.Abort_ack
+let ack_abort t ~partition reply =
+  let finish () = reply Message.Abort_ack in
+  let after_repl =
+    match current_prim t partition with
+    | Some prim when t.config.Config.repl_sync ->
+        let seq = Repl.len prim.group in
+        fun () -> Repl.when_seq_acked prim.group ~seq finish
+    | Some _ | None -> finish
+  in
+  match wal_for t ~partition with
+  | Some wal when t.config.ack_after_flush || t.config.Config.repl_sync ->
+      Wal.after_durable wal after_repl
+  | Some _ | None -> after_repl ()
 
 let do_install t ~src (inst : Message.install) reply =
-  if t.be_down then incr t.m_be_dropped
+  (* Every write of an install lives on one partition (the FE grouped
+     them); a server that no longer leads it (demoted while the FE's
+     routing was stale) must drop the request so the retry re-resolves. *)
+  let partition = t.partition_of (fst (List.hd inst.writes)) in
+  if t.be_down || not (leads t ~partition) then incr t.m_be_dropped
   else
-    match Hashtbl.find_opt t.install_verdicts inst.txn_id with
+    match Hashtbl.find_opt t.install_verdicts (inst.txn_id, partition) with
     | Some ok ->
         (* Retransmission of an install we already answered (the ack was
            lost): repeat the verdict, without re-applying anything. *)
-        ack_install t ~ok reply
+        ack_install t ~partition ~ok reply
     | None ->
         let present key =
           match
@@ -544,8 +728,8 @@ let do_install t ~src (inst : Message.install) reply =
         in
         if not (List.for_all present inst.preconditions) then begin
           incr t.m_precondition_failures;
-          Hashtbl.replace t.install_verdicts inst.txn_id false;
-          ack_install t ~ok:false reply
+          Hashtbl.replace t.install_verdicts (inst.txn_id, partition) false;
+          ack_install t ~partition ~ok:false reply
         end
         else begin
           let lo = Ts.to_int (Ts.window_lo ~time_us:inst.lo) in
@@ -567,15 +751,12 @@ let do_install t ~src (inst : Message.install) reply =
               with
               | Ok () -> (
                   incr t.m_functors_installed;
-                  (match t.wal with
-                  | Some wal ->
-                      Wal.append wal
-                        (Wal.Log_install
-                           { key; version = inst.ts; spec;
-                             txn_id = inst.txn_id;
-                             coordinator = Net.Address.to_int src;
-                             epoch = inst.epoch })
-                  | None -> ());
+                  log_entry t ~partition
+                    (Wal.Log_install
+                       { key; version = inst.ts; spec;
+                         txn_id = inst.txn_id;
+                         coordinator = Net.Address.to_int src;
+                         epoch = inst.epoch });
                   match record.Funct.state with
                   | Funct.Pending p ->
                       p.Funct.installed_at_us <- installed;
@@ -592,32 +773,34 @@ let do_install t ~src (inst : Message.install) reply =
                   ())
             inst.writes;
           if b.remaining = 0 then
-            send_batch_done t b ~txn_id:inst.txn_id
+            send_batch_done t b ~txn_id:inst.txn_id ~partition
               ~functors:(List.length inst.writes)
-          else Hashtbl.replace t.batches inst.txn_id b;
-          Hashtbl.replace t.install_verdicts inst.txn_id true;
-          ack_install t ~ok:true reply
+          else Hashtbl.replace t.batches (inst.txn_id, partition) b;
+          Hashtbl.replace t.install_verdicts (inst.txn_id, partition) true;
+          ack_install t ~partition ~ok:true reply
         end
 
 let do_abort t ~ts ~keys reply =
-  if t.be_down then incr t.m_be_dropped
-  else begin
-    List.iter
-      (fun key ->
-        (match t.wal with
-        | Some wal -> Wal.append wal (Wal.Log_abort { key; version = ts })
-        | None -> ());
-        Functor_cc.Compute_engine.abort_version t.engine ~key ~version:ts)
-      keys;
-    ack_abort t reply
-  end
+  match keys with
+  | [] -> reply Message.Abort_ack
+  | first :: _ ->
+      let partition = t.partition_of first in
+      if t.be_down || not (leads t ~partition) then incr t.m_be_dropped
+      else begin
+        List.iter
+          (fun key ->
+            log_entry t ~partition (Wal.Log_abort { key; version = ts });
+            Functor_cc.Compute_engine.abort_version t.engine ~key ~version:ts)
+          keys;
+        ack_abort t ~partition reply
+      end
 
-let on_batch_done t ~src ~txn_id ~max_retrieved_at ~aborted =
+let on_batch_done t ~txn_id ~partition ~max_retrieved_at ~aborted =
   match Hashtbl.find_opt t.tracks txn_id with
   | None -> ()  (* transaction already aborted in the write phase *)
   | Some track ->
-      if not (List.exists (Net.Address.equal src) track.done_srcs) then begin
-        track.done_srcs <- src :: track.done_srcs;
+      if not (List.mem partition track.done_srcs) then begin
+        track.done_srcs <- partition :: track.done_srcs;
         emit t ~txn:txn_id ~stage:Obs.Trace.Batch_ack ~arg:track.epoch ();
         if aborted then track.any_aborted <- true;
         if max_retrieved_at > track.max_retrieved then
@@ -625,8 +808,9 @@ let on_batch_done t ~src ~txn_id ~max_retrieved_at ~aborted =
         maybe_complete t track
       end
 
-let on_functor_final t ~pending ~final =
-  match Hashtbl.find_opt t.batches pending.Funct.txn_id with
+let on_functor_final t ~key ~pending ~final =
+  let partition = t.partition_of key in
+  match Hashtbl.find_opt t.batches (pending.Funct.txn_id, partition) with
   | None -> ()
   | Some { remaining; _ } when remaining <= 0 ->
       (* A recovered pending functor (not tracked by any live batch)
@@ -647,8 +831,9 @@ let on_functor_final t ~pending ~final =
       | Funct.Aborted_v, _ -> b.batch_aborted <- true
       | (Funct.Committed _ | Funct.Deleted_v), _ -> ());
       if b.remaining = 0 then begin
-        Hashtbl.remove t.batches pending.Funct.txn_id;
-        send_batch_done t b ~txn_id:pending.Funct.txn_id ~functors:0
+        Hashtbl.remove t.batches (pending.Funct.txn_id, partition);
+        send_batch_done t b ~txn_id:pending.Funct.txn_id ~partition
+          ~functors:0
       end
 
 (* ---- engine (re)spawn -------------------------------------------------- *)
@@ -663,13 +848,11 @@ let spawn_engine t =
   let me = ref t.engine in
   let live () = t.engine == !me in
   let callbacks =
-    { Functor_cc.Compute_engine.is_local =
-        (fun key -> t.partition_of key = t.my_partition);
+    { Functor_cc.Compute_engine.is_local = (fun key -> owns t key);
       remote_get =
         (fun ~key ~version k ->
           if live () then
-            call_with_retry t
-              ~dst:(t.addr_of_partition (t.partition_of key))
+            call_with_retry t ~partition:(t.partition_of key)
               (Message.Req (Message.Get_req { key; version }))
               (function
                 | Message.Get_resp v -> k v
@@ -679,7 +862,7 @@ let spawn_engine t =
         (fun ~dst_key ~version ~src_key value ->
           if live () then begin
             let partition = t.partition_of dst_key in
-            if partition = t.my_partition then
+            if leads t ~partition then
               Functor_cc.Compute_engine.deliver_push t.engine ~key:dst_key
                 ~version ~src_key value
             else
@@ -692,7 +875,7 @@ let spawn_engine t =
         (fun ~key ~version final ->
           if live () then begin
             let partition = t.partition_of key in
-            if partition = t.my_partition then
+            if leads t ~partition then
               Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
                 ~version ~final
             else
@@ -701,10 +884,10 @@ let spawn_engine t =
                 (Message.One (Message.Dep_write { key; version; final }))
           end);
       notify_final =
-        (fun ~key:_ ~version:_ ~pending ~final ->
+        (fun ~key ~version:_ ~pending ~final ->
           if live () then begin
             emit t ~txn:pending.Funct.txn_id ~stage:Obs.Trace.Compute_done ();
-            on_functor_final t ~pending ~final
+            on_functor_final t ~key ~pending ~final
           end);
       exec =
         (fun ~cost k ->
@@ -745,7 +928,7 @@ let spawn_engine t =
   t.planner <-
     Functor_cc.Planner.create ~engine ~pool:t.pool ?real:t.real_pool
       ~dispatch_cost_us:t.config.Config.cost_dispatch_us ~metrics:t.metrics
-      ~is_local:(fun key -> t.partition_of key = t.my_partition)
+      ~is_local:(fun key -> owns t key)
       ~send_plan_sub:(fun ~key ~version ~dst_key ~dst_version ->
         if live () then
           Net.Rpc.send t.data ~src:t.address
@@ -778,6 +961,93 @@ let release_closed t ~upto_epoch =
       if stats.Functor_cc.Planner.nodes > 0 then
         emit t ~txn:(-1) ~stage:Obs.Trace.Plan_build
           ~arg:stats.Functor_cc.Planner.nodes ()
+
+(* Rebuild backend batch tracking from a replayed log, so the
+   recomputation re-drives the coordinators' Batch_done notifications
+   (the pre-crash batch table was volatile).  Shared by restart recovery
+   and replica promotion. *)
+let reintegrate t ~partition ~entries =
+  let table = Functor_cc.Compute_engine.table t.engine in
+  let batch_of txn_id ~coordinator =
+    match Hashtbl.find_opt t.batches (txn_id, partition) with
+    | Some b -> b
+    | None ->
+        let b =
+          { coordinator = Net.Address.of_int coordinator;
+            remaining = 0;
+            batch_max_retrieved = now t;
+            batch_aborted = false }
+        in
+        Hashtbl.replace t.batches (txn_id, partition) b;
+        b
+  in
+  let finals = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Wal.Log_install { key; version; epoch; txn_id; coordinator; _ } -> (
+          match Mvstore.Table.find_le table ~key ~version with
+          | Some (v, record) when v = version -> (
+              match record.Funct.state with
+              | Funct.Pending _ ->
+                  Functor_cc.Processor.buffer t.processor ~epoch ~key
+                    ~version;
+                  (* Rebuild the batch so the recomputation's finals
+                     re-drive the coordinator's Batch_done. *)
+                  let b = batch_of txn_id ~coordinator in
+                  b.remaining <- b.remaining + 1
+              | Funct.Final _ -> Hashtbl.replace finals txn_id coordinator)
+          | Some _ | None -> ())
+      | Wal.Log_abort _ | Wal.Log_epoch_closed _ -> ())
+    entries;
+  (* Transactions recovered entirely final (immediate-final specs like
+     VALUE): nothing will recompute, so repeat their Batch_done now —
+     the ack for the pre-crash one may never have arrived, and the
+     coordinator dedupes by partition either way.  Skipped when any
+     functor of the txn is still pending here: its completion sends
+     the (single) authoritative notification. *)
+  Hashtbl.iter
+    (fun txn_id coordinator ->
+      if not (Hashtbl.mem t.batches (txn_id, partition)) then
+        send_batch_done t
+          { coordinator = Net.Address.of_int coordinator;
+            remaining = 0;
+            batch_max_retrieved = now t;
+            batch_aborted = false }
+          ~txn_id ~partition ~functors:0)
+    finals
+
+(* ---- replication: epoch-close gating and pending closes ---------------- *)
+
+(* Log the epoch-close marker on every partition this server leads.  On
+   a replicated primary the marker doubles as the epoch's replication
+   barrier. *)
+let log_close_markers t ~epoch =
+  match t.repl with
+  | None -> (
+      match t.wal with
+      | Some wal -> Wal.append wal (Wal.Log_epoch_closed epoch)
+      | None -> ())
+  | Some _ ->
+      Hashtbl.iter
+        (fun _ prim ->
+          Wal.append prim.p_wal (Wal.Log_epoch_closed epoch);
+          ignore (Repl.append prim.group);
+          Repl.close_epoch prim.group ~epoch)
+        t.prims
+
+(* Crash: closes deferred by the replication gate are force-delivered —
+   the EM's grant made them a cluster-global fact, and the Repl waiters
+   that would have delivered them died with the process (Repl.crash).
+   on_closed then runs under be_down and skips the backend-side work,
+   exactly like the unreplicated crash path. *)
+let fire_pending_closes t =
+  let pending =
+    List.sort
+      (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      (List.filter (fun (_, d, _) -> not !d) t.pending_closes)
+  in
+  t.pending_closes <- [];
+  List.iter (fun (_, _, deliver) -> deliver ()) pending
 
 (* ---- construction ------------------------------------------------------ *)
 
@@ -847,7 +1117,14 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
          else None);
       be_down = false;
       last_closed_epoch = 0;
-      delayed_reads = [] }
+      delayed_reads = [];
+      repl = None;
+      prims = Hashtbl.create 4;
+      flws = Hashtbl.create 4;
+      repl_gated = false;
+      pending_closes = [];
+      on_crash = ignore;
+      on_restart = ignore }
   in
   spawn_engine t;
   Epoch.Participant.set_hooks part
@@ -857,11 +1134,11 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       if epoch > t.last_closed_epoch then t.last_closed_epoch <- epoch;
       (* The backend part of epoch close (log the close, release the
          processor) is skipped while the backend is down; the restart
-         releases everything up to [last_closed_epoch] instead. *)
+         releases everything up to [last_closed_epoch] instead.  Under
+         the replication gate the close markers were already logged by
+         the gate itself (at grant time, before the barrier). *)
       if not t.be_down then begin
-        (match t.wal with
-        | Some wal -> Wal.append wal (Wal.Log_epoch_closed epoch)
-        | None -> ());
+        if not t.repl_gated then log_close_markers t ~epoch;
         release_closed t ~upto_epoch:epoch
       end;
       let ready, waiting =
@@ -887,7 +1164,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       | Message.Req (Message.Get_req { key; version }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_get_us
             (fun () ->
-              if t.be_down then incr t.m_be_dropped
+              if t.be_down || not (owns t key) then incr t.m_be_dropped
               else
                 Functor_cc.Compute_engine.get t.engine ~key ~version
                   (fun v ->
@@ -899,27 +1176,27 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       | Message.One (Message.Push { key; version; src_key; value }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
             (fun () ->
-              if t.be_down then incr t.m_be_dropped
+              if t.be_down || not (owns t key) then incr t.m_be_dropped
               else
                 Functor_cc.Compute_engine.deliver_push t.engine ~key ~version
                   ~src_key value)
       | Message.One (Message.Dep_write { key; version; final }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
             (fun () ->
-              if t.be_down then incr t.m_be_dropped
+              if t.be_down || not (owns t key) then incr t.m_be_dropped
               else
                 Functor_cc.Compute_engine.deliver_dep_write t.engine ~key
                   ~version ~final)
-      | Message.One (Message.Batch_done { txn_id; functors = _;
+      | Message.One (Message.Batch_done { txn_id; partition; functors = _;
                                           max_retrieved_at; aborted }) ->
           (* Frontend-role message: processed even while the backend role
              is down.  Always acked — including duplicates of an already
              completed transaction — so the sender's resend loop stops. *)
-          on_batch_done t ~src ~txn_id ~max_retrieved_at ~aborted;
+          on_batch_done t ~txn_id ~partition ~max_retrieved_at ~aborted;
           Net.Rpc.send t.data ~src:t.address ~dst:src
-            (Message.One (Message.Batch_done_ack { txn_id }))
-      | Message.One (Message.Batch_done_ack { txn_id }) ->
-          Hashtbl.remove t.pending_dones txn_id
+            (Message.One (Message.Batch_done_ack { txn_id; partition }))
+      | Message.One (Message.Batch_done_ack { txn_id; partition }) ->
+          Hashtbl.remove t.pending_dones (txn_id, partition)
       | Message.One (Message.Plan_sub { key; version; dst_key; dst_version })
         ->
           (* A remote plan wants this key's value pushed to one of its
@@ -927,7 +1204,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
              discipline) and push the value back.  Charged like a Get. *)
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_get_us
             (fun () ->
-              if t.be_down then incr t.m_be_dropped
+              if t.be_down || not (owns t key) then incr t.m_be_dropped
               else
                 Functor_cc.Compute_engine.get t.engine ~key ~version
                   (fun value ->
@@ -939,16 +1216,20 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       | Message.One (Message.Plan_push { key; version; src_key; value }) ->
           Sim.Worker_pool.submit pool ~cost:config.Config.cost_msg_us
             (fun () ->
-              if t.be_down then incr t.m_be_dropped
+              if t.be_down || not (owns t key) then incr t.m_be_dropped
               else
                 Functor_cc.Compute_engine.deliver_push t.engine ~key ~version
                   ~src_key value)
+      | Message.One (Message.Wal_ship _)
+      | Message.One (Message.Ship_ack _) ->
+          (* replication traffic travels on its own plane *)
+          ()
       | Message.Req _ -> ());
   t
 
 let load_initial t ~key value =
   let key = Key.intern key in
-  if t.partition_of key <> t.my_partition then
+  if not (owns t key) then
     invalid_arg "Server.load_initial: key not owned by this partition";
   Functor_cc.Compute_engine.load_initial t.engine ~key value
 
@@ -975,16 +1256,209 @@ let value_watermark_lag_us t =
 let wal_pending_bytes t =
   match t.wal with Some wal -> Wal.pending_bytes wal | None -> 0
 
+let replication_lag t =
+  Hashtbl.fold (fun _ prim acc -> acc + Repl.replica_lag prim.group) t.prims 0
+
 (* Take a checkpoint now.  Meaningful when no functor is pending (e.g.
    quiesced between epochs): everything below the snapshot becomes
    recoverable without replay. *)
 let checkpoint_now t =
-  match t.wal with
-  | None -> invalid_arg "Server.checkpoint_now: durability disabled"
+  match t.repl with
+  | Some _ ->
+      (* A checkpoint renumbers the log, but WAL positions are the
+         replication ship sequence. *)
+      invalid_arg "Server.checkpoint_now: unsupported under replication"
+  | None -> (
+      match t.wal with
+      | None -> invalid_arg "Server.checkpoint_now: durability disabled"
+      | Some wal ->
+          let snapshot = Recovery.snapshot_of_engine t.engine in
+          let retain_above = Recovery.max_final_version t.engine in
+          Wal.checkpoint wal ~snapshot ~retain_above)
+
+(* ---- replication: ship plane handlers ----------------------------------- *)
+
+(* Follower acks are cumulative and sent only once the received prefix is
+   durable in the follower's own WAL — so an acked entry survives the
+   follower's crash too, which is what makes the primary's gating floor
+   mean "on stable storage at every live replica". *)
+let schedule_ack t f ~dst =
+  match t.repl with
+  | None -> ()
+  | Some ctx ->
+      if not f.f_ack_pending then begin
+        f.f_ack_pending <- true;
+        let wal = f.f_wal in
+        Wal.after_durable wal (fun () ->
+            (* a term wipe replaced the log: this ack belongs to the dead
+               one and must not be attributed to the new primary's *)
+            if f.f_wal == wal then begin
+              f.f_ack_pending <- false;
+              if not t.be_down then
+                Net.Rpc.send ctx.plane ~src:t.address ~dst
+                  (Message.One
+                     (Message.Ship_ack
+                        { partition = f.f_partition; term = f.f_term;
+                          seq = Wal.durable_count wal }))
+            end)
+      end
+
+let on_wal_ship t ~src ~partition ~term ~seq ~entry =
+  if not t.be_down then
+    match Hashtbl.find_opt t.flws partition with
+    | None -> ()  (* not (or no longer) a follower of this partition *)
+    | Some f ->
+        if term >= f.f_term then begin
+          if term > f.f_term then begin
+            (* A new primary took over.  Our log may contain entries the
+               new primary never acked and has replaced; there is no
+               truncation protocol — discard and rebuild from seq 1. *)
+            f.f_term <- term;
+            f.f_wal <-
+              Wal.create t.sim
+                ~flush_latency_us:t.config.Config.wal_flush_us ();
+            f.f_applied <- 0;
+            Hashtbl.reset f.f_buf;
+            f.f_ack_pending <- false
+          end;
+          if seq > f.f_applied && not (Hashtbl.mem f.f_buf seq) then begin
+            Hashtbl.replace f.f_buf seq entry;
+            (* log the contiguous prefix; later entries wait in the buffer
+               for the gap to fill (ship messages can reorder) *)
+            let rec drain () =
+              match Hashtbl.find_opt f.f_buf (f.f_applied + 1) with
+              | Some e ->
+                  Hashtbl.remove f.f_buf (f.f_applied + 1);
+                  Wal.append f.f_wal (Wal.entry_of_ship e);
+                  f.f_applied <- f.f_applied + 1;
+                  drain ()
+              | None -> ()
+            in
+            drain ()
+          end;
+          (* Re-acking a duplicate is deliberate: after the primary loses
+             its ack bookkeeping (crash) it re-ships, and the cumulative
+             ack re-establishes the floor. *)
+          schedule_ack t f ~dst:src
+        end
+
+let on_ship_ack t ~src ~partition ~term ~seq =
+  if not t.be_down then
+    match current_prim t partition with
+    | Some prim when Repl.term prim.group = term ->
+        Repl.ack prim.group ~member:(Net.Address.to_int src) ~seq
+    | Some _ | None -> ()  (* stale term: ack for a deposed primary's log *)
+
+(* ---- replication: wiring ------------------------------------------------ *)
+
+let set_lifecycle_hooks t ~on_crash ~on_restart =
+  t.on_crash <- on_crash;
+  t.on_restart <- on_restart
+
+let attach_repl t ~plane ~route ~members_of ~follows =
+  if t.repl <> None then invalid_arg "Server.attach_repl: already attached";
+  let ctx = { plane; route; members_of } in
+  t.repl <- Some ctx;
+  let self = Net.Address.to_int t.address in
+  (* Primary of the home partition. *)
+  (match t.wal with
+  | None -> invalid_arg "Server.attach_repl: durability required"
   | Some wal ->
-      let snapshot = Recovery.snapshot_of_engine t.engine in
-      let retain_above = Recovery.max_final_version t.engine in
-      Wal.checkpoint wal ~snapshot ~retain_above
+      let members = members_of t.my_partition in
+      let group =
+        Repl.create ~partition:t.my_partition
+          ~term:(Net.Route.term route ~partition:t.my_partition)
+          ~primary:self
+          ~members:(List.map Net.Address.to_int members)
+          ~len:0
+      in
+      let prim =
+        { p_partition = t.my_partition; p_wal = wal; group;
+          followers =
+            List.filter
+              (fun a -> not (Net.Address.equal a t.address))
+              members;
+          shipped = 0; retry_armed = false }
+      in
+      Hashtbl.replace t.prims t.my_partition prim;
+      install_ship_hook t prim);
+  (* Follower of every other partition whose group includes us. *)
+  List.iter
+    (fun partition ->
+      Hashtbl.replace t.flws partition
+        { f_partition = partition;
+          f_term = Net.Route.term route ~partition;
+          f_wal =
+            Wal.create t.sim ~flush_latency_us:t.config.Config.wal_flush_us
+              ();
+          f_applied = 0;
+          f_buf = Hashtbl.create 16;
+          f_ack_pending = false })
+    follows;
+  (* Ship-plane handlers run off the worker pool: replication bookkeeping
+     is modelled as free, so the data-plane timeline is not perturbed. *)
+  Net.Rpc.serve_oneway plane t.address (fun ~src wire ->
+      match wire with
+      | Message.One (Message.Wal_ship { partition; term; seq; entry }) ->
+          on_wal_ship t ~src ~partition ~term ~seq ~entry
+      | Message.One (Message.Ship_ack { partition; term; seq }) ->
+          on_ship_ack t ~src ~partition ~term ~seq
+      | Message.One _ | Message.Req _ -> ());
+  if t.config.Config.repl_sync then begin
+    t.repl_gated <- true;
+    (* Sync mode: an epoch may close (advancing the value watermark past
+       its blind writes) only once its close marker — and with it every
+       entry of the epoch — is durable on all live replicas of every
+       partition this server leads.  The close markers are logged HERE,
+       at grant time, so the barrier they define exists before the gate
+       waits on it; on_open for the next epoch is never delayed. *)
+    Epoch.Participant.set_close_gate t.part (fun ~epoch fire ->
+        if t.be_down || Hashtbl.length t.prims = 0 then fire ()
+        else begin
+          let prims = Hashtbl.fold (fun _ p acc -> p :: acc) t.prims [] in
+          List.iter
+            (fun prim ->
+              Wal.append prim.p_wal (Wal.Log_epoch_closed epoch);
+              ignore (Repl.append prim.group);
+              Repl.close_epoch prim.group ~epoch)
+            prims;
+          let delivered = ref false in
+          let deliver () =
+            if not !delivered then begin
+              delivered := true;
+              fire ()
+            end
+          in
+          t.pending_closes <-
+            (epoch, delivered, deliver)
+            :: List.filter (fun (_, d, _) -> not !d) t.pending_closes;
+          let remaining = ref (List.length prims) in
+          List.iter
+            (fun prim ->
+              Repl.when_epoch_durable prim.group ~epoch (fun () ->
+                  decr remaining;
+                  if !remaining <= 0 then deliver ()))
+            prims
+        end)
+  end
+
+(* Failure-monitor verdicts, delivered by the cluster: exclude a crashed
+   follower from (or re-admit a restarted one to) the gating floor of a
+   group this server leads. *)
+let note_member_down t ~partition ~member =
+  match current_prim t partition with
+  | Some prim -> Repl.member_down prim.group ~id:(Net.Address.to_int member)
+  | None -> ()
+
+let note_member_rejoin t ~partition ~member =
+  match current_prim t partition with
+  | Some prim ->
+      Repl.member_rejoin prim.group ~id:(Net.Address.to_int member);
+      (* Re-ship immediately — the rejoiner acks from zero — and keep the
+         retry loop armed until it has caught up. *)
+      if not t.be_down then reship_member t prim ~member;
+      arm_retry t prim
+  | None -> ()
 
 (* ---- backend crash / restart ------------------------------------------- *)
 
@@ -996,74 +1470,156 @@ let crash_be t =
      the install-verdict cache, and the engine (a fresh empty one replaces
      it immediately, which also cuts off — via the spawn liveness guard —
      any continuation of the dead incarnation still in flight). *)
-  (match t.wal with Some wal -> ignore (Wal.lose_unflushed wal) | None -> ());
+  (match t.repl with
+  | None -> (
+      match t.wal with
+      | Some wal -> ignore (Wal.lose_unflushed wal)
+      | None -> ())
+  | Some _ ->
+      Hashtbl.iter
+        (fun _ prim ->
+          ignore (Wal.lose_unflushed prim.p_wal);
+          (* Truncate the replicated log to the durable prefix and drop
+             the gates whose replies died with the process. *)
+          Repl.crash prim.group
+            ~durable_len:(Wal.durable_count prim.p_wal))
+        t.prims;
+      Hashtbl.iter
+        (fun _ f ->
+          ignore (Wal.lose_unflushed f.f_wal);
+          Hashtbl.reset f.f_buf;
+          f.f_applied <- Wal.durable_count f.f_wal;
+          f.f_ack_pending <- false)
+        t.flws;
+      fire_pending_closes t);
   Hashtbl.reset t.batches;
   Hashtbl.reset t.install_verdicts;
   Hashtbl.reset t.pending_dones;
-  spawn_engine t
+  spawn_engine t;
+  t.on_crash ()
+
+(* Re-join a partition this server lost while down: the routing table
+   says someone else leads it now.  Become a follower with an empty log;
+   the new primary's shipments (a higher term) rebuild it from seq 1. *)
+let demote t ~partition =
+  Hashtbl.remove t.prims partition;
+  Sim.Metrics.incr t.metrics "aloha.demotions";
+  Hashtbl.replace t.flws partition
+    { f_partition = partition;
+      f_term = 0;
+      f_wal =
+        Wal.create t.sim ~flush_latency_us:t.config.Config.wal_flush_us ();
+      f_applied = 0;
+      f_buf = Hashtbl.create 16;
+      f_ack_pending = false }
 
 let restart_be t =
   if not t.be_down then invalid_arg "Server.restart_be: backend is up";
   Sim.Metrics.incr t.metrics "aloha.be_restarts";
-  (match t.wal with
-  | Some wal ->
-      ignore (Recovery.rebuild ~engine:t.engine ~wal);
-      (* Replayed installs that are still pending re-enter the processor
-         at their logged epoch; epochs that closed while we were down (or
-         before the crash) are then released for recomputation — the
-         epoch-close work the crash made us miss.  Later epochs stay
-         buffered until their own close. *)
-      let table = Functor_cc.Compute_engine.table t.engine in
-      let batch_of txn_id ~coordinator =
-        match Hashtbl.find_opt t.batches txn_id with
-        | Some b -> b
-        | None ->
-            let b =
-              { coordinator = Net.Address.of_int coordinator;
-                remaining = 0;
-                batch_max_retrieved = now t;
-                batch_aborted = false }
-            in
-            Hashtbl.replace t.batches txn_id b;
-            b
-      in
-      let finals = Hashtbl.create 16 in
+  (match t.repl with
+  | None -> (
+      match t.wal with
+      | Some wal ->
+          ignore (Recovery.rebuild ~engine:t.engine ~wal);
+          (* Replayed installs that are still pending re-enter the
+             processor at their logged epoch; epochs that closed while we
+             were down (or before the crash) are then released for
+             recomputation — the epoch-close work the crash made us miss.
+             Later epochs stay buffered until their own close. *)
+          reintegrate t ~partition:t.my_partition ~entries:(Wal.durable wal);
+          release_closed t ~upto_epoch:t.last_closed_epoch
+      | None -> ())
+  | Some ctx ->
+      (* Partitions promoted away while we were down: rejoin as
+         followers.  The rest we still lead — recover them from our own
+         durable logs, exactly like the unreplicated path. *)
+      let led = Hashtbl.fold (fun p _ acc -> p :: acc) t.prims [] in
       List.iter
-        (function
-          | Wal.Log_install { key; version; epoch; txn_id; coordinator; _ }
-            -> (
-              match Mvstore.Table.find_le table ~key ~version with
-              | Some (v, record) when v = version -> (
-                  match record.Funct.state with
-                  | Funct.Pending _ ->
-                      Functor_cc.Processor.buffer t.processor ~epoch ~key
-                        ~version;
-                      (* Rebuild the batch so the recomputation's finals
-                         re-drive the coordinator's Batch_done (the
-                         pre-crash batch table was volatile). *)
-                      let b = batch_of txn_id ~coordinator in
-                      b.remaining <- b.remaining + 1
-                  | Funct.Final _ ->
-                      Hashtbl.replace finals txn_id coordinator)
-              | Some _ | None -> ())
-          | Wal.Log_abort _ | Wal.Log_epoch_closed _ -> ())
-        (Wal.durable wal);
-      (* Transactions recovered entirely final (immediate-final specs like
-         VALUE): nothing will recompute, so repeat their Batch_done now —
-         the ack for the pre-crash one may never have arrived, and the
-         coordinator dedupes by source either way.  Skipped when any
-         functor of the txn is still pending here: its completion sends
-         the (single) authoritative notification. *)
+        (fun p ->
+          if
+            not
+              (Net.Address.equal
+                 (Net.Route.resolve ctx.route ~partition:p)
+                 t.address)
+          then demote t ~partition:p)
+        led;
       Hashtbl.iter
-        (fun txn_id coordinator ->
-          if not (Hashtbl.mem t.batches txn_id) then
-            send_batch_done t
-              { coordinator = Net.Address.of_int coordinator;
-                remaining = 0;
-                batch_max_retrieved = now t;
-                batch_aborted = false }
-              ~txn_id ~functors:0)
-        finals;
-      release_closed t ~upto_epoch:t.last_closed_epoch
-  | None -> ());
-  t.be_down <- false
+        (fun p prim ->
+          ignore
+            (Recovery.replay ~engine:t.engine
+               ~snapshot:(Wal.snapshot prim.p_wal)
+               ~entries:(Wal.durable prim.p_wal));
+          reintegrate t ~partition:p ~entries:(Wal.durable prim.p_wal))
+        t.prims;
+      if Hashtbl.length t.prims > 0 then
+        release_closed t ~upto_epoch:t.last_closed_epoch);
+  t.be_down <- false;
+  match t.repl with
+  | None -> ()
+  | Some _ ->
+      (* Follower acks are volatile on both sides: re-ship everything and
+         let the cumulative acks re-establish the floor. *)
+      Hashtbl.iter
+        (fun _ prim ->
+          prim.shipped <- 0;
+          ship_fresh t prim;
+          arm_retry t prim)
+        t.prims;
+      t.on_restart ()
+
+(* Promotion: the failure monitor decided this server succeeds the
+   crashed primary of [partition].  The shipped log IS the partition
+   (state = checkpoint-free replay of it): re-install every entry into
+   the local engine, re-buffer still-pending functors at their logged
+   epochs, rebuild batch tracking so recomputation re-notifies the
+   coordinators, and start shipping to the remaining followers under the
+   new term.  The caller must already have updated the route (so [term]
+   reads the post-promotion value and frontends re-resolve here). *)
+let adopt_partition t ~partition ~down =
+  match t.repl with
+  | None -> invalid_arg "Server.adopt_partition: replication not attached"
+  | Some ctx ->
+      if not (Hashtbl.mem t.prims partition) then begin
+        let f =
+          match Hashtbl.find_opt t.flws partition with
+          | Some f -> f
+          | None -> invalid_arg "Server.adopt_partition: not a follower"
+        in
+        Hashtbl.remove t.flws partition;
+        Sim.Metrics.incr t.metrics "aloha.promotions";
+        emit t ~txn:(-1) ~stage:Obs.Trace.Promote ~arg:partition ();
+        (* The follower did not crash, so its buffered WAL tail is still
+           valid — replay all of it, not just the durable prefix. *)
+        let entries = Wal.all f.f_wal in
+        ignore (Recovery.replay ~engine:t.engine ~snapshot:[] ~entries);
+        reintegrate t ~partition ~entries;
+        let members = ctx.members_of partition in
+        let group =
+          Repl.create ~partition
+            ~term:(Net.Route.term ctx.route ~partition)
+            ~primary:(Net.Address.to_int t.address)
+            ~members:(List.map Net.Address.to_int members)
+            ~len:(List.length entries)
+        in
+        List.iter
+          (fun a -> Repl.member_down group ~id:(Net.Address.to_int a))
+          down;
+        (* Epochs closed so far are durable by adoption (this replica has
+           them); future closes barrier at the log positions they reach. *)
+        Repl.close_epoch group ~epoch:t.last_closed_epoch;
+        let prim =
+          { p_partition = partition; p_wal = f.f_wal; group;
+            followers =
+              List.filter
+                (fun a -> not (Net.Address.equal a t.address))
+                members;
+            shipped = 0; retry_armed = false }
+        in
+        Hashtbl.replace t.prims partition prim;
+        install_ship_hook t prim;
+        (* Pendings recovered from epochs that already closed are released
+           for recomputation right away. *)
+        release_closed t ~upto_epoch:t.last_closed_epoch;
+        ship_fresh t prim;
+        arm_retry t prim
+      end

@@ -84,11 +84,17 @@ val wal_pending_bytes : t -> int
 (** Nominal unflushed WAL bytes (0 when durability is off) — gauge
     probe. *)
 
+val replication_lag : t -> int
+(** Total entries shipped-but-unacked across the replication groups this
+    server leads (0 when replication is off) — gauge probe. *)
+
 val checkpoint_now : t -> unit
 (** Snapshot the partition's final state into the WAL and truncate the
-    log below it.  Raises [Invalid_argument] when durability is off.
-    Intended to be called when the partition is quiescent (no pending
-    functors), e.g. between epochs. *)
+    log below it.  Raises [Invalid_argument] when durability is off, or
+    when replication is attached (a checkpoint renumbers the log, but WAL
+    positions are the replication ship sequence).  Intended to be called
+    when the partition is quiescent (no pending functors), e.g. between
+    epochs. *)
 
 val crash_be : t -> unit
 (** Crash the backend role of this server: the unflushed WAL tail and all
@@ -110,3 +116,55 @@ val restart_be : t -> unit
     [Invalid_argument] if not down. *)
 
 val be_down : t -> bool
+
+val leads : t -> partition:int -> bool
+(** Whether this server currently serves [partition] as its (primary)
+    storage.  Without replication: exactly its home partition.  With
+    replication: the home partition until a failover takes it away, plus
+    any partition adopted by promotion. *)
+
+(** {2 Replication (cluster-internal wiring)}
+
+    All of the following are called by {!Cluster} when
+    [config.replicas > 1]; a server never attached behaves byte-for-byte
+    as before. *)
+
+val attach_repl :
+  t ->
+  plane:Message.rpc ->
+  route:Net.Route.t ->
+  members_of:(int -> Net.Address.t list) ->
+  follows:int list ->
+  unit
+(** Join the replication fabric: become the primary of the home
+    partition's group (shipping durable WAL entries to the other members
+    over [plane]) and a follower of every partition in [follows].  With
+    [config.repl_sync], installs/aborts ack only after the covering log
+    prefix is durable on all live followers, and epoch close gates on the
+    epoch being durable group-wide.  Requires [config.durability];
+    raises [Invalid_argument] otherwise or if already attached. *)
+
+val adopt_partition :
+  t -> partition:int -> down:Net.Address.t list -> unit
+(** Promotion: succeed the crashed primary of [partition] (the failure
+    monitor's verdict; the route must already point here so the new term
+    is visible).  Replays the shipped WAL into the local engine,
+    re-buffers still-pending functors, rebuilds batch tracking so
+    recomputation re-notifies coordinators, and starts shipping to the
+    remaining followers.  [down] lists members currently believed
+    crashed (excluded from the gating floor).  No-op if already primary;
+    raises [Invalid_argument] if not a follower of [partition]. *)
+
+val note_member_down : t -> partition:int -> member:Net.Address.t -> unit
+(** Failure-monitor verdict: exclude [member] from the gating floor of
+    [partition]'s group, if this server leads it. *)
+
+val note_member_rejoin : t -> partition:int -> member:Net.Address.t -> unit
+(** [member] restarted (with an empty follower log): re-admit it and
+    immediately re-ship the whole log so it catches up. *)
+
+val set_lifecycle_hooks :
+  t -> on_crash:(unit -> unit) -> on_restart:(unit -> unit) -> unit
+(** Observe this server's own backend crash/restart transitions — the
+    cluster's failure monitor drives promotion and floor bookkeeping
+    from these. *)

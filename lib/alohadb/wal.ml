@@ -19,11 +19,17 @@ type t = {
   mutable ckpt : (Mvstore.Key.t * int * Message.fspec) list;
   mutable waiters : (unit -> unit) list;  (* newest first *)
   mutable generation : int;  (* bumped by lose_unflushed (crash) *)
+  mutable on_flush : (unit -> unit) option;
+      (* replication ship hook: fired after each flush completion, once
+         the newly durable entries are visible through [durable] *)
 }
 
 let create sim ?(flush_latency_us = 500) () =
   { sim; flush_latency_us; buffered = []; flushed = [];
-    flush_scheduled = false; ckpt = []; waiters = []; generation = 0 }
+    flush_scheduled = false; ckpt = []; waiters = []; generation = 0;
+    on_flush = None }
+
+let set_on_flush t f = t.on_flush <- Some f
 
 let run_waiters t =
   let ws = t.waiters in
@@ -43,6 +49,7 @@ let rec schedule_flush t =
              added while it ran — reaches the device in order. *)
           t.flushed <- t.buffered @ t.flushed;
           t.buffered <- [];
+          (match t.on_flush with Some f -> f () | None -> ());
           run_waiters t;
           if t.buffered <> [] then schedule_flush t
         end)
@@ -71,6 +78,7 @@ let lose_unflushed t =
 
 let durable t = List.rev t.flushed
 
+let all t = List.rev_append t.flushed (List.rev t.buffered)
 let durable_count t = List.length t.flushed
 
 let pending_count t = List.length t.buffered
@@ -105,3 +113,28 @@ let checkpoint t ~snapshot ~retain_above =
   run_waiters t
 
 let snapshot t = t.ckpt
+
+(* Durable entries with 1-based positions in (from, upto], oldest first:
+   the retransmission window a replication primary re-ships. *)
+let durable_range t ~from ~upto =
+  let rec take i acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+        if i > upto then List.rev acc
+        else take (i + 1) (if i > from then (i, e) :: acc else acc) rest
+  in
+  take 1 [] (durable t)
+
+(* Wire conversions: Message can't see [entry] (Wal depends on Message),
+   so the replication plane ships the mirrored [Message.ship_entry]. *)
+let ship_of_entry = function
+  | Log_install { key; version; spec; txn_id; coordinator; epoch } ->
+      Message.Ship_install { key; version; spec; txn_id; coordinator; epoch }
+  | Log_abort { key; version } -> Message.Ship_abort { key; version }
+  | Log_epoch_closed e -> Message.Ship_epoch_closed e
+
+let entry_of_ship = function
+  | Message.Ship_install { key; version; spec; txn_id; coordinator; epoch } ->
+      Log_install { key; version; spec; txn_id; coordinator; epoch }
+  | Message.Ship_abort { key; version } -> Log_abort { key; version }
+  | Message.Ship_epoch_closed e -> Log_epoch_closed e

@@ -47,6 +47,24 @@ val durable : t -> entry list
 (** Entries that survived as of now, oldest first (what a post-crash
     recovery would read). *)
 
+val all : t -> entry list
+(** Every entry, durable prefix then unflushed tail, oldest first — what
+    a live process (no crash) can read back.  Replica promotion replays
+    this: the promoted follower did not crash, so its buffered tail is
+    still valid. *)
+
+val set_on_flush : t -> (unit -> unit) -> unit
+(** Install the flush hook, fired after each flush completion once the
+    newly durable entries are visible through {!durable} (and before
+    {!after_durable} waiters run).  The replication primary ships its
+    freshly durable suffix from here, so a follower can never ack an
+    entry the primary itself might lose in a crash. *)
+
+val durable_range : t -> from:int -> upto:int -> (int * entry) list
+(** Durable entries with 1-based sequence positions in (from, upto],
+    oldest first — the retransmission window a primary re-ships to a
+    lagging follower. *)
+
 val durable_count : t -> int
 val pending_count : t -> int
 (** Buffered entries not yet flushed (lost on crash). *)
@@ -67,3 +85,7 @@ val checkpoint :
 
 val snapshot : t -> (Mvstore.Key.t * int * Message.fspec) list
 (** The latest checkpoint (empty if none was taken). *)
+
+val ship_of_entry : entry -> Message.ship_entry
+val entry_of_ship : Message.ship_entry -> entry
+(** Wire conversions for WAL shipping (Message cannot depend on Wal). *)

@@ -86,16 +86,24 @@ module Aloha_target = struct
     let watermarks =
       List.filter_map
         (fun k ->
-          let node = Alohadb.Cluster.partition_of c k in
-          if List.mem node exclude_nodes then None
+          let partition = Alohadb.Cluster.partition_of c k in
+          (* Group-aware exclusion: a partition's probe is unreliable
+             while ANY member of its replication group crashes during the
+             run — its primary may be a promoted replica mid-replay, or
+             (after the primary's rejoin) the home server rebuilding.
+             Unreplicated groups are the singleton [partition], keeping
+             the pre-replication behaviour exactly. *)
+          let group = Alohadb.Cluster.group_members c ~partition in
+          if List.exists (fun m -> List.mem m exclude_nodes) group then None
           else
-            let srv = Alohadb.Cluster.server c node in
             let key = Mvstore.Key.intern k in
             Some
               ( "watermark:" ^ k,
                 fun () ->
+                  (* through the route: reads the current primary *)
                   Functor_cc.Compute_engine.watermark
-                    (Alohadb.Server.engine srv)
+                    (Alohadb.Server.engine
+                       (Alohadb.Cluster.primary_server c ~partition))
                     ~key ))
         keys
     in
@@ -186,12 +194,15 @@ type run_out = {
   state : int array;  (** final committed value per workload key *)
   replies : int;
   probe_regressions : string list;
+  committed_series : (int * int) list;
+      (** (t_us, committed counter) sampled every probe period — the
+          availability-under-chaos time series *)
   metric : string -> int;
   drops : Net.Network.drop_stats;
 }
 
 let exec (type c) (module T : TARGET with type cluster = c)
-    ?compute ~(schedule : Schedule.t) ~faulted () =
+    ?compute ?replicas ~(schedule : Schedule.t) ~faulted () =
   let n = schedule.Schedule.n_servers in
   let w = make_workload ~seed:schedule.Schedule.seed ~n_servers:n in
   let faults =
@@ -200,7 +211,7 @@ let exec (type c) (module T : TARGET with type cluster = c)
   let params =
     Kernel.Params.make
       ?faults:(if faulted then Some faults else None)
-      ?compute ~n_servers:n ()
+      ?compute ?replicas ~n_servers:n ()
   in
   let cluster = T.create ~seed:schedule.Schedule.seed params in
   List.iter (fun k -> T.load cluster k (Functor_cc.Value.int 0)) w.keys;
@@ -225,6 +236,8 @@ let exec (type c) (module T : TARGET with type cluster = c)
   let probes =
     Array.of_list (T.probes cluster ~keys:w.keys ~exclude_nodes:crashed_nodes)
   in
+  let metrics = T.metrics cluster in
+  let series = ref [] in
   let last = Array.map (fun _ -> min_int) probes in
   let rec sample () =
     Array.iteri
@@ -237,6 +250,9 @@ let exec (type c) (module T : TARGET with type cluster = c)
             :: !regressions;
         last.(i) <- v)
       probes;
+    series :=
+      (Sim.Engine.now sim, Sim.Metrics.get metrics T.committed_key)
+      :: !series;
     if Sim.Engine.now sim + probe_period_us < horizon_us then
       Sim.Engine.after sim probe_period_us sample
   in
@@ -274,6 +290,7 @@ let exec (type c) (module T : TARGET with type cluster = c)
       state;
       replies = !replies;
       probe_regressions = List.rev !regressions;
+      committed_series = List.rev !series;
       metric = (fun key -> Sim.Metrics.get m key);
       drops = T.drop_stats cluster } )
 
@@ -283,9 +300,12 @@ type report = {
   seed : int;
   engine : string;
   compute : string option;
+  replicas : int;
   trace_hash : string;
   trace_events : int;
   committed : int;
+  submitted : int;
+  availability : (int * int) list;
   drops : int;
   drop_detail : Net.Network.drop_stats;
   violations : string list;
@@ -306,10 +326,21 @@ let check_state ~label ~(expected : int array) ~(actual : int array)
     keys;
   !acc
 
-let run_schedule ?compute (Target (module T)) ~(schedule : Schedule.t) =
-  let w, faulted = exec (module T) ?compute ~schedule ~faulted:true () in
-  let _, replay = exec (module T) ?compute ~schedule ~faulted:true () in
-  let _, reference = exec (module T) ?compute ~schedule ~faulted:false () in
+let run_schedule ?compute ?replicas (Target (module T))
+    ~(schedule : Schedule.t) =
+  let w, faulted =
+    exec (module T) ?compute ?replicas ~schedule ~faulted:true ()
+  in
+  let _, replay =
+    exec (module T) ?compute ?replicas ~schedule ~faulted:true ()
+  in
+  (* The reference runs at the same replication degree: the survival
+     invariant is "a replicated faulted run equals a replicated fault-free
+     run", and replication itself is proven behaviour-neutral against
+     k = 1 by the differential test. *)
+  let _, reference =
+    exec (module T) ?compute ?replicas ~schedule ~faulted:false ()
+  in
   let submitted = List.length w.batch in
   let v = ref [] in
   (* Determinism: the replay's trace must be byte-identical. *)
@@ -374,9 +405,12 @@ let run_schedule ?compute (Target (module T)) ~(schedule : Schedule.t) =
   { seed = schedule.Schedule.seed;
     engine = T.name;
     compute;
+    replicas = (match replicas with Some k -> max 1 k | None -> 1);
     trace_hash = Trace.to_hex faulted.trace;
     trace_events = Trace.events faulted.trace;
     committed = faulted.result.Kernel.Result.committed;
+    submitted;
+    availability = faulted.committed_series;
     drops =
       faulted.drops.Net.Network.injected
       + faulted.drops.Net.Network.partitioned
@@ -385,9 +419,19 @@ let run_schedule ?compute (Target (module T)) ~(schedule : Schedule.t) =
     drop_detail = faulted.drops;
     violations = List.rev !v }
 
-let run_seed ?compute t ~seed ~n_servers =
-  run_schedule ?compute t ~schedule:(Schedule.generate ~seed ~n_servers)
+let run_seed ?compute ?replicas t ~seed ~n_servers =
+  let schedule =
+    (* Replicated battery: crash every backend once (staggered); the
+       generic mixed schedule otherwise. *)
+    match replicas with
+    | Some k when k > 1 -> Schedule.generate_replicated ~seed ~n_servers
+    | Some _ | None -> Schedule.generate ~seed ~n_servers
+  in
+  run_schedule ?compute ?replicas t ~schedule
 
-let trace_hash_of ?compute (Target (module T)) ~(schedule : Schedule.t) =
-  let _, out = exec (module T) ?compute ~schedule ~faulted:true () in
+let trace_hash_of ?compute ?replicas (Target (module T))
+    ~(schedule : Schedule.t) =
+  let _, out =
+    exec (module T) ?compute ?replicas ~schedule ~faulted:true ()
+  in
   Trace.to_hex out.trace

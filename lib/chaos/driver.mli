@@ -53,9 +53,14 @@ type report = {
   compute : string option;
       (** compute-phase mode the runs used (engine-specific; [None] =
           engine default) *)
+  replicas : int;  (** replication degree the runs used (1 = none) *)
   trace_hash : string;
   trace_events : int;
   committed : int;
+  submitted : int;  (** scripted transactions in the workload *)
+  availability : (int * int) list;
+      (** [(t_us, committed)] sampled every probe period during the
+          faulted run — the availability-under-chaos time series *)
   drops : int;  (** total messages lost to injected faults *)
   drop_detail : Net.Network.drop_stats;
       (** the same drops broken out by cause, for CI artifacts *)
@@ -64,12 +69,23 @@ type report = {
 
 val passed : report -> bool
 
-val run_schedule : ?compute:string -> packed -> schedule:Schedule.t -> report
+val run_schedule :
+  ?compute:string -> ?replicas:int -> packed -> schedule:Schedule.t -> report
 (** [compute] selects an engine-specific compute mode (ALOHA:
-    "ondemand" / "pool" / "planned") for all three runs of the schedule. *)
+    "ondemand" / "pool" / "planned") for all three runs of the schedule.
+    [replicas] sets the replication degree (engines without replication
+    ignore it); the crash-free reference runs at the {e same} degree, so
+    the state check reads "a replicated faulted run converges to a
+    replicated fault-free run" — behaviour-neutrality of replication
+    itself versus k = 1 is the differential test's job. *)
 
-val run_seed : ?compute:string -> packed -> seed:int -> n_servers:int -> report
-(** [run_schedule] on [Schedule.generate ~seed ~n_servers]. *)
+val run_seed :
+  ?compute:string -> ?replicas:int -> packed -> seed:int -> n_servers:int ->
+  report
+(** [run_schedule] on [Schedule.generate ~seed ~n_servers] — or, when
+    [replicas > 1], on [Schedule.generate_replicated ~seed ~n_servers]
+    (every backend crashed once, staggered). *)
 
-val trace_hash_of : ?compute:string -> packed -> schedule:Schedule.t -> string
+val trace_hash_of :
+  ?compute:string -> ?replicas:int -> packed -> schedule:Schedule.t -> string
 (** One faulted run, digest only (replay verification in tests). *)

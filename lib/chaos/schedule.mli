@@ -25,6 +25,14 @@ val generate : seed:int -> n_servers:int -> t
     optional crash, 0-2 skew steps.  Every window closes before the
     drain horizon. *)
 
+val generate_replicated : seed:int -> n_servers:int -> t
+(** The replication battery's schedule shape: crash {e every} backend
+    exactly once, in a seed-determined order, staggered ~25ms apart so at
+    most one backend is down (or catching up) at any moment — the "any
+    single backend loss" regime — plus 0-1 edicts and 0-2 skews.  No
+    partition windows: the failure monitor is a crash detector, not a
+    membership service. *)
+
 val has_crash : t -> bool
 
 val pp_event : Format.formatter -> event -> unit

@@ -22,6 +22,10 @@ type t = {
   mutable max_acked_revoke : int;  (* highest epoch whose revoke we acked *)
   mutable on_open : epoch:int -> lo:int -> hi:int -> unit;
   mutable on_closed : epoch:int -> unit;
+  mutable close_gate : (epoch:int -> (unit -> unit) -> unit) option;
+      (* wraps the delivery of on_closed: replication defers the close
+         (watermark advance) until the epoch is durable on every live
+         replica, while on_open proceeds immediately *)
   mutable observers : (unit -> unit) list;
 }
 
@@ -70,8 +74,14 @@ let handle_grant t ~epoch ~lo ~hi ~next_duration =
     t.state <- Authorized { epoch; lo; hi; next_duration };
     if epoch > 1 then begin
       (* Grant of e doubles as "e - 1 closed". *)
-      t.on_closed ~epoch:(epoch - 1);
-      Sim.Metrics.incr t.metrics "fe.epochs_closed"
+      let closed = epoch - 1 in
+      let fire () =
+        t.on_closed ~epoch:closed;
+        Sim.Metrics.incr t.metrics "fe.epochs_closed"
+      in
+      (match t.close_gate with
+      | None -> fire ()
+      | Some gate -> gate ~epoch:closed fire)
     end;
     t.on_open ~epoch ~lo ~hi;
     notify_observers t
@@ -107,7 +117,8 @@ let create ~rpc ~addr ~em ~clock ~straggler_opt ~metrics () =
     { rpc; addr; em; clock; straggler_opt; metrics;
       in_flight = Hashtbl.create 8; orphans = Hashtbl.create 4;
       state = Waiting; granted = 0; max_acked_revoke = 0;
-      on_open = ignore_open; on_closed = ignore_closed; observers = [] }
+      on_open = ignore_open; on_closed = ignore_closed; close_gate = None;
+      observers = [] }
   in
   Net.Rpc.serve_oneway rpc addr (fun ~src:_ msg ->
       match msg with
@@ -120,6 +131,8 @@ let create ~rpc ~addr ~em ~clock ~straggler_opt ~metrics () =
 let set_hooks t ~on_open ~on_closed =
   t.on_open <- on_open;
   t.on_closed <- on_closed
+
+let set_close_gate t gate = t.close_gate <- Some gate
 
 let window t =
   match t.state with

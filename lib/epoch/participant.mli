@@ -38,6 +38,14 @@ val set_hooks :
   on_closed:(epoch:int -> unit) ->
   unit
 
+val set_close_gate : t -> (epoch:int -> (unit -> unit) -> unit) -> unit
+(** Interpose on the delivery of [on_closed]: the gate receives the
+    closed epoch and a thunk that performs the close, and may delay the
+    thunk (replication holds the close — and with it the watermark
+    advance — until the epoch is durable on every live replica).
+    [on_open] for the next epoch is never delayed: new transactions may
+    start while the previous epoch replicates. *)
+
 val window : t -> window option
 (** Where a transaction starting right now would live: [Some w] when
     starting is currently allowed (with or without authorization), [None]

@@ -165,6 +165,41 @@ let write_real ~host_cores path =
        "{\"suite\":\"real\",\"host_cores\":%d,\"series\":[%s]}" host_cores
        (String.concat "," (List.map series_json series_names)))
 
+(* ---- availability under chaos (BENCH_availability.json) ------------------ *)
+
+(* One committed-work-over-time series per replication degree, all from
+   the same fault schedule: the availability figure.  With k = 1 the
+   committed curve plateaus while the crashed backend's partitions are
+   dark and [completed < submitted] if the crash outlives the horizon;
+   with k > 1 failover keeps the curve climbing.  Points come from the
+   chaos driver's probe loop, but the type is kept plain so the harness
+   does not depend on the chaos library. *)
+
+type avail_series = {
+  av_replicas : int;
+  av_engine : string;
+  av_seed : int;
+  av_submitted : int;
+  av_completed : int;
+  av_points : (int * int) list;
+}
+
+let write_availability ~path ~schedule ~series =
+  let point_json (t_us, committed) =
+    Printf.sprintf "{\"t_us\":%d,\"committed\":%d}" t_us committed
+  in
+  let series_json s =
+    Printf.sprintf
+      "{\"replicas\":%d,\"engine\":%s,\"seed\":%d,\"submitted\":%d,\"completed\":%d,\"points\":[%s]}"
+      s.av_replicas (jstr s.av_engine) s.av_seed s.av_submitted s.av_completed
+      (String.concat "," (List.map point_json s.av_points))
+  in
+  write path
+    (Printf.sprintf
+       "{\"suite\":\"availability\",\"schedule\":%s,\"series\":[%s]}"
+       (jstr schedule)
+       (String.concat "," (List.map series_json series)))
+
 (* ---- run telemetry (TELEMETRY.json) -------------------------------------- *)
 
 (* One run's observability summary: headline result numbers, per-stage

@@ -45,6 +45,23 @@ val write_real : host_cores:int -> string -> unit
     core count (wall-clock numbers are machine-dependent, unlike the
     simulated macro suite). *)
 
+type avail_series = {
+  av_replicas : int;
+  av_engine : string;
+  av_seed : int;
+  av_submitted : int;  (** scripted transactions in the workload *)
+  av_completed : int;  (** transactions that replied by the horizon *)
+  av_points : (int * int) list;
+      (** [(t_us, committed)] samples from the chaos driver's probe loop *)
+}
+
+val write_availability :
+  path:string -> schedule:string -> series:avail_series list -> unit
+(** Write BENCH_availability.json: committed-work-over-time under one
+    fault schedule, one series per replication degree — the
+    availability-under-chaos figure.  Unconditional (does not consult
+    {!recording}); kept free of chaos-library types on purpose. *)
+
 val write_telemetry :
   path:string ->
   engine:string ->

@@ -33,6 +33,7 @@ val build :
   ?compute:string ->
   ?runtime:string ->
   ?domains:int ->
+  ?replicas:int ->
   ?seed:int ->
   unit ->
   built
@@ -53,6 +54,7 @@ val tpcc :
   ?compute:string ->
   ?runtime:string ->
   ?domains:int ->
+  ?replicas:int ->
   ?seed:int ->
   unit ->
   built
@@ -66,6 +68,7 @@ val stpcc :
   ?compute:string ->
   ?runtime:string ->
   ?domains:int ->
+  ?replicas:int ->
   ?seed:int ->
   unit ->
   built
@@ -80,6 +83,7 @@ val ycsb :
   ?compute:string ->
   ?runtime:string ->
   ?domains:int ->
+  ?replicas:int ->
   ?seed:int ->
   unit ->
   built

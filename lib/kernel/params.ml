@@ -22,7 +22,11 @@ type t = {
   domains : int option;
       (* worker-domain count for the real runtime; None = engine
          default.  Ignored under runtime "sim". *)
+  replicas : int option;
+      (* replication degree per partition; None/Some 1 = unreplicated.
+         Engines without replication ignore it. *)
 }
 
-let make ?epoch_us ?faults ?obs ?compute ?runtime ?domains ~n_servers () =
-  { n_servers; epoch_us; faults; obs; compute; runtime; domains }
+let make ?epoch_us ?faults ?obs ?compute ?runtime ?domains ?replicas
+    ~n_servers () =
+  { n_servers; epoch_us; faults; obs; compute; runtime; domains; replicas }

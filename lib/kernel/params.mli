@@ -31,9 +31,14 @@ type t = {
   domains : int option;
       (** worker-domain count for the real runtime; [None] leaves the
           engine default.  Ignored under runtime "sim" *)
+  replicas : int option;
+      (** replication degree per partition (ALOHA ships each partition's
+          WAL to [k - 1] follower backends and fails over on crash);
+          [None] / [Some 1] = unreplicated.  Engines without replication
+          ignore it *)
 }
 
 val make :
   ?epoch_us:int -> ?faults:Net.Faults.t -> ?obs:Obs.Ctl.t ->
-  ?compute:string -> ?runtime:string -> ?domains:int ->
+  ?compute:string -> ?runtime:string -> ?domains:int -> ?replicas:int ->
   n_servers:int -> unit -> t

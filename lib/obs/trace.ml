@@ -22,6 +22,8 @@ type stage =
   | Plan_build
   | Plan_evaluate
   | Stratum_dispatch
+  | Wal_ship
+  | Promote
 
 let stage_name = function
   | Submit -> "submit"
@@ -47,6 +49,8 @@ let stage_name = function
   | Plan_build -> "plan_build"
   | Plan_evaluate -> "plan_evaluate"
   | Stratum_dispatch -> "stratum_dispatch"
+  | Wal_ship -> "wal_ship"
+  | Promote -> "promote"
 
 let stage_to_int = function
   | Submit -> 0
@@ -72,6 +76,8 @@ let stage_to_int = function
   | Plan_build -> 20
   | Plan_evaluate -> 21
   | Stratum_dispatch -> 22
+  | Wal_ship -> 23
+  | Promote -> 24
 
 let stage_of_int = function
   | 0 -> Submit
@@ -97,6 +103,8 @@ let stage_of_int = function
   | 20 -> Plan_build
   | 21 -> Plan_evaluate
   | 22 -> Stratum_dispatch
+  | 23 -> Wal_ship
+  | 24 -> Promote
   | n -> invalid_arg (Printf.sprintf "Trace.stage_of_int: %d" n)
 
 (* Struct-of-arrays ring buffer: one slot is six ints across parallel

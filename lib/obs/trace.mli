@@ -46,6 +46,12 @@ type stage =
   | Stratum_dispatch
       (** real runtime: a planner stratum left for the worker-domain pool
           ([arg] = batch size) *)
+  (* replication *)
+  | Wal_ship
+      (** a primary shipped freshly durable WAL entries to its followers
+          ([arg] = entry count) *)
+  | Promote
+      (** a follower was promoted to primary ([arg] = partition) *)
 
 val stage_name : stage -> string
 (** Stable lower-snake-case name, e.g. ["epoch_assign"] — the [name] field

@@ -19,4 +19,5 @@ let () =
       ("components", Test_components.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
-      ("chaos", Test_chaos.suite) ]
+      ("chaos", Test_chaos.suite);
+      ("replication", Test_replication.suite) ]
