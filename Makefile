@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean bench bench-smoke bench-guard bench-real real-smoke chaos chaos-smoke replication replication-smoke availability
+.PHONY: all build test fmt check clean bench bench-smoke bench-guard bench-real real-smoke chaos chaos-smoke replication replication-smoke availability fastpath fastpath-smoke
 
 all: build
 
@@ -89,11 +89,33 @@ availability:
 	python3 ci/check_bench_regression.py --validate-availability \
 	  BENCH_availability.json
 
+# The latency-collapse figure: the counter-heavy workload with the
+# coordination-free commit lane off and on; writes BENCH_fastpath.json
+# and gates on the on-series p50 beating the off-series p50.
+fastpath:
+	dune exec bench/main.exe -- fastpath
+	python3 ci/check_bench_regression.py --validate-fastpath \
+	  BENCH_fastpath.json
+
+# CI smoke for the fast path: the dedicated test suite (classifier
+# unit + qcheck, interleaving oracle, on-vs-off equivalence, chaos
+# battery with the lane on), a counter-heavy CLI run and a chaos seed
+# with --fastpath, then the figure + its validator.
+fastpath-smoke:
+	dune exec test/test_main.exe -- test fastpath
+	dune exec bin/alohadb_cli.exe -- run --system aloha --workload ycsb \
+	  --fastpath on --servers 4 --clients 4 --measure-ms 200
+	dune exec bin/alohadb_cli.exe -- chaos --engine aloha --seed 1 --count 2 \
+	  --fastpath
+	$(MAKE) fastpath
+
 # Check dune-file formatting without promoting (ocamlformat is not a
 # dependency; OCaml sources are exempt via dune-project).
 fmt:
 	dune build @fmt
 
+# fmt + build + full test run (the fastpath suite is part of dune
+# runtest; run it alone with: dune exec test/test_main.exe -- test fastpath).
 check: fmt build test
 
 clean:

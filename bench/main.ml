@@ -16,7 +16,11 @@
      dune exec bench/main.exe -- availability -- committed-work-over-time
                                                 under a fixed crash schedule
                                                 at k = 1/2/3; always writes
-                                                BENCH_availability.json *)
+                                                BENCH_availability.json
+     dune exec bench/main.exe -- fastpath    -- counter-heavy latency with
+                                                the coordination-free lane
+                                                off vs on; always writes
+                                                BENCH_fastpath.json *)
 
 let micro () =
   let open Bechamel in
@@ -311,6 +315,57 @@ let real () =
   series ~name:"cpu-add" ~latency_bound:false ~n_keys:64 ~n_ops:16_384;
   series ~name:"latency-bound" ~latency_bound:true ~n_keys:64 ~n_ops:1_024
 
+(* The latency-collapse figure: one counter-heavy workload (YCSB is 10
+   blind ADD-1s per txn — every transaction is all-commutative with an
+   empty read set) run twice on ALOHA, coordination-free commit lane off
+   and on.  Off, a commit waits for epoch close plus the computing phase
+   (~13 ms at the 10 ms epoch); on, it commits at install-ack time, a
+   couple of network round trips.  Simulated time, so the numbers are
+   deterministic; ci/check_bench_regression.py --validate-fastpath gates
+   on the on-p50 beating the off-p50. *)
+let fastpath () =
+  let aloha =
+    match Harness.Setup.engine_of_name "aloha" with
+    | Some e -> e
+    | None -> assert false
+  in
+  let measure ~fastpath =
+    let built =
+      Harness.Setup.ycsb ~engine:aloha ~n:4 ~ci:0.01 ~epoch_us:10_000
+        ~fastpath ~seed:7 ()
+    in
+    Harness.Driver.run built
+      ~arrival:(Harness.Arrivals.Closed { clients_per_fe = 4 })
+      ~warmup_us:100_000 ~measure_us:1_000_000 ()
+  in
+  let series =
+    List.map
+      (fun fastpath ->
+        let r = measure ~fastpath in
+        let fast_commits =
+          match List.assoc_opt "fastpath commits" r.Kernel.Result.counters with
+          | Some n -> n
+          | None -> 0
+        in
+        let mode = if fastpath then "on" else "off" in
+        Printf.printf
+          "[fastpath] %-3s: %6d committed  p50 %6d us  p99 %6d us  (%d via \
+           fast lane)\n%!"
+          mode r.Kernel.Result.committed r.Kernel.Result.lat_p50_us
+          r.Kernel.Result.lat_p99_us fast_commits;
+        { Harness.Report.fp_mode = mode;
+          fp_committed = r.Kernel.Result.committed;
+          fp_tps = r.Kernel.Result.throughput_tps;
+          fp_p50_us = r.Kernel.Result.lat_p50_us;
+          fp_p99_us = r.Kernel.Result.lat_p99_us;
+          fp_fast_commits = fast_commits })
+      [ false; true ]
+  in
+  Harness.Report.write_fastpath ~path:"BENCH_fastpath.json"
+    ~workload:"ycsb ci=0.01 n=4, closed loop 4 clients/FE, 10 ADD-1 ops/txn"
+    ~series;
+  Printf.printf "wrote BENCH_fastpath.json\n%!"
+
 (* The availability figure: one fixed schedule — a primary crashed at
    20ms and kept dark past the run horizon — replayed at replication
    degrees 1, 2 and 3.  At k = 1 the committed curve plateaus the moment
@@ -384,6 +439,7 @@ let () =
     | "micro" -> micro ()
     | "real" -> real ()
     | "availability" -> availability ()
+    | "fastpath" -> fastpath ()
     | "all" ->
         Harness.Experiments.all scale;
         micro ()
@@ -391,7 +447,7 @@ let () =
         Printf.eprintf
           "unknown target %S (expected table1, fig6..fig11, \
            ablation-straggler, ablation-push, ablation-dependent, \
-           ext-conventional, micro, real, availability, all)\n"
+           ext-conventional, micro, real, availability, fastpath, all)\n"
           other;
         exit 2
   in

@@ -96,8 +96,17 @@ let run_cmd =
                    to k-1 followers and survives any single backend \
                    crash by failover.")
   in
+  let fastpath =
+    let modes = Arg.enum [ ("on", true); ("off", false) ] in
+    Arg.(value & opt (some modes) None
+         & info [ "fastpath" ]
+             ~doc:"Coordination-free commit lane for all-commutative \
+                   transactions (ALOHA only): on commits ADD/SUBTR/MAX/MIN \
+                   write sets at install time instead of waiting for epoch \
+                   close + compute.  Omitted = off.")
+  in
   let run (sys_name, engine) workload n per_host ci clients rate epoch_ms
-      warmup_ms measure_ms seed compute runtime domains replicas =
+      warmup_ms measure_ms seed compute runtime domains replicas fastpath =
     let epoch_us = epoch_ms * 1000 in
     let warmup_us = warmup_ms * 1000 in
     let measure_us = measure_ms * 1000 in
@@ -115,17 +124,17 @@ let run_cmd =
       | `Tpcc ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
             ~kind:`NewOrder ~epoch_us ?compute ?runtime ?domains ?replicas
-            ~seed ()
+            ?fastpath ~seed ()
       | `Tpcc_payment ->
           Harness.Setup.tpcc ~engine ~n ~warehouses_per_host:per_host
             ~kind:`Payment ~epoch_us ?compute ?runtime ?domains ?replicas
-            ~seed ()
+            ?fastpath ~seed ()
       | `Stpcc ->
           Harness.Setup.stpcc ~engine ~n ~districts_per_host:per_host
-            ~epoch_us ?compute ?runtime ?domains ?replicas ~seed ()
+            ~epoch_us ?compute ?runtime ?domains ?replicas ?fastpath ~seed ()
       | `Ycsb ->
           Harness.Setup.ycsb ~engine ~n ~ci ~epoch_us ?compute ?runtime
-            ?domains ?replicas ~seed ()
+            ?domains ?replicas ?fastpath ~seed ()
     in
     let wall_t0 = Unix.gettimeofday () in
     let result =
@@ -140,6 +149,9 @@ let run_cmd =
     | None -> ());
     (match replicas with
     | Some k when k > 1 -> Format.printf "replication: k=%d@." k
+    | _ -> ());
+    (match fastpath with
+    | Some true -> Format.printf "fastpath: on@."
     | _ -> ());
     (match runtime with
     | Some mode ->
@@ -165,7 +177,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ system $ workload $ servers $ per_host $ ci $ clients
           $ rate $ epoch_ms $ warmup_ms $ measure_ms $ seed $ compute
-          $ runtime $ domains $ replicas)
+          $ runtime $ domains $ replicas $ fastpath)
 
 let figure_cmd =
   let target =
@@ -247,7 +259,14 @@ let chaos_cmd =
                    crashed once per run, staggered, with failover \
                    expected to mask each loss.")
   in
-  let run engine seed count servers verbose compute replicas =
+  let fastpath =
+    Arg.(value & flag
+         & info [ "fastpath" ]
+             ~doc:"Enable the coordination-free commit lane (ALOHA only). \
+                   The chaos workload is all-commutative, so every \
+                   transaction takes it.")
+  in
+  let run engine seed count servers verbose compute replicas fastpath =
     let names =
       if engine = "all" then List.map fst Chaos.Driver.targets else [ engine ]
     in
@@ -272,7 +291,8 @@ let chaos_cmd =
       List.iter
         (fun (name, target) ->
           let r =
-            Chaos.Driver.run_schedule ?compute ~replicas target ~schedule
+            Chaos.Driver.run_schedule ?compute ~replicas ~fastpath target
+              ~schedule
           in
           let ok = Chaos.Driver.passed r in
           if not ok then incr failures;
@@ -283,7 +303,8 @@ let chaos_cmd =
           let d = r.Chaos.Driver.drop_detail in
           Format.printf
             "{\"engine\":\"%s\",\"seed\":%d,\"compute\":\"%s\",\
-             \"replicas\":%d,\"trace_hash\":\"%s\",\"trace_events\":%d,\
+             \"replicas\":%d,\"fastpath\":%b,\"trace_hash\":\"%s\",\
+             \"trace_events\":%d,\
              \"committed\":%d,\"submitted\":%d,\
              \"drops\":{\"injected\":%d,\"partitioned\":%d,\"crashed\":%d,\
              \"unregistered\":%d,\"total\":%d},\"ok\":%b}@."
@@ -291,7 +312,8 @@ let chaos_cmd =
             (match r.Chaos.Driver.compute with
             | Some m -> m
             | None -> "default")
-            r.Chaos.Driver.replicas r.Chaos.Driver.trace_hash
+            r.Chaos.Driver.replicas r.Chaos.Driver.fastpath
+            r.Chaos.Driver.trace_hash
             r.Chaos.Driver.trace_events r.Chaos.Driver.committed
             r.Chaos.Driver.submitted d.Net.Network.injected
             d.Net.Network.partitioned d.Net.Network.crashed
@@ -315,7 +337,7 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ engine $ seed $ count $ servers $ verbose $ compute
-          $ replicas)
+          $ replicas $ fastpath)
 
 
 (* ---- traced runs (trace / stats subcommands) ---------------------------- *)

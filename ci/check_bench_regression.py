@@ -34,6 +34,17 @@ point of the figure — every replicated (k > 1) series must reach full
 completion, while the k = 1 baseline may plateau.  Like the real suite
 there is no numeric gate beyond that: the curves are the artifact.
 
+    python3 ci/check_bench_regression.py --validate-fastpath \
+        BENCH_fastpath.json
+
+validates a fastpath-suite file (the latency-collapse figure: one
+counter-heavy workload with the coordination-free commit lane off and
+on): schema, exactly one "off" and one "on" series, sane percentiles
+(0 < p50 <= p99), fast-lane commits only in the on series — and the
+headline gate, the on-series p50 must be strictly below the off-series
+p50.  Both runs are simulated time, so unlike the real suite this IS a
+deterministic numeric gate.
+
 Why the real suite has no numeric gate: BENCH_real.json holds host
 wall-clock times, and those depend on the machine — physical core count
 (a 1-core host cannot speed up the cpu-add series at all), CPU
@@ -149,6 +160,66 @@ def validate_availability(path, doc):
             fail(f"k={k}: last sample {prev_c} != completed {completed}")
 
 
+def validate_fastpath(path, doc):
+    """Exit with an error if a fastpath-suite document is malformed."""
+    def fail(msg):
+        sys.exit(f"error: {path}: malformed fastpath document: {msg}")
+
+    if not isinstance(doc.get("workload"), str) or not doc["workload"]:
+        fail("workload must be a non-empty string")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail("series must be a non-empty list")
+    by_mode = {}
+    for s in series:
+        if not isinstance(s, dict):
+            fail("series entries must be objects")
+        mode = s.get("mode")
+        if mode not in ("on", "off"):
+            fail(f"mode must be \"on\" or \"off\", got {mode!r}")
+        if mode in by_mode:
+            fail(f"duplicate series for mode={mode}")
+        by_mode[mode] = s
+        committed = s.get("committed")
+        if not isinstance(committed, int) or committed <= 0:
+            fail(f"mode={mode}: committed must be a positive integer")
+        tps = s.get("tps")
+        if not isinstance(tps, (int, float)) or tps <= 0:
+            fail(f"mode={mode}: tps must be positive")
+        p50, p99 = s.get("p50_us"), s.get("p99_us")
+        if not isinstance(p50, int) or p50 <= 0:
+            fail(f"mode={mode}: p50_us must be a positive integer")
+        if not isinstance(p99, int) or p99 < p50:
+            fail(f"mode={mode}: p99_us must be an integer >= p50_us")
+        fast = s.get("fastpath_commits")
+        if not isinstance(fast, int) or fast < 0:
+            fail(f"mode={mode}: fastpath_commits must be a non-negative "
+                 f"integer")
+        if mode == "off" and fast != 0:
+            fail(f"mode=off: fastpath_commits must be 0, got {fast}")
+        if mode == "on" and fast == 0:
+            fail("mode=on: no transaction took the fast lane")
+    for mode in ("off", "on"):
+        if mode not in by_mode:
+            fail(f"missing the mode={mode} series")
+    on, off = by_mode["on"], by_mode["off"]
+    if on["p50_us"] >= off["p50_us"]:
+        fail(f"fast-lane p50 ({on['p50_us']}us) must be below the "
+             f"slow-lane p50 ({off['p50_us']}us) — the lane did not "
+             f"collapse commit latency")
+
+
+def report_fastpath(path, doc):
+    print(f"{path}: fastpath suite ok")
+    for s in doc["series"]:
+        print(f"  {s['mode']:3}: p50 {s['p50_us']}us  p99 {s['p99_us']}us  "
+              f"{s['committed']} committed "
+              f"({s['fastpath_commits']} via fast lane)")
+    on = next(s for s in doc["series"] if s["mode"] == "on")
+    off = next(s for s in doc["series"] if s["mode"] == "off")
+    print(f"  p50 collapse: {off['p50_us'] / on['p50_us']:.1f}x")
+
+
 def report_availability(path, doc):
     print(f"{path}: availability suite ok")
     for s in doc["series"]:
@@ -187,6 +258,9 @@ def load(path):
     if isinstance(doc, dict) and doc.get("suite") == "availability":
         validate_availability(path, doc)
         return None
+    if isinstance(doc, dict) and doc.get("suite") == "fastpath":
+        validate_fastpath(path, doc)
+        return None
     if not isinstance(doc, dict) or doc.get("suite") != "micro":
         return None
     try:
@@ -224,6 +298,21 @@ def main(argv):
             sys.exit(f"error: {path} is not an availability-suite document")
         validate_availability(path, doc)
         report_availability(path, doc)
+        return 0
+    if len(argv) >= 2 and argv[1] == "--validate-fastpath":
+        if len(argv) != 3:
+            sys.exit(f"usage: {argv[0]} --validate-fastpath "
+                     f"BENCH_fastpath.json")
+        path = argv[2]
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            sys.exit(f"error: cannot read {path}: {exc}")
+        if not isinstance(doc, dict) or doc.get("suite") != "fastpath":
+            sys.exit(f"error: {path} is not a fastpath-suite document")
+        validate_fastpath(path, doc)
+        report_fastpath(path, doc)
         return 0
     if len(argv) < 3:
         sys.exit(f"usage: {argv[0]} CURRENT_JSON... BASELINE_JSON")

@@ -41,6 +41,7 @@ type t = {
   repl_detect_us : int;
   repl_retry_us : int;
   repl_sync : bool;
+  fastpath : bool;
   cost_coord_us : int;
   cost_install_base_us : int;
   cost_install_us : int;
@@ -65,6 +66,7 @@ let default =
     repl_detect_us = 3_000;
     repl_retry_us = 0;
     repl_sync = false;
+    fastpath = false;
     cost_coord_us = 6;
     cost_install_base_us = 3;
     cost_install_us = 1;

@@ -79,6 +79,14 @@ type t = {
           transactions survive the loss of any single replica.  Off by
           default: on a fault-free network asynchronous shipping is
           behaviour-neutral and costs nothing *)
+  fastpath : bool;
+      (** coordination-free commit lane for all-commutative transactions
+          (empty precondition set, every write an ADD/SUBTR/MAX/MIN):
+          the frontend acknowledges as soon as every partition has
+          durably installed the functors, without waiting for epoch
+          close or functor computation, and the backends fold the
+          pending deltas into their chains lazily.  Off by default; when
+          off, behaviour is bit-for-bit identical to previous releases *)
   cost_coord_us : int;
       (** FE: transform a transaction into functors and fan out installs *)
   cost_install_base_us : int;  (** BE: fixed cost per install message *)

@@ -61,6 +61,11 @@ let options_of ?seed (params : Kernel.Params.t) =
                invalid_arg "Alohadb.Engine: --domains must be >= 1"
              else { cfg with Config.domains = d }
        in
+       let cfg =
+         match params.fastpath with
+         | None | Some false -> cfg
+         | Some true -> { cfg with Config.fastpath = true }
+       in
        match params.replicas with
        | None -> cfg
        | Some k ->
@@ -144,7 +149,10 @@ let counter_keys =
   [ ("plans", "plan.plans");
     ("plan nodes", "plan.nodes");
     ("plan edges", "plan.edges");
-    ("plan subs sent", "plan.subs_sent") ]
+    ("plan subs sent", "plan.subs_sent");
+    (* Algebraic fast path: all-zero unless --fastpath on. *)
+    ("fastpath commits", "aloha.fastpath_commits");
+    ("fastpath merges", "fcc.fastpath_merges") ]
 
 let stage_keys =
   [ ("functor installing", "aloha.lat_install_us");
@@ -155,4 +163,6 @@ let stage_keys =
        unitless plan.strata / plan.critical_path series stay out of the
        latency breakdown and are read straight from the metrics. *)
     ("plan build", "plan.build_us");
-    ("plan evaluate", "plan.evaluate_us") ]
+    ("plan evaluate", "plan.evaluate_us");
+    (* Coordination-free commit latency: no samples unless --fastpath on. *)
+    ("fastpath commit", "aloha.lat_fastpath_us") ]

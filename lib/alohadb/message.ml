@@ -11,6 +11,7 @@ type install = {
   hi : int;
   writes : (Mvstore.Key.t * fspec) list;
   preconditions : Mvstore.Key.t list;
+  fast : bool;
 }
 
 type req =
@@ -66,6 +67,7 @@ and ship_entry =
       txn_id : int;
       coordinator : int;
       epoch : int;
+      fast : bool;
     }
   | Ship_abort of { key : Mvstore.Key.t; version : int }
   | Ship_epoch_closed of int

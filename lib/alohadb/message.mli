@@ -16,6 +16,11 @@ type install = {
   writes : (Mvstore.Key.t * fspec) list;
   preconditions : Mvstore.Key.t list;
       (** keys that must already exist on this partition *)
+  fast : bool;
+      (** coordination-free fast path: the writes are all-commutative
+          built-ins with no preconditions, so the backend installs them
+          as lazily-merged pending deltas (no epoch batch, no
+          [Batch_done]) and the frontend commits on install acks alone *)
 }
 
 type req =
@@ -94,6 +99,7 @@ and ship_entry =
       txn_id : int;
       coordinator : int;
       epoch : int;
+      fast : bool;
     }
   | Ship_abort of { key : Mvstore.Key.t; version : int }
   | Ship_epoch_closed of int

@@ -46,7 +46,8 @@ let replay ~engine ~snapshot ~entries =
   List.iter
     (fun entry ->
       match entry with
-      | Wal.Log_install { key; version; spec; txn_id; coordinator; epoch = _ }
+      | Wal.Log_install
+          { key; version; spec; txn_id; coordinator; epoch = _; fast = _ }
         -> (
           (* Recipient-set pushes are not re-sent after a crash: replayed
              functors must fall back to explicit (remote) reads. *)

@@ -94,11 +94,13 @@ type t = {
   m_functors_installed : int ref;
   m_precondition_failures : int ref;
   m_ro_completed : int ref;
+  m_fastpath_commits : int ref;
   h_lat_total : Sim.Stats.Histogram.t;
   h_lat_install : Sim.Stats.Histogram.t;
   h_lat_wait : Sim.Stats.Histogram.t;
   h_lat_proc : Sim.Stats.Histogram.t;
   h_lat_ro : Sim.Stats.Histogram.t;
+  h_lat_fastpath : Sim.Stats.Histogram.t;
   m_be_dropped : int ref;
   pool : Sim.Worker_pool.t;
   real_pool : Runtime.Pool.t option;
@@ -122,6 +124,13 @@ type t = {
          coordinator's ack; drives the resend loop (volatile: wiped by a
          crash — recovery rebuilds the batch, and recomputation sends a
          fresh notification) *)
+  fp_pending : (int, (Key.t * int) list) Hashtbl.t;
+      (* epoch -> fast-path installs (newest first) awaiting their lazy
+         merge.  The functors are already on their chains — reads fold
+         them on demand through the engine's at-most-once discipline —
+         and epoch close folds the remainder so the value watermark keeps
+         advancing.  Volatile: a crash wipes it, and reintegration
+         rebuilds it from the WAL's [fast] entries *)
   held : (unit -> unit) Queue.t;
   wal : Wal.t option;
   mutable be_down : bool;
@@ -538,6 +547,51 @@ let abort_write_phase t track keys_by_partition =
       targets
   end
 
+(* Coordination-free fast path (ROADMAP item 3).  The write set is all
+   commutative built-ins (ADD/SUBTR/MAX/MIN) with no precondition keys, so
+   any interleaving of such transactions on a chain converges to the same
+   final values — the transaction needs no epoch-close ordering and
+   commits as soon as every partition has installed (and, under
+   [ack_after_flush]/[repl_sync], made durable/replicated) its functors.
+   No track entry, no [Batch_done] round: the backends hold the functors
+   as lazily-merged pending deltas. *)
+let start_fast t ~groups ~ack:_ reply w ts ~issued_at =
+  let epoch = w.Epoch.Participant.epoch in
+  let txn = Ts.to_int ts in
+  let remaining = ref (List.length groups) in
+  Sim.Worker_pool.submit t.pool ~cost:t.config.cost_coord_us (fun () ->
+      List.iter
+        (fun (partition, entries) ->
+          let install =
+            { Message.txn_id = txn; epoch; ts = txn;
+              lo = w.Epoch.Participant.lo;
+              hi = w.Epoch.Participant.hi;
+              writes = entries; preconditions = []; fast = true }
+          in
+          call_with_retry t ~partition
+            (Message.Req (Message.Install install))
+            (function
+              | Message.Install_ack { ok = _ } ->
+                  (* With no preconditions a fast install cannot be
+                     rejected; any [false] verdict is a stale duplicate
+                     answer and the installed functor is authoritative. *)
+                  decr remaining;
+                  if !remaining = 0 then begin
+                    Epoch.Participant.txn_finished t.part ~epoch;
+                    incr t.m_installed;
+                    incr t.m_committed;
+                    incr t.m_fastpath_commits;
+                    let latency = now t - issued_at in
+                    Sim.Stats.Histogram.add t.h_lat_total latency;
+                    Sim.Stats.Histogram.add t.h_lat_fastpath latency;
+                    emit t ~txn ~stage:Obs.Trace.Fastpath_commit ~arg:latency
+                      ();
+                    reply (Txn.Committed { ts })
+                  end
+              | Message.Get_resp _ | Message.Abort_ack ->
+                  invalid_arg "install: protocol mismatch"))
+        groups)
+
 let rec submit t req reply =
   match req with
   | Txn.Read_write { writes; precondition_keys; ack } ->
@@ -567,6 +621,11 @@ and start_rw t (writes, precondition_keys, ack) reply w ts ~submitted_at =
     ~arg:w.Epoch.Participant.epoch ();
   Epoch.Participant.txn_started t.part ~epoch:w.Epoch.Participant.epoch;
   let groups = groups_of_writes t writes in
+  if
+    t.config.Config.fastpath
+    && Txn.all_commutative ~writes ~precondition_keys
+  then start_fast t ~groups ~ack reply w ts ~issued_at
+  else begin
   let preconditions = List.map Key.intern precondition_keys in
   let precond_of partition =
     List.filter (fun k -> t.partition_of k = partition) preconditions
@@ -593,7 +652,8 @@ and start_rw t (writes, precondition_keys, ack) reply w ts ~submitted_at =
               lo = w.Epoch.Participant.lo;
               hi = w.Epoch.Participant.hi;
               writes = entries;
-              preconditions = precond_of partition }
+              preconditions = precond_of partition;
+              fast = false }
           in
           call_with_retry t ~partition
             (Message.Req (Message.Install install))
@@ -609,6 +669,7 @@ and start_rw t (writes, precondition_keys, ack) reply w ts ~submitted_at =
               | Message.Get_resp _ | Message.Abort_ack ->
                   invalid_arg "install: protocol mismatch"))
         groups)
+  end
 
 and submit_ro t keys reply =
   incr t.m_submitted_ro;
@@ -704,6 +765,33 @@ let ack_abort t ~partition reply =
       Wal.after_durable wal after_repl
   | Some _ | None -> after_repl ()
 
+(* Park a fast-path install for its epoch's lazy merge. *)
+let buffer_fast t ~epoch ~key ~version =
+  let prev =
+    match Hashtbl.find_opt t.fp_pending epoch with Some l -> l | None -> []
+  in
+  Hashtbl.replace t.fp_pending epoch ((key, version) :: prev)
+
+(* Fold the fast-path deltas of every epoch at or below [upto_epoch] into
+   their chains (epoch order, install order within an epoch).  Each merge
+   is at-most-once in the engine, so deltas an on-demand read already
+   folded are skipped. *)
+let merge_fast_deltas t ~upto_epoch =
+  let ready =
+    Hashtbl.fold
+      (fun epoch items acc ->
+        if epoch <= upto_epoch then (epoch, items) :: acc else acc)
+      t.fp_pending []
+  in
+  List.iter
+    (fun (epoch, items) ->
+      Hashtbl.remove t.fp_pending epoch;
+      List.iter
+        (fun (key, version) ->
+          Functor_cc.Compute_engine.merge_delta t.engine ~key ~version)
+        (List.rev items))
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) ready)
+
 let do_install t ~src (inst : Message.install) reply =
   (* Every write of an install lives on one partition (the FE grouped
      them); a server that no longer leads it (demoted while the FE's
@@ -756,13 +844,21 @@ let do_install t ~src (inst : Message.install) reply =
                        { key; version = inst.ts; spec;
                          txn_id = inst.txn_id;
                          coordinator = Net.Address.to_int src;
-                         epoch = inst.epoch });
+                         epoch = inst.epoch; fast = inst.fast });
                   match record.Funct.state with
                   | Funct.Pending p ->
                       p.Funct.installed_at_us <- installed;
-                      b.remaining <- b.remaining + 1;
-                      Functor_cc.Processor.buffer t.processor
-                        ~epoch:inst.epoch ~key ~version:inst.ts
+                      if inst.fast then
+                        (* Pre-committed at the coordinator: no epoch
+                           batch, no Batch_done — the delta merges lazily
+                           at the next read or epoch close. *)
+                        buffer_fast t ~epoch:inst.epoch ~key
+                          ~version:inst.ts
+                      else begin
+                        b.remaining <- b.remaining + 1;
+                        Functor_cc.Processor.buffer t.processor
+                          ~epoch:inst.epoch ~key ~version:inst.ts
+                      end
                   | Funct.Final _ -> ())
               | Error (`Duplicate_version | `Version_out_of_window) ->
                   (* The version already exists: a WAL-recovered copy of
@@ -772,10 +868,11 @@ let do_install t ~src (inst : Message.install) reply =
                      by the restart — so there is nothing to apply. *)
                   ())
             inst.writes;
-          if b.remaining = 0 then
-            send_batch_done t b ~txn_id:inst.txn_id ~partition
-              ~functors:(List.length inst.writes)
-          else Hashtbl.replace t.batches (inst.txn_id, partition) b;
+          if not inst.fast then
+            if b.remaining = 0 then
+              send_batch_done t b ~txn_id:inst.txn_id ~partition
+                ~functors:(List.length inst.writes)
+            else Hashtbl.replace t.batches (inst.txn_id, partition) b;
           Hashtbl.replace t.install_verdicts (inst.txn_id, partition) true;
           ack_install t ~partition ~ok:true reply
         end
@@ -951,7 +1048,7 @@ let spawn_engine t =
    order, [cost_dispatch_us] each — so the simulated timeline does not
    depend on the mode; only the per-job evaluation strategy does. *)
 let release_closed t ~upto_epoch =
-  match t.config.Config.compute_mode with
+  (match t.config.Config.compute_mode with
   | Config.Pool -> Functor_cc.Processor.release t.processor ~upto_epoch
   | Config.Ondemand ->
       Functor_cc.Processor.release_ondemand t.processor ~upto_epoch
@@ -960,7 +1057,11 @@ let release_closed t ~upto_epoch =
       let stats = Functor_cc.Planner.run t.planner ~items in
       if stats.Functor_cc.Planner.nodes > 0 then
         emit t ~txn:(-1) ~stage:Obs.Trace.Plan_build
-          ~arg:stats.Functor_cc.Planner.nodes ()
+          ~arg:stats.Functor_cc.Planner.nodes ());
+  (* Fast-path deltas never enter the processor (or a plan): fold the
+     closed epochs' remainder directly.  Already-final records (folded by
+     an on-demand read) are skipped by the engine. *)
+  merge_fast_deltas t ~upto_epoch
 
 (* Rebuild backend batch tracking from a replayed log, so the
    recomputation re-drives the coordinators' Batch_done notifications
@@ -984,10 +1085,16 @@ let reintegrate t ~partition ~entries =
   let finals = Hashtbl.create 16 in
   List.iter
     (function
-      | Wal.Log_install { key; version; epoch; txn_id; coordinator; _ } -> (
+      | Wal.Log_install { key; version; epoch; txn_id; coordinator; fast; _ }
+        -> (
           match Mvstore.Table.find_le table ~key ~version with
           | Some (v, record) when v = version -> (
               match record.Funct.state with
+              | Funct.Pending _ when fast ->
+                  (* Fast-path installs have no batch and send no
+                     Batch_done — the coordinator committed at install
+                     time; just re-park the delta for its lazy merge. *)
+                  buffer_fast t ~epoch ~key ~version
               | Funct.Pending _ ->
                   Functor_cc.Processor.buffer t.processor ~epoch ~key
                     ~version;
@@ -995,7 +1102,9 @@ let reintegrate t ~partition ~entries =
                      re-drive the coordinator's Batch_done. *)
                   let b = batch_of txn_id ~coordinator in
                   b.remaining <- b.remaining + 1
-              | Funct.Final _ -> Hashtbl.replace finals txn_id coordinator)
+              | Funct.Final _ ->
+                  if not fast then
+                    Hashtbl.replace finals txn_id coordinator)
           | Some _ | None -> ())
       | Wal.Log_abort _ | Wal.Log_epoch_closed _ -> ())
     entries;
@@ -1092,11 +1201,13 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       m_functors_installed = c "aloha.functors_installed";
       m_precondition_failures = c "aloha.precondition_failures";
       m_ro_completed = c "aloha.ro_completed";
+      m_fastpath_commits = c "aloha.fastpath_commits";
       h_lat_total = h "aloha.lat_total_us";
       h_lat_install = h "aloha.lat_install_us";
       h_lat_wait = h "aloha.lat_wait_us";
       h_lat_proc = h "aloha.lat_proc_us";
       h_lat_ro = h "aloha.lat_ro_us";
+      h_lat_fastpath = h "aloha.lat_fastpath_us";
       m_be_dropped = c "aloha.be_dropped";
       pool; real_pool; ts_source; part; registry;
       engine = bootstrap_engine;
@@ -1110,6 +1221,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
       batches = Hashtbl.create 1024;
       install_verdicts = Hashtbl.create 1024;
       pending_dones = Hashtbl.create 64;
+      fp_pending = Hashtbl.create 64;
       held = Queue.create ();
       wal =
         (if config.Config.durability then
@@ -1495,6 +1607,7 @@ let crash_be t =
   Hashtbl.reset t.batches;
   Hashtbl.reset t.install_verdicts;
   Hashtbl.reset t.pending_dones;
+  Hashtbl.reset t.fp_pending;
   spawn_engine t;
   t.on_crash ()
 

@@ -44,6 +44,15 @@ let op_read_set key = function
   | Add _ | Subtr _ | Max _ | Min _ -> [ key ]
   | Call { read_set; _ } | Det { read_set; _ } -> read_set
 
+let op_commutative = function
+  | Add _ | Subtr _ | Max _ | Min _ -> true
+  | Put _ | Delete | Call _ | Det _ -> false
+
+let all_commutative ~writes ~precondition_keys =
+  precondition_keys = []
+  && writes <> []
+  && List.for_all (fun (_, op) -> op_commutative op) writes
+
 let write_keys = function
   | Read_only _ | Read_at _ -> []
   | Read_write { writes; _ } ->

@@ -6,6 +6,9 @@ type entry =
       txn_id : int;
       coordinator : int;
       epoch : int;
+      fast : bool;
+          (* installed by the coordination-free fast path: on replay the
+             entry re-enters the lazy-merge buffer, not an epoch batch *)
     }
   | Log_abort of { key : Mvstore.Key.t; version : int }
   | Log_epoch_closed of int
@@ -128,13 +131,15 @@ let durable_range t ~from ~upto =
 (* Wire conversions: Message can't see [entry] (Wal depends on Message),
    so the replication plane ships the mirrored [Message.ship_entry]. *)
 let ship_of_entry = function
-  | Log_install { key; version; spec; txn_id; coordinator; epoch } ->
-      Message.Ship_install { key; version; spec; txn_id; coordinator; epoch }
+  | Log_install { key; version; spec; txn_id; coordinator; epoch; fast } ->
+      Message.Ship_install
+        { key; version; spec; txn_id; coordinator; epoch; fast }
   | Log_abort { key; version } -> Message.Ship_abort { key; version }
   | Log_epoch_closed e -> Message.Ship_epoch_closed e
 
 let entry_of_ship = function
-  | Message.Ship_install { key; version; spec; txn_id; coordinator; epoch } ->
-      Log_install { key; version; spec; txn_id; coordinator; epoch }
+  | Message.Ship_install
+      { key; version; spec; txn_id; coordinator; epoch; fast } ->
+      Log_install { key; version; spec; txn_id; coordinator; epoch; fast }
   | Message.Ship_abort { key; version } -> Log_abort { key; version }
   | Message.Ship_epoch_closed e -> Log_epoch_closed e

@@ -19,6 +19,10 @@ type entry =
       txn_id : int;
       coordinator : int;
       epoch : int;
+      fast : bool;
+          (** installed by the coordination-free fast path: replay and
+              reintegration route the entry to the lazy-merge buffer
+              instead of an epoch batch *)
     }
   | Log_abort of { key : Mvstore.Key.t; version : int }
       (** second-round rollback of an installed write *)

@@ -202,7 +202,7 @@ type run_out = {
 }
 
 let exec (type c) (module T : TARGET with type cluster = c)
-    ?compute ?replicas ~(schedule : Schedule.t) ~faulted () =
+    ?compute ?replicas ?fastpath ~(schedule : Schedule.t) ~faulted () =
   let n = schedule.Schedule.n_servers in
   let w = make_workload ~seed:schedule.Schedule.seed ~n_servers:n in
   let faults =
@@ -211,7 +211,7 @@ let exec (type c) (module T : TARGET with type cluster = c)
   let params =
     Kernel.Params.make
       ?faults:(if faulted then Some faults else None)
-      ?compute ?replicas ~n_servers:n ()
+      ?compute ?replicas ?fastpath ~n_servers:n ()
   in
   let cluster = T.create ~seed:schedule.Schedule.seed params in
   List.iter (fun k -> T.load cluster k (Functor_cc.Value.int 0)) w.keys;
@@ -301,6 +301,7 @@ type report = {
   engine : string;
   compute : string option;
   replicas : int;
+  fastpath : bool;
   trace_hash : string;
   trace_events : int;
   committed : int;
@@ -326,20 +327,20 @@ let check_state ~label ~(expected : int array) ~(actual : int array)
     keys;
   !acc
 
-let run_schedule ?compute ?replicas (Target (module T))
+let run_schedule ?compute ?replicas ?fastpath (Target (module T))
     ~(schedule : Schedule.t) =
   let w, faulted =
-    exec (module T) ?compute ?replicas ~schedule ~faulted:true ()
+    exec (module T) ?compute ?replicas ?fastpath ~schedule ~faulted:true ()
   in
   let _, replay =
-    exec (module T) ?compute ?replicas ~schedule ~faulted:true ()
+    exec (module T) ?compute ?replicas ?fastpath ~schedule ~faulted:true ()
   in
   (* The reference runs at the same replication degree: the survival
      invariant is "a replicated faulted run equals a replicated fault-free
      run", and replication itself is proven behaviour-neutral against
      k = 1 by the differential test. *)
   let _, reference =
-    exec (module T) ?compute ?replicas ~schedule ~faulted:false ()
+    exec (module T) ?compute ?replicas ?fastpath ~schedule ~faulted:false ()
   in
   let submitted = List.length w.batch in
   let v = ref [] in
@@ -406,6 +407,7 @@ let run_schedule ?compute ?replicas (Target (module T))
     engine = T.name;
     compute;
     replicas = (match replicas with Some k -> max 1 k | None -> 1);
+    fastpath = (match fastpath with Some b -> b | None -> false);
     trace_hash = Trace.to_hex faulted.trace;
     trace_events = Trace.events faulted.trace;
     committed = faulted.result.Kernel.Result.committed;
@@ -419,7 +421,7 @@ let run_schedule ?compute ?replicas (Target (module T))
     drop_detail = faulted.drops;
     violations = List.rev !v }
 
-let run_seed ?compute ?replicas t ~seed ~n_servers =
+let run_seed ?compute ?replicas ?fastpath t ~seed ~n_servers =
   let schedule =
     (* Replicated battery: crash every backend once (staggered); the
        generic mixed schedule otherwise. *)
@@ -427,11 +429,11 @@ let run_seed ?compute ?replicas t ~seed ~n_servers =
     | Some k when k > 1 -> Schedule.generate_replicated ~seed ~n_servers
     | Some _ | None -> Schedule.generate ~seed ~n_servers
   in
-  run_schedule ?compute ?replicas t ~schedule
+  run_schedule ?compute ?replicas ?fastpath t ~schedule
 
-let trace_hash_of ?compute ?replicas (Target (module T))
+let trace_hash_of ?compute ?replicas ?fastpath (Target (module T))
     ~(schedule : Schedule.t) =
   let _, out =
-    exec (module T) ?compute ?replicas ~schedule ~faulted:true ()
+    exec (module T) ?compute ?replicas ?fastpath ~schedule ~faulted:true ()
   in
   Trace.to_hex out.trace

@@ -54,6 +54,10 @@ type report = {
       (** compute-phase mode the runs used (engine-specific; [None] =
           engine default) *)
   replicas : int;  (** replication degree the runs used (1 = none) *)
+  fastpath : bool;
+      (** the runs used the coordination-free commit lane for commutative
+          transactions (the chaos workload is all-commutative, so every
+          transaction takes it) *)
   trace_hash : string;
   trace_events : int;
   committed : int;
@@ -70,7 +74,8 @@ type report = {
 val passed : report -> bool
 
 val run_schedule :
-  ?compute:string -> ?replicas:int -> packed -> schedule:Schedule.t -> report
+  ?compute:string -> ?replicas:int -> ?fastpath:bool -> packed ->
+  schedule:Schedule.t -> report
 (** [compute] selects an engine-specific compute mode (ALOHA:
     "ondemand" / "pool" / "planned") for all three runs of the schedule.
     [replicas] sets the replication degree (engines without replication
@@ -80,12 +85,13 @@ val run_schedule :
     itself versus k = 1 is the differential test's job. *)
 
 val run_seed :
-  ?compute:string -> ?replicas:int -> packed -> seed:int -> n_servers:int ->
-  report
+  ?compute:string -> ?replicas:int -> ?fastpath:bool -> packed -> seed:int ->
+  n_servers:int -> report
 (** [run_schedule] on [Schedule.generate ~seed ~n_servers] — or, when
     [replicas > 1], on [Schedule.generate_replicated ~seed ~n_servers]
     (every backend crashed once, staggered). *)
 
 val trace_hash_of :
-  ?compute:string -> ?replicas:int -> packed -> schedule:Schedule.t -> string
+  ?compute:string -> ?replicas:int -> ?fastpath:bool -> packed ->
+  schedule:Schedule.t -> string
 (** One faulted run, digest only (replay verification in tests). *)

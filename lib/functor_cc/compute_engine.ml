@@ -31,6 +31,7 @@ type t = {
   m_dep_writes_resolved : int ref;
   m_dep_write_duplicate : int ref;
   m_dep_write_direct : int ref;
+  m_fastpath_merges : int ref;
   m_push_late : int ref;
   m_push_orphan : int ref;
   m_aborted_in_epoch : int ref;
@@ -51,6 +52,7 @@ let create ~registry ~callbacks ~compute_cost_us ~metrics () =
     m_dep_writes_resolved = c "fcc.dep_writes_resolved";
     m_dep_write_duplicate = c "fcc.dep_write_duplicate";
     m_dep_write_direct = c "fcc.dep_write_direct";
+    m_fastpath_merges = c "fcc.fastpath_merges";
     m_push_late = c "fcc.push_late";
     m_push_orphan = c "fcc.push_orphan";
     m_aborted_in_epoch = c "fcc.aborted_in_epoch" }
@@ -406,6 +408,16 @@ let compute_prepared t pr =
 let prepared_key pr = pr.p_key
 let prepared_version pr = pr.p_version
 let prepared_pending pr = pr.p_pending
+
+let merge_delta t ~key ~version =
+  (* Fold a fast-path pending delta into its chain.  [prepare] returns
+     [None] when the record is absent or already final (an on-demand read
+     or an earlier merge got there first) — at-most-once either way. *)
+  match prepare t ~key ~version with
+  | None -> ()
+  | Some pr ->
+      incr t.m_fastpath_merges;
+      compute_prepared t pr
 
 (* ---- real-runtime parallel evaluation (--runtime real) ---------------- *)
 

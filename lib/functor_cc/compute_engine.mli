@@ -103,6 +103,14 @@ val prepared_key : prepared -> Mvstore.Key.t
 val prepared_version : prepared -> int
 val prepared_pending : prepared -> Funct.pending
 
+val merge_delta : t -> key:Mvstore.Key.t -> version:int -> unit
+(** Fold a coordination-free fast-path delta (a commutative built-in
+    installed outside any epoch batch) into its chain: evaluate the
+    pending record at (key, version) now, pulling earlier own-key
+    versions on demand.  Idempotent and at-most-once — a no-op when the
+    record is absent, already final, or already computing (an on-demand
+    read may have folded it first).  Counted as [fcc.fastpath_merges]. *)
+
 (** {2 Real-runtime parallel evaluation}
 
     The [--runtime real] backend evaluates one planner stratum at a time

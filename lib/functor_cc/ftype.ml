@@ -17,6 +17,10 @@ let reads_own_key = function
   | Add | Subtr | Max | Min -> true
   | Value | Aborted | Deleted | User _ | Dep_marker _ -> false
 
+let commutative = function
+  | Add | Subtr | Max | Min -> true
+  | Value | Aborted | Deleted | User _ | Dep_marker _ -> false
+
 let equal a b =
   match (a, b) with
   | Value, Value

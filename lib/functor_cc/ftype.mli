@@ -28,6 +28,13 @@ val reads_own_key : t -> bool
 (** True for the numeric built-ins, whose read set "comprises only the key
     to which the functor was written" (§IV-B). *)
 
+val commutative : t -> bool
+(** True for the numeric built-ins [Add]/[Subtr]/[Max]/[Min].  Each is an
+    associative, commutative fold over its own key's history, so any
+    interleaving of such functors on a chain converges to the same final
+    value — the algebraic property the coordination-free fast path relies
+    on. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

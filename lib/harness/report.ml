@@ -200,6 +200,35 @@ let write_availability ~path ~schedule ~series =
        (jstr schedule)
        (String.concat "," (List.map series_json series)))
 
+(* ---- fast-path latency collapse (BENCH_fastpath.json) -------------------- *)
+
+(* The same counter-heavy workload run twice — coordination-free commit
+   lane on and off — so the regression gate can check the headline claim
+   directly: the on-series p50 must sit below the off-series p50 (which
+   carries the full epoch-close + compute wait).  Plain ints/floats so
+   the harness does not grow a dependency for this. *)
+
+type fastpath_series = {
+  fp_mode : string;  (* "on" | "off" *)
+  fp_committed : int;
+  fp_tps : float;
+  fp_p50_us : int;
+  fp_p99_us : int;
+  fp_fast_commits : int;  (* aloha.fastpath_commits in this run *)
+}
+
+let write_fastpath ~path ~workload ~series =
+  let series_json s =
+    Printf.sprintf
+      "{\"mode\":%s,\"committed\":%d,\"tps\":%s,\"p50_us\":%d,\"p99_us\":%d,\"fastpath_commits\":%d}"
+      (jstr s.fp_mode) s.fp_committed (jfloat s.fp_tps) s.fp_p50_us
+      s.fp_p99_us s.fp_fast_commits
+  in
+  write path
+    (Printf.sprintf "{\"suite\":\"fastpath\",\"workload\":%s,\"series\":[%s]}"
+       (jstr workload)
+       (String.concat "," (List.map series_json series)))
+
 (* ---- run telemetry (TELEMETRY.json) -------------------------------------- *)
 
 (* One run's observability summary: headline result numbers, per-stage

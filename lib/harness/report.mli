@@ -62,6 +62,23 @@ val write_availability :
     availability-under-chaos figure.  Unconditional (does not consult
     {!recording}); kept free of chaos-library types on purpose. *)
 
+type fastpath_series = {
+  fp_mode : string;  (** ["on"] or ["off"] *)
+  fp_committed : int;
+  fp_tps : float;
+  fp_p50_us : int;
+  fp_p99_us : int;
+  fp_fast_commits : int;
+      (** transactions that took the coordination-free lane in this run
+          ([aloha.fastpath_commits]); 0 in the off series *)
+}
+
+val write_fastpath :
+  path:string -> workload:string -> series:fastpath_series list -> unit
+(** Write BENCH_fastpath.json: one counter-heavy workload measured with
+    the algebraic fast path on and off — the latency-collapse figure.
+    Unconditional (does not consult {!recording}). *)
+
 val write_telemetry :
   path:string ->
   engine:string ->

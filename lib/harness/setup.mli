@@ -34,6 +34,7 @@ val build :
   ?runtime:string ->
   ?domains:int ->
   ?replicas:int ->
+  ?fastpath:bool ->
   ?seed:int ->
   unit ->
   built
@@ -55,6 +56,7 @@ val tpcc :
   ?runtime:string ->
   ?domains:int ->
   ?replicas:int ->
+  ?fastpath:bool ->
   ?seed:int ->
   unit ->
   built
@@ -69,6 +71,7 @@ val stpcc :
   ?runtime:string ->
   ?domains:int ->
   ?replicas:int ->
+  ?fastpath:bool ->
   ?seed:int ->
   unit ->
   built
@@ -84,6 +87,7 @@ val ycsb :
   ?runtime:string ->
   ?domains:int ->
   ?replicas:int ->
+  ?fastpath:bool ->
   ?seed:int ->
   unit ->
   built

@@ -25,8 +25,13 @@ type t = {
   replicas : int option;
       (* replication degree per partition; None/Some 1 = unreplicated.
          Engines without replication ignore it. *)
+  fastpath : bool option;
+      (* coordination-free commit lane for all-commutative transactions
+         (ALOHA's algebraic fast path); None/Some false = off.  Engines
+         without such a lane ignore it. *)
 }
 
 let make ?epoch_us ?faults ?obs ?compute ?runtime ?domains ?replicas
-    ~n_servers () =
-  { n_servers; epoch_us; faults; obs; compute; runtime; domains; replicas }
+    ?fastpath ~n_servers () =
+  { n_servers; epoch_us; faults; obs; compute; runtime; domains; replicas;
+    fastpath }

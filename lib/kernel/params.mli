@@ -36,9 +36,14 @@ type t = {
           WAL to [k - 1] follower backends and fails over on crash);
           [None] / [Some 1] = unreplicated.  Engines without replication
           ignore it *)
+  fastpath : bool option;
+      (** coordination-free commit lane for all-commutative transactions
+          (ALOHA acknowledges them at install time instead of waiting for
+          epoch close + compute); [None] / [Some false] = off.  Engines
+          without such a lane ignore it *)
 }
 
 val make :
   ?epoch_us:int -> ?faults:Net.Faults.t -> ?obs:Obs.Ctl.t ->
   ?compute:string -> ?runtime:string -> ?domains:int -> ?replicas:int ->
-  n_servers:int -> unit -> t
+  ?fastpath:bool -> n_servers:int -> unit -> t

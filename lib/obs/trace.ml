@@ -24,6 +24,7 @@ type stage =
   | Stratum_dispatch
   | Wal_ship
   | Promote
+  | Fastpath_commit
 
 let stage_name = function
   | Submit -> "submit"
@@ -51,6 +52,7 @@ let stage_name = function
   | Stratum_dispatch -> "stratum_dispatch"
   | Wal_ship -> "wal_ship"
   | Promote -> "promote"
+  | Fastpath_commit -> "fastpath_commit"
 
 let stage_to_int = function
   | Submit -> 0
@@ -78,6 +80,7 @@ let stage_to_int = function
   | Stratum_dispatch -> 22
   | Wal_ship -> 23
   | Promote -> 24
+  | Fastpath_commit -> 25
 
 let stage_of_int = function
   | 0 -> Submit
@@ -105,6 +108,7 @@ let stage_of_int = function
   | 22 -> Stratum_dispatch
   | 23 -> Wal_ship
   | 24 -> Promote
+  | 25 -> Fastpath_commit
   | n -> invalid_arg (Printf.sprintf "Trace.stage_of_int: %d" n)
 
 (* Struct-of-arrays ring buffer: one slot is six ints across parallel

@@ -52,6 +52,11 @@ type stage =
           ([arg] = entry count) *)
   | Promote
       (** a follower was promoted to primary ([arg] = partition) *)
+  (* algebraic fast path *)
+  | Fastpath_commit
+      (** an all-commutative transaction committed coordination-free at
+          install-ack time, without waiting for epoch close or functor
+          computation ([arg] = commit latency in µs) *)
 
 val stage_name : stage -> string
 (** Stable lower-snake-case name, e.g. ["epoch_assign"] — the [name] field

@@ -15,7 +15,7 @@ let entry key version =
   Wal.Log_install
     { key = ik key; version;
       spec = Alohadb.Message.fspec_value (Value.int version);
-      txn_id = version; coordinator = 0; epoch = 1 }
+      txn_id = version; coordinator = 0; epoch = 1; fast = false }
 
 let test_wal_flush_timing () =
   let sim = Sim.Engine.create () in

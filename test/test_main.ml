@@ -20,4 +20,5 @@ let () =
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
       ("chaos", Test_chaos.suite);
-      ("replication", Test_replication.suite) ]
+      ("replication", Test_replication.suite);
+      ("fastpath", Test_fastpath.suite) ]

@@ -8,7 +8,8 @@ let all_stages =
     Compute_start; Compute_done; Read_served; Sequenced; Scheduled;
     Locks_acquired; Exec_start; Exec_done; Lock_timeout; Prepared;
     Committed; Aborted; Restarted; Fault_drop; Fault_delay;
-    Plan_build; Plan_evaluate; Stratum_dispatch ]
+    Plan_build; Plan_evaluate; Stratum_dispatch; Wal_ship; Promote;
+    Fastpath_commit ]
 
 let test_stage_codec () =
   List.iter
