@@ -1,4 +1,4 @@
-.PHONY: all build test fmt check clean bench bench-smoke bench-guard bench-real real-smoke chaos chaos-smoke replication replication-smoke availability fastpath fastpath-smoke
+.PHONY: all build test fmt check clean bench bench-smoke bench-guard bench-real real-smoke chaos chaos-smoke replication replication-smoke availability fastpath fastpath-smoke obs-smoke
 
 all: build
 
@@ -108,6 +108,23 @@ fastpath-smoke:
 	dune exec bin/alohadb_cli.exe -- chaos --engine aloha --seed 1 --count 2 \
 	  --fastpath
 	$(MAKE) fastpath
+
+# CI smoke for the epoch ledger: the observability + timeline suites, a
+# traced replicated chaos seed streamed to TIMELINE.jsonl, the OCaml
+# doctor over that file (incident reconstruction + invariant checks,
+# INCIDENTS.json written for the artifact upload), and the independent
+# Python re-statement of the same invariants.  Seed 2 is chosen because
+# its crashes outlive the failure detector, so the file always contains
+# promote events for the doctor to reconstruct.
+obs-smoke:
+	dune exec test/test_main.exe -- test obs
+	dune exec test/test_main.exe -- test timeline
+	rm -f TIMELINE.jsonl
+	dune exec bin/alohadb_cli.exe -- timeline --seed 2 --servers 3 \
+	  --replicas 2 --out TIMELINE.jsonl
+	dune exec bin/alohadb_cli.exe -- doctor TIMELINE.jsonl \
+	  --report INCIDENTS.json
+	python3 ci/check_bench_regression.py --validate-timeline TIMELINE.jsonl
 
 # Check dune-file formatting without promoting (ocamlformat is not a
 # dependency; OCaml sources are exempt via dune-project).

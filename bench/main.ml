@@ -94,6 +94,42 @@ let micro () =
     Test.make ~name:"sim.rng bounded int"
       (Staged.stage (fun () -> ignore (Sim.Rng.int rng 1_000_000)))
   in
+  (* Tracer-overhead pair: 64 server-shaped emit sites (a lifecycle
+     stage emit plus an epoch-ledger note each) with observability off
+     vs attached at the 1-in-16 trace sample rate.  Off is the default
+     production path — every site must cost exactly one option test, so
+     this pair is the number behind the "tracing off is free" claim.
+     Sys.opaque_identity keeps the compiler from folding the None
+     branch away. *)
+  let tracer_sites obs ledger =
+    for i = 0 to 63 do
+      (match obs with
+      | Some ctl ->
+          Obs.Ctl.emit ctl ~txn:i ~stage:Obs.Trace.Submit ~node:0 ~ts:i
+            ~arg:(i lsr 4) ()
+      | None -> ());
+      match ledger with
+      | Some l ->
+          Obs.Ledger.note_assigned l ~node:0 ~epoch:(i lsr 4);
+          if Obs.Ledger.awaiting_first_commit l then
+            Obs.Ledger.note_commit l ~node:0 ~t_us:i ~partitions:[ 0 ]
+      | None -> ()
+    done
+  in
+  let tracer_off =
+    let obs = Sys.opaque_identity (None : Obs.Ctl.t option) in
+    let ledger = Sys.opaque_identity (None : Obs.Ledger.t option) in
+    Test.make ~name:"obs.tracer 64 emit sites off"
+      (Staged.stage (fun () -> tracer_sites obs ledger))
+  in
+  let tracer_on =
+    let l = Obs.Ledger.create ~cfg_epoch_us:10_000 ~nodes:1 ~replicas:1 () in
+    let ctl = Obs.Ctl.create ~sample:16 ~ledger:l () in
+    let obs = Sys.opaque_identity (Some ctl) in
+    let ledger = Sys.opaque_identity (Obs.Ctl.ledger ctl) in
+    Test.make ~name:"obs.tracer 64 emit sites 1-in-16"
+      (Staged.stage (fun () -> tracer_sites obs ledger))
+  in
   (* One closed epoch of 64 keys x 128 pending ADD versions (a
      commutative-heavy epoch: hot counters absorb dozens of blind ADDs
      per epoch), evaluated to completion under each compute mode.
@@ -166,7 +202,7 @@ let micro () =
   in
   let tests =
     [ chain_insert; ts_gen; zipf; lock_manager; functor_compute;
-      epoch_pool; epoch_planned; rng_bench ]
+      epoch_pool; epoch_planned; rng_bench; tracer_off; tracer_on ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in

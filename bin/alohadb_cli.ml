@@ -454,6 +454,7 @@ let trace_cmd =
         ~warmup_us:(warmup_ms * 1000) ~measure_us:(measure_ms * 1000) ~seed
     in
     Obs.Export.write_chrome_trace ~path:out ~engine:sys_name
+      ?ledger:(Obs.Ctl.ledger ctl)
       ~trace:(Obs.Ctl.trace ctl)
       ~gauges:(Some (Obs.Ctl.gauges ctl))
       ();
@@ -525,6 +526,156 @@ let stats_cmd =
     Term.(const run $ engine $ servers $ ci $ sample $ epoch_ms $ warmup_ms
           $ measure_ms $ seed)
 
+(* ---- epoch-ledger timeline / doctor ------------------------------------- *)
+
+let pp_incident (i : Obs.Analyze.incident) =
+  let phase label a b =
+    if a >= 0 && b >= a then Printf.sprintf " %s %d us" label (b - a) else ""
+  in
+  Format.printf
+    "  incident: partition %d, node %d -> node %d%s%s%s%s@."
+    i.Obs.Analyze.i_partition i.Obs.Analyze.crashed_node
+    i.Obs.Analyze.promoted_node
+    (phase "detect" i.Obs.Analyze.crash_us i.Obs.Analyze.detect_us)
+    (phase "promote" i.Obs.Analyze.detect_us i.Obs.Analyze.promote_us)
+    (phase "first-commit" i.Obs.Analyze.promote_us
+       i.Obs.Analyze.first_commit_us)
+    (if Obs.Analyze.resolved i then "" else " UNRESOLVED")
+
+let pp_segment idx (s : Obs.Analyze.segment) =
+  Format.printf
+    "segment %d: cfg epoch %d us, %d nodes, k=%d, %d epoch rows, %d events@."
+    idx s.Obs.Analyze.cfg_epoch_us s.Obs.Analyze.nodes s.Obs.Analyze.replicas
+    (List.length s.Obs.Analyze.rows)
+    (List.length s.Obs.Analyze.events);
+  List.iter pp_incident (Obs.Analyze.incidents s);
+  List.iter
+    (fun (a : Obs.Analyze.anomaly) ->
+      Format.printf "  anomaly[%s]: %s@." a.Obs.Analyze.a_kind
+        a.Obs.Analyze.a_detail)
+    (Obs.Analyze.anomalies s)
+
+let timeline_cmd =
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Chaos schedule seed.")
+  in
+  let servers =
+    Arg.(value & opt int 3 & info [ "servers"; "n" ] ~doc:"Cluster size.")
+  in
+  let replicas =
+    Arg.(value & opt int 2
+         & info [ "replicas"; "k" ]
+             ~doc:"Replication degree for the recorded chaos run (k > 1 \
+                   crashes every backend once, so the timeline holds \
+                   failover incidents).")
+  in
+  let out =
+    Arg.(value & opt string "TIMELINE.jsonl"
+         & info [ "out"; "o" ]
+             ~doc:"Timeline output path (appended, one segment per run).")
+  in
+  let inspect =
+    Arg.(value & opt (some string) None
+         & info [ "inspect" ] ~docv:"FILE"
+             ~doc:"Do not run anything; summarize an existing timeline \
+                   file instead.")
+  in
+  let run seed servers replicas out inspect =
+    match inspect with
+    | Some path ->
+        let segs = Obs.Analyze.load path in
+        Format.printf "%s: %d segment(s)@." path (List.length segs);
+        List.iteri pp_segment segs
+    | None ->
+        let target =
+          match Chaos.Driver.target_of_name "aloha" with
+          | Some t -> t
+          | None -> assert false
+        in
+        let ledger = Obs.Ledger.create () in
+        let obs = Obs.Ctl.create ~ledger () in
+        let r =
+          Chaos.Driver.run_seed ~replicas ~obs target ~seed
+            ~n_servers:servers
+        in
+        Harness.Report.write_timeline out r.Chaos.Driver.timeline;
+        Format.printf
+          "appended %d lines to %s (seed %d, k=%d, committed %d/%d)@."
+          (List.length r.Chaos.Driver.timeline)
+          out seed r.Chaos.Driver.replicas r.Chaos.Driver.committed
+          r.Chaos.Driver.submitted;
+        List.iteri pp_segment
+          (Obs.Analyze.parse_lines r.Chaos.Driver.timeline);
+        if not (Chaos.Driver.passed r) then begin
+          List.iter
+            (fun v -> Format.eprintf "  violation: %s@." v)
+            r.Chaos.Driver.violations;
+          exit 1
+        end
+  in
+  let doc =
+    "Record an epoch-ledger timeline: run one replicated chaos schedule \
+     with the ledger attached, append the segment to TIMELINE.jsonl, and \
+     print the reconstructed failover incidents.  --inspect summarizes an \
+     existing file instead."
+  in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(const run $ seed $ servers $ replicas $ out $ inspect)
+
+let doctor_cmd =
+  let file =
+    Arg.(value & pos 0 string "TIMELINE.jsonl"
+         & info [] ~docv:"FILE" ~doc:"Timeline file to check.")
+  in
+  let report =
+    Arg.(value & opt string ""
+         & info [ "report" ]
+             ~doc:"Also write the reconstructed incidents (JSON) to this \
+                   path.")
+  in
+  let run file report_path =
+    let segs =
+      try Obs.Analyze.load file with
+      | Sys_error m ->
+          Format.eprintf "doctor: %s@." m;
+          exit 2
+      | Failure m ->
+          Format.eprintf "doctor: %s: %s@." file m;
+          exit 2
+    in
+    if segs = [] then begin
+      Format.eprintf "doctor: %s holds no timeline segments@." file;
+      exit 2
+    end;
+    let violations = List.concat_map Obs.Analyze.check segs in
+    let incidents = List.concat_map Obs.Analyze.incidents segs in
+    let anomalies = List.concat_map Obs.Analyze.anomalies segs in
+    Format.printf
+      "%s: %d segment(s), %d incident(s), %d anomaly(ies), %d violation(s)@."
+      file (List.length segs) (List.length incidents) (List.length anomalies)
+      (List.length violations);
+    List.iteri pp_segment segs;
+    if report_path <> "" then begin
+      let oc = open_out report_path in
+      Printf.fprintf oc "{\"file\":%S,\"incidents\":[%s],\"violations\":%d}\n"
+        file
+        (String.concat "," (List.map Obs.Analyze.incident_json incidents))
+        (List.length violations);
+      close_out oc
+    end;
+    if violations <> [] then begin
+      List.iter (fun v -> Format.eprintf "  violation: %s@." v) violations;
+      exit 1
+    end
+  in
+  let doc =
+    "Check a TIMELINE.jsonl against the ledger invariants (contiguous \
+     closed epochs, monotone watermarks modulo crashes, crashes answered \
+     by restart or promotion, incidents resolved) and exit nonzero on any \
+     violation."
+  in
+  Cmd.v (Cmd.info "doctor" ~doc) Term.(const run $ file $ report)
+
 let () =
   let doc =
     "ALOHA-DB: scalable transaction processing using functors (ICDCS'18 \
@@ -532,4 +683,5 @@ let () =
   in
   let info = Cmd.info "alohadb_cli" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ run_cmd; figure_cmd; table1_cmd; chaos_cmd; trace_cmd; stats_cmd ]))
+       [ run_cmd; figure_cmd; table1_cmd; chaos_cmd; trace_cmd; stats_cmd;
+         timeline_cmd; doctor_cmd ]))

@@ -45,6 +45,21 @@ headline gate, the on-series p50 must be strictly below the off-series
 p50.  Both runs are simulated time, so unlike the real suite this IS a
 deterministic numeric gate.
 
+    python3 ci/check_bench_regression.py --validate-timeline \
+        TIMELINE.jsonl
+
+validates an epoch-ledger timeline (the append-only JSONL the
+`alohadb_cli timeline` subcommand emits; one meta-delimited segment per
+run).  It is a language-independent re-statement of the OCaml doctor
+(`alohadb_cli doctor` / Obs.Analyze.check): per-line schema by "type"
+(meta / epoch / event / stratum), contiguous closed epochs per node,
+monotone watermarks (a crash of that node between two closes excuses a
+reset), every crash in a replicated segment followed by a restart or a
+promotion, and every promotion with traffic still arriving afterwards
+resolving with a first post-failover commit.  The CI obs-smoke lane
+runs both checkers over the same file so a bug in one is caught by the
+other.
+
 Why the real suite has no numeric gate: BENCH_real.json holds host
 wall-clock times, and those depend on the machine — physical core count
 (a 1-core host cannot speed up the cpu-add series at all), CPU
@@ -209,6 +224,190 @@ def validate_fastpath(path, doc):
              f"collapse commit latency")
 
 
+def parse_timeline(path):
+    """Split a TIMELINE.jsonl into meta-delimited segments.
+
+    Returns a list of {"meta": dict, "rows": [...], "events": [...],
+    "strata": [...]}; exits on unreadable or schema-violating lines."""
+    def fail(lineno, msg):
+        sys.exit(f"error: {path}:{lineno}: {msg}")
+
+    def need(lineno, rec, field, typ, kind):
+        v = rec.get(field)
+        if not isinstance(v, typ) or isinstance(v, bool) and typ is int:
+            fail(lineno, f"{kind} line: {field!r} must be {typ.__name__}")
+        return v
+
+    try:
+        with open(path) as f:
+            raw = f.read().splitlines()
+    except OSError as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    segments, seg = [], None
+    kinds = ("crash", "restart", "detect", "promote", "first_commit")
+    for lineno, line in enumerate(raw, start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError as exc:
+            fail(lineno, f"not JSON: {exc}")
+        if not isinstance(rec, dict):
+            fail(lineno, "line must be a JSON object")
+        typ = rec.get("type")
+        if typ == "meta":
+            for field in ("cfg_epoch_us", "nodes", "replicas"):
+                need(lineno, rec, field, int, "meta")
+            seg = {"meta": rec, "rows": [], "events": [], "strata": []}
+            segments.append(seg)
+        elif typ == "epoch":
+            if seg is None:
+                fail(lineno, "epoch line before any meta line")
+            for field in ("epoch", "node", "open_us", "close_us",
+                          "stretch_millis", "assigned", "fast_commits",
+                          "fast_merges", "watermark", "watermark_lag_us"):
+                need(lineno, rec, field, int, "epoch")
+            for field in ("assigned", "fast_commits", "fast_merges"):
+                if rec[field] < 0:
+                    fail(lineno, f"epoch line: negative {field}")
+            if rec["fast_commits"] > rec["assigned"]:
+                fail(lineno, "epoch line: fast_commits exceed assigned")
+            if (rec["close_us"] >= 0 and rec["open_us"] >= 0
+                    and rec["close_us"] < rec["open_us"]):
+                fail(lineno, "epoch line: closed before it opened")
+            for group in rec.get("groups", []):
+                if not isinstance(group, dict):
+                    fail(lineno, "epoch line: groups must be objects")
+                need(lineno, group, "group", int, "group")
+                need(lineno, group, "ships", int, "group")
+            seg["rows"].append(rec)
+        elif typ == "event":
+            if seg is None:
+                fail(lineno, "event line before any meta line")
+            kind = need(lineno, rec, "kind", str, "event")
+            if kind not in kinds:
+                fail(lineno, f"unknown event kind {kind!r}")
+            if need(lineno, rec, "t_us", int, "event") < 0:
+                fail(lineno, "event line: negative t_us")
+            need(lineno, rec, "node", int, "event")
+            need(lineno, rec, "partition", int, "event")
+            seg["events"].append(rec)
+        elif typ == "stratum":
+            if seg is None:
+                fail(lineno, "stratum line before any meta line")
+            for field in ("node", "t0_us", "t1_us", "size"):
+                need(lineno, rec, field, int, "stratum")
+            workers = rec.get("workers")
+            if not isinstance(workers, list):
+                fail(lineno, "stratum line: workers must be a list")
+            for w in workers:
+                if not isinstance(w, dict):
+                    fail(lineno, "stratum line: workers must be objects")
+                for field in ("worker", "completed", "stolen", "queue"):
+                    need(lineno, w, field, int, "stratum worker")
+            seg["strata"].append(rec)
+        else:
+            fail(lineno, f"unknown line type {typ!r}")
+    if not segments:
+        sys.exit(f"error: {path}: no timeline segments found")
+    return segments
+
+
+def timeline_incidents(seg):
+    """Mirror Obs.Analyze.incidents: one incident per promote event."""
+    evs = seg["events"]
+    out = []
+    for ev in evs:
+        if ev["kind"] != "promote":
+            continue
+        crash = None
+        for e in evs:
+            if (e["kind"] == "crash" and e["t_us"] <= ev["t_us"]
+                    and not any(r["kind"] == "restart"
+                                and r["node"] == e["node"]
+                                and e["t_us"] < r["t_us"] <= ev["t_us"]
+                                for r in evs)
+                    and (crash is None or e["t_us"] >= crash["t_us"])):
+                crash = e
+        first = None
+        for e in evs:
+            if (e["kind"] == "first_commit"
+                    and e["partition"] == ev["partition"]
+                    and e["t_us"] >= ev["t_us"]
+                    and (first is None or e["t_us"] < first["t_us"])):
+                first = e
+        out.append({"partition": ev["partition"],
+                    "promoted_node": ev["node"],
+                    "crash": crash, "promote_us": ev["t_us"],
+                    "first_commit_us": first["t_us"] if first else -1})
+    return out
+
+
+def validate_timeline_segment(idx, seg, problems):
+    """Append doctor-invariant violations for one segment to problems."""
+    def viol(msg):
+        problems.append(f"segment {idx}: {msg}")
+
+    events = seg["events"]
+
+    def crashed_between(node, t0, t1):
+        return any(e["kind"] == "crash" and e["node"] == node
+                   and t0 < e["t_us"] <= t1 for e in events)
+
+    by_node = {}
+    for r in seg["rows"]:
+        if r["close_us"] >= 0:
+            by_node.setdefault(r["node"], []).append(r)
+    for node, rows in sorted(by_node.items()):
+        rows.sort(key=lambda r: r["epoch"])
+        for a, b in zip(rows, rows[1:]):
+            if b["epoch"] != a["epoch"] + 1:
+                viol(f"node {node}: closed epochs not contiguous "
+                     f"({a['epoch']} then {b['epoch']})")
+            if (a["watermark"] >= 0 and 0 <= b["watermark"] < a["watermark"]
+                    and not crashed_between(node, a["close_us"],
+                                            b["close_us"])):
+                viol(f"node {node}: watermark regressed {a['watermark']} -> "
+                     f"{b['watermark']} across epochs {a['epoch']}-"
+                     f"{b['epoch']} with no crash")
+    if seg["meta"]["replicas"] > 1:
+        for e in events:
+            if e["kind"] != "crash":
+                continue
+            handled = any(
+                e2["t_us"] >= e["t_us"]
+                and ((e2["kind"] == "restart" and e2["node"] == e["node"])
+                     or e2["kind"] == "promote")
+                for e2 in events)
+            if not handled:
+                viol(f"node {e['node']} crashed at {e['t_us']}us with no "
+                     f"subsequent promotion or restart "
+                     f"(k={seg['meta']['replicas']})")
+    incidents = timeline_incidents(seg)
+    for i in incidents:
+        traffic_after = any(r["assigned"] > 0
+                            and r["open_us"] >= i["promote_us"]
+                            for r in seg["rows"])
+        if i["first_commit_us"] < 0 and traffic_after:
+            viol(f"incident on partition {i['partition']} (promoted to node "
+                 f"{i['promoted_node']} at {i['promote_us']}us) never saw a "
+                 f"post-failover commit")
+    return incidents
+
+
+def report_timeline(path, segments):
+    print(f"{path}: timeline ok ({len(segments)} segment(s))")
+    for idx, seg in enumerate(segments):
+        meta = seg["meta"]
+        incidents = timeline_incidents(seg)
+        resolved = sum(1 for i in incidents if i["first_commit_us"] >= 0)
+        print(f"  segment {idx}: nodes={meta['nodes']} "
+              f"k={meta['replicas']} epoch={meta['cfg_epoch_us']}us  "
+              f"{len(seg['rows'])} epoch rows, {len(seg['events'])} events, "
+              f"{len(seg['strata'])} strata, {len(incidents)} incident(s) "
+              f"({resolved} resolved)")
+
+
 def report_fastpath(path, doc):
     print(f"{path}: fastpath suite ok")
     for s in doc["series"]:
@@ -298,6 +497,22 @@ def main(argv):
             sys.exit(f"error: {path} is not an availability-suite document")
         validate_availability(path, doc)
         report_availability(path, doc)
+        return 0
+    if len(argv) >= 2 and argv[1] == "--validate-timeline":
+        if len(argv) != 3:
+            sys.exit(f"usage: {argv[0]} --validate-timeline TIMELINE.jsonl")
+        path = argv[2]
+        segments = parse_timeline(path)
+        problems = []
+        for idx, seg in enumerate(segments):
+            validate_timeline_segment(idx, seg, problems)
+        if problems:
+            print(f"error: {path}: {len(problems)} doctor violation(s):",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        report_timeline(path, segments)
         return 0
     if len(argv) >= 2 and argv[1] == "--validate-fastpath":
         if len(argv) != 3:

@@ -54,7 +54,7 @@ let group_layout ~n ~k partition =
    oracle rather than a gossip protocol: the paper's contribution is the
    epoch/functor machinery, and the chaos battery needs a deterministic
    detector, not a probabilistic one. *)
-let install_monitor ~sim ~servers ~route ~detect_us =
+let install_monitor ~sim ~servers ~route ~detect_us ?ledger () =
   let n = Array.length servers in
   let addr i = Net.Address.of_int i in
   let live a = not (Server.be_down servers.(Net.Address.to_int a)) in
@@ -64,7 +64,15 @@ let install_monitor ~sim ~servers ~route ~detect_us =
       (List.init n Fun.id)
   in
   let handle_down i =
-    if Server.be_down servers.(i) then
+    if Server.be_down servers.(i) then begin
+      (* The verdict instant — detect_us after the crash — is when the
+         monitor DETECTS the failure; the ledger's incident analytics
+         measure detect latency against the crash event. *)
+      (match ledger with
+      | Some l ->
+          Obs.Ledger.note_event l ~kind:Obs.Ledger.Detect ~node:i
+            ~t_us:(Sim.Engine.now sim) ()
+      | None -> ());
       List.iter
         (fun p ->
           let primary = Net.Route.resolve route ~partition:p in
@@ -94,6 +102,7 @@ let install_monitor ~sim ~servers ~route ~detect_us =
               servers.(Net.Address.to_int primary)
               ~partition:p ~member:(addr i))
         (partitions_with_member i)
+    end
   in
   let handle_up i =
     if not (Server.be_down servers.(i)) then
@@ -247,7 +256,12 @@ let create ?registry options =
             Server.attach_repl srv ~plane ~route ~members_of ~follows)
           servers;
         install_monitor ~sim ~servers ~route
-          ~detect_us:config.Config.repl_detect_us;
+          ~detect_us:config.Config.repl_detect_us
+          ?ledger:
+            (match options.obs with
+            | Some ctl -> Obs.Ctl.ledger ctl
+            | None -> None)
+          ();
         Some plane
   in
   let t =
@@ -257,6 +271,16 @@ let create ?registry options =
   (match options.obs with
   | None -> ()
   | Some ctl ->
+      (* Stamp the ledger's meta line: the stretch ratio and watermark-lag
+         anomaly thresholds are measured against the configured epoch
+         duration, and the doctor's failover invariants only apply when
+         replicas > 1. *)
+      (match Obs.Ctl.ledger ctl with
+      | Some l ->
+          Obs.Ledger.set_meta l
+            ~cfg_epoch_us:options.epoch.Epoch.Manager.duration_us ~nodes:n
+            ~replicas:k
+      | None -> ());
       (* Fault correlation: every chaos verdict on either plane opens the
          tagging window and leaves a marker event. *)
       let hook ~now ~dst ~kind =

@@ -55,6 +55,10 @@ type prim = {
   followers : Net.Address.t list;
   mutable shipped : int;  (* highest WAL seq shipped at least once *)
   mutable retry_armed : bool;
+  mutable ship_log : (int * int * int * int) list;
+      (* (member, seq, ship-time, epoch) of in-flight ships, newest
+         first — ledger-only bookkeeping (empty unless a ledger is
+         attached), matched against cumulative acks for WAL-ship lag *)
 }
 
 (* Follower-side state for one partition this server replicates but does
@@ -81,6 +85,9 @@ type t = {
   config : Config.t;
   metrics : Sim.Metrics.t;
   obs : Obs.Ctl.t option;
+  ledger : Obs.Ledger.t option;
+      (* cached from [obs] at creation: the epoch-ledger emit sites cost
+         one option test when no ledger is attached *)
   (* Hot-path metric handles, resolved once at creation (see DESIGN.md,
      "Hot paths and how to measure them"). *)
   m_noauth_starts : int ref;
@@ -178,6 +185,9 @@ let emit t ~txn ~stage ?(ts = -1) ?arg () =
       let ts = if ts < 0 then now t else ts in
       Obs.Ctl.emit ctl ~txn ~stage ~node:t.node_id ~ts ?arg ()
 
+(* Epoch-ledger emit: one option test when no ledger is attached. *)
+let lnote t f = match t.ledger with None -> () | Some l -> f l
+
 (* Data-plane call with periodic retransmission (config.install_retry_us).
    The first reply wins; the BE side answers duplicated requests
    idempotently.  With retries enabled, a lost request or reply turns into
@@ -251,6 +261,11 @@ let ship_entry_to t prim ~dst ~seq entry =
   | None -> ()
   | Some ctx ->
       emit t ~txn:(-1) ~stage:Obs.Trace.Wal_ship ~arg:seq ();
+      lnote t (fun _ ->
+          prim.ship_log <-
+            ( Net.Address.to_int dst, seq, now t,
+              Epoch.Participant.current_epoch t.part )
+            :: prim.ship_log);
       Net.Rpc.send ctx.plane ~src:t.address ~dst
         (Message.One
            (Message.Wal_ship
@@ -484,6 +499,10 @@ let maybe_complete t track =
       ~stage:
         (if track.any_aborted then Obs.Trace.Aborted else Obs.Trace.Committed)
       ~arg:track.epoch ();
+    lnote t (fun l ->
+        if (not track.any_aborted) && Obs.Ledger.awaiting_first_commit l then
+          Obs.Ledger.note_commit l ~node:t.node_id ~t_us:completed_at
+            ~partitions:track.acked_ok);
     if track.any_aborted then begin
       incr t.m_aborted_compute;
       match track.ack with
@@ -586,6 +605,12 @@ let start_fast t ~groups ~ack:_ reply w ts ~issued_at =
                     Sim.Stats.Histogram.add t.h_lat_fastpath latency;
                     emit t ~txn ~stage:Obs.Trace.Fastpath_commit ~arg:latency
                       ();
+                    lnote t (fun l ->
+                        Obs.Ledger.note_fast_commit l ~node:t.node_id ~epoch;
+                        if Obs.Ledger.awaiting_first_commit l then
+                          Obs.Ledger.note_commit l ~node:t.node_id
+                            ~t_us:(now t)
+                            ~partitions:(List.map fst groups));
                     reply (Txn.Committed { ts })
                   end
               | Message.Get_resp _ | Message.Abort_ack ->
@@ -619,6 +644,9 @@ and start_rw t (writes, precondition_keys, ack) reply w ts ~submitted_at =
   emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Submit ~ts:submitted_at ();
   emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Epoch_assign
     ~arg:w.Epoch.Participant.epoch ();
+  lnote t (fun l ->
+      Obs.Ledger.note_assigned l ~node:t.node_id
+        ~epoch:w.Epoch.Participant.epoch);
   Epoch.Participant.txn_started t.part ~epoch:w.Epoch.Participant.epoch;
   let groups = groups_of_writes t writes in
   if
@@ -689,6 +717,9 @@ and delay_ro t keys reply w ts =
   emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Submit ();
   emit t ~txn:(Ts.to_int ts) ~stage:Obs.Trace.Epoch_assign
     ~arg:w.Epoch.Participant.epoch ();
+  lnote t (fun l ->
+      Obs.Ledger.note_assigned l ~node:t.node_id
+        ~epoch:w.Epoch.Participant.epoch);
   let run () =
     run_read t keys (Ts.to_int ts) (fun result ->
         Sim.Stats.Histogram.add t.h_lat_ro (now t - issued_at);
@@ -786,6 +817,9 @@ let merge_fast_deltas t ~upto_epoch =
   List.iter
     (fun (epoch, items) ->
       Hashtbl.remove t.fp_pending epoch;
+      lnote t (fun l ->
+          Obs.Ledger.note_fast_merges l ~node:t.node_id ~epoch
+            ~count:(List.length items));
       List.iter
         (fun (key, version) ->
           Functor_cc.Compute_engine.merge_delta t.engine ~key ~version)
@@ -944,6 +978,7 @@ let on_functor_final t ~key ~pending ~final =
 let spawn_engine t =
   let me = ref t.engine in
   let live () = t.engine == !me in
+  let strat_t0 = ref 0 in
   let callbacks =
     { Functor_cc.Compute_engine.is_local = (fun key -> owns t key);
       remote_get =
@@ -1035,8 +1070,21 @@ let spawn_engine t =
       ~now:(fun () -> Sim.Engine.now t.sim)
       ?on_dispatch
       ~on_stratum:(fun ~size ->
+        (* The strata of one plan run back-to-back on the orchestrating
+           domain, so a single ref carries the wall-clock start from
+           dispatch to the matching [on_stratum_done]. *)
+        strat_t0 := Obs.Ledger.wall_us ();
         if live () then
           emit t ~txn:(-1) ~stage:Obs.Trace.Stratum_dispatch ~arg:size ())
+      ?on_stratum_done:
+        (match t.ledger with
+        | None -> None
+        | Some l ->
+            Some
+              (fun ~size ~workers ->
+                if live () then
+                  Obs.Ledger.note_stratum l ~node:t.node_id ~t0_us:!strat_t0
+                    ~t1_us:(Obs.Ledger.wall_us ()) ~size ~workers))
       ~on_evaluated:(fun ~elapsed_us ->
         if live () then
           emit t ~txn:(-1) ~stage:Obs.Trace.Plan_evaluate ~arg:elapsed_us ())
@@ -1055,9 +1103,16 @@ let release_closed t ~upto_epoch =
   | Config.Planned ->
       let items = Functor_cc.Processor.drain t.processor ~upto_epoch in
       let stats = Functor_cc.Planner.run t.planner ~items in
-      if stats.Functor_cc.Planner.nodes > 0 then
+      if stats.Functor_cc.Planner.nodes > 0 then begin
         emit t ~txn:(-1) ~stage:Obs.Trace.Plan_build
-          ~arg:stats.Functor_cc.Planner.nodes ());
+          ~arg:stats.Functor_cc.Planner.nodes ();
+        lnote t (fun l ->
+            Obs.Ledger.note_plan l ~node:t.node_id ~epoch:upto_epoch
+              ~nodes:stats.Functor_cc.Planner.nodes
+              ~edges:stats.Functor_cc.Planner.edges
+              ~strata:stats.Functor_cc.Planner.strata
+              ~critical_path:stats.Functor_cc.Planner.critical_path)
+      end);
   (* Fast-path deltas never enter the processor (or a plan): fold the
      closed epochs' remainder directly.  Already-final records (folded by
      an on-demand read) are skipped by the engine. *)
@@ -1190,6 +1245,7 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
   let t =
     { sim; data; address = addr; node_id; clock; partition_of;
       addr_of_partition; my_partition; config; metrics; obs;
+      ledger = (match obs with Some o -> Obs.Ctl.ledger o | None -> None);
       m_noauth_starts = c "aloha.noauth_starts";
       m_held = c "aloha.held";
       m_submitted_rw = c "aloha.submitted_rw";
@@ -1240,7 +1296,10 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
   in
   spawn_engine t;
   Epoch.Participant.set_hooks part
-    ~on_open:(fun ~epoch:_ ~lo:_ ~hi:_ -> drain_held t)
+    ~on_open:(fun ~epoch ~lo:_ ~hi:_ ->
+      lnote t (fun l ->
+          Obs.Ledger.note_open l ~node:t.node_id ~epoch ~t_us:(now t));
+      drain_held t)
     ~on_closed:(fun ~epoch ->
       emit t ~txn:(-1) ~stage:Obs.Trace.Epoch_close ~arg:epoch ();
       if epoch > t.last_closed_epoch then t.last_closed_epoch <- epoch;
@@ -1253,6 +1312,32 @@ let create ~sim ~data ~control ~addr ~node_id ~em ~clock ~partition_of
         if not t.repl_gated then log_close_markers t ~epoch;
         release_closed t ~upto_epoch:epoch
       end;
+      lnote t (fun l ->
+          let tnow = now t in
+          let wm, lag =
+            if t.be_down then (-1, 0)
+            else
+              let v = Recovery.max_final_version t.engine in
+              let lag =
+                if v <= 0 then 0
+                else max 0 (tnow - Ts.time_us (Ts.of_int v))
+              in
+              (v, lag)
+          in
+          Obs.Ledger.note_close l ~node:t.node_id ~epoch ~t_us:tnow
+            ~watermark:wm ~watermark_lag_us:lag;
+          Hashtbl.iter
+            (fun partition prim ->
+              let live = List.length (Repl.live_followers prim.group) in
+              Obs.Ledger.note_group l ~node:t.node_id ~epoch ~partition
+                ~ack_floor:(Repl.len prim.group - Repl.replica_lag prim.group)
+                ~live_followers:live ~degraded:(live = 0))
+            t.prims;
+          match t.real_pool with
+          | Some p ->
+              Obs.Ledger.note_pool l ~node:t.node_id ~epoch
+                ~workers:(Runtime.Pool.worker_stats p)
+          | None -> ());
       let ready, waiting =
         List.partition (fun (e, _) -> e <= epoch) t.delayed_reads
       in
@@ -1458,7 +1543,22 @@ let on_ship_ack t ~src ~partition ~term ~seq =
   if not t.be_down then
     match current_prim t partition with
     | Some prim when Repl.term prim.group = term ->
-        Repl.ack prim.group ~member:(Net.Address.to_int src) ~seq
+        Repl.ack prim.group ~member:(Net.Address.to_int src) ~seq;
+        lnote t (fun l ->
+            (* The ack is cumulative: every outstanding ship to this
+               member at or below [seq] is confirmed now. *)
+            let m = Net.Address.to_int src in
+            let acked, still =
+              List.partition
+                (fun (member, s, _, _) -> member = m && s <= seq)
+                prim.ship_log
+            in
+            prim.ship_log <- still;
+            List.iter
+              (fun (_, _, sent, epoch) ->
+                Obs.Ledger.note_ship_lag l ~node:t.node_id ~epoch
+                  ~partition ~lag_us:(now t - sent))
+              acked)
     | Some _ | None -> ()  (* stale term: ack for a deposed primary's log *)
 
 (* ---- replication: wiring ------------------------------------------------ *)
@@ -1490,7 +1590,7 @@ let attach_repl t ~plane ~route ~members_of ~follows =
             List.filter
               (fun a -> not (Net.Address.equal a t.address))
               members;
-          shipped = 0; retry_armed = false }
+          shipped = 0; retry_armed = false; ship_log = [] }
       in
       Hashtbl.replace t.prims t.my_partition prim;
       install_ship_hook t prim);
@@ -1534,10 +1634,18 @@ let attach_repl t ~plane ~route ~members_of ~follows =
               ignore (Repl.append prim.group);
               Repl.close_epoch prim.group ~epoch)
             prims;
+          let entered = now t in
           let delivered = ref false in
           let deliver () =
             if not !delivered then begin
               delivered := true;
+              lnote t (fun l ->
+                  let wait_us = now t - entered in
+                  List.iter
+                    (fun prim ->
+                      Obs.Ledger.note_gate_wait l ~node:t.node_id ~epoch
+                        ~partition:prim.p_partition ~wait_us)
+                    prims);
               fire ()
             end
           in
@@ -1609,6 +1717,9 @@ let crash_be t =
   Hashtbl.reset t.pending_dones;
   Hashtbl.reset t.fp_pending;
   spawn_engine t;
+  lnote t (fun l ->
+      Obs.Ledger.note_event l ~kind:Obs.Ledger.Crash ~node:t.node_id
+        ~t_us:(now t) ());
   t.on_crash ()
 
 (* Re-join a partition this server lost while down: the routing table
@@ -1667,7 +1778,7 @@ let restart_be t =
       if Hashtbl.length t.prims > 0 then
         release_closed t ~upto_epoch:t.last_closed_epoch);
   t.be_down <- false;
-  match t.repl with
+  (match t.repl with
   | None -> ()
   | Some _ ->
       (* Follower acks are volatile on both sides: re-ship everything and
@@ -1678,7 +1789,10 @@ let restart_be t =
           ship_fresh t prim;
           arm_retry t prim)
         t.prims;
-      t.on_restart ()
+      t.on_restart ());
+  lnote t (fun l ->
+      Obs.Ledger.note_event l ~kind:Obs.Ledger.Restart ~node:t.node_id
+        ~t_us:(now t) ())
 
 (* Promotion: the failure monitor decided this server succeeds the
    crashed primary of [partition].  The shipped log IS the partition
@@ -1701,6 +1815,9 @@ let adopt_partition t ~partition ~down =
         Hashtbl.remove t.flws partition;
         Sim.Metrics.incr t.metrics "aloha.promotions";
         emit t ~txn:(-1) ~stage:Obs.Trace.Promote ~arg:partition ();
+        lnote t (fun l ->
+            Obs.Ledger.note_event l ~kind:Obs.Ledger.Promote ~node:t.node_id
+              ~t_us:(now t) ~partition ());
         (* The follower did not crash, so its buffered WAL tail is still
            valid — replay all of it, not just the durable prefix. *)
         let entries = Wal.all f.f_wal in
@@ -1726,7 +1843,7 @@ let adopt_partition t ~partition ~down =
               List.filter
                 (fun a -> not (Net.Address.equal a t.address))
                 members;
-            shipped = 0; retry_armed = false }
+            shipped = 0; retry_armed = false; ship_log = [] }
         in
         Hashtbl.replace t.prims partition prim;
         install_ship_hook t prim;

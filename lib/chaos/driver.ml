@@ -202,7 +202,7 @@ type run_out = {
 }
 
 let exec (type c) (module T : TARGET with type cluster = c)
-    ?compute ?replicas ?fastpath ~(schedule : Schedule.t) ~faulted () =
+    ?compute ?replicas ?fastpath ?obs ~(schedule : Schedule.t) ~faulted () =
   let n = schedule.Schedule.n_servers in
   let w = make_workload ~seed:schedule.Schedule.seed ~n_servers:n in
   let faults =
@@ -211,7 +211,7 @@ let exec (type c) (module T : TARGET with type cluster = c)
   let params =
     Kernel.Params.make
       ?faults:(if faulted then Some faults else None)
-      ?compute ?replicas ?fastpath ~n_servers:n ()
+      ?compute ?replicas ?fastpath ?obs ~n_servers:n ()
   in
   let cluster = T.create ~seed:schedule.Schedule.seed params in
   List.iter (fun k -> T.load cluster k (Functor_cc.Value.int 0)) w.keys;
@@ -272,7 +272,8 @@ let exec (type c) (module T : TARGET with type cluster = c)
       ~cluster ~gen
       ~arrival:(Kernel.Arrivals.Scripted { arrivals = w.arrivals })
       ~on_reply:(fun ~fe:_ _ -> incr replies)
-      ~warmup_us:0 ~measure_us:horizon_us ~seed:schedule.Schedule.seed ()
+      ?obs ~warmup_us:0 ~measure_us:horizon_us ~seed:schedule.Schedule.seed
+      ()
   in
   let state =
     Array.of_list
@@ -309,6 +310,7 @@ type report = {
   availability : (int * int) list;
   drops : int;
   drop_detail : Net.Network.drop_stats;
+  timeline : string list;
   violations : string list;
 }
 
@@ -327,10 +329,14 @@ let check_state ~label ~(expected : int array) ~(actual : int array)
     keys;
   !acc
 
-let run_schedule ?compute ?replicas ?fastpath (Target (module T))
+let run_schedule ?compute ?replicas ?fastpath ?obs (Target (module T))
     ~(schedule : Schedule.t) =
+  (* Only the faulted run carries the observability handle: the replay
+     and reference runs exist to check invariants, and the ledger (when
+     one is attached) should describe the run the timeline is about. *)
   let w, faulted =
-    exec (module T) ?compute ?replicas ?fastpath ~schedule ~faulted:true ()
+    exec (module T) ?compute ?replicas ?fastpath ?obs ~schedule ~faulted:true
+      ()
   in
   let _, replay =
     exec (module T) ?compute ?replicas ?fastpath ~schedule ~faulted:true ()
@@ -419,9 +425,16 @@ let run_schedule ?compute ?replicas ?fastpath (Target (module T))
       + faulted.drops.Net.Network.crashed
       + faulted.drops.Net.Network.unregistered;
     drop_detail = faulted.drops;
+    timeline =
+      (match obs with
+      | Some ctl -> (
+          match Obs.Ctl.ledger ctl with
+          | Some l -> Obs.Ledger.to_lines l
+          | None -> [])
+      | None -> []);
     violations = List.rev !v }
 
-let run_seed ?compute ?replicas ?fastpath t ~seed ~n_servers =
+let run_seed ?compute ?replicas ?fastpath ?obs t ~seed ~n_servers =
   let schedule =
     (* Replicated battery: crash every backend once (staggered); the
        generic mixed schedule otherwise. *)
@@ -429,7 +442,7 @@ let run_seed ?compute ?replicas ?fastpath t ~seed ~n_servers =
     | Some k when k > 1 -> Schedule.generate_replicated ~seed ~n_servers
     | Some _ | None -> Schedule.generate ~seed ~n_servers
   in
-  run_schedule ?compute ?replicas ?fastpath t ~schedule
+  run_schedule ?compute ?replicas ?fastpath ?obs t ~schedule
 
 let trace_hash_of ?compute ?replicas ?fastpath (Target (module T))
     ~(schedule : Schedule.t) =

@@ -68,25 +68,33 @@ type report = {
   drops : int;  (** total messages lost to injected faults *)
   drop_detail : Net.Network.drop_stats;
       (** the same drops broken out by cause, for CI artifacts *)
+  timeline : string list;
+      (** the faulted run's epoch-ledger JSONL segment
+          ([Obs.Ledger.to_lines]) when [obs] carried a ledger; [[]]
+          otherwise.  Append to TIMELINE.jsonl via
+          [Harness.Report.write_timeline]. *)
   violations : string list;  (** empty = all invariants held *)
 }
 
 val passed : report -> bool
 
 val run_schedule :
-  ?compute:string -> ?replicas:int -> ?fastpath:bool -> packed ->
-  schedule:Schedule.t -> report
+  ?compute:string -> ?replicas:int -> ?fastpath:bool -> ?obs:Obs.Ctl.t ->
+  packed -> schedule:Schedule.t -> report
 (** [compute] selects an engine-specific compute mode (ALOHA:
     "ondemand" / "pool" / "planned") for all three runs of the schedule.
     [replicas] sets the replication degree (engines without replication
     ignore it); the crash-free reference runs at the {e same} degree, so
     the state check reads "a replicated faulted run converges to a
     replicated fault-free run" — behaviour-neutrality of replication
-    itself versus k = 1 is the differential test's job. *)
+    itself versus k = 1 is the differential test's job.  [obs] attaches
+    an observability handle to the {e faulted} run only (tracing is
+    behaviour-neutral, so the determinism check still holds against the
+    bare replay); a ledger on it fills [report.timeline]. *)
 
 val run_seed :
-  ?compute:string -> ?replicas:int -> ?fastpath:bool -> packed -> seed:int ->
-  n_servers:int -> report
+  ?compute:string -> ?replicas:int -> ?fastpath:bool -> ?obs:Obs.Ctl.t ->
+  packed -> seed:int -> n_servers:int -> report
 (** [run_schedule] on [Schedule.generate ~seed ~n_servers] — or, when
     [replicas > 1], on [Schedule.generate_replicated ~seed ~n_servers]
     (every backend crashed once, staggered). *)

@@ -11,6 +11,7 @@ type t = {
   now : unit -> int;
   on_dispatch : (key:Key.t -> version:int -> unit) option;
   on_stratum : (size:int -> unit) option;
+  on_stratum_done : (size:int -> workers:(int * int * int) array -> unit) option;
   on_evaluated : (elapsed_us:int -> unit) option;
   m_plans : int ref;
   m_nodes : int ref;
@@ -34,10 +35,11 @@ type stats = {
 let create ~engine ~pool ?real ~dispatch_cost_us ~metrics
     ?(is_local = fun _ -> true)
     ?(send_plan_sub = fun ~key:_ ~version:_ ~dst_key:_ ~dst_version:_ -> ())
-    ?(now = fun () -> 0) ?on_dispatch ?on_stratum ?on_evaluated () =
+    ?(now = fun () -> 0) ?on_dispatch ?on_stratum ?on_stratum_done
+    ?on_evaluated () =
   let c = Sim.Metrics.counter metrics in
   { engine; pool; real; dispatch_cost_us; is_local; send_plan_sub; now;
-    on_dispatch; on_stratum; on_evaluated;
+    on_dispatch; on_stratum; on_stratum_done; on_evaluated;
     m_plans = c "plan.plans";
     m_nodes = c "plan.nodes";
     m_edges = c "plan.edges";
@@ -290,10 +292,26 @@ let run t ~items =
                    Compute_engine.par_stage t.engine nodes.(i))
             |> Array.of_list
           in
+          let before =
+            match t.on_stratum_done with
+            | Some _ -> Runtime.Pool.worker_stats rpool
+            | None -> [||]
+          in
           Runtime.Pool.run_batch rpool
             (Array.map
                (fun task () -> Compute_engine.par_eval t.engine task)
                tasks);
+          (match t.on_stratum_done with
+          | Some f ->
+              let after = Runtime.Pool.worker_stats rpool in
+              f ~size:(Array.length level)
+                ~workers:
+                  (Array.mapi
+                     (fun i (c1, s1, q1) ->
+                       let c0, s0, _ = before.(i) in
+                       (c1 - c0, s1 - s0, q1))
+                     after)
+          | None -> ());
           Array.iter
             (fun task ->
               if Compute_engine.par_commit t.engine task then

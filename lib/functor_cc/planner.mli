@@ -62,6 +62,7 @@ val create :
   ?now:(unit -> int) ->
   ?on_dispatch:(key:Mvstore.Key.t -> version:int -> unit) ->
   ?on_stratum:(size:int -> unit) ->
+  ?on_stratum_done:(size:int -> workers:(int * int * int) array -> unit) ->
   ?on_evaluated:(elapsed_us:int -> unit) ->
   unit -> t
 (** [is_local] defaults to treating every key as local (single-partition
@@ -77,7 +78,10 @@ val create :
     (barriering between strata) before the simulated dispatch runs;
     evaluated records then no-op through {!Compute_engine.compute_prepared},
     so the simulated timeline is unchanged.  [on_stratum] observes each
-    batch leaving for the domain pool (lifecycle tracing). *)
+    batch leaving for the domain pool (lifecycle tracing);
+    [on_stratum_done] fires after the stratum barrier with the per-worker
+    (completed, stolen, queue) deltas across the batch — the occupancy
+    feed for the epoch ledger's per-worker profiling tracks. *)
 
 val run : t -> items:Processor.item list -> stats
 (** Build and dispatch one plan over [items] (an epoch's drained buffer,

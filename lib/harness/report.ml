@@ -107,6 +107,18 @@ let write path body =
   output_char oc '\n';
   close_out oc
 
+(* TIMELINE.jsonl is genuinely append-only: each run contributes one
+   segment (meta line + rows), and Obs.Analyze splits segments back apart
+   at the meta lines. *)
+let write_timeline path lines =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
 let write_micro path =
   write path
     (Printf.sprintf "{\"suite\":\"micro\",\"results\":[%s]}"

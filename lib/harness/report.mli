@@ -39,6 +39,12 @@ val real_recorded : unit -> bool
 val write_micro : string -> unit
 val write_macro : scale:string -> string -> unit
 
+val write_timeline : string -> string list -> unit
+(** Append JSONL lines (one epoch-ledger segment, from
+    [Obs.Ledger.to_lines]) to a TIMELINE.jsonl file, creating it if
+    absent.  Append-only on purpose: successive runs accumulate segments
+    that [Obs.Analyze] separates at the meta lines.  Unconditional. *)
+
 val write_real : host_cores:int -> string -> unit
 (** Write BENCH_real.json: per-series wall-clock points with derived
     txn/s and speedup over the same series' 1-domain run, plus the host

@@ -1,0 +1,94 @@
+(** Derived analytics over a {!Ledger} timeline: parse TIMELINE.jsonl
+    back into records, reconstruct failover incidents (crash → detect →
+    promote → first post-failover commit, with per-phase latencies), flag
+    anomalies, and run the [doctor] invariant checks.
+
+    The parser is a hand-rolled minimal JSON reader (repo convention: no
+    json dependency); it accepts exactly the value grammar the ledger
+    emits plus ordinary whitespace. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> t
+  (** Raises [Failure] on malformed input or trailing garbage. *)
+
+  val member : string -> t -> t option
+  val to_int : ?default:int -> t option -> int
+  val to_bool : ?default:bool -> t option -> bool
+  val to_str : ?default:string -> t option -> string
+end
+
+type epoch_row = {
+  epoch : int;
+  node : int;
+  open_us : int;
+  close_us : int;
+  stretch_millis : int;  (** (close-open)/cfg in thousandths; -1 unknown *)
+  assigned : int;
+  fast_commits : int;
+  fast_merges : int;
+  watermark : int;
+  watermark_lag_us : int;
+  degraded : bool;  (** any replication group at a single-copy floor *)
+}
+
+type event = { kind : string; ev_node : int; t_us : int; partition : int }
+
+(** One meta-line-delimited run of a TIMELINE.jsonl (files are
+    append-only, so a file may hold several). *)
+type segment = {
+  cfg_epoch_us : int;
+  nodes : int;
+  replicas : int;
+  rows : epoch_row list;  (** in file order *)
+  events : event list;  (** in file order *)
+}
+
+val parse_lines : string list -> segment list
+(** Raises [Failure] naming the offending line on malformed input.
+    Records before any meta line start an implicit segment. *)
+
+val load : string -> segment list
+(** Read and parse a TIMELINE.jsonl file. *)
+
+type incident = {
+  i_partition : int;
+  crashed_node : int;  (** -1 when no crash event matched the promote *)
+  promoted_node : int;
+  crash_us : int;  (** -1 unknown *)
+  detect_us : int;  (** -1 unknown *)
+  promote_us : int;
+  first_commit_us : int;  (** -1 = unresolved *)
+}
+
+val resolved : incident -> bool
+
+val incidents : segment -> incident list
+(** One incident per [promote] event, phases matched from the
+    surrounding crash/detect/first_commit events. *)
+
+val incident_json : incident -> string
+
+type anomaly = { a_kind : string; a_detail : string }
+
+val anomalies : segment -> anomaly list
+(** Epoch stretch > 2x the configured duration, watermark-lag spikes
+    (> 4x the configured duration, in windows that received work — an
+    idle tail legitimately ages the newest final value), and degraded
+    single-copy floors. *)
+
+val check : segment -> string list
+(** The doctor invariants; each violation is one human-readable line.
+    Checked: rows/events carry sane fields, closed epochs are contiguous
+    per node, watermarks are monotone per node (a crash of that node
+    between two closes excuses a reset), every crash in a replicated
+    segment leads to a restart or a promotion, and every incident with
+    traffic still arriving after its promotion resolves with a first
+    post-failover commit. *)

@@ -1,16 +1,18 @@
 type t = {
   trace : Trace.t;
   gauges : Gauges.t;
+  ledger : Ledger.t option;
   corr_window_us : int;
   mutable last_fault_us : int;
   mutable fault_drops : int;
   mutable fault_delays : int;
 }
 
-let create ?trace_capacity ?sample ?gauge_interval_us
+let create ?trace_capacity ?sample ?gauge_interval_us ?ledger
     ?(corr_window_us = 2_000) () =
   { trace = Trace.create ?capacity:trace_capacity ?sample ();
     gauges = Gauges.create ?interval_us:gauge_interval_us ();
+    ledger;
     corr_window_us;
     last_fault_us = min_int;
     fault_drops = 0;
@@ -18,6 +20,7 @@ let create ?trace_capacity ?sample ?gauge_interval_us
 
 let trace t = t.trace
 let gauges t = t.gauges
+let ledger t = t.ledger
 
 let fault_tag t ~now =
   (* [min_int] marks "no fault seen"; subtracting it from [now] would
@@ -52,6 +55,7 @@ let arm t ~sim ~for_us = Gauges.arm t.gauges ~sim ~for_us
 let measure_reset t =
   Trace.clear t.trace;
   Gauges.clear t.gauges;
+  (match t.ledger with Some l -> Ledger.clear l | None -> ());
   t.last_fault_us <- min_int;
   t.fault_drops <- 0;
   t.fault_delays <- 0

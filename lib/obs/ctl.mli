@@ -15,15 +15,21 @@ val create :
   ?trace_capacity:int ->
   ?sample:int ->
   ?gauge_interval_us:int ->
+  ?ledger:Ledger.t ->
   ?corr_window_us:int ->
   unit ->
   t
 (** [sample] keeps 1-in-N transactions (default 1); [corr_window_us]
     (default 2000) is how long after an injected fault events stay
-    tagged. *)
+    tagged.  [ledger] (default absent) attaches an epoch-granularity
+    {!Ledger} — when absent the ledger emit sites cost one option
+    test. *)
 
 val trace : t -> Trace.t
 val gauges : t -> Gauges.t
+
+val ledger : t -> Ledger.t option
+(** The attached epoch ledger, if any — engines cache this at creation. *)
 
 val emit :
   t -> txn:int -> stage:Trace.stage -> node:int -> ts:int -> ?arg:int ->

@@ -29,6 +29,10 @@
 type worker = {
   queue : (unit -> unit) Queue.t;
   lock : Mutex.t;
+  (* per-worker occupancy counters: written only by the owning worker
+     domain, read (racily, gauge-style) by the orchestrator *)
+  w_completed : int Atomic.t;
+  w_stolen : int Atomic.t;
 }
 
 type t = {
@@ -65,6 +69,16 @@ let queue_peak t = Atomic.get t.queue_peak
 (* Approximate (racy reads are fine for a gauge): submitted minus running. *)
 let queue_depth t = max 0 (Atomic.get t.in_flight - Atomic.get t.busy)
 
+(* Per-worker (tasks completed, tasks stolen, queue length) snapshot.  The
+   counters are cumulative; the orchestrator diffs consecutive snapshots
+   around a stratum barrier for per-stratum occupancy.  The queue length
+   is a racy plain read — a gauge, like {!queue_depth}. *)
+let worker_stats t =
+  Array.map
+    (fun w ->
+      (Atomic.get w.w_completed, Atomic.get w.w_stolen, Queue.length w.queue))
+    t.workers
+
 let rec bump_max cell v =
   let cur = Atomic.get cell in
   if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
@@ -91,13 +105,14 @@ let steal t ~self =
   done;
   !found
 
-let run_task t task =
+let run_task t ~self task =
   let b = Atomic.fetch_and_add t.busy 1 + 1 in
   bump_max t.busy_peak b;
   (try task ()
    with _ -> Atomic.incr t.tasks_raised);
   Atomic.decr t.busy;
   Atomic.incr t.completed;
+  Atomic.incr t.workers.(self).w_completed;
   (* Last finisher rings the completion bell for the barrier.  The lock
      round-trip makes the decrement visible to a sleeping waiter. *)
   if Atomic.fetch_and_add t.in_flight (-1) = 1 then begin
@@ -115,12 +130,13 @@ let worker_loop t self =
        rescan instead of sleeping through the wakeup. *)
     let seen = Atomic.get t.work_sig in
     match pop_own w with
-    | Some task -> run_task t task
+    | Some task -> run_task t ~self task
     | None -> (
         match steal t ~self with
         | Some task ->
             Atomic.incr t.stolen;
-            run_task t task
+            Atomic.incr w.w_stolen;
+            run_task t ~self task
         | None ->
             (* Nothing anywhere.  Exit on stop (queues are drained first
                by construction: stop is only checked after a full failed
@@ -142,7 +158,8 @@ let create ~domains =
   let t =
     { workers =
         Array.init domains (fun _ ->
-            { queue = Queue.create (); lock = Mutex.create () });
+            { queue = Queue.create (); lock = Mutex.create ();
+              w_completed = Atomic.make 0; w_stolen = Atomic.make 0 });
       handles = [||];
       stop = Atomic.make false;
       in_flight = Atomic.make 0;

@@ -19,6 +19,7 @@ let () =
       ("components", Test_components.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
+      ("timeline", Test_timeline.suite);
       ("chaos", Test_chaos.suite);
       ("replication", Test_replication.suite);
       ("fastpath", Test_fastpath.suite) ]

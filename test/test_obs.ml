@@ -141,6 +141,115 @@ let test_chrome_export () =
   Alcotest.(check bool) "pid field" true (has "\"pid\":0");
   Alcotest.(check bool) "tid field" true (has "\"tid\":")
 
+(* Chrome-trace well-formedness: parse the exported document with the
+   timeline JSON reader and hold it to the trace_events contract — every
+   event carries pid/tid/ts, duration ("B"/"E") events balance per tid,
+   and counter samples are monotone in ts per series.  Includes the
+   ledger-driven per-worker tracks, which are the only emitter of "B"/"E"
+   pairs. *)
+let test_chrome_well_formed () =
+  let ctl = Obs.Ctl.create ~gauge_interval_us:1_000 () in
+  List.iteri
+    (fun i stage ->
+      Obs.Ctl.emit ctl ~txn:i ~stage ~node:(i mod 2) ~ts:(50 * (i + 1))
+        ~arg:2 ())
+    [ Obs.Trace.Submit; Epoch_assign; Functor_write; Committed; Submit;
+      Epoch_assign ];
+  let sim = Sim.Engine.create () in
+  let metrics = Sim.Metrics.create () in
+  let g = Obs.Ctl.gauges ctl in
+  Obs.Gauges.bind_metrics g metrics;
+  let tick = ref 0 in
+  Obs.Gauges.add_probe g (fun () ->
+      incr tick;
+      Sim.Metrics.set_gauge metrics "gauge.tick" (float_of_int !tick));
+  Obs.Gauges.arm g ~sim ~for_us:5_000;
+  Sim.Engine.run ~until:6_000 sim;
+  let ledger = Obs.Ledger.create () in
+  Obs.Ledger.note_stratum ledger ~node:0 ~t0_us:1_000 ~t1_us:1_400 ~size:8
+    ~workers:[| (5, 0, 0); (3, 2, 1) |];
+  Obs.Ledger.note_stratum ledger ~node:0 ~t0_us:1_500 ~t1_us:1_650 ~size:2
+    ~workers:[| (2, 0, 0); (0, 0, 0) |];
+  let doc =
+    Obs.Export.chrome_trace ~engine:"aloha" ~shards:8 ~ledger
+      ~trace:(Obs.Ctl.trace ctl)
+      ~gauges:(Some g) ()
+  in
+  let open Obs.Analyze.Json in
+  let events =
+    match member "traceEvents" (parse doc) with
+    | Some (Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "document holds events" true (events <> []);
+  (* Per-tid B/E balance and per-counter-series ts monotonicity. *)
+  let depth = Hashtbl.create 8 in
+  let last_counter_ts = Hashtbl.create 8 in
+  let b_seen = ref 0 and steal_seen = ref 0 in
+  List.iter
+    (fun ev ->
+      let ph = to_str (member "ph" ev) ~default:"?" in
+      let pid = to_int (member "pid" ev) ~default:min_int in
+      let tid = to_int (member "tid" ev) ~default:min_int in
+      let ts = to_int (member "ts" ev) ~default:min_int in
+      Alcotest.(check bool) "every event has a pid" true (pid > min_int);
+      Alcotest.(check bool) "every event has a ts" true (ts > min_int);
+      (* counters live on pid 0 without a tid; all else has one *)
+      if ph <> "C" then
+        Alcotest.(check bool) "every non-counter event has a tid" true
+          (tid > min_int);
+      match ph with
+      | "B" ->
+          incr b_seen;
+          Hashtbl.replace depth (pid, tid)
+            (1
+            + (match Hashtbl.find_opt depth (pid, tid) with
+              | Some d -> d
+              | None -> 0))
+      | "E" ->
+          let d =
+            match Hashtbl.find_opt depth (pid, tid) with
+            | Some d -> d
+            | None -> 0
+          in
+          Alcotest.(check bool) "E never precedes its B" true (d > 0);
+          Hashtbl.replace depth (pid, tid) (d - 1)
+      | "C" ->
+          let name = to_str (member "name" ev) ~default:"" in
+          (match Hashtbl.find_opt last_counter_ts name with
+          | Some prev ->
+              Alcotest.(check bool)
+                (Printf.sprintf "counter %s monotone in ts" name)
+                true (ts >= prev)
+          | None -> ());
+          Hashtbl.replace last_counter_ts name ts
+      | "i" ->
+          if to_str (member "name" ev) ~default:"" = "steal" then
+            incr steal_seen
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun (pid, tid) d ->
+      Alcotest.(check int)
+        (Printf.sprintf "B/E balanced on pid %d tid %d" pid tid)
+        0 d)
+    depth;
+  Alcotest.(check bool) "worker spans exported" true (!b_seen >= 3);
+  Alcotest.(check int) "steal marker exported" 1 !steal_seen;
+  Alcotest.(check bool) "counter series sampled" true
+    (Hashtbl.length last_counter_ts > 0);
+  (* Worker lanes sit above the shard lanes and are named. *)
+  let has needle =
+    let nl = String.length needle and jl = String.length doc in
+    let rec go i =
+      i + nl <= jl && (String.sub doc i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "worker thread names" true
+    (has "\"name\":\"worker 1\"");
+  Alcotest.(check bool) "worker tid above shards" true (has "\"tid\":9")
+
 let test_epoch_rollup () =
   let t = Obs.Trace.create () in
   let emit txn stage arg ts =
@@ -230,6 +339,8 @@ let suite =
     Alcotest.test_case "gauges sampler" `Quick test_gauges_sampler;
     Alcotest.test_case "fault correlation" `Quick test_fault_correlation;
     Alcotest.test_case "chrome export" `Quick test_chrome_export;
+    Alcotest.test_case "chrome trace well-formed" `Quick
+      test_chrome_well_formed;
     Alcotest.test_case "epoch rollup" `Quick test_epoch_rollup;
     Alcotest.test_case "tracing is behaviour-neutral" `Quick
       test_overhead_neutral;
